@@ -1,0 +1,978 @@
+(* Benchmark harness: regenerates every figure and empirically checks
+   every claim of the paper (experiment index in DESIGN.md, results log
+   in EXPERIMENTS.md).
+
+     dune exec bench/main.exe            -- all experiments + timings
+     dune exec bench/main.exe -- quick   -- skip the Bechamel timing pass
+
+   Sections:
+     E1  Figure 1 (bibliometric series + falling KG-RDF share)
+     E2  Figure 2 (the three data models of one example)
+     E3  Worked queries (2), (3), r, r1 across the models
+     E4  Count: exact DP vs FPRAS (accuracy and scaling)
+     E5  Uniform generation: preprocessing/generation split, uniformity
+     E6  Enumeration: bounded delay vs materialize-everything
+     E7  bc vs bc_r (the bus example at scale)
+     E8  bc_r exact vs randomized approximation
+     E9  Bounded-variable vs naive FO evaluation (phi/psi)
+     E10 Logic -> GNN compilation and the WL boundary
+     E11 Model conversions and KG integration at scale
+     E12 Analytics substrate timings (Bechamel)                     *)
+
+open Gqkg_graph
+open Gqkg_automata
+open Gqkg_core
+open Gqkg_util
+
+let parse = Regex_parser.parse
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let contact ~people ~seed =
+  let rng = Splitmix.create seed in
+  Gqkg_workload.Contact_network.generate
+    ~params:
+      {
+        Gqkg_workload.Contact_network.default with
+        people;
+        buses = max 3 (people / 12);
+        addresses = max 5 (people / 3);
+        contacts = people;
+      }
+    rng
+
+(* ------------------------------------------------------------------ *)
+(* E1: Figure 1                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let figure1 () =
+  Table.section "E1: Figure 1 - publications per keyword per year (synthetic DBLP)";
+  let store = Gqkg_workload.Bibliometrics.generate (Splitmix.create 2021) in
+  Printf.printf "knowledge graph: %d triples; counting through the BGP engine\n\n"
+    (Gqkg_kg.Triple_store.size store);
+  let series = Gqkg_workload.Bibliometrics.figure1_series store in
+  let years = List.init 11 (fun i -> 2010 + i) in
+  let table =
+    Table.create
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) years)
+      ("keyword" :: List.map string_of_int years)
+  in
+  List.iter
+    (fun s ->
+      Table.add_row table
+        (s.Gqkg_workload.Bibliometrics.keyword
+        :: List.map
+             (fun y -> string_of_int (List.assoc y s.Gqkg_workload.Bibliometrics.counts))
+             years))
+    series;
+  Table.print table;
+  let at keyword year =
+    let s = List.find (fun s -> s.Gqkg_workload.Bibliometrics.keyword = keyword) series in
+    List.assoc year s.Gqkg_workload.Bibliometrics.counts
+  in
+  print_newline ();
+  print_string
+    (Table.bar_chart ~width:46
+       (List.map
+          (fun s ->
+            ( s.Gqkg_workload.Bibliometrics.keyword,
+              List.filter_map
+                (fun y ->
+                  if y mod 2 = 0 then
+                    Some (string_of_int y, float_of_int (List.assoc y s.Gqkg_workload.Bibliometrics.counts))
+                  else None)
+                years ))
+          series));
+  Printf.printf "\nshape checks (paper's takeaways):\n";
+  Printf.printf "  KG grows after 2012 announcement : %b (2012: %d -> 2016: %d -> 2020: %d)\n"
+    (at "knowledge_graph" 2016 > 2 * at "knowledge_graph" 2012
+    && at "knowledge_graph" 2020 > at "knowledge_graph" 2016)
+    (at "knowledge_graph" 2012) (at "knowledge_graph" 2016) (at "knowledge_graph" 2020);
+  Printf.printf "  KG dominates by 2020             : %b\n"
+    (at "knowledge_graph" 2020 > at "rdf" 2020 + at "sparql" 2020);
+  Printf.printf "  RDF/SPARQL stable, mild decline  : %b\n"
+    (at "rdf" 2020 < at "rdf" 2010 && at "rdf" 2020 > at "rdf" 2010 / 2);
+  Printf.printf "  graph database comparatively small, property graph negligible: %b\n"
+    (at "graph_database" 2020 < at "rdf" 2020 && at "property_graph" 2020 < at "graph_database" 2020);
+  List.iter
+    (fun (year, share) ->
+      Printf.printf "  KG papers also about RDF/SPARQL in %d: %.0f%% (paper: ~%d%%)\n" year
+        (100.0 *. share)
+        (if year = 2015 then 70 else 14))
+    (Gqkg_workload.Bibliometrics.share_statistics store)
+
+(* ------------------------------------------------------------------ *)
+(* E2: Figure 2                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let figure2 () =
+  Table.section "E2: Figure 2 - one example graph, three data models";
+  let pg = Figure2.property () in
+  print_endline "(a) labeled graph (labels only):";
+  let lg = Figure2.labeled () in
+  for e = 0 to Labeled_graph.num_edges lg - 1 do
+    let s, d = Labeled_graph.endpoints lg e in
+    Printf.printf "    %s:%s --%s--> %s:%s\n"
+      (Const.to_string (Labeled_graph.node_id lg s))
+      (Const.to_string (Labeled_graph.node_label lg s))
+      (Const.to_string (Labeled_graph.edge_label lg e))
+      (Const.to_string (Labeled_graph.node_id lg d))
+      (Const.to_string (Labeled_graph.node_label lg d))
+  done;
+  print_endline "\n(b) property graph (the same, with sigma):";
+  print_string (Graph_io.property_graph_to_string pg);
+  print_endline "\n(c) vector-labeled graph (dimension and schema):";
+  let vg, schema = Figure2.vector () in
+  Printf.printf "    dimension %d; f1 = label" (Vector_graph.dimension vg);
+  Array.iteri
+    (fun i name -> Printf.printf ", f%d = %s" (i + 2) (Const.to_string name))
+    schema.Vector_graph.feature_names;
+  print_newline ();
+  for n = 0 to Vector_graph.num_nodes vg - 1 do
+    Printf.printf "    %s: [%s]\n"
+      (Const.to_string (Vector_graph.node_id vg n))
+      (String.concat "; " (Array.to_list (Array.map Const.to_string (Vector_graph.node_vector vg n))))
+  done;
+  (* Conversion coherence. *)
+  let pg' = Vector_graph.to_property vg schema in
+  Printf.printf "\nproperty -> vector -> property is the identity: %b\n"
+    (Graph_io.property_graph_to_string pg = Graph_io.property_graph_to_string pg')
+
+(* ------------------------------------------------------------------ *)
+(* E3: worked queries across models                                    *)
+(* ------------------------------------------------------------------ *)
+
+let worked_queries () =
+  Table.section "E3: the worked queries of Section 4 across the data models";
+  let pg = Figure2.property () in
+  let vg, schema = Figure2.vector () in
+  let date_i = Option.get (Vector_graph.schema_feature_index schema (Const.str "date")) in
+  let instances =
+    [
+      ("labeled", Labeled_graph.to_instance (Figure2.labeled ()));
+      ("property", Property_graph.to_instance pg);
+      ("vector", Vector_graph.to_instance vg);
+      ( "rdf",
+        Gqkg_kg.Rdf_graph.to_instance
+          (Gqkg_kg.Rdf_graph.of_store (Gqkg_kg.Pg_rdf.of_property_graph pg)) );
+    ]
+  in
+  let queries =
+    [
+      ("(2)", "?person/contact/?infected", None);
+      ("(3)", "?person/(contact & date=3/4/21)/?infected", Some [ "property" ]);
+      ( "(3)v",
+        Printf.sprintf "?(f1=person)/(f1=contact & f%d=3/4/21)/?(f1=infected)" date_i,
+        Some [ "vector" ] );
+      ("r", "?person/rides/?bus/rides^-/?infected", None);
+      ("r1", Gqkg_workload.Contact_network.query_infection_spread, None);
+    ]
+  in
+  let table =
+    Table.create ~aligns:[ Table.Left; Table.Left; Table.Right ] [ "query"; "model"; "pairs" ]
+  in
+  List.iter
+    (fun (name, text, only) ->
+      let r = parse text in
+      List.iter
+        (fun (model, inst) ->
+          let applicable = match only with None -> true | Some models -> List.mem model models in
+          if applicable then begin
+            let pairs = Rpq.eval_pairs inst ~max_length:8 r in
+            Table.add_row table [ name; model; string_of_int (List.length pairs) ]
+          end)
+        instances)
+    queries;
+  Table.print table;
+  print_endline "\n(query (3) uses property tests, meaningful on the property model;";
+  print_endline " (3)v is its vector-feature rewriting; both find the same single pair)"
+
+(* ------------------------------------------------------------------ *)
+(* E4: counting                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let counting () =
+  Table.section "E4: Count - exact dynamic program vs FPRAS";
+  let r_text = "?person/rides/?bus/rides^-/(?person/(lives + contact))*/?person" in
+  let r = parse r_text in
+  Printf.printf "pattern r1' = %s\n\n" r_text;
+  let table =
+    Table.create
+      [ "people"; "k"; "exact"; "t_exact(ms)"; "fpras e=0.3"; "err"; "fpras e=0.1"; "err"; "t_fpras(ms)" ]
+  in
+  List.iter
+    (fun people ->
+      let inst = Property_graph.to_instance (contact ~people ~seed:(400 + people)) in
+      List.iter
+        (fun k ->
+          let exact, t_exact = wall (fun () -> Count.count inst r ~length:k) in
+          let loose, _ = wall (fun () -> Approx_count.count ~seed:1 inst r ~length:k ~epsilon:0.3) in
+          let tight, t_tight =
+            wall (fun () -> Approx_count.count ~seed:2 inst r ~length:k ~epsilon:0.1)
+          in
+          let err estimate =
+            if exact = 0.0 then 0.0 else Stats.relative_error ~truth:exact ~estimate
+          in
+          Table.add_row table
+            [
+              string_of_int people;
+              string_of_int k;
+              Printf.sprintf "%.3g" exact;
+              Printf.sprintf "%.1f" (1000.0 *. t_exact);
+              Printf.sprintf "%.3g" loose;
+              Printf.sprintf "%.3f" (err loose);
+              Printf.sprintf "%.3g" tight;
+              Printf.sprintf "%.3f" (err tight);
+              Printf.sprintf "%.1f" (1000.0 *. t_tight);
+            ])
+        [ 4; 6; 8 ])
+    [ 50; 100; 200 ];
+  Table.print table;
+  (* An ambiguous expression: several NFA runs per path force the
+     Karp-Luby multiplicity machinery to work. *)
+  let amb = parse "(contact + !lives + contact^- + !lives^-)*" in
+  let inst = Property_graph.to_instance (contact ~people:60 ~seed:61) in
+  print_endline "\nambiguous pattern (contact + !lives + contact^- + !lives^-)*";
+  print_endline "(contact edges match two branches, rides only one: the union estimator's";
+  print_endline " multiplicity correction is exercised and the estimate becomes stochastic):";
+  List.iter
+    (fun k ->
+      let exact = Count.count inst amb ~length:k in
+      let estimate = Approx_count.count ~seed:3 inst amb ~length:k ~epsilon:0.1 in
+      Printf.printf "  k=%d exact=%.0f fpras=%.1f rel.err=%.4f\n" k exact estimate
+        (if exact = 0.0 then 0.0 else Stats.relative_error ~truth:exact ~estimate))
+    [ 3; 5 ];
+  print_endline "\n(shape: exact time grows with k and graph size; the FPRAS stays within";
+  print_endline " its epsilon budget - the tractability story of Section 4.1)"
+
+(* ------------------------------------------------------------------ *)
+(* E5: uniform generation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let uniform_generation () =
+  Table.section "E5: Gen - preprocessing vs generation, and exact uniformity";
+  let r = parse "?person/rides/?bus/rides^-/(?person/(lives + contact))*/?person" in
+  let table = Table.create [ "people"; "k"; "answers"; "preprocess(ms)"; "per-sample(us)" ] in
+  List.iter
+    (fun people ->
+      let inst = Property_graph.to_instance (contact ~people ~seed:(500 + people)) in
+      List.iter
+        (fun k ->
+          let gen, t_pre = wall (fun () -> Uniform_gen.create inst r ~length:k) in
+          let rng = Splitmix.create 99 in
+          let n = 2000 in
+          let _, t_gen = wall (fun () -> ignore (Uniform_gen.samples gen rng n)) in
+          Table.add_row table
+            [
+              string_of_int people;
+              string_of_int k;
+              Printf.sprintf "%.3g" (Uniform_gen.total_count gen);
+              Printf.sprintf "%.1f" (1000.0 *. t_pre);
+              Printf.sprintf "%.2f" (1e6 *. t_gen /. float_of_int n);
+            ])
+        [ 4; 6 ])
+    [ 50; 100; 200 ];
+  Table.print table;
+  (* Chi-square uniformity on an exhaustively enumerable instance. *)
+  let inst = Property_graph.to_instance (contact ~people:30 ~seed:531) in
+  let k = 4 in
+  let answers = Enumerate.paths inst r ~length:k in
+  let m = List.length answers in
+  let gen = Uniform_gen.create inst r ~length:k in
+  let index = Hashtbl.create 64 in
+  List.iteri (fun i p -> Hashtbl.replace index (Path.to_string inst p) i) answers;
+  let rng = Splitmix.create 1 in
+  let draws = 100 * m in
+  let observed = Array.make m 0 in
+  List.iter
+    (fun p ->
+      let i = Hashtbl.find index (Path.to_string inst p) in
+      observed.(i) <- observed.(i) + 1)
+    (Uniform_gen.samples gen rng draws);
+  let expected = Array.make m (float_of_int draws /. float_of_int m) in
+  let stat = Stats.chi_square ~observed ~expected in
+  Printf.printf "\nuniformity: %d answers, %d draws, chi-square %.1f vs critical %.1f -> %s\n" m draws
+    stat
+    (Stats.chi_square_critical ~df:(m - 1))
+    (if stat < Stats.chi_square_critical ~df:(m - 1) then "uniform" else "NOT uniform")
+
+(* ------------------------------------------------------------------ *)
+(* E6: enumeration                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let enumeration () =
+  Table.section "E6: Enum - bounded delay vs materialize-then-report";
+  let r = parse "?person/rides/?bus/rides^-/(?person/(lives + contact))*/?person" in
+  let table =
+    Table.create
+      [ "people"; "k"; "answers"; "first answer(ms)"; "max delay(steps)"; "naive total(ms)" ]
+  in
+  List.iter
+    (fun people ->
+      let inst = Property_graph.to_instance (contact ~people ~seed:(600 + people)) in
+      let k = 4 in
+      let e, t_first =
+        wall (fun () ->
+            let e = Enumerate.create inst r ~length:k in
+            ignore (Enumerate.next e);
+            e)
+      in
+      Enumerate.iter e (fun _ -> ());
+      (* The naive baseline materializes the entire denotational semantics
+         before it can report anything. *)
+      let naive_count, t_naive =
+        wall (fun () ->
+            List.length (List.filter (fun p -> Path.length p = k) (Naive.paths inst r ~max_length:k)))
+      in
+      assert (naive_count = Enumerate.emitted e);
+      Table.add_row table
+        [
+          string_of_int people;
+          string_of_int k;
+          string_of_int (Enumerate.emitted e);
+          Printf.sprintf "%.2f" (1000.0 *. t_first);
+          string_of_int (Enumerate.max_delay e);
+          Printf.sprintf "%.1f" (1000.0 *. t_naive);
+        ])
+    [ 30; 60; 120 ];
+  Table.print table;
+  print_endline "\n(the enumerator's first answer and inter-answer delay stay flat while";
+  print_endline " the materializing baseline pays the whole answer set upfront)"
+
+(* ------------------------------------------------------------------ *)
+(* E6b: answer variety                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's motivation for uniform generation: "because of the data
+   structures used in the preprocessing phase, these enumeration
+   algorithms usually return answers that are similar to each other...
+   generating an answer uniformly at random is a desirable condition to
+   improve the variety".  Measure it: mean pairwise Jaccard distance of
+   the node sets of the first N enumerated answers vs N uniform samples. *)
+let variety () =
+  Table.section "E6b: answer variety - enumeration order vs uniform sampling";
+  let r = parse "?person/rides/?bus/rides^-/(?person/(lives + contact))*/?person" in
+  let node_set p = List.sort_uniq compare (Array.to_list (Path.nodes p)) in
+  let jaccard_distance a b =
+    let inter = List.length (List.filter (fun x -> List.mem x b) a) in
+    let union = List.length a + List.length b - inter in
+    if union = 0 then 0.0 else 1.0 -. (float_of_int inter /. float_of_int union)
+  in
+  let mean_pairwise paths =
+    let sets = List.map node_set paths in
+    let total = ref 0.0 and count = ref 0 in
+    List.iteri
+      (fun i a ->
+        List.iteri
+          (fun j b ->
+            if j > i then begin
+              total := !total +. jaccard_distance a b;
+              incr count
+            end)
+          sets)
+      sets;
+    if !count = 0 then 0.0 else !total /. float_of_int !count
+  in
+  let table = Table.create [ "people"; "k"; "N"; "enum variety"; "sampled variety" ] in
+  List.iter
+    (fun people ->
+      let inst = Property_graph.to_instance (contact ~people ~seed:(650 + people)) in
+      let k = 4 and n = 50 in
+      let e = Enumerate.create inst r ~length:k in
+      let first = ref [] in
+      (try
+         for _ = 1 to n do
+           match Enumerate.next e with Some p -> first := p :: !first | None -> raise Exit
+         done
+       with Exit -> ());
+      let gen = Uniform_gen.create inst r ~length:k in
+      let rng = Splitmix.create 7 in
+      let sampled = Uniform_gen.samples gen rng n in
+      Table.add_row table
+        [
+          string_of_int people;
+          string_of_int k;
+          string_of_int n;
+          Printf.sprintf "%.3f" (mean_pairwise !first);
+          Printf.sprintf "%.3f" (mean_pairwise sampled);
+        ])
+    [ 60; 120; 240 ];
+  Table.print table;
+  print_endline "\n(depth-first enumeration shares long prefixes between consecutive";
+  print_endline " answers; uniform samples spread across the whole answer set - the";
+  print_endline " paper's variety argument, quantified)"
+
+(* ------------------------------------------------------------------ *)
+(* E7 / E8: centrality                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let centrality () =
+  Table.section "E7: betweenness centrality vs its regex-constrained refinement";
+  (* The exact worked example first. *)
+  let fig2 = Property_graph.to_instance (Figure2.property ()) in
+  let r_fig = parse "?person/rides/?bus/rides^-/?infected" in
+  let bc_plain = Gqkg_analytics.Centrality.betweenness ~directed:false fig2 in
+  let bc_r = Gqkg_analytics.Regex_centrality.exact fig2 r_fig in
+  print_endline "Figure 2, bus n3 (the paper's example):";
+  let n3 = Option.get (Property_graph.find_node (Figure2.property ()) (Const.str "n3")) in
+  Printf.printf "  plain bc(n3)  = %.1f   (ownership and household paths count)\n" bc_plain.(n3);
+  Printf.printf "  bc_r(n3)      = %.1f   (only person-bus-infected transport paths)\n\n" bc_r.(n3);
+  (* At scale: ranking divergence. *)
+  let inst = Property_graph.to_instance (contact ~people:120 ~seed:777) in
+  let transport = parse Gqkg_workload.Contact_network.query_bus_transport in
+  let plain = Gqkg_analytics.Centrality.betweenness ~directed:false inst in
+  let constrained = Gqkg_analytics.Regex_centrality.exact inst transport in
+  let table =
+    Table.create ~aligns:[ Table.Left; Table.Right; Table.Right ] [ "node"; "bc_r"; "plain bc" ]
+  in
+  let order = Gqkg_analytics.Centrality.ranking constrained in
+  Array.iteri
+    (fun rank v ->
+      if rank < 8 then
+        Table.add_row table
+          [
+            inst.Instance.node_name v;
+            Printf.sprintf "%.1f" constrained.(v);
+            Printf.sprintf "%.1f" plain.(v);
+          ])
+    order;
+  Table.print table;
+  let positive_non_bus =
+    Array.exists
+      (fun v -> constrained.(v) > 0.0 && not (inst.Instance.node_atom v (Atom.label "bus")))
+      (Array.init inst.Instance.num_nodes Fun.id)
+  in
+  Printf.printf "\nnon-bus node with positive bc_r: %b (transport centrality isolates the fleet)\n"
+    positive_non_bus;
+
+  Table.section "E8: randomized approximation of bc_r (the Section 4.1 toolbox)";
+  let table =
+    Table.create [ "people"; "t_exact(ms)"; "samples"; "t_approx(ms)"; "L1 err / mass"; "top-1 agrees" ]
+  in
+  List.iter
+    (fun people ->
+      let inst = Property_graph.to_instance (contact ~people ~seed:(800 + people)) in
+      let exact, t_exact = wall (fun () -> Gqkg_analytics.Regex_centrality.exact inst transport) in
+      List.iter
+        (fun samples ->
+          let approx, t_approx =
+            wall (fun () ->
+                Gqkg_analytics.Regex_centrality.approximate ~samples ~seed:5 inst transport)
+          in
+          let l1 = ref 0.0 in
+          Array.iteri (fun v x -> l1 := !l1 +. Float.abs (x -. approx.(v))) exact;
+          let total = Array.fold_left ( +. ) 0.0 exact in
+          Table.add_row table
+            [
+              string_of_int people;
+              Printf.sprintf "%.1f" (1000.0 *. t_exact);
+              string_of_int samples;
+              Printf.sprintf "%.1f" (1000.0 *. t_approx);
+              Printf.sprintf "%.4f" (!l1 /. Float.max 1.0 total);
+              string_of_bool
+                ((Gqkg_analytics.Centrality.ranking exact).(0)
+                = (Gqkg_analytics.Centrality.ranking approx).(0));
+            ])
+        [ 8; 32 ])
+    [ 60; 120 ];
+  Table.print table;
+  (* Where the approximation wins: structures with combinatorially many
+     shortest paths per pair (grids: C(2n, n) corner-to-corner). Exact
+     bc_r must materialize them; the sampler never does. *)
+  print_endline "\non n x n grids (binomially many shortest paths per pair):";
+  let any_path = Regex.plus Regex.any_edge in
+  let table = Table.create [ "grid"; "exact(ms)"; "approx s=16 (ms)"; "top within 2%" ] in
+  List.iter
+    (fun n ->
+      let inst = Labeled_graph.to_instance (Gqkg_workload.Gen_graph.grid ~rows:n ~cols:n) in
+      let exact, t_exact =
+        wall (fun () -> Gqkg_analytics.Regex_centrality.exact ~max_length:(2 * n) inst any_path)
+      in
+      let approx, t_approx =
+        wall (fun () ->
+            Gqkg_analytics.Regex_centrality.approximate ~max_length:(2 * n) ~samples:16 ~seed:3 inst
+              any_path)
+      in
+      (* Grids have many near-ties: the sampled top node must be within 2%
+         of the true optimum rather than literally equal. *)
+      let top_exact = exact.((Gqkg_analytics.Centrality.ranking exact).(0)) in
+      let top_from_approx = exact.((Gqkg_analytics.Centrality.ranking approx).(0)) in
+      Table.add_row table
+        [
+          Printf.sprintf "%dx%d" n n;
+          Printf.sprintf "%.1f" (1000.0 *. t_exact);
+          Printf.sprintf "%.1f" (1000.0 *. t_approx);
+          string_of_bool (top_from_approx >= 0.98 *. top_exact);
+        ])
+    [ 8; 10; 12 ];
+  Table.print table;
+  print_endline "\n(crossover: exact wins on sparse networks with few shortest paths per";
+  print_endline " pair; the sampler wins when shortest paths multiply combinatorially)"
+
+(* ------------------------------------------------------------------ *)
+(* E9: logic evaluation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let logic () =
+  Table.section "E9: naive vs bounded-variable FO evaluation (phi vs psi)";
+  Printf.printf "phi = %s\npsi = %s\n\n"
+    (Gqkg_logic.Fo.to_string Gqkg_logic.Fo.phi)
+    (Gqkg_logic.Fo.to_string Gqkg_logic.Fo.psi);
+  let table = Table.create [ "people"; "answers"; "naive phi(ms)"; "bounded psi(ms)"; "speedup" ] in
+  List.iter
+    (fun people ->
+      let inst = Property_graph.to_instance (contact ~people ~seed:(900 + people)) in
+      let a, t_naive = wall (fun () -> Gqkg_logic.Fo.eval_naive inst Gqkg_logic.Fo.phi ~free:"x") in
+      let b, t_bounded =
+        wall (fun () -> Gqkg_logic.Fo.eval_bounded inst Gqkg_logic.Fo.psi ~free:"x")
+      in
+      assert (a = b);
+      Table.add_row table
+        [
+          string_of_int people;
+          string_of_int (List.length a);
+          Printf.sprintf "%.2f" (1000.0 *. t_naive);
+          Printf.sprintf "%.2f" (1000.0 *. t_bounded);
+          Printf.sprintf "%.1fx" (t_naive /. Float.max 1e-9 t_bounded);
+        ])
+    [ 50; 100; 200; 400 ];
+  Table.print table;
+  print_endline "\n(same answers; the 2-variable strategy replaces the O(n^3) quantifier";
+  print_endline " loops with binary-table joins - the Section 4.3 argument)"
+
+(* ------------------------------------------------------------------ *)
+(* E10: logic -> GNN -> WL                                             *)
+(* ------------------------------------------------------------------ *)
+
+let gnn () =
+  Table.section "E10: graded modal logic = AC-GNN, under the WL horizon";
+  let open Gqkg_logic in
+  let formulas =
+    [
+      Gml.label "infected";
+      Gml.diamond (Gml.label "bus");
+      Gml.And
+        (Gml.label "person", Gml.diamond (Gml.And (Gml.label "bus", Gml.diamond (Gml.label "infected"))));
+      Gml.Or (Gml.diamond ~at_least:3 (Gml.label "person"), Gml.Not (Gml.diamond (Gml.label "address")));
+    ]
+  in
+  let inst = Property_graph.to_instance (contact ~people:150 ~seed:1010) in
+  let table =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Left ]
+      [ "formula"; "layers"; "logic |ans|"; "gnn |ans|"; "agree" ]
+  in
+  List.iter
+    (fun f ->
+      let compiled = Gqkg_gnn.Logic_gnn.compile f in
+      let via_logic = Gml.models inst f in
+      let via_gnn = Gqkg_gnn.Logic_gnn.classified_nodes compiled inst in
+      Table.add_row table
+        [
+          Gml.to_string f;
+          string_of_int (Gqkg_gnn.Gnn.num_layers compiled.Gqkg_gnn.Logic_gnn.gnn);
+          string_of_int (List.length via_logic);
+          string_of_int (List.length via_gnn);
+          string_of_bool (via_logic = via_gnn);
+        ])
+    formulas;
+  Table.print table;
+  (* WL invariance of the compiled networks. *)
+  let coloring =
+    Gqkg_gnn.Wl.refine inst ~init:(fun v ->
+        Hashtbl.hash
+          (List.map
+             (fun l -> inst.Instance.node_atom v (Atom.label l))
+             [ "person"; "infected"; "bus"; "address"; "company" ]))
+  in
+  Printf.printf "\nWL refinement: %d classes after %d rounds over %d nodes\n"
+    coloring.Gqkg_gnn.Wl.num_colors coloring.Gqkg_gnn.Wl.rounds inst.Instance.num_nodes;
+  let violations = ref 0 in
+  List.iter
+    (fun f ->
+      let compiled = Gqkg_gnn.Logic_gnn.compile f in
+      let out = Gqkg_gnn.Logic_gnn.classify compiled inst in
+      let by_class = Hashtbl.create 64 in
+      Array.iteri
+        (fun v color ->
+          match Hashtbl.find_opt by_class color with
+          | Some value -> if value <> out.(v) then incr violations
+          | None -> Hashtbl.add by_class color out.(v))
+        coloring.Gqkg_gnn.Wl.colors)
+    formulas;
+  Printf.printf "GNN outputs constant on WL classes: %b (%d violations)\n" (!violations = 0) !violations;
+  (* The third corner: the same queries in C2 counting logic, on a simple
+     graph where neighbor-node and neighbor-edge counting coincide. *)
+  let simple =
+    let b = Labeled_graph.Builder.create () in
+    let rng = Splitmix.create 1011 in
+    for i = 0 to 119 do
+      ignore
+        (Labeled_graph.Builder.add_node b
+           (Const.str (Printf.sprintf "n%d" i))
+           ~label:(Const.str (if Splitmix.bernoulli rng 0.3 then "infected" else "person")))
+    done;
+    for u = 0 to 119 do
+      for v = u + 1 to 119 do
+        if Splitmix.bernoulli rng 0.03 then
+          ignore (Labeled_graph.Builder.fresh_edge b ~src:u ~dst:v ~label:(Const.str "contact"))
+      done
+    done;
+    Labeled_graph.to_instance (Labeled_graph.Builder.freeze b)
+  in
+  let agree = ref true in
+  List.iter
+    (fun f ->
+      match Gqkg_logic.C2.of_gml f with
+      | c2 ->
+          if Gqkg_logic.C2.eval simple c2 ~free:"x" <> Gqkg_logic.Gml.models simple f then
+            agree := false
+      | exception Invalid_argument _ -> ())
+    [
+      Gqkg_logic.Gml.label "infected";
+      Gqkg_logic.Gml.diamond (Gqkg_logic.Gml.label "infected");
+      Gqkg_logic.Gml.diamond ~at_least:2 (Gqkg_logic.Gml.label "person");
+      Gqkg_logic.Gml.Not (Gqkg_logic.Gml.diamond Gqkg_logic.Gml.True);
+    ];
+  Printf.printf "graded modal logic = C2 counting logic on the simple graph: %b\n" !agree;
+  Printf.printf "(the full Section 4.3 triangle: GML = AC-GNN, GML embeds in C2, C2 = WL)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E11: model conversions at scale                                     *)
+(* ------------------------------------------------------------------ *)
+
+let models () =
+  Table.section "E11: the Section 3 model hierarchy, mechanically";
+  let table = Table.create [ "people"; "pg->vec->pg"; "pg->rdf->pg"; "rdf merge idempotent" ] in
+  List.iter
+    (fun people ->
+      let pg = contact ~people ~seed:(1100 + people) in
+      let canonical = Graph_io.canonical_string pg in
+      let vg, schema = Vector_graph.of_property pg in
+      let via_vector = Graph_io.canonical_string (Vector_graph.to_property vg schema) in
+      let store = Gqkg_kg.Pg_rdf.of_property_graph pg in
+      let via_rdf = Graph_io.canonical_string (Gqkg_kg.Pg_rdf.to_property_graph store) in
+      let merged = Gqkg_kg.Triple_store.copy store in
+      Gqkg_kg.Triple_store.merge ~into:merged store;
+      Table.add_row table
+        [
+          string_of_int people;
+          string_of_bool (via_vector = canonical);
+          string_of_bool (via_rdf = canonical);
+          string_of_bool (Gqkg_kg.Triple_store.size merged = Gqkg_kg.Triple_store.size store);
+        ])
+    [ 50; 150 ];
+  Table.print table;
+  (* Integration: independently generated graphs share IRIs for common
+     vocabulary; merging is set union (the RDF promise of Section 3). *)
+  let g1 = Gqkg_kg.Pg_rdf.of_property_graph (contact ~people:40 ~seed:1) in
+  let g2 = Gqkg_kg.Pg_rdf.of_property_graph (contact ~people:40 ~seed:2) in
+  let before = Gqkg_kg.Triple_store.size g1 + Gqkg_kg.Triple_store.size g2 in
+  let merged = Gqkg_kg.Triple_store.copy g1 in
+  Gqkg_kg.Triple_store.merge ~into:merged g2;
+  Printf.printf "\nintegrating two KGs: %d + %d triples -> %d (shared vocabulary deduplicated)\n"
+    (Gqkg_kg.Triple_store.size g1) (Gqkg_kg.Triple_store.size g2)
+    (Gqkg_kg.Triple_store.size merged);
+  Printf.printf "merge is a set union: %b\n" (Gqkg_kg.Triple_store.size merged <= before);
+  (* What the mapping costs: the same query over the property graph and
+     over its reified RDF translation (more nodes and edges to walk). *)
+  let pg = contact ~people:150 ~seed:1105 in
+  let pg_inst = Property_graph.to_instance pg in
+  let rdf_inst =
+    Gqkg_kg.Rdf_graph.to_instance
+      (Gqkg_kg.Rdf_graph.of_store (Gqkg_kg.Pg_rdf.of_property_graph pg))
+  in
+  let r = parse Gqkg_workload.Contact_network.query_shared_bus in
+  let pairs_pg, t_pg = wall (fun () -> Rpq.eval_pairs pg_inst r) in
+  let pairs_rdf, t_rdf = wall (fun () -> Rpq.eval_pairs rdf_inst r) in
+  Printf.printf
+    "\nquery r over the property graph (%d nodes): %d pairs in %.1f ms;\n  over its RDF reification (%d nodes): %d pairs in %.1f ms (x%.1f)\n"
+    pg_inst.Instance.num_nodes (List.length pairs_pg) (1000.0 *. t_pg) rdf_inst.Instance.num_nodes
+    (List.length pairs_rdf) (1000.0 *. t_rdf)
+    (t_rdf /. Float.max 1e-9 t_pg)
+
+(* ------------------------------------------------------------------ *)
+(* E14: knowledge-graph completion by embedding                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Section 2.3: knowledge graphs "produce" knowledge, and the paper
+   points at embeddings (TransE) and completion as the learning route.
+   Hold out a slice of the contact network's rides triples, train TransE
+   on the rest, and measure filtered link prediction. *)
+let completion () =
+  Table.section "E14: producing knowledge by learning - TransE link prediction";
+  let pg = contact ~people:60 ~seed:1400 in
+  let store = Gqkg_kg.Pg_rdf.of_property_graph pg in
+  (* Keep only the direct relation triples (the reification scaffolding
+     would leak the held-out answers). *)
+  let facts = Gqkg_kg.Triple_store.create () in
+  Gqkg_kg.Triple_store.iter store (fun tr ->
+      match tr.Gqkg_kg.Triple_store.p with
+      | Gqkg_kg.Term.Iri p
+        when String.length p > 13 && String.sub p 0 13 = "urn:gqkg:rel/" ->
+          ignore (Gqkg_kg.Triple_store.add facts tr)
+      | _ -> ());
+  let train = Gqkg_kg.Triple_store.create () in
+  let test = ref [] in
+  let rides = Gqkg_kg.Term.Iri "urn:gqkg:rel/rides" in
+  let i = ref 0 in
+  Gqkg_kg.Triple_store.iter facts (fun tr ->
+      if Gqkg_kg.Term.equal tr.Gqkg_kg.Triple_store.p rides then begin
+        incr i;
+        if !i mod 5 = 0 then test := tr :: !test else ignore (Gqkg_kg.Triple_store.add train tr)
+      end
+      else ignore (Gqkg_kg.Triple_store.add train tr));
+  Printf.printf "facts: %d train, %d held-out rides triples\n" (Gqkg_kg.Triple_store.size train)
+    (List.length !test);
+  let (model, losses), t_train =
+    wall (fun () ->
+        Gqkg_gnn.Transe.train
+          ~config:{ Gqkg_gnn.Transe.default_config with epochs = 250; dimension = 24 }
+          train)
+  in
+  Printf.printf "trained %d epochs in %.1f s; loss %.3f -> %.3f\n" 250 t_train (List.hd losses)
+    (List.nth losses (List.length losses - 1));
+  let train_ids = Hashtbl.create 256 in
+  Gqkg_kg.Triple_store.iter train (fun tr ->
+      match Gqkg_gnn.Transe.ids_of model ~h:tr.Gqkg_kg.Triple_store.s ~r:tr.p ~t:tr.o with
+      | Some ids -> Hashtbl.replace train_ids ids ()
+      | None -> ());
+  let known ids = Hashtbl.mem train_ids ids in
+  let test_ids =
+    List.filter_map
+      (fun tr -> Gqkg_gnn.Transe.ids_of model ~h:tr.Gqkg_kg.Triple_store.s ~r:tr.p ~t:tr.o)
+      !test
+  in
+  let entities =
+    (* entity count from the model vocabulary: rank denominators *)
+    List.length test_ids |> fun _ -> Gqkg_kg.Triple_store.num_terms train
+  in
+  let mean_rank, hits10 = Gqkg_gnn.Transe.evaluate model ~known ~k:10 test_ids in
+  Printf.printf "filtered link prediction: mean rank %.1f of ~%d entities; hits@10 %.2f (chance ~%.2f)\n"
+    mean_rank entities hits10
+    (10.0 /. float_of_int (max 1 entities));
+  print_endline "\n(the trained model ranks the true bus far above chance: the KG";
+  print_endline " 'produces' plausible missing knowledge, Section 2.3's learning route)"
+
+(* ------------------------------------------------------------------ *)
+(* E12: substrate timings via Bechamel                                 *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_timings () =
+  Table.section "E12: substrate timings (Bechamel, one Test.make per experiment kernel)";
+  let open Bechamel in
+  let inst = Property_graph.to_instance (contact ~people:100 ~seed:1200) in
+  let r = parse "?person/rides/?bus/rides^-/?infected" in
+  let r1 = parse Gqkg_workload.Contact_network.query_infection_spread in
+  let tests =
+    [
+      Test.make ~name:"rpq:pairs(r)" (Staged.stage (fun () -> ignore (Rpq.eval_pairs inst r)));
+      Test.make ~name:"count:exact(r1,k=4)"
+        (Staged.stage (fun () -> ignore (Count.count inst r1 ~length:4)));
+      Test.make ~name:"count:fpras(r1,k=4,e=0.3)"
+        (Staged.stage (fun () -> ignore (Approx_count.count ~seed:9 inst r1 ~length:4 ~epsilon:0.3)));
+      Test.make ~name:"enum:first-10(r1,k=4)"
+        (Staged.stage (fun () ->
+             let e = Enumerate.create inst r1 ~length:4 in
+             for _ = 1 to 10 do
+               ignore (Enumerate.next e)
+             done));
+      Test.make ~name:"gen:preprocess(r1,k=4)"
+        (Staged.stage (fun () -> ignore (Uniform_gen.create inst r1 ~length:4)));
+      (let gen = Uniform_gen.create inst r1 ~length:4 in
+       let rng = Splitmix.create 5 in
+       Test.make ~name:"gen:sample(r1,k=4)"
+         (Staged.stage (fun () -> ignore (Uniform_gen.sample gen rng))));
+      Test.make ~name:"analytics:brandes"
+        (Staged.stage (fun () -> ignore (Gqkg_analytics.Centrality.betweenness ~directed:false inst)));
+      Test.make ~name:"analytics:brandes-parallel"
+        (Staged.stage (fun () ->
+             ignore (Gqkg_analytics.Centrality.betweenness_parallel ~directed:false inst)));
+      Test.make ~name:"analytics:bc_r-exact"
+        (Staged.stage (fun () ->
+             ignore
+               (Gqkg_analytics.Regex_centrality.exact inst
+                  (parse "?person/rides/?bus/rides^-/?person"))));
+      Test.make ~name:"analytics:pagerank"
+        (Staged.stage (fun () -> ignore (Gqkg_analytics.Centrality.pagerank inst)));
+      Test.make ~name:"analytics:densest-charikar"
+        (Staged.stage (fun () -> ignore (Gqkg_analytics.Densest.charikar inst)));
+      Test.make ~name:"analytics:wl-refine"
+        (Staged.stage (fun () -> ignore (Gqkg_gnn.Wl.refine_unlabeled inst)));
+      Test.make ~name:"logic:psi-bounded"
+        (Staged.stage (fun () -> ignore (Gqkg_logic.Fo.eval_bounded inst Gqkg_logic.Fo.psi ~free:"x")));
+      Test.make ~name:"logic:c2-counting"
+        (Staged.stage (fun () ->
+             ignore
+               (Gqkg_logic.C2.eval inst
+                  (Gqkg_logic.C2.exists ~at_least:2 "y"
+                     (Gqkg_logic.C2.And
+                        (Gqkg_logic.C2.Adjacent ("x", "y"), Gqkg_logic.C2.node_pred "person" "y")))
+                  ~free:"x")));
+      (let other = Property_graph.to_instance (contact ~people:100 ~seed:1201) in
+       Test.make ~name:"gnn:wl-kernel(100v100)"
+         (Staged.stage (fun () -> ignore (Gqkg_gnn.Wl_kernel.similarity inst other))));
+      (let store = Gqkg_kg.Pg_rdf.of_property_graph (contact ~people:40 ~seed:1202) in
+       Test.make ~name:"gnn:transe-10-epochs"
+         (Staged.stage (fun () ->
+              ignore
+                (Gqkg_gnn.Transe.train
+                   ~config:{ Gqkg_gnn.Transe.default_config with epochs = 10 }
+                   store))));
+    ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"gqkg" ~fmt:"%s/%s" tests) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  let table =
+    Table.create ~aligns:[ Table.Left; Table.Right; Table.Right ] [ "benchmark"; "ns/run"; "ms/run" ]
+  in
+  List.iter
+    (fun (name, est) ->
+      Table.add_row table [ name; Printf.sprintf "%.0f" est; Printf.sprintf "%.3f" (est /. 1e6) ])
+    (List.sort compare !rows);
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E13: ablations of the design choices                                *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  Table.section "E13: ablations - why the engine is built the way it is";
+
+  (* (a) Determinized product vs raw NFA runs.  Counting runs of the NFA
+     instead of paths of the graph overcounts whenever the expression is
+     ambiguous: the determinized (subset) product is what makes Count
+     well-defined. *)
+  print_endline "(a) counting NFA runs instead of paths (ambiguous expression):";
+  let inst = Property_graph.to_instance (contact ~people:40 ~seed:1301) in
+  let amb = parse "(contact + !lives + contact^- + !lives^-)*" in
+  let count_runs k =
+    (* DP over per-state configurations: each NFA run counted once. *)
+    let t = Approx_count.create ~seed:0 inst amb ~epsilon:0.5 in
+    let nfa = Nfa.of_regex amb in
+    let level = Hashtbl.create 256 in
+    for v = 0 to inst.Instance.num_nodes - 1 do
+      Array.iter
+        (fun q -> Hashtbl.replace level (Approx_count.config t ~node:v ~state:q) 1.0)
+        (Approx_count.state_closure t ~node:v (Nfa.start nfa))
+    done;
+    let current = ref level in
+    for _ = 1 to k do
+      let next = Hashtbl.create 256 in
+      Hashtbl.iter
+        (fun c weight ->
+          List.iter
+            (fun (_e, c') ->
+              Hashtbl.replace next c' (weight +. Option.value (Hashtbl.find_opt next c') ~default:0.0))
+            (Approx_count.config_transitions t c))
+        !current;
+      current := next
+    done;
+    let accept = Nfa.accept nfa in
+    Hashtbl.fold
+      (fun c w acc -> if Approx_count.config_state t c = accept then acc +. w else acc)
+      !current 0.0
+  in
+  let table = Table.create [ "k"; "paths (det. product)"; "NFA runs"; "overcount" ] in
+  List.iter
+    (fun k ->
+      let paths = Count.count inst amb ~length:k in
+      let runs = count_runs k in
+      Table.add_row table
+        [
+          string_of_int k;
+          Printf.sprintf "%.0f" paths;
+          Printf.sprintf "%.0f" runs;
+          Printf.sprintf "%.2fx" (runs /. Float.max 1.0 paths);
+        ])
+    [ 2; 3; 4 ];
+  Table.print table;
+
+  (* (b) Greedy join order vs naive assignment enumeration for CRPQs. *)
+  print_endline "\n(b) CRPQ evaluation: greedy index-backed join vs naive enumeration:";
+  let table = Table.create [ "people"; "answers"; "greedy(ms)"; "naive(ms)" ] in
+  List.iter
+    (fun people ->
+      let inst = Property_graph.to_instance (contact ~people ~seed:(1300 + people)) in
+      let q =
+        Gqkg_logic.Crpq_parser.parse
+          "SELECT x, z WHERE (x:person)-[rides]->(y:bus), (z:infected)-[rides]->(y)"
+      in
+      let fast, t_fast = wall (fun () -> Gqkg_logic.Crpq.answers inst q) in
+      let slow, t_slow = wall (fun () -> Gqkg_logic.Crpq.answers_naive inst q) in
+      assert (fast = slow);
+      Table.add_row table
+        [
+          string_of_int people;
+          string_of_int (List.length fast);
+          Printf.sprintf "%.1f" (1000.0 *. t_fast);
+          Printf.sprintf "%.1f" (1000.0 *. t_slow);
+        ])
+    [ 30; 60 ];
+  Table.print table;
+
+  (* (c) Alias-method sampling vs linear inverse-CDF, per draw. *)
+  print_endline "\n(c) discrete sampling per draw (the sampler's hot loop):";
+  let weights = Array.init 512 (fun i -> 1.0 +. float_of_int (i mod 17)) in
+  let alias = Alias.create weights in
+  let rng = Splitmix.create 5 in
+  let draws = 200_000 in
+  let _, t_alias = wall (fun () -> for _ = 1 to draws do ignore (Alias.sample alias rng) done) in
+  let _, t_cdf = wall (fun () -> for _ = 1 to draws do ignore (Alias.sample_weights weights rng) done) in
+  Printf.printf "  alias method: %.0f ns/draw; inverse-CDF: %.0f ns/draw (512 outcomes)\n"
+    (1e9 *. t_alias /. float_of_int draws)
+    (1e9 *. t_cdf /. float_of_int draws);
+  (* (d) Regex simplification: smaller expressions, smaller automata. *)
+  print_endline "\n(d) algebraic regex simplification before compilation:";
+  let inst = Property_graph.to_instance (contact ~people:80 ~seed:1304) in
+  let messy =
+    (* The kind of expression mechanical query rewriting produces. *)
+    parse
+      "((contact + contact) + (contact^- + contact^-))/(((lives/lives^-) + (lives/lives^-))* + ((lives/lives^-) + (lives/lives^-))*)/((contact + contact) + (contact^- + contact^-))"
+  in
+  let clean = Regex.simplify messy in
+  let size_of r = Regex.size r in
+  let states r = Nfa.num_states (Nfa.of_regex r) in
+  let count r = Count.count inst r ~length:4 in
+  let c_messy, t_messy = wall (fun () -> count messy) in
+  let c_clean, t_clean = wall (fun () -> count clean) in
+  Printf.printf "  raw:        size %d, NFA states %d, count(k=4) %.0f in %.1f ms\n" (size_of messy)
+    (states messy) c_messy (1000.0 *. t_messy);
+  Printf.printf "  simplified: size %d, NFA states %d, count(k=4) %.0f in %.1f ms\n" (size_of clean)
+    (states clean) c_clean (1000.0 *. t_clean);
+  Printf.printf "  same answers: %b\n" (c_messy = c_clean);
+  print_endline "\n(the determinized product is a correctness requirement, not a luxury;";
+  print_endline " greedy join order, O(1) sampling and pre-compilation simplification";
+  print_endline " are the measured wins)"
+
+let () =
+  let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  figure1 ();
+  figure2 ();
+  worked_queries ();
+  counting ();
+  uniform_generation ();
+  enumeration ();
+  variety ();
+  centrality ();
+  logic ();
+  gnn ();
+  models ();
+  ablations ();
+  completion ();
+  if not quick then bechamel_timings ();
+  print_newline ();
+  print_endline "done: all experiment sections completed."

@@ -1,0 +1,427 @@
+(* gqkg: command-line front end to the library.
+
+   Subcommands:
+     generate    write a synthetic graph to a file
+     query       evaluate a regular path query (endpoint pairs)
+     count       exact and approximate answer counting (Section 4.1)
+     sample      uniform generation of matching paths
+     enumerate   poly-delay enumeration of matching paths
+     centrality  betweenness / bc_r / pagerank rankings
+     stats       structural statistics of a graph
+     wl          Weisfeiler-Lehman color refinement summary *)
+
+open Cmdliner
+open Gqkg_graph
+open Gqkg_core
+
+let setup_logs verbose =
+  Fmt_tty.setup_std_outputs ();
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_flag =
+  let doc = "Enable debug logging." in
+  Term.(const setup_logs $ Arg.(value & flag & info [ "v"; "verbose" ] ~doc))
+
+let graph_arg =
+  let doc = "Graph file in the gqkg property-graph format." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc)
+
+let regex_arg position =
+  let doc = "Regular path query, e.g. '?person/rides/?bus'." in
+  Arg.(required & pos position (some string) None & info [] ~docv:"REGEX" ~doc)
+
+let load_instance path = Property_graph.to_instance (Graph_io.load_property_graph path)
+
+let parse_regex text =
+  match Gqkg_automata.Regex_parser.parse text with
+  | r -> r
+  | exception Gqkg_automata.Regex_parser.Error { position; message } ->
+      Printf.eprintf "regex error at %d: %s\n" position message;
+      exit 2
+
+(* ---- generate ---- *)
+
+let generate_cmd =
+  let run () kind seed scale output =
+    let rng = Gqkg_util.Splitmix.create seed in
+    let pg =
+      match kind with
+      | "contact" -> Gqkg_workload.Contact_network.scaled rng ~scale
+      | "er" ->
+          Property_graph.of_labeled
+            (Gqkg_workload.Gen_graph.erdos_renyi_gnm rng ~nodes:(50 * scale) ~edges:(150 * scale))
+      | "ba" ->
+          Property_graph.of_labeled
+            (Gqkg_workload.Gen_graph.barabasi_albert rng ~nodes:(50 * scale) ~attach:2)
+      | "figure2" -> Figure2.property ()
+      | other ->
+          Printf.eprintf "unknown graph kind %S (try contact, er, ba, figure2)\n" other;
+          exit 2
+    in
+    Graph_io.save_property_graph output pg;
+    Printf.printf "wrote %s: %d nodes, %d edges\n" output (Property_graph.num_nodes pg)
+      (Property_graph.num_edges pg)
+  in
+  let kind =
+    Arg.(value & opt string "contact" & info [ "kind" ] ~docv:"KIND" ~doc:"contact | er | ba | figure2")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let scale = Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Size multiplier.") in
+  let output = Arg.(required & pos 0 (some string) None & info [] ~docv:"OUTPUT" ~doc:"Output file.") in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic graph")
+    Term.(const run $ verbose_flag $ kind $ seed $ scale $ output)
+
+(* ---- query ---- *)
+
+let query_cmd =
+  let run () path regex max_length =
+    let inst = load_instance path in
+    let r = parse_regex regex in
+    let pairs = Rpq.eval_pairs inst ?max_length r in
+    List.iter
+      (fun (a, b) -> Printf.printf "%s\t%s\n" (inst.Instance.node_name a) (inst.Instance.node_name b))
+      pairs;
+    Logs.info (fun m -> m "%d pairs" (List.length pairs))
+  in
+  let max_length =
+    Arg.(value & opt (some int) None & info [ "max-length" ] ~doc:"Bound on path length.")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Endpoint pairs of matching paths")
+    Term.(const run $ verbose_flag $ graph_arg $ regex_arg 1 $ max_length)
+
+(* ---- count ---- *)
+
+let count_cmd =
+  let run () path regex length epsilon from_node to_node =
+    let inst = load_instance path in
+    let r = parse_regex regex in
+    let resolve name =
+      let rec find v =
+        if v >= inst.Instance.num_nodes then begin
+          Printf.eprintf "unknown node %S\n" name;
+          exit 2
+        end
+        else if inst.Instance.node_name v = name then v
+        else find (v + 1)
+      in
+      find 0
+    in
+    (match (from_node, to_node) with
+    | Some a, Some b ->
+        Printf.printf "exact (%s -> %s): %.0f\n" a b
+          (Count.count_between inst r ~source:(resolve a) ~target:(resolve b) ~length)
+    | Some a, None ->
+        let product = Product.create inst r in
+        let table = Count.build product ~depth:length in
+        Printf.printf "exact (from %s): %.0f\n" a (Count.count_from table ~source:(resolve a) ~length)
+    | None, Some _ ->
+        Printf.eprintf "--to requires --from\n";
+        exit 2
+    | None, None -> Printf.printf "exact: %.0f\n" (Count.count inst r ~length));
+    match epsilon with
+    | Some epsilon ->
+        Printf.printf "fpras(eps=%.2g): %.1f\n" epsilon (Approx_count.count inst r ~length ~epsilon)
+    | None -> ()
+  in
+  let length = Arg.(value & opt int 3 & info [ "k"; "length" ] ~doc:"Path length.") in
+  let epsilon =
+    Arg.(value & opt (some float) None & info [ "epsilon" ] ~doc:"Also run the FPRAS at this error.")
+  in
+  let from_node = Arg.(value & opt (some string) None & info [ "from" ] ~doc:"Restrict to a start node.") in
+  let to_node = Arg.(value & opt (some string) None & info [ "to" ] ~doc:"Restrict to an end node (needs --from).") in
+  Cmd.v
+    (Cmd.info "count" ~doc:"Count matching paths of a given length")
+    Term.(const run $ verbose_flag $ graph_arg $ regex_arg 1 $ length $ epsilon $ from_node $ to_node)
+
+(* ---- sample ---- *)
+
+let sample_cmd =
+  let run () path regex length n seed =
+    let inst = load_instance path in
+    let r = parse_regex regex in
+    let gen = Uniform_gen.create inst r ~length in
+    if Uniform_gen.total_count gen = 0.0 then begin
+      Printf.eprintf "no matching paths of length %d\n" length;
+      exit 1
+    end;
+    let rng = Gqkg_util.Splitmix.create seed in
+    List.iter (fun p -> print_endline (Path.to_string inst p)) (Uniform_gen.samples gen rng n)
+  in
+  let length = Arg.(value & opt int 3 & info [ "k"; "length" ] ~doc:"Path length.") in
+  let n = Arg.(value & opt int 5 & info [ "n" ] ~doc:"Number of samples.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"PRNG seed.") in
+  Cmd.v
+    (Cmd.info "sample" ~doc:"Uniformly sample matching paths")
+    Term.(const run $ verbose_flag $ graph_arg $ regex_arg 1 $ length $ n $ seed)
+
+(* ---- enumerate ---- *)
+
+let enumerate_cmd =
+  let run () path regex length limit =
+    let inst = load_instance path in
+    let r = parse_regex regex in
+    let e = Enumerate.create inst r ~length in
+    let rec loop remaining =
+      if remaining <> 0 then begin
+        match Enumerate.next e with
+        | Some p ->
+            print_endline (Path.to_string inst p);
+            loop (remaining - 1)
+        | None -> ()
+      end
+    in
+    loop limit;
+    Logs.info (fun m -> m "emitted %d, max delay %d" (Enumerate.emitted e) (Enumerate.max_delay e))
+  in
+  let length = Arg.(value & opt int 3 & info [ "k"; "length" ] ~doc:"Path length.") in
+  let limit = Arg.(value & opt int 20 & info [ "limit" ] ~doc:"Stop after this many paths (-1: all).") in
+  Cmd.v
+    (Cmd.info "enumerate" ~doc:"Enumerate matching paths with bounded delay")
+    Term.(const run $ verbose_flag $ graph_arg $ regex_arg 1 $ length $ limit)
+
+(* ---- centrality ---- *)
+
+let centrality_cmd =
+  let run () path measure regex top =
+    let inst = load_instance path in
+    let scores =
+      match measure with
+      | "betweenness" -> Gqkg_analytics.Centrality.betweenness ~directed:false inst
+      | "pagerank" -> Gqkg_analytics.Centrality.pagerank inst
+      | "closeness" -> Gqkg_analytics.Centrality.closeness inst
+      | "bcr" -> begin
+          match regex with
+          | Some regex -> Gqkg_analytics.Regex_centrality.exact inst (parse_regex regex)
+          | None ->
+              Printf.eprintf "bcr needs --regex\n";
+              exit 2
+        end
+      | other ->
+          Printf.eprintf "unknown measure %S\n" other;
+          exit 2
+    in
+    let order = Gqkg_analytics.Centrality.ranking scores in
+    Array.iteri
+      (fun rank v ->
+        if rank < top then Printf.printf "%2d. %-12s %.4f\n" (rank + 1) (inst.Instance.node_name v) scores.(v))
+      order
+  in
+  let measure =
+    Arg.(value & opt string "betweenness" & info [ "measure" ] ~doc:"betweenness | bcr | pagerank | closeness")
+  in
+  let regex = Arg.(value & opt (some string) None & info [ "regex" ] ~doc:"Pattern for bcr.") in
+  let top = Arg.(value & opt int 10 & info [ "top" ] ~doc:"Show this many nodes.") in
+  Cmd.v
+    (Cmd.info "centrality" ~doc:"Node centrality rankings")
+    Term.(const run $ verbose_flag $ graph_arg $ measure $ regex $ top)
+
+(* ---- match (CRPQ) ---- *)
+
+let match_cmd =
+  let run () path query max_length show_plan =
+    let inst = load_instance path in
+    let q =
+      match Gqkg_logic.Crpq_parser.parse query with
+      | q -> q
+      | exception Gqkg_logic.Crpq_parser.Error { position; message } ->
+          Printf.eprintf "query error at %d: %s\n" position message;
+          exit 2
+    in
+    if show_plan then print_string (Gqkg_logic.Crpq.explain ?max_length inst q)
+    else
+      List.iter
+        (fun row ->
+          print_endline (String.concat "\t" (List.map (fun v -> inst.Instance.node_name v) row)))
+        (Gqkg_logic.Crpq.answers ?max_length inst q)
+  in
+  let query =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"e.g. 'SELECT x WHERE (x:person)-[rides]->(y:bus)'")
+  in
+  let max_length =
+    Arg.(value & opt (some int) None & info [ "max-length" ] ~doc:"Bound on path length per atom.")
+  in
+  let show_plan = Arg.(value & flag & info [ "plan" ] ~doc:"Show the evaluation plan instead.") in
+  Cmd.v
+    (Cmd.info "match" ~doc:"Evaluate a conjunctive regular path query")
+    Term.(const run $ verbose_flag $ graph_arg $ query $ max_length $ show_plan)
+
+(* ---- convert ---- *)
+
+let convert_cmd =
+  let run () input output =
+    let ends_with suffix s =
+      let n = String.length s and m = String.length suffix in
+      n >= m && String.sub s (n - m) m = suffix
+    in
+    match (ends_with ".pg" input, ends_with ".nt" output, ends_with ".nt" input, ends_with ".pg" output) with
+    | true, true, _, _ ->
+        let pg = Graph_io.load_property_graph input in
+        Gqkg_kg.Ntriples.save output (Gqkg_kg.Pg_rdf.of_property_graph pg);
+        Printf.printf "wrote %s\n" output
+    | _, _, true, true ->
+        let store = Gqkg_kg.Ntriples.load input in
+        let pg = Gqkg_kg.Pg_rdf.to_property_graph store in
+        Graph_io.save_property_graph output pg;
+        Printf.printf "wrote %s: %d nodes, %d edges\n" output (Property_graph.num_nodes pg)
+          (Property_graph.num_edges pg)
+    | _ ->
+        Printf.eprintf "supported conversions: .pg -> .nt and .nt -> .pg\n";
+        exit 2
+  in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT" ~doc:"Input file.") in
+  let output = Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT" ~doc:"Output file.") in
+  Cmd.v
+    (Cmd.info "convert" ~doc:"Convert between property-graph and N-Triples formats")
+    Term.(const run $ verbose_flag $ input $ output)
+
+(* ---- materialize (RDFS) ---- *)
+
+let materialize_cmd =
+  let run () input output =
+    let store = Gqkg_kg.Ntriples.load input in
+    let before = Gqkg_kg.Triple_store.size store in
+    let added = Gqkg_kg.Rdfs.materialize store in
+    Gqkg_kg.Ntriples.save output store;
+    Printf.printf "%d triples + %d inferred -> %s\n" before added output
+  in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT" ~doc:"N-Triples input.") in
+  let output = Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT" ~doc:"N-Triples output.") in
+  Cmd.v
+    (Cmd.info "materialize" ~doc:"Forward-chain RDFS entailments to fixpoint")
+    Term.(const run $ verbose_flag $ input $ output)
+
+(* ---- sparql ---- *)
+
+let sparql_cmd =
+  let run () path query =
+    let store = Gqkg_kg.Ntriples.load path in
+    match Gqkg_kg.Sparql.run store query with
+    | rows ->
+        List.iter
+          (fun row ->
+            print_endline (String.concat "\t" (List.map Gqkg_kg.Term.to_string row)))
+          rows
+    | exception Gqkg_kg.Sparql.Error { position; message } ->
+        Printf.eprintf "query error at %d: %s\n" position message;
+        exit 2
+  in
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRIPLES" ~doc:"N-Triples file.")
+  in
+  let query =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"e.g. 'SELECT ?x WHERE { ?x a <urn:t/Person> }'")
+  in
+  Cmd.v
+    (Cmd.info "sparql" ~doc:"Evaluate a SPARQL-lite query over an N-Triples file")
+    Term.(const run $ verbose_flag $ path $ query)
+
+(* ---- explain ---- *)
+
+let explain_cmd =
+  let run () regex graph =
+    let r = parse_regex regex in
+    Printf.printf "expression : %s\n" (Gqkg_automata.Regex.to_string ~top:true r);
+    let simplified = Gqkg_automata.Regex.simplify r in
+    if not (Gqkg_automata.Regex.equal simplified r) then
+      Printf.printf "simplified : %s\n" (Gqkg_automata.Regex.to_string ~top:true simplified);
+    Printf.printf "size       : %d (simplified: %d)\n" (Gqkg_automata.Regex.size r)
+      (Gqkg_automata.Regex.size simplified);
+    Printf.printf "path length: min %d, max %s\n"
+      (Gqkg_automata.Regex.min_path_length r)
+      (match Gqkg_automata.Regex.max_path_length r with
+      | Some m -> string_of_int m
+      | None -> "unbounded");
+    let nfa = Gqkg_automata.Nfa.of_regex simplified in
+    Printf.printf "\n%s" (Gqkg_automata.Nfa.to_string nfa);
+    match graph with
+    | None -> ()
+    | Some path ->
+        let inst = load_instance path in
+        let product = Product.create inst simplified in
+        ignore (Product.levels product ~depth:8);
+        let pairs = Rpq.eval_pairs inst ~max_length:8 simplified in
+        Printf.printf "\non %s: %d nodes x %d NFA states -> %d product states materialized, %d answer pairs (paths up to 8)\n"
+          path inst.Instance.num_nodes
+          (Gqkg_automata.Nfa.num_states nfa)
+          (Product.num_states product) (List.length pairs)
+  in
+  let regex = Arg.(required & pos 0 (some string) None & info [] ~docv:"REGEX" ~doc:"Expression.") in
+  let graph =
+    Arg.(value & opt (some file) None & info [ "graph" ] ~doc:"Also evaluate over this graph file.")
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the compilation pipeline of a path expression")
+    Term.(const run $ verbose_flag $ regex $ graph)
+
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let run () path =
+    let pg = Graph_io.load_property_graph path in
+    let inst = Property_graph.to_instance pg in
+    Fmt.pr "%a@." Gqkg_analytics.Graph_stats.pp_summary (Gqkg_analytics.Graph_stats.summarize inst);
+    let labels = Labeled_graph.node_label_histogram (Property_graph.to_labeled pg) in
+    List.iter (fun (l, c) -> Printf.printf "  label %-12s %d\n" (Const.to_string l) c) labels;
+    let _, scc = Gqkg_analytics.Traversal.strongly_connected_components inst in
+    Printf.printf "strongly connected components: %d\n" scc;
+    (match Gqkg_analytics.Shortest_paths.diameter_double_sweep ~directed:false inst with
+    | Some d -> Printf.printf "diameter (double sweep lower bound): %d\n" d
+    | None -> ());
+    Printf.printf "average clustering: %.4f\n" (Gqkg_analytics.Clustering.average_clustering inst);
+    let members, density = Gqkg_analytics.Densest.charikar inst in
+    Printf.printf "densest subgraph (charikar): %d nodes, density %.3f\n" (List.length members) density;
+    Printf.printf "degeneracy (max k-core): %d\n" (Gqkg_analytics.Kcore.degeneracy inst)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Structural statistics") Term.(const run $ verbose_flag $ graph_arg)
+
+(* ---- wl ---- *)
+
+let wl_cmd =
+  let run () path =
+    let pg = Graph_io.load_property_graph path in
+    let inst = Property_graph.to_instance pg in
+    let coloring =
+      Gqkg_gnn.Wl.refine inst ~init:(fun v -> Hashtbl.hash (inst.Instance.node_name v = "" (* uniform *)))
+    in
+    ignore coloring;
+    let labeled =
+      Gqkg_gnn.Wl.refine inst ~init:(fun v ->
+          Const.hash (Property_graph.node_label pg v))
+    in
+    Printf.printf "WL refinement (label-aware init): %d classes after %d rounds over %d nodes\n"
+      labeled.Gqkg_gnn.Wl.num_colors labeled.Gqkg_gnn.Wl.rounds inst.Instance.num_nodes;
+    let hist = Gqkg_gnn.Wl.color_histogram labeled in
+    List.iter (fun (c, n) -> Printf.printf "  class %d: %d nodes\n" c n) hist
+  in
+  Cmd.v (Cmd.info "wl" ~doc:"Weisfeiler-Lehman refinement summary") Term.(const run $ verbose_flag $ graph_arg)
+
+let () =
+  let default = Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ())) in
+  let info = Cmd.info "gqkg" ~version:"1.0.0" ~doc:"Graph databases and knowledge graphs toolbox" in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            generate_cmd;
+            query_cmd;
+            match_cmd;
+            count_cmd;
+            sample_cmd;
+            enumerate_cmd;
+            centrality_cmd;
+            convert_cmd;
+            materialize_cmd;
+            sparql_cmd;
+            explain_cmd;
+            stats_cmd;
+            wl_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/bibliometrics.ml: Bibliometrics Gqkg_automata Gqkg_core Gqkg_kg Gqkg_util Gqkg_workload List Printf Splitmix Table

@@ -1,0 +1,1 @@
+examples/contact_tracing.mli:

@@ -1,0 +1,1 @@
+examples/knowledge_lifecycle.ml: Bgp Gqkg_automata Gqkg_kg List Ntriples Printf Rdfs String Term Triple_store

@@ -1,0 +1,1 @@
+examples/path_statistics.ml: Approx_count Array Count Enumerate Gqkg_automata Gqkg_core Gqkg_graph Gqkg_util Gqkg_workload Hashtbl List Path Printf Property_graph Splitmix Stats Table Uniform_gen

@@ -1,0 +1,1 @@
+examples/storage.ml: Const Filename Gqkg_automata Gqkg_core Gqkg_graph Instance Journal List Printf Property_graph Rpq Sys

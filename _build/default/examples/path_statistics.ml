@@ -1,0 +1,76 @@
+(* Path extraction, three ways (Section 4.1).
+
+     dune exec examples/path_statistics.exe
+
+   On growing contact networks, counts the answers to a fixed pattern of
+   each length exactly, estimates them with the FPRAS, verifies the
+   uniform sampler empirically, and measures the enumeration delay. *)
+
+open Gqkg_graph
+open Gqkg_core
+open Gqkg_util
+
+let () =
+  let query = "?person/rides/?bus/rides^-/(?person/(lives + contact))*/?person" in
+  let r = Gqkg_automata.Regex_parser.parse query in
+  Printf.printf "pattern: %s\n\n" query;
+
+  let table =
+    Table.create
+      ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "people"; "k"; "exact"; "fpras(0.1)"; "rel.err"; "max delay" ]
+  in
+  List.iter
+    (fun people ->
+      let rng = Splitmix.create (1000 + people) in
+      let pg =
+        Gqkg_workload.Contact_network.generate
+          ~params:{ Gqkg_workload.Contact_network.default with people; contacts = people }
+          rng
+      in
+      let inst = Property_graph.to_instance pg in
+      List.iter
+        (fun k ->
+          let exact = Count.count inst r ~length:k in
+          let approx = Approx_count.count inst r ~length:k ~epsilon:0.1 in
+          let err = if exact = 0.0 then 0.0 else Stats.relative_error ~truth:exact ~estimate:approx in
+          let e = Enumerate.create inst r ~length:k in
+          Enumerate.iter e (fun _ -> ());
+          Table.add_row table
+            [
+              string_of_int people;
+              string_of_int k;
+              Printf.sprintf "%.0f" exact;
+              Printf.sprintf "%.0f" approx;
+              Printf.sprintf "%.3f" err;
+              string_of_int (Enumerate.max_delay e);
+            ])
+        [ 3; 4 ])
+    [ 30; 60; 120 ];
+  Table.print table;
+
+  (* Empirical uniformity: sample many paths on a small instance and
+     chi-square against the enumerated answer set. *)
+  print_endline "\nuniformity check (small instance):";
+  let rng = Splitmix.create 9 in
+  let pg = Gqkg_workload.Contact_network.generate rng in
+  let inst = Property_graph.to_instance pg in
+  let k = 3 in
+  let answers = Enumerate.paths inst r ~length:k in
+  let m = List.length answers in
+  let gen = Uniform_gen.create inst r ~length:k in
+  let index = Hashtbl.create 64 in
+  List.iteri (fun i p -> Hashtbl.replace index (Path.to_string inst p) i) answers;
+  let draws = 200 * m in
+  let observed = Array.make m 0 in
+  List.iter
+    (fun p ->
+      let i = Hashtbl.find index (Path.to_string inst p) in
+      observed.(i) <- observed.(i) + 1)
+    (Uniform_gen.samples gen rng draws);
+  let expected = Array.make m (float_of_int draws /. float_of_int m) in
+  let stat = Stats.chi_square ~observed ~expected in
+  let critical = Stats.chi_square_critical ~df:(m - 1) in
+  Printf.printf "  %d distinct answers, %d draws: chi-square %.1f (critical @0.001: %.1f) -> %s\n" m
+    draws stat critical
+    (if stat < critical then "uniform" else "NOT uniform")

@@ -1,0 +1,1 @@
+lib/analytics/bisimulation.ml: Array Atom Const Gqkg_automata Gqkg_core Gqkg_graph Hashtbl Labeled_graph List Printf

@@ -1,0 +1,1 @@
+lib/analytics/bisimulation.mli: Gqkg_automata Gqkg_graph Labeled_graph

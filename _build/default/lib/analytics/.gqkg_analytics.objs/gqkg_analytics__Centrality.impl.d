@@ -1,0 +1,1 @@
+lib/analytics/centrality.ml: Array Domain Float Fun Gqkg_graph Instance Int List Queue Traversal

@@ -1,0 +1,1 @@
+lib/analytics/centrality.mli: Gqkg_graph Instance

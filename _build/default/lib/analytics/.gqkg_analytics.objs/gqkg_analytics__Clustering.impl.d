@@ -1,0 +1,1 @@
+lib/analytics/clustering.ml: Array Fun Gqkg_graph Gqkg_util Hashtbl Instance List Option Queue Splitmix

@@ -1,0 +1,1 @@
+lib/analytics/clustering.mli: Gqkg_graph Instance

@@ -1,0 +1,1 @@
+lib/analytics/densest.ml: Array Fun Gqkg_graph Gqkg_util Instance List Maxflow

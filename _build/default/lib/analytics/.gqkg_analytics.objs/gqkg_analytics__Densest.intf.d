@@ -1,0 +1,1 @@
+lib/analytics/densest.mli: Gqkg_graph Instance

@@ -1,0 +1,1 @@
+lib/analytics/graph_stats.ml: Array Centrality Clustering Fmt Gqkg_graph Hashtbl Instance List Option Traversal

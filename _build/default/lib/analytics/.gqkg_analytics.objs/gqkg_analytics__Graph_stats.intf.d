@@ -1,0 +1,1 @@
+lib/analytics/graph_stats.mli: Format Gqkg_graph Instance

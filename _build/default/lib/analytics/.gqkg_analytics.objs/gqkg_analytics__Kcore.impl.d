@@ -1,0 +1,1 @@
+lib/analytics/kcore.ml: Array Gqkg_graph Instance List

@@ -1,0 +1,1 @@
+lib/analytics/kcore.mli: Gqkg_graph Instance

@@ -1,0 +1,1 @@
+lib/analytics/maxflow.ml: Array Float Queue

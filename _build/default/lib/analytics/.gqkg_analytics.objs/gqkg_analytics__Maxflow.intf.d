@@ -1,0 +1,1 @@
+lib/analytics/maxflow.mli:

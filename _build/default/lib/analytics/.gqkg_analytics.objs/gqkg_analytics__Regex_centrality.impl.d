@@ -1,0 +1,1 @@
+lib/analytics/regex_centrality.ml: Alias Array Gqkg_core Gqkg_graph Gqkg_util Hashtbl Instance List Option Product Queue Splitmix

@@ -1,0 +1,1 @@
+lib/analytics/regex_centrality.mli: Gqkg_automata Gqkg_graph Instance

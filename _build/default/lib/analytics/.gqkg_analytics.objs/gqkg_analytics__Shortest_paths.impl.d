@@ -1,0 +1,1 @@
+lib/analytics/shortest_paths.ml: Array Gqkg_graph Gqkg_util Heap Instance Traversal

@@ -1,0 +1,1 @@
+lib/analytics/shortest_paths.mli: Gqkg_graph Instance

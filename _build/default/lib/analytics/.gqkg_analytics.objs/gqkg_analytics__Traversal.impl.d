@@ -1,0 +1,1 @@
+lib/analytics/traversal.ml: Array Gqkg_graph Gqkg_util Instance List Queue Stack

@@ -1,0 +1,1 @@
+lib/analytics/traversal.mli: Gqkg_graph Instance

@@ -1,0 +1,1 @@
+lib/analytics/walks.ml: Array Gqkg_graph Instance

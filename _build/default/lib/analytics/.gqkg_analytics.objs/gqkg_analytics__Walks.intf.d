@@ -1,0 +1,1 @@
+lib/analytics/walks.mli: Gqkg_graph Instance

@@ -1,0 +1,28 @@
+(** Forward bisimulation and its quotient over labeled graphs — the
+    classic structural index ("1-index") of semi-structured databases.
+    Bisimilar nodes have identical forward path languages, so forward
+    node-extraction queries can be answered on the quotient and
+    expanded. *)
+
+open Gqkg_graph
+
+type t = {
+  block_of : int array;  (** node → block *)
+  num_blocks : int;
+  members : int list array;  (** block → nodes, ascending *)
+  quotient : Labeled_graph.t;
+      (** one node per block (members' shared label), one edge per
+          distinct (block, label, block) *)
+}
+
+(** Partition refinement from the by-label partition to the coarsest
+    forward bisimulation. *)
+val compute : Labeled_graph.t -> t
+
+(** Is the expression in the fragment the index is sound for (label
+    tests, forward steps, + / concat / star)? *)
+val forward_fragment : Gqkg_automata.Regex.t -> bool
+
+(** Nodes that can start an r-path, answered on the quotient and
+    expanded; exact for the forward fragment (raises outside it). *)
+val source_nodes_via_quotient : ?max_length:int -> t -> Gqkg_automata.Regex.t -> int list

@@ -1,0 +1,313 @@
+(* Centrality measures of Section 4.2: betweenness centrality bc(x)
+   [Freeman 1977] computed with Brandes' algorithm, plus the PageRank,
+   HITS, degree and closeness measures the section cites as typical
+   analytics.  The regex-constrained bc_r lives in {!Regex_centrality}. *)
+
+open Gqkg_graph
+
+(* Brandes' algorithm.  For every source s, one BFS computes the shortest-
+   path counts σ and the shortest-path DAG; a reverse sweep accumulates
+   the pair dependencies δ onto intermediate nodes.  With [directed:false]
+   edges are treated as symmetric and, following convention, each
+   unordered pair is counted once (the directed sum is halved). *)
+let betweenness ?(directed = true) inst =
+  let n = inst.Instance.num_nodes in
+  let bc = Array.make n 0.0 in
+  let dist = Array.make n (-1) in
+  let sigma = Array.make n 0.0 in
+  let delta = Array.make n 0.0 in
+  let preds = Array.make n [] in
+  let neighbors v =
+    if directed then Traversal.out_neighbors inst v else Traversal.all_neighbors inst v
+  in
+  for s = 0 to n - 1 do
+    Array.fill dist 0 n (-1);
+    Array.fill sigma 0 n 0.0;
+    Array.fill delta 0 n 0.0;
+    Array.fill preds 0 n [];
+    dist.(s) <- 0;
+    sigma.(s) <- 1.0;
+    let order = ref [] in
+    let queue = Queue.create () in
+    Queue.push s queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      order := v :: !order;
+      Array.iter
+        (fun w ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- dist.(v) + 1;
+            Queue.push w queue
+          end;
+          if dist.(w) = dist.(v) + 1 then begin
+            sigma.(w) <- sigma.(w) +. sigma.(v);
+            preds.(w) <- v :: preds.(w)
+          end)
+        (neighbors v)
+    done;
+    (* Reverse BFS order: accumulate dependencies. *)
+    List.iter
+      (fun w ->
+        List.iter
+          (fun v -> delta.(v) <- delta.(v) +. (sigma.(v) /. sigma.(w) *. (1.0 +. delta.(w))))
+          preds.(w);
+        if w <> s then bc.(w) <- bc.(w) +. delta.(w))
+      !order
+  done;
+  if not directed then Array.map (fun x -> x /. 2.0) bc else bc
+
+(* Naive betweenness straight from Freeman's formula, by enumerating all
+   shortest paths pair by pair; exponential in the worst case, used as
+   the test oracle for Brandes. *)
+let betweenness_naive ?(directed = true) inst =
+  let n = inst.Instance.num_nodes in
+  let neighbors v =
+    if directed then Traversal.out_neighbors inst v else Traversal.all_neighbors inst v
+  in
+  let bc = Array.make n 0.0 in
+  for a = 0 to n - 1 do
+    let dist = Traversal.bfs_distances ~directed inst ~source:a in
+    for b = 0 to n - 1 do
+      if b <> a && dist.(b) > 0 then begin
+        (* All shortest a→b paths by DFS descending the BFS levels. *)
+        let through = Array.make n 0 in
+        let total = ref 0 in
+        let rec walk v visited =
+          if v = b then begin
+            incr total;
+            List.iter (fun x -> through.(x) <- through.(x) + 1) visited
+          end
+          else
+            Array.iter
+              (fun w -> if dist.(w) = dist.(v) + 1 && dist.(w) <= dist.(b) then
+                  walk w (if w <> b then w :: visited else visited))
+              (neighbors v)
+        in
+        walk a [];
+        if !total > 0 then
+          for x = 0 to n - 1 do
+            if x <> a && x <> b && through.(x) > 0 then
+              bc.(x) <- bc.(x) +. (float_of_int through.(x) /. float_of_int !total)
+          done
+      end
+    done
+  done;
+  if not directed then Array.map (fun x -> x /. 2.0) bc else bc
+
+(* PageRank by power iteration with uniform teleportation; dangling mass
+   is redistributed uniformly.  Converges when the L1 change drops below
+   [tolerance]. *)
+let pagerank ?(damping = 0.85) ?(tolerance = 1e-10) ?(max_iterations = 200) inst =
+  let n = inst.Instance.num_nodes in
+  if n = 0 then [||]
+  else begin
+    let rank = Array.make n (1.0 /. float_of_int n) in
+    let out_degree = Array.init n (fun v -> Array.length (inst.Instance.out_edges v)) in
+    let next = Array.make n 0.0 in
+    let iteration = ref 0 and converged = ref false in
+    while (not !converged) && !iteration < max_iterations do
+      Array.fill next 0 n 0.0;
+      let dangling = ref 0.0 in
+      for v = 0 to n - 1 do
+        if out_degree.(v) = 0 then dangling := !dangling +. rank.(v)
+        else begin
+          let share = rank.(v) /. float_of_int out_degree.(v) in
+          Array.iter (fun (_e, w) -> next.(w) <- next.(w) +. share) (inst.Instance.out_edges v)
+        end
+      done;
+      let teleport = ((1.0 -. damping) +. (damping *. !dangling)) /. float_of_int n in
+      let change = ref 0.0 in
+      for v = 0 to n - 1 do
+        let updated = teleport +. (damping *. next.(v)) in
+        change := !change +. Float.abs (updated -. rank.(v));
+        rank.(v) <- updated
+      done;
+      incr iteration;
+      if !change < tolerance then converged := true
+    done;
+    rank
+  end
+
+(* HITS hubs and authorities [Kleinberg 1999], power iteration with L2
+   normalization. *)
+let hits ?(iterations = 50) inst =
+  let n = inst.Instance.num_nodes in
+  let hubs = Array.make n 1.0 and auth = Array.make n 1.0 in
+  let normalize a =
+    let norm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 a) in
+    if norm > 0.0 then Array.iteri (fun i x -> a.(i) <- x /. norm) a
+  in
+  for _ = 1 to iterations do
+    for v = 0 to n - 1 do
+      auth.(v) <- Array.fold_left (fun acc (_e, u) -> acc +. hubs.(u)) 0.0 (inst.Instance.in_edges v)
+    done;
+    normalize auth;
+    for v = 0 to n - 1 do
+      hubs.(v) <- Array.fold_left (fun acc (_e, w) -> acc +. auth.(w)) 0.0 (inst.Instance.out_edges v)
+    done;
+    normalize hubs
+  done;
+  (hubs, auth)
+
+let degree ?(directed = true) inst =
+  Array.init inst.Instance.num_nodes (fun v ->
+      let out = Array.length (inst.Instance.out_edges v) in
+      if directed then out else out + Array.length (inst.Instance.in_edges v))
+
+(* Closeness centrality: (reachable count - 1)² / (n-1) / total distance,
+   the Wasserman–Faust generalization that handles disconnected graphs. *)
+let closeness ?(directed = false) inst =
+  let n = inst.Instance.num_nodes in
+  Array.init n (fun v ->
+      let dist = Traversal.bfs_distances ~directed inst ~source:v in
+      let reachable = ref 0 and total = ref 0 in
+      Array.iter
+        (fun d ->
+          if d > 0 then begin
+            incr reachable;
+            total := !total + d
+          end)
+        dist;
+      if !total = 0 || n <= 1 then 0.0
+      else begin
+        let r = float_of_int !reachable in
+        r *. r /. (float_of_int (n - 1) *. float_of_int !total)
+      end)
+
+(* Rank nodes by score, descending, ties by index. *)
+let ranking scores =
+  let order = Array.init (Array.length scores) Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = Float.compare scores.(b) scores.(a) in
+      if c <> 0 then c else Int.compare a b)
+    order;
+  order
+
+(* Eigenvector centrality: the dominant eigenvector of the (undirected)
+   adjacency operator, by power iteration with L2 normalization. *)
+let eigenvector ?(iterations = 100) ?(tolerance = 1e-10) inst =
+  let n = inst.Instance.num_nodes in
+  if n = 0 then [||]
+  else begin
+    let x = Array.make n (1.0 /. sqrt (float_of_int n)) in
+    let next = Array.make n 0.0 in
+    let i = ref 0 and converged = ref false in
+    while (not !converged) && !i < iterations do
+      Array.fill next 0 n 0.0;
+      for v = 0 to n - 1 do
+        Array.iter (fun (_e, w) -> next.(w) <- next.(w) +. x.(v)) (inst.Instance.out_edges v);
+        Array.iter (fun (_e, u) -> next.(u) <- next.(u) +. x.(v)) (inst.Instance.in_edges v)
+      done;
+      let norm = sqrt (Array.fold_left (fun acc y -> acc +. (y *. y)) 0.0 next) in
+      if norm = 0.0 then converged := true
+      else begin
+        let change = ref 0.0 in
+        for v = 0 to n - 1 do
+          let y = next.(v) /. norm in
+          change := !change +. Float.abs (y -. x.(v));
+          x.(v) <- y
+        done;
+        if !change < tolerance then converged := true
+      end;
+      incr i
+    done;
+    x
+  end
+
+(* Katz centrality: x = alpha * A^T x + beta, by fixed-point iteration.
+   Converges when alpha is below 1 / (spectral radius); the default is
+   conservative for our sparse workloads. *)
+let katz ?(alpha = 0.05) ?(beta = 1.0) ?(iterations = 200) ?(tolerance = 1e-10) inst =
+  let n = inst.Instance.num_nodes in
+  if n = 0 then [||]
+  else begin
+    let x = Array.make n beta in
+    let next = Array.make n 0.0 in
+    let i = ref 0 and converged = ref false in
+    while (not !converged) && !i < iterations do
+      Array.fill next 0 n beta;
+      for v = 0 to n - 1 do
+        (* Katz credits a node for its in-neighbors' scores. *)
+        Array.iter (fun (_e, u) -> next.(v) <- next.(v) +. (alpha *. x.(u))) (inst.Instance.in_edges v)
+      done;
+      let change = ref 0.0 in
+      for v = 0 to n - 1 do
+        change := !change +. Float.abs (next.(v) -. x.(v));
+        x.(v) <- next.(v)
+      done;
+      if !change < tolerance then converged := true;
+      incr i
+    done;
+    x
+  end
+
+(* Multicore Brandes: per-source passes are independent, so sources are
+   sliced across OCaml 5 domains and the per-domain partial scores are
+   summed.  The instance must be safe for concurrent reads (all builtin
+   models are immutable once frozen). *)
+let betweenness_parallel ?(domains = 0) ?(directed = true) inst =
+  let n = inst.Instance.num_nodes in
+  let domains =
+    if domains > 0 then domains else min 8 (max 1 (Domain.recommended_domain_count () - 1))
+  in
+  if domains <= 1 || n < 64 then betweenness ~directed inst
+  else begin
+    let neighbors v =
+      if directed then Traversal.out_neighbors inst v else Traversal.all_neighbors inst v
+    in
+    let worker first last () =
+      let bc = Array.make n 0.0 in
+      let dist = Array.make n (-1) in
+      let sigma = Array.make n 0.0 in
+      let delta = Array.make n 0.0 in
+      let preds = Array.make n [] in
+      for s = first to last - 1 do
+        Array.fill dist 0 n (-1);
+        Array.fill sigma 0 n 0.0;
+        Array.fill delta 0 n 0.0;
+        Array.fill preds 0 n [];
+        dist.(s) <- 0;
+        sigma.(s) <- 1.0;
+        let order = ref [] in
+        let queue = Queue.create () in
+        Queue.push s queue;
+        while not (Queue.is_empty queue) do
+          let v = Queue.pop queue in
+          order := v :: !order;
+          Array.iter
+            (fun w ->
+              if dist.(w) < 0 then begin
+                dist.(w) <- dist.(v) + 1;
+                Queue.push w queue
+              end;
+              if dist.(w) = dist.(v) + 1 then begin
+                sigma.(w) <- sigma.(w) +. sigma.(v);
+                preds.(w) <- v :: preds.(w)
+              end)
+            (neighbors v)
+        done;
+        List.iter
+          (fun w ->
+            List.iter
+              (fun v -> delta.(v) <- delta.(v) +. (sigma.(v) /. sigma.(w) *. (1.0 +. delta.(w))))
+              preds.(w);
+            if w <> s then bc.(w) <- bc.(w) +. delta.(w))
+          !order
+      done;
+      bc
+    in
+    let chunk = (n + domains - 1) / domains in
+    let handles =
+      List.init domains (fun i ->
+          let first = i * chunk and last = min n ((i + 1) * chunk) in
+          Domain.spawn (worker first (max first last)))
+    in
+    let total = Array.make n 0.0 in
+    List.iter
+      (fun h ->
+        let partial = Domain.join h in
+        Array.iteri (fun v x -> total.(v) <- total.(v) +. x) partial)
+      handles;
+    if not directed then Array.map (fun x -> x /. 2.0) total else total
+  end

@@ -1,0 +1,42 @@
+(** Centrality measures (Section 4.2): Brandes betweenness, PageRank,
+    HITS, degree, closeness, eigenvector and Katz. The regex-constrained
+    bc_r lives in {!Regex_centrality}. *)
+
+open Gqkg_graph
+
+(** Brandes' betweenness. With [directed:false] edges are symmetric and
+    each unordered pair is counted once. *)
+val betweenness : ?directed:bool -> Instance.t -> float array
+
+(** Freeman's formula by brute-force shortest-path enumeration: the test
+    oracle for {!betweenness}. *)
+val betweenness_naive : ?directed:bool -> Instance.t -> float array
+
+(** Power iteration with uniform teleportation; dangling mass
+    redistributed uniformly. Sums to 1. *)
+val pagerank : ?damping:float -> ?tolerance:float -> ?max_iterations:int -> Instance.t -> float array
+
+(** Kleinberg's (hubs, authorities), L2-normalized. *)
+val hits : ?iterations:int -> Instance.t -> float array * float array
+
+(** Out-degree, or total degree with [directed:false]. *)
+val degree : ?directed:bool -> Instance.t -> int array
+
+(** Wasserman–Faust closeness (handles disconnected graphs). *)
+val closeness : ?directed:bool -> Instance.t -> float array
+
+(** Node indexes sorted by score descending, ties by index. *)
+val ranking : float array -> int array
+
+(** Dominant eigenvector of the undirected adjacency operator. *)
+val eigenvector : ?iterations:int -> ?tolerance:float -> Instance.t -> float array
+
+(** Katz centrality x = α·Aᵀx + β; converges for α below the inverse
+    spectral radius. *)
+val katz : ?alpha:float -> ?beta:float -> ?iterations:int -> ?tolerance:float -> Instance.t -> float array
+
+(** {!betweenness} with sources sliced across OCaml 5 domains
+    ([domains] 0 = auto). The instance must tolerate concurrent reads
+    (all builtin models do — they are immutable once frozen). Falls back
+    to the sequential pass on small graphs. *)
+val betweenness_parallel : ?domains:int -> ?directed:bool -> Instance.t -> float array

@@ -1,0 +1,242 @@
+(* Clustering and community structure (Section 4.2 cites clustering
+   [Schaeffer 2007] and community detection among the typical analytic
+   applications): local and global clustering coefficients and
+   label-propagation community detection. *)
+
+open Gqkg_graph
+open Gqkg_util
+
+(* Undirected simple adjacency sets (self-loops and parallel edges
+   collapsed), the standard setting for clustering coefficients. *)
+let simple_adjacency inst =
+  let n = inst.Instance.num_nodes in
+  let sets = Array.init n (fun _ -> Hashtbl.create 4) in
+  for e = 0 to inst.Instance.num_edges - 1 do
+    let s, d = inst.Instance.endpoints e in
+    if s <> d then begin
+      Hashtbl.replace sets.(s) d ();
+      Hashtbl.replace sets.(d) s ()
+    end
+  done;
+  Array.map (fun set -> Hashtbl.fold (fun v () acc -> v :: acc) set [] |> Array.of_list) sets
+
+(* Local clustering coefficient of every node: the fraction of its
+   neighbor pairs that are themselves adjacent. *)
+let local_clustering inst =
+  let adj = simple_adjacency inst in
+  let member = Array.map (fun neigh -> let t = Hashtbl.create 4 in Array.iter (fun v -> Hashtbl.replace t v ()) neigh; t) adj in
+  Array.map
+    (fun neighbors ->
+      let k = Array.length neighbors in
+      if k < 2 then 0.0
+      else begin
+        let links = ref 0 in
+        for i = 0 to k - 1 do
+          for j = i + 1 to k - 1 do
+            if Hashtbl.mem member.(neighbors.(i)) neighbors.(j) then incr links
+          done
+        done;
+        2.0 *. float_of_int !links /. (float_of_int k *. float_of_int (k - 1))
+      end)
+    adj
+
+let average_clustering inst =
+  let local = local_clustering inst in
+  if Array.length local = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 local /. float_of_int (Array.length local)
+
+(* Transitivity: 3 × triangles / connected triples. *)
+let transitivity inst =
+  let adj = simple_adjacency inst in
+  let member = Array.map (fun neigh -> let t = Hashtbl.create 4 in Array.iter (fun v -> Hashtbl.replace t v ()) neigh; t) adj in
+  let closed = ref 0 and triples = ref 0 in
+  Array.iteri
+    (fun _v neighbors ->
+      let k = Array.length neighbors in
+      triples := !triples + (k * (k - 1) / 2);
+      for i = 0 to k - 1 do
+        for j = i + 1 to k - 1 do
+          if Hashtbl.mem member.(neighbors.(i)) neighbors.(j) then incr closed
+        done
+      done)
+    adj;
+  if !triples = 0 then 0.0 else float_of_int !closed /. float_of_int !triples
+
+(* Asynchronous label propagation [Raghavan et al.]: each node adopts the
+   majority label among its neighbors until a fixpoint (or the round
+   limit).  Deterministic given the seed. *)
+let label_propagation ?(seed = 1) ?(max_rounds = 100) inst =
+  let n = inst.Instance.num_nodes in
+  let adj = simple_adjacency inst in
+  let labels = Array.init n Fun.id in
+  let rng = Splitmix.create seed in
+  let order = Array.init n Fun.id in
+  let changed = ref true and rounds = ref 0 in
+  while !changed && !rounds < max_rounds do
+    changed := false;
+    incr rounds;
+    Splitmix.shuffle_in_place rng order;
+    Array.iter
+      (fun v ->
+        if Array.length adj.(v) > 0 then begin
+          let votes = Hashtbl.create 4 in
+          Array.iter
+            (fun w ->
+              let l = labels.(w) in
+              Hashtbl.replace votes l (1 + Option.value (Hashtbl.find_opt votes l) ~default:0))
+            adj.(v);
+          (* Highest vote count; ties broken towards the smallest label for
+             determinism. *)
+          let best = ref labels.(v) and best_count = ref (-1) in
+          Hashtbl.iter
+            (fun l c ->
+              if c > !best_count || (c = !best_count && l < !best) then begin
+                best := l;
+                best_count := c
+              end)
+            votes;
+          if !best <> labels.(v) then begin
+            labels.(v) <- !best;
+            changed := true
+          end
+        end)
+      order
+  done;
+  (* Re-number labels densely. *)
+  let ids = Hashtbl.create 16 in
+  Array.map
+    (fun l ->
+      match Hashtbl.find_opt ids l with
+      | Some id -> id
+      | None ->
+          let id = Hashtbl.length ids in
+          Hashtbl.add ids l id;
+          id)
+    labels
+
+(* Newman's modularity of a node→community assignment, undirected view. *)
+let modularity inst labels =
+  let adj = simple_adjacency inst in
+  let two_m = Array.fold_left (fun acc neigh -> acc + Array.length neigh) 0 adj in
+  if two_m = 0 then 0.0
+  else begin
+    let inside = Hashtbl.create 16 and degree_sum = Hashtbl.create 16 in
+    let bump tbl key v = Hashtbl.replace tbl key (v + Option.value (Hashtbl.find_opt tbl key) ~default:0) in
+    Array.iteri
+      (fun v neighbors ->
+        bump degree_sum labels.(v) (Array.length neighbors);
+        Array.iter (fun w -> if labels.(v) = labels.(w) then bump inside labels.(v) 1) neighbors)
+      adj;
+    let m2 = float_of_int two_m in
+    Hashtbl.fold
+      (fun community d acc ->
+        let i = float_of_int (Option.value (Hashtbl.find_opt inside community) ~default:0) in
+        let d = float_of_int d in
+        acc +. ((i /. m2) -. (d /. m2 *. (d /. m2))))
+      degree_sum 0.0
+  end
+
+(* Edge betweenness over an undirected adjacency restricted to active
+   edges: Brandes' accumulation on edges instead of nodes.  [adj] maps a
+   node to its (edge, neighbor) pairs. *)
+let edge_betweenness_on ~num_nodes ~num_edges adj =
+  let eb = Array.make num_edges 0.0 in
+  let dist = Array.make num_nodes (-1) in
+  let sigma = Array.make num_nodes 0.0 in
+  let delta = Array.make num_nodes 0.0 in
+  let preds = Array.make num_nodes [] in
+  for s = 0 to num_nodes - 1 do
+    Array.fill dist 0 num_nodes (-1);
+    Array.fill sigma 0 num_nodes 0.0;
+    Array.fill delta 0 num_nodes 0.0;
+    Array.fill preds 0 num_nodes [];
+    dist.(s) <- 0;
+    sigma.(s) <- 1.0;
+    let order = ref [] in
+    let queue = Queue.create () in
+    Queue.push s queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      order := v :: !order;
+      List.iter
+        (fun (e, w) ->
+          if dist.(w) < 0 then begin
+            dist.(w) <- dist.(v) + 1;
+            Queue.push w queue
+          end;
+          if dist.(w) = dist.(v) + 1 then begin
+            sigma.(w) <- sigma.(w) +. sigma.(v);
+            preds.(w) <- (v, e) :: preds.(w)
+          end)
+        adj.(v)
+    done;
+    List.iter
+      (fun w ->
+        List.iter
+          (fun (v, e) ->
+            let credit = sigma.(v) /. sigma.(w) *. (1.0 +. delta.(w)) in
+            eb.(e) <- eb.(e) +. credit;
+            delta.(v) <- delta.(v) +. credit)
+          preds.(w))
+      !order
+  done;
+  (* Each unordered pair counted from both endpoints. *)
+  Array.map (fun x -> x /. 2.0) eb
+
+(* Girvan-Newman community detection: repeatedly remove the highest
+   edge-betweenness edge; return the component labeling with the best
+   modularity seen along the dendrogram.  O(m² n) — the classic
+   divisive algorithm, for small and medium graphs. *)
+let girvan_newman ?(max_removals = max_int) inst =
+  let n = inst.Instance.num_nodes in
+  let m = inst.Instance.num_edges in
+  let removed = Array.make m false in
+  (* Self-loops never separate anything; ignore them. *)
+  for e = 0 to m - 1 do
+    let s, d = inst.Instance.endpoints e in
+    if s = d then removed.(e) <- true
+  done;
+  let active_adjacency () =
+    let adj = Array.make n [] in
+    for e = 0 to m - 1 do
+      if not removed.(e) then begin
+        let s, d = inst.Instance.endpoints e in
+        adj.(s) <- (e, d) :: adj.(s);
+        adj.(d) <- (e, s) :: adj.(d)
+      end
+    done;
+    adj
+  in
+  let components () =
+    let uf = Gqkg_util.Union_find.create n in
+    for e = 0 to m - 1 do
+      if not removed.(e) then begin
+        let s, d = inst.Instance.endpoints e in
+        ignore (Gqkg_util.Union_find.union uf s d)
+      end
+    done;
+    Gqkg_util.Union_find.labeling uf
+  in
+  let best_labels = ref (components ()) in
+  let best_modularity = ref (modularity inst !best_labels) in
+  let remaining = ref (Array.fold_left (fun acc r -> if r then acc else acc + 1) 0 removed) in
+  let removals = ref 0 in
+  while !remaining > 0 && !removals < max_removals do
+    let eb = edge_betweenness_on ~num_nodes:n ~num_edges:m (active_adjacency ()) in
+    (* Highest-betweenness active edge. *)
+    let top = ref (-1) in
+    Array.iteri (fun e score -> if (not removed.(e)) && (!top < 0 || score > eb.(!top)) then top := e) eb;
+    if !top < 0 then remaining := 0
+    else begin
+      removed.(!top) <- true;
+      decr remaining;
+      incr removals;
+      let labels = components () in
+      let q = modularity inst labels in
+      if q > !best_modularity then begin
+        best_modularity := q;
+        best_labels := labels
+      end
+    end
+  done;
+  (!best_labels, !best_modularity)

@@ -1,0 +1,26 @@
+(** Clustering coefficients and community structure (Section 4.2). All
+    functions use the undirected simple view (self-loops and parallel
+    edges collapsed). *)
+
+open Gqkg_graph
+
+(** Fraction of each node's neighbor pairs that are adjacent. *)
+val local_clustering : Instance.t -> float array
+
+val average_clustering : Instance.t -> float
+
+(** Global transitivity: 3 × triangles / connected triples. *)
+val transitivity : Instance.t -> float
+
+(** Asynchronous label propagation; deterministic given the seed.
+    Returns dense community labels. *)
+val label_propagation : ?seed:int -> ?max_rounds:int -> Instance.t -> int array
+
+(** Newman's modularity of a community assignment. *)
+val modularity : Instance.t -> int array -> float
+
+(** Girvan–Newman divisive community detection: remove highest
+    edge-betweenness edges, keep the dendrogram level with the best
+    modularity. Returns (labels, modularity). O(m²n); small/medium
+    graphs. *)
+val girvan_newman : ?max_removals:int -> Instance.t -> int array * float

@@ -1,0 +1,155 @@
+(* Densest-subgraph discovery (Section 4.2 cites it as the flagship
+   community-detection analytic [Goldberg 1984; Ma et al. 2020]):
+   find S ⊆ N maximizing density(S) = |E(S)| / |S|, where E(S) are the
+   edges with both endpoints in S (direction ignored, as standard).
+
+   Two algorithms:
+   - [charikar]: the greedy 2-approximation — repeatedly peel the node of
+     minimum degree, remember the best prefix.  O((n+m) log n).
+   - [goldberg]: the exact algorithm — binary search on the density g,
+     each step deciding "is there S with density > g?" via a min-cut on
+     Goldberg's network.  Since densities are rationals with denominator
+     ≤ n·(n-1) apart, O(log(n·m)) cut computations suffice. *)
+
+open Gqkg_graph
+
+let density ~edges ~nodes = if nodes = 0 then 0.0 else float_of_int edges /. float_of_int nodes
+
+(* Undirected simple view: for each node the multiset of neighbors
+   (self-loops dropped, as they do not affect |E(S)|/|S| conventions). *)
+let neighbor_lists inst =
+  let n = inst.Instance.num_nodes in
+  let adj = Array.make n [] in
+  let m = ref 0 in
+  for e = 0 to inst.Instance.num_edges - 1 do
+    let s, d = inst.Instance.endpoints e in
+    if s <> d then begin
+      adj.(s) <- d :: adj.(s);
+      adj.(d) <- s :: adj.(d);
+      incr m
+    end
+  done;
+  (adj, !m)
+
+let charikar inst =
+  let n = inst.Instance.num_nodes in
+  if n = 0 then ([], 0.0)
+  else begin
+    let adj, m = neighbor_lists inst in
+    let degree = Array.map List.length adj in
+    let removed = Array.make n false in
+    let heap = Gqkg_util.Heap.create (-1) in
+    for v = 0 to n - 1 do
+      Gqkg_util.Heap.add heap ~key:(float_of_int degree.(v)) v
+    done;
+    let remaining_nodes = ref n and remaining_edges = ref m in
+    let best_density = ref (density ~edges:m ~nodes:n) in
+    let best_cutoff = ref 0 (* number of removals before the best prefix *) in
+    let removal_order = Array.make n (-1) in
+    let removals = ref 0 in
+    while !remaining_nodes > 0 do
+      match Gqkg_util.Heap.pop heap with
+      | None -> remaining_nodes := 0
+      | Some (key, v) ->
+          if (not removed.(v)) && int_of_float key = degree.(v) then begin
+            removed.(v) <- true;
+            removal_order.(!removals) <- v;
+            incr removals;
+            remaining_edges := !remaining_edges - degree.(v);
+            decr remaining_nodes;
+            List.iter
+              (fun w ->
+                if not removed.(w) then begin
+                  degree.(w) <- degree.(w) - 1;
+                  Gqkg_util.Heap.add heap ~key:(float_of_int degree.(w)) w
+                end)
+              adj.(v);
+            let d = density ~edges:!remaining_edges ~nodes:!remaining_nodes in
+            if !remaining_nodes > 0 && d > !best_density then begin
+              best_density := d;
+              best_cutoff := !removals
+            end
+          end
+    done;
+    (* The best subgraph: every node not removed within the first
+       [best_cutoff] removals. *)
+    let in_best = Array.make n true in
+    for i = 0 to !best_cutoff - 1 do
+      in_best.(removal_order.(i)) <- false
+    done;
+    let members = ref [] in
+    for v = n - 1 downto 0 do
+      if in_best.(v) then members := v :: !members
+    done;
+    (!members, !best_density)
+  end
+
+(* Is there a subgraph of density strictly above [g]?  Goldberg's network:
+   source → each edge-node with capacity 1, edge-node → its endpoints
+   with capacity ∞, each node → sink with capacity g.  The min cut equals
+   m - max_S (|E(S)| - g·|S|); S recovers from the source side. *)
+let goldberg_test inst ~g =
+  let n = inst.Instance.num_nodes in
+  let edges = ref [] in
+  for e = 0 to inst.Instance.num_edges - 1 do
+    let s, d = inst.Instance.endpoints e in
+    if s <> d then edges := (s, d) :: !edges
+  done;
+  let edges = Array.of_list !edges in
+  let m = Array.length edges in
+  if m = 0 then None
+  else begin
+    let source = n + m and sink = n + m + 1 in
+    let net = Maxflow.create (n + m + 2) in
+    Array.iteri
+      (fun i (s, d) ->
+        Maxflow.add_edge net ~src:source ~dst:(n + i) ~capacity:1.0;
+        Maxflow.add_edge net ~src:(n + i) ~dst:s ~capacity:infinity;
+        Maxflow.add_edge net ~src:(n + i) ~dst:d ~capacity:infinity)
+      edges;
+    for v = 0 to n - 1 do
+      Maxflow.add_edge net ~src:v ~dst:sink ~capacity:g
+    done;
+    let flow = Maxflow.max_flow net ~source ~sink in
+    if flow >= float_of_int m -. 1e-9 then None (* no subgraph beats density g *)
+    else begin
+      let side = Maxflow.min_cut_source_side net ~source in
+      let members = ref [] in
+      for v = n - 1 downto 0 do
+        if side.(v) then members := v :: !members
+      done;
+      Some !members
+    end
+  end
+
+let exact_density inst members =
+  let in_set = Array.make inst.Instance.num_nodes false in
+  List.iter (fun v -> in_set.(v) <- true) members;
+  let edges = ref 0 in
+  for e = 0 to inst.Instance.num_edges - 1 do
+    let s, d = inst.Instance.endpoints e in
+    if s <> d && in_set.(s) && in_set.(d) then incr edges
+  done;
+  density ~edges:!edges ~nodes:(List.length members)
+
+let goldberg inst =
+  let n = inst.Instance.num_nodes in
+  if n = 0 then ([], 0.0)
+  else begin
+    (* Binary search on g; stop when the interval is below the minimal
+       gap 1/(n(n-1)) between distinct densities. *)
+    let _, m = neighbor_lists inst in
+    let lo = ref 0.0 and hi = ref (float_of_int m) in
+    let best = ref (List.init n Fun.id) in
+    (match goldberg_test inst ~g:0.0 with Some s when s <> [] -> best := s | _ -> ());
+    let gap = 1.0 /. (float_of_int n *. float_of_int (max 1 (n - 1))) in
+    while !hi -. !lo > gap /. 2.0 do
+      let g = (!lo +. !hi) /. 2.0 in
+      match goldberg_test inst ~g with
+      | Some s when s <> [] ->
+          best := s;
+          lo := g
+      | Some _ | None -> hi := g
+    done;
+    (!best, exact_density inst !best)
+  end

@@ -1,0 +1,15 @@
+(** Densest-subgraph discovery (Section 4.2 cites it as a flagship
+    community analytic): maximize |E(S)| / |S| over node sets S,
+    direction ignored, self-loops dropped. *)
+
+open Gqkg_graph
+
+(** |E(S)| / |S| for explicit members. *)
+val exact_density : Instance.t -> int list -> float
+
+(** Charikar's greedy peeling 2-approximation: (members, density). *)
+val charikar : Instance.t -> int list * float
+
+(** Goldberg's exact algorithm (binary search over min-cuts via
+    {!Maxflow}): (members, density). *)
+val goldberg : Instance.t -> int list * float

@@ -1,0 +1,102 @@
+(* Descriptive whole-graph statistics: the numbers any graph-database
+   paper's "datasets" table reports, and quick structure diagnostics for
+   the generators. *)
+
+open Gqkg_graph
+
+(* (degree, node count) pairs, ascending degree; undirected by default. *)
+let degree_histogram ?(directed = false) inst =
+  let degrees = Centrality.degree ~directed inst in
+  let tbl = Hashtbl.create 16 in
+  Array.iter (fun d -> Hashtbl.replace tbl d (1 + Option.value (Hashtbl.find_opt tbl d) ~default:0)) degrees;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) tbl [] |> List.sort compare
+
+(* Fraction of directed edges whose reverse also exists (self-loops
+   ignored). *)
+let reciprocity inst =
+  let pairs = Hashtbl.create 256 in
+  let m = ref 0 in
+  for e = 0 to inst.Instance.num_edges - 1 do
+    let s, d = inst.Instance.endpoints e in
+    if s <> d then begin
+      Hashtbl.replace pairs (s, d) ();
+      incr m
+    end
+  done;
+  if !m = 0 then 0.0
+  else begin
+    let reciprocated = ref 0 in
+    Hashtbl.iter (fun (s, d) () -> if Hashtbl.mem pairs (d, s) then incr reciprocated) pairs;
+    float_of_int !reciprocated /. float_of_int (Hashtbl.length pairs)
+  end
+
+(* Pearson degree assortativity over undirected edges: do high-degree
+   nodes attach to high-degree nodes?  [Newman 2002] *)
+let degree_assortativity inst =
+  let degrees = Centrality.degree ~directed:false inst in
+  let xs = ref [] and ys = ref [] in
+  for e = 0 to inst.Instance.num_edges - 1 do
+    let s, d = inst.Instance.endpoints e in
+    if s <> d then begin
+      (* Each undirected edge contributes both orientations, making the
+         correlation symmetric. *)
+      xs := float_of_int degrees.(s) :: float_of_int degrees.(d) :: !xs;
+      ys := float_of_int degrees.(d) :: float_of_int degrees.(s) :: !ys
+    end
+  done;
+  let xs = Array.of_list !xs and ys = Array.of_list !ys in
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int n in
+    let mx = mean xs and my = mean ys in
+    let cov = ref 0.0 and vx = ref 0.0 and vy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      cov := !cov +. (dx *. dy);
+      vx := !vx +. (dx *. dx);
+      vy := !vy +. (dy *. dy)
+    done;
+    if !vx = 0.0 || !vy = 0.0 then 0.0 else !cov /. sqrt (!vx *. !vy)
+  end
+
+type summary = {
+  nodes : int;
+  edges : int;
+  self_loops : int;
+  density : float; (* m / n(n-1), directed convention *)
+  mean_degree : float;
+  max_degree : int;
+  reciprocity : float;
+  assortativity : float;
+  components : int;
+  transitivity : float;
+}
+
+let summarize inst =
+  let n = inst.Instance.num_nodes and m = inst.Instance.num_edges in
+  let self_loops = ref 0 in
+  for e = 0 to m - 1 do
+    let s, d = inst.Instance.endpoints e in
+    if s = d then incr self_loops
+  done;
+  let degrees = Centrality.degree ~directed:false inst in
+  let _, components = Traversal.weakly_connected_components inst in
+  {
+    nodes = n;
+    edges = m;
+    self_loops = !self_loops;
+    density = (if n < 2 then 0.0 else float_of_int m /. (float_of_int n *. float_of_int (n - 1)));
+    mean_degree = (if n = 0 then 0.0 else float_of_int (Array.fold_left ( + ) 0 degrees) /. float_of_int n);
+    max_degree = Array.fold_left max 0 degrees;
+    reciprocity = reciprocity inst;
+    assortativity = degree_assortativity inst;
+    components;
+    transitivity = Clustering.transitivity inst;
+  }
+
+let pp_summary ppf s =
+  Fmt.pf ppf
+    "nodes=%d edges=%d (self-loops %d) density=%.4f mean-degree=%.2f max-degree=%d reciprocity=%.3f assortativity=%.3f components=%d transitivity=%.3f"
+    s.nodes s.edges s.self_loops s.density s.mean_degree s.max_degree s.reciprocity s.assortativity
+    s.components s.transitivity

@@ -1,0 +1,29 @@
+(** Whole-graph descriptive statistics (the "datasets table" numbers). *)
+
+open Gqkg_graph
+
+(** (degree, node count) pairs, ascending. *)
+val degree_histogram : ?directed:bool -> Instance.t -> (int * int) list
+
+(** Fraction of directed edges whose reverse exists (self-loops
+    ignored). *)
+val reciprocity : Instance.t -> float
+
+(** Pearson degree assortativity over undirected edges [Newman 2002]. *)
+val degree_assortativity : Instance.t -> float
+
+type summary = {
+  nodes : int;
+  edges : int;
+  self_loops : int;
+  density : float;
+  mean_degree : float;
+  max_degree : int;
+  reciprocity : float;
+  assortativity : float;
+  components : int;
+  transitivity : float;
+}
+
+val summarize : Instance.t -> summary
+val pp_summary : Format.formatter -> summary -> unit

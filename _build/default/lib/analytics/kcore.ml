@@ -1,0 +1,76 @@
+(* k-core decomposition: the standard density-stratification analytic
+   (community detection's workhorse alongside densest subgraph,
+   Section 4.2).  The k-core is the maximal subgraph where every node has
+   degree >= k (undirected view); the core number of a node is the
+   largest k whose core contains it.  Computed by the peeling algorithm
+   of Batagelj & Zaversnik with a lazy bucket queue: decrease-key is
+   emulated by reinsertion, stale entries are skipped. *)
+
+open Gqkg_graph
+
+(* Core number of every node. *)
+let core_numbers inst =
+  let n = inst.Instance.num_nodes in
+  if n = 0 then [||]
+  else begin
+    (* Undirected degrees; self-loops dropped (a loop cannot keep a node
+       in a core by itself). *)
+    let adj = Array.make n [] in
+    for e = 0 to inst.Instance.num_edges - 1 do
+      let s, d = inst.Instance.endpoints e in
+      if s <> d then begin
+        adj.(s) <- d :: adj.(s);
+        adj.(d) <- s :: adj.(d)
+      end
+    done;
+    let degree = Array.map List.length adj in
+    let max_degree = Array.fold_left max 0 degree in
+    let buckets = Array.make (max_degree + 1) [] in
+    Array.iteri (fun v d -> buckets.(d) <- v :: buckets.(d)) degree;
+    let core = Array.make n 0 in
+    let removed = Array.make n false in
+    let watermark = ref 0 in
+    let processed = ref 0 in
+    let cursor = ref 0 in
+    while !processed < n do
+      (* Smallest non-empty bucket; it can fall below the cursor when
+         degrees decrease, so rescan from 0 cheaply via the cursor only
+         as a lower bound heuristic. *)
+      cursor := 0;
+      while buckets.(!cursor) = [] do
+        incr cursor
+      done;
+      let b = !cursor in
+      match buckets.(b) with
+      | [] -> assert false
+      | v :: rest ->
+          buckets.(b) <- rest;
+          (* Skip stale entries: already removed, or reinserted lower. *)
+          if (not removed.(v)) && degree.(v) = b then begin
+            removed.(v) <- true;
+            incr processed;
+            if b > !watermark then watermark := b;
+            core.(v) <- !watermark;
+            List.iter
+              (fun w ->
+                if (not removed.(w)) && degree.(w) > b then begin
+                  degree.(w) <- degree.(w) - 1;
+                  buckets.(degree.(w)) <- w :: buckets.(degree.(w))
+                end)
+              adj.(v)
+          end
+    done;
+    core
+  end
+
+(* Nodes of the k-core (possibly empty). *)
+let core inst ~k =
+  let numbers = core_numbers inst in
+  let out = ref [] in
+  Array.iteri (fun v c -> if c >= k then out := v :: !out) numbers;
+  List.rev !out
+
+(* The largest k with a non-empty k-core (the graph's degeneracy). *)
+let degeneracy inst =
+  let numbers = core_numbers inst in
+  Array.fold_left max 0 numbers

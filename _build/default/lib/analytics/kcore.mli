@@ -1,0 +1,13 @@
+(** k-core decomposition (Batagelj–Zaversnik peeling), undirected view
+    with self-loops dropped. *)
+
+open Gqkg_graph
+
+(** Core number of every node: the largest k whose k-core contains it. *)
+val core_numbers : Instance.t -> int array
+
+(** Members of the k-core (possibly empty), ascending. *)
+val core : Instance.t -> k:int -> int list
+
+(** The largest k with a non-empty k-core. *)
+val degeneracy : Instance.t -> int

@@ -1,0 +1,121 @@
+(* Dinic's maximum-flow algorithm on an explicit flow network.  Built as
+   substrate for Goldberg's exact densest-subgraph algorithm (Section 4.2
+   cites densest-subgraph discovery as a flagship community-detection
+   analytic).  Capacities are floats; the algorithm is exact up to
+   floating-point tolerance, which suffices for the rational capacities
+   Goldberg's reduction produces. *)
+
+type arc = { dst : int; mutable capacity : float; inverse : int (* index of reverse arc *) }
+
+type t = {
+  num_nodes : int;
+  mutable arcs : arc array;
+  mutable arc_count : int;
+  adjacency : int list array; (* node -> arc indexes, reversed order *)
+}
+
+let create num_nodes =
+  if num_nodes <= 0 then invalid_arg "Maxflow.create: need at least one node";
+  { num_nodes; arcs = Array.make 16 { dst = -1; capacity = 0.0; inverse = -1 }; arc_count = 0; adjacency = Array.make num_nodes [] }
+
+let push_arc t arc =
+  if t.arc_count = Array.length t.arcs then begin
+    let bigger = Array.make (2 * t.arc_count) t.arcs.(0) in
+    Array.blit t.arcs 0 bigger 0 t.arc_count;
+    t.arcs <- bigger
+  end;
+  t.arcs.(t.arc_count) <- arc;
+  t.arc_count <- t.arc_count + 1;
+  t.arc_count - 1
+
+(* Add a directed edge with the given capacity (and a zero-capacity
+   residual twin). *)
+let add_edge t ~src ~dst ~capacity =
+  if capacity < 0.0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  let fwd_index = t.arc_count in
+  let fwd = { dst; capacity; inverse = fwd_index + 1 } in
+  let bwd = { dst = src; capacity = 0.0; inverse = fwd_index } in
+  ignore (push_arc t fwd);
+  ignore (push_arc t bwd);
+  t.adjacency.(src) <- fwd_index :: t.adjacency.(src);
+  t.adjacency.(dst) <- (fwd_index + 1) :: t.adjacency.(dst)
+
+let eps = 1e-12
+
+(* Dinic: repeat { build level graph by BFS; saturate with blocking flow
+   via DFS with arc iterators } until the sink is unreachable. *)
+let max_flow t ~source ~sink =
+  if source = sink then invalid_arg "Maxflow.max_flow: source equals sink";
+  let level = Array.make t.num_nodes (-1) in
+  let adj = Array.map Array.of_list t.adjacency in
+  let iter = Array.make t.num_nodes 0 in
+  let total = ref 0.0 in
+  let build_levels () =
+    Array.fill level 0 t.num_nodes (-1);
+    let queue = Queue.create () in
+    level.(source) <- 0;
+    Queue.push source queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun ai ->
+          let arc = t.arcs.(ai) in
+          if arc.capacity > eps && level.(arc.dst) < 0 then begin
+            level.(arc.dst) <- level.(v) + 1;
+            Queue.push arc.dst queue
+          end)
+        adj.(v)
+    done;
+    level.(sink) >= 0
+  in
+  let rec augment v pushed =
+    if v = sink then pushed
+    else begin
+      let result = ref 0.0 in
+      while !result = 0.0 && iter.(v) < Array.length adj.(v) do
+        let ai = adj.(v).(iter.(v)) in
+        let arc = t.arcs.(ai) in
+        if arc.capacity > eps && level.(arc.dst) = level.(v) + 1 then begin
+          let d = augment arc.dst (Float.min pushed arc.capacity) in
+          if d > eps then begin
+            arc.capacity <- arc.capacity -. d;
+            t.arcs.(arc.inverse).capacity <- t.arcs.(arc.inverse).capacity +. d;
+            result := d
+          end
+          else iter.(v) <- iter.(v) + 1
+        end
+        else iter.(v) <- iter.(v) + 1
+      done;
+      !result
+    end
+  in
+  while build_levels () do
+    Array.fill iter 0 t.num_nodes 0;
+    let continue = ref true in
+    while !continue do
+      let pushed = augment source infinity in
+      if pushed <= eps then continue := false else total := !total +. pushed
+    done
+  done;
+  !total
+
+(* Source side of the minimum cut after {!max_flow}: the nodes reachable
+   in the residual network. *)
+let min_cut_source_side t ~source =
+  let adj = Array.map Array.of_list t.adjacency in
+  let seen = Array.make t.num_nodes false in
+  let queue = Queue.create () in
+  seen.(source) <- true;
+  Queue.push source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun ai ->
+        let arc = t.arcs.(ai) in
+        if arc.capacity > eps && not seen.(arc.dst) then begin
+          seen.(arc.dst) <- true;
+          Queue.push arc.dst queue
+        end)
+      adj.(v)
+  done;
+  seen

@@ -1,0 +1,16 @@
+(** Dinic's maximum flow on an explicit network — the substrate of
+    Goldberg's exact densest-subgraph algorithm. Float capacities. *)
+
+type t
+
+val create : int -> t
+
+(** Directed capacity edge (a zero-capacity residual twin is added). *)
+val add_edge : t -> src:int -> dst:int -> capacity:float -> unit
+
+(** Maximum flow value; mutates residual capacities. *)
+val max_flow : t -> source:int -> sink:int -> float
+
+(** After {!max_flow}: nodes reachable in the residual network (the
+    source side of a minimum cut). *)
+val min_cut_source_side : t -> source:int -> bool array

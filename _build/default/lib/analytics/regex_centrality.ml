@@ -1,0 +1,189 @@
+(* Regex-constrained betweenness centrality (Section 4.2):
+
+     bc_r(x) = Σ_{a,b : a≠x, b≠x} |S_{a,b,r}(x)| / |S_{a,b,r}|
+
+   where S_{a,b,r} is the set of *shortest* paths from a to b conforming
+   to the regular expression r, and S_{a,b,r}(x) those that contain x.
+   This is how "knowledge" (the labels) enters a classical analytics
+   primitive: only the paths that mean the right thing — a bus used as
+   transport, an infection chain — count towards centrality.
+
+   Both algorithms run on the deterministic product, where matching paths
+   correspond one-to-one to product paths:
+
+   - [exact]: per source, a BFS of the product gives distances and the
+     shortest-path DAG; per (source, target) pair the members of
+     S_{a,b,r} are materialized by walking the DAG backwards from the
+     accepting states and each path credits its distinct intermediate
+     nodes.  Exact, but |S| can be exponential — the point the paper
+     makes about intractability.
+
+   - [approximate]: the randomized algorithm the tutorial builds from the
+     Section 4.1 toolbox.  Instead of materializing S_{a,b,r}, it draws
+     [samples] uniform members per pair (backward sampling weighted by
+     shortest-path counts — the same preprocessing/generation split as
+     uniform path generation) and estimates the inclusion fractions. *)
+
+open Gqkg_graph
+open Gqkg_core
+open Gqkg_util
+
+(* Per-source shortest-path structure over the product: distances, path
+   counts σ, and DAG predecessors of every product state. *)
+type source_dag = {
+  dist : (int, int) Hashtbl.t;
+  sigma : (int, float) Hashtbl.t;
+  preds : (int, int list) Hashtbl.t; (* DAG edges backwards *)
+  (* Per target node: best distance and accepting states at it. *)
+  targets : (int, int * int list) Hashtbl.t;
+}
+
+let build_dag product ~source ~max_length =
+  let dist = Hashtbl.create 64 and sigma = Hashtbl.create 64 in
+  let preds = Hashtbl.create 64 in
+  let targets = Hashtbl.create 16 in
+  (match Product.start_state product source with
+  | None -> ()
+  | Some s0 ->
+      Hashtbl.replace dist s0 0;
+      Hashtbl.replace sigma s0 1.0;
+      let queue = Queue.create () in
+      Queue.push s0 queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        let dv = Hashtbl.find dist v in
+        let expand = match max_length with Some m -> dv < m | None -> true in
+        if expand then
+          Array.iter
+            (fun (_e, w) ->
+              (match Hashtbl.find_opt dist w with
+              | None ->
+                  Hashtbl.replace dist w (dv + 1);
+                  Hashtbl.replace sigma w 0.0;
+                  Queue.push w queue
+              | Some _ -> ());
+              if Hashtbl.find dist w = dv + 1 then begin
+                Hashtbl.replace sigma w (Hashtbl.find sigma w +. Hashtbl.find sigma v);
+                Hashtbl.replace preds w (v :: Option.value (Hashtbl.find_opt preds w) ~default:[])
+              end)
+            (Product.successors product v)
+      done;
+      (* Collect, per graph node, the closest accepting states. *)
+      Hashtbl.iter
+        (fun state d ->
+          if Product.is_accepting product state then begin
+            let node = Product.node_of product state in
+            match Hashtbl.find_opt targets node with
+            | Some (best, states) ->
+                if d < best then Hashtbl.replace targets node (d, [ state ])
+                else if d = best then Hashtbl.replace targets node (best, state :: states)
+            | None -> Hashtbl.replace targets node (d, [ state ])
+          end)
+        dist);
+  { dist; sigma; preds; targets }
+
+(* All shortest matching paths from the source to [target], as node
+   sequences (graph nodes), by backward DFS through the DAG.  [limit]
+   caps the number of materialized paths (safety valve for the exact
+   algorithm; [None] in tests). *)
+let materialize_paths product dag ~target ~limit =
+  match Hashtbl.find_opt dag.targets target with
+  | None -> []
+  | Some (_d, states) ->
+      let out = ref [] and count = ref 0 in
+      let exception Done in
+      (try
+         List.iter
+           (fun final ->
+             let rec back state suffix =
+               let node = Product.node_of product state in
+               match Hashtbl.find_opt dag.preds state with
+               | None | Some [] -> begin
+                   (* Reached the source start state (distance 0). *)
+                   match Hashtbl.find_opt dag.dist state with
+                   | Some 0 ->
+                       out := (node :: suffix) :: !out;
+                       incr count;
+                       (match limit with Some l when !count >= l -> raise Done | _ -> ())
+                   | _ -> ()
+                 end
+               | Some preds -> List.iter (fun p -> back p (node :: suffix)) preds
+             in
+             back final [])
+           states
+       with Done -> ());
+      !out
+
+(* The exact bc_r of every node.  [max_length] bounds the product search
+   for star-heavy expressions; [pair_limit] caps per-pair materialization
+   (when hit, the pair contributes its sampled prefix — the log warns). *)
+let exact ?max_length ?pair_limit inst regex =
+  let n = inst.Instance.num_nodes in
+  let product = Product.create inst regex in
+  let bc = Array.make n 0.0 in
+  for a = 0 to n - 1 do
+    let dag = build_dag product ~source:a ~max_length in
+    Hashtbl.iter
+      (fun b (_d, _states) ->
+        if b <> a then begin
+          let paths = materialize_paths product dag ~target:b ~limit:pair_limit in
+          let total = List.length paths in
+          if total > 0 then begin
+            let weight = 1.0 /. float_of_int total in
+            List.iter
+              (fun nodes ->
+                let distinct = List.sort_uniq compare nodes in
+                List.iter
+                  (fun x -> if x <> a && x <> b then bc.(x) <- bc.(x) +. weight)
+                  distinct)
+              paths
+          end
+        end)
+      dag.targets
+  done;
+  bc
+
+(* Uniform draw of one shortest matching path to [target] (as the list of
+   its graph nodes): pick the accepting state proportionally to σ, then
+   walk predecessors proportionally to σ. *)
+let sample_path product dag rng ~target =
+  match Hashtbl.find_opt dag.targets target with
+  | None -> None
+  | Some (_d, states) ->
+      let states = Array.of_list states in
+      let weights = Array.map (fun s -> Hashtbl.find dag.sigma s) states in
+      let final = states.(Alias.sample_weights weights rng) in
+      let rec back state suffix =
+        let node = Product.node_of product state in
+        match Hashtbl.find_opt dag.preds state with
+        | None | Some [] -> node :: suffix
+        | Some preds ->
+            let preds = Array.of_list preds in
+            let weights = Array.map (fun s -> Hashtbl.find dag.sigma s) preds in
+            back preds.(Alias.sample_weights weights rng) (node :: suffix)
+      in
+      Some (back final [])
+
+(* Randomized approximation of bc_r: per reachable pair, [samples] uniform
+   members of S_{a,b,r} estimate the inclusion fractions. *)
+let approximate ?max_length ?(samples = 16) ?(seed = 7) inst regex =
+  let n = inst.Instance.num_nodes in
+  let product = Product.create inst regex in
+  let rng = Splitmix.create seed in
+  let bc = Array.make n 0.0 in
+  let share = 1.0 /. float_of_int samples in
+  for a = 0 to n - 1 do
+    let dag = build_dag product ~source:a ~max_length in
+    Hashtbl.iter
+      (fun b (_d, _states) ->
+        if b <> a then
+          for _ = 1 to samples do
+            match sample_path product dag rng ~target:b with
+            | None -> ()
+            | Some nodes ->
+                let distinct = List.sort_uniq compare nodes in
+                List.iter (fun x -> if x <> a && x <> b then bc.(x) <- bc.(x) +. share) distinct
+          done)
+      dag.targets
+  done;
+  bc

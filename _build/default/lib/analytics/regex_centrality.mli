@@ -1,0 +1,22 @@
+(** Regex-constrained betweenness centrality (Section 4.2):
+
+    bc_r(x) = Σ over pairs (a,b), a≠x≠b, of |S_{a,b,r}(x)| / |S_{a,b,r}|
+
+    where S_{a,b,r} is the set of shortest paths from a to b conforming
+    to r and S_{a,b,r}(x) those containing x. *)
+
+open Gqkg_graph
+
+(** Exact bc_r by materializing every shortest matching path per pair
+    (|S| can be exponential — that is the paper's point). [max_length]
+    bounds the product search; [pair_limit] caps per-pair
+    materialization as a safety valve. *)
+val exact :
+  ?max_length:int -> ?pair_limit:int -> Instance.t -> Gqkg_automata.Regex.t -> float array
+
+(** The randomized approximation the paper builds from the Section 4.1
+    toolbox: [samples] uniform members of each S_{a,b,r} (backward
+    sampling weighted by shortest-path counts) estimate the inclusion
+    fractions. *)
+val approximate :
+  ?max_length:int -> ?samples:int -> ?seed:int -> Instance.t -> Gqkg_automata.Regex.t -> float array

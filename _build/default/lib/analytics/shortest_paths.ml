@@ -1,0 +1,94 @@
+(* Shortest-path computations named in Section 4.2's analytics toolbox:
+   single-source unweighted (BFS) and weighted (Dijkstra) distances,
+   all-pairs distances, and the exact and two-sweep-approximate diameter. *)
+
+open Gqkg_graph
+open Gqkg_util
+
+let single_source ?(directed = true) inst ~source = Traversal.bfs_distances ~directed inst ~source
+
+(* Dijkstra with a caller-supplied non-negative edge weight. *)
+let dijkstra ?(directed = true) inst ~source ~weight =
+  let n = inst.Instance.num_nodes in
+  let dist = Array.make n infinity in
+  let heap = Heap.create (-1) in
+  dist.(source) <- 0.0;
+  Heap.add heap ~key:0.0 source;
+  while not (Heap.is_empty heap) do
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, v) ->
+        if d <= dist.(v) then begin
+          let relax e w =
+            let weight_e = weight e in
+            if weight_e < 0.0 then invalid_arg "Shortest_paths.dijkstra: negative weight";
+            let candidate = dist.(v) +. weight_e in
+            if candidate < dist.(w) then begin
+              dist.(w) <- candidate;
+              Heap.add heap ~key:candidate w
+            end
+          in
+          Array.iter (fun (e, w) -> relax e w) (inst.Instance.out_edges v);
+          if not directed then Array.iter (fun (e, w) -> relax e w) (inst.Instance.in_edges v)
+        end
+  done;
+  dist
+
+(* All-pairs BFS; O(n·(n+m)), the right tool at our graph scales. *)
+let all_pairs ?(directed = true) inst =
+  Array.init inst.Instance.num_nodes (fun source -> single_source ~directed inst ~source)
+
+(* Exact diameter: the maximum finite eccentricity (ignoring unreachable
+   pairs); [None] for the empty graph. *)
+let diameter ?(directed = false) inst =
+  let n = inst.Instance.num_nodes in
+  if n = 0 then None
+  else begin
+    let best = ref 0 in
+    for source = 0 to n - 1 do
+      let dist = single_source ~directed inst ~source in
+      Array.iter (fun d -> if d > !best then best := d) dist
+    done;
+    Some !best
+  end
+
+(* Double-sweep lower bound on the diameter: BFS from a seed, then BFS
+   from the farthest node found.  Classic, cheap and usually tight on
+   real-world graphs. *)
+let diameter_double_sweep ?(directed = false) ?(seed = 0) inst =
+  let n = inst.Instance.num_nodes in
+  if n = 0 then None
+  else begin
+    let farthest dist =
+      let best = ref 0 and best_d = ref (-1) in
+      Array.iteri
+        (fun v d ->
+          if d > !best_d then begin
+            best := v;
+            best_d := d
+          end)
+        dist;
+      (!best, !best_d)
+    in
+    let d1 = single_source ~directed inst ~source:(seed mod n) in
+    let far, _ = farthest d1 in
+    let d2 = single_source ~directed inst ~source:far in
+    let _, ecc = farthest d2 in
+    Some ecc
+  end
+
+(* Average distance over reachable ordered pairs. *)
+let average_distance ?(directed = false) inst =
+  let n = inst.Instance.num_nodes in
+  let total = ref 0 and pairs = ref 0 in
+  for source = 0 to n - 1 do
+    let dist = single_source ~directed inst ~source in
+    Array.iteri
+      (fun v d ->
+        if v <> source && d >= 0 then begin
+          total := !total + d;
+          incr pairs
+        end)
+      dist
+  done;
+  if !pairs = 0 then None else Some (float_of_int !total /. float_of_int !pairs)

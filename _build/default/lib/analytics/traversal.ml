@@ -1,0 +1,131 @@
+(* Basic graph traversals over the uniform Instance view: breadth-first
+   and depth-first orders, weakly connected components, and Tarjan's
+   strongly connected components.  These are the "global properties"
+   substrate of Section 2.1(iii) on which the analytics of Section 4.2
+   build. *)
+
+open Gqkg_graph
+
+let out_neighbors inst v = Array.map snd (inst.Instance.out_edges v)
+let in_neighbors inst v = Array.map snd (inst.Instance.in_edges v)
+
+let all_neighbors inst v = Array.append (out_neighbors inst v) (in_neighbors inst v)
+
+(* BFS order and distances from [source]; [directed] chooses whether to
+   respect edge direction (default) or treat edges as symmetric. *)
+let bfs ?(directed = true) inst ~source =
+  let n = inst.Instance.num_nodes in
+  let dist = Array.make n (-1) in
+  let order = ref [] in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.push source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    let push w =
+      if dist.(w) < 0 then begin
+        dist.(w) <- dist.(v) + 1;
+        Queue.push w queue
+      end
+    in
+    Array.iter push (out_neighbors inst v);
+    if not directed then Array.iter push (in_neighbors inst v)
+  done;
+  (dist, List.rev !order)
+
+let bfs_distances ?directed inst ~source = fst (bfs ?directed inst ~source)
+
+(* Depth-first finishing order (used by SCC variants and as a generic
+   traversal); iterative to survive deep graphs. *)
+let dfs_finish_order ?(directed = true) inst =
+  let n = inst.Instance.num_nodes in
+  let visited = Array.make n false in
+  let order = ref [] in
+  for root = 0 to n - 1 do
+    if not visited.(root) then begin
+      let stack = Stack.create () in
+      Stack.push (root, 0) stack;
+      visited.(root) <- true;
+      while not (Stack.is_empty stack) do
+        let v, i = Stack.pop stack in
+        let neighbors =
+          if directed then out_neighbors inst v else all_neighbors inst v
+        in
+        if i < Array.length neighbors then begin
+          Stack.push (v, i + 1) stack;
+          let w = neighbors.(i) in
+          if not visited.(w) then begin
+            visited.(w) <- true;
+            Stack.push (w, 0) stack
+          end
+        end
+        else order := v :: !order
+      done
+    end
+  done;
+  !order (* reverse finishing order: last finished first *)
+
+(* Weakly connected components: labels in [0, count). *)
+let weakly_connected_components inst =
+  let n = inst.Instance.num_nodes in
+  let uf = Gqkg_util.Union_find.create n in
+  for e = 0 to inst.Instance.num_edges - 1 do
+    let s, d = inst.Instance.endpoints e in
+    ignore (Gqkg_util.Union_find.union uf s d)
+  done;
+  (Gqkg_util.Union_find.labeling uf, Gqkg_util.Union_find.components uf)
+
+(* Tarjan's strongly connected components, iterative.  Returns component
+   labels (in reverse topological order of the condensation) and count. *)
+let strongly_connected_components inst =
+  let n = inst.Instance.num_nodes in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let scc_stack = Stack.create () in
+  let counter = ref 0 and comp_count = ref 0 in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      (* Explicit DFS stack of (node, next-neighbor-index). *)
+      let call_stack = Stack.create () in
+      let start v =
+        index.(v) <- !counter;
+        lowlink.(v) <- !counter;
+        incr counter;
+        Stack.push v scc_stack;
+        on_stack.(v) <- true;
+        Stack.push (v, 0) call_stack
+      in
+      start root;
+      while not (Stack.is_empty call_stack) do
+        let v, i = Stack.pop call_stack in
+        let neighbors = out_neighbors inst v in
+        if i < Array.length neighbors then begin
+          Stack.push (v, i + 1) call_stack;
+          let w = neighbors.(i) in
+          if index.(w) < 0 then start w
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        end
+        else begin
+          (* v is finished: propagate lowlink to the caller, pop an SCC
+             if v is a root. *)
+          (match Stack.top_opt call_stack with
+          | Some (parent, _) -> lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          | None -> ());
+          if lowlink.(v) = index.(v) then begin
+            let continue = ref true in
+            while !continue do
+              let w = Stack.pop scc_stack in
+              on_stack.(w) <- false;
+              comp.(w) <- !comp_count;
+              if w = v then continue := false
+            done;
+            incr comp_count
+          end
+        end
+      done
+    end
+  done;
+  (comp, !comp_count)

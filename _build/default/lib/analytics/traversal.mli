@@ -1,0 +1,26 @@
+(** Basic traversals: BFS, DFS, weakly and strongly connected
+    components — the "global properties" substrate of Section 2.1. *)
+
+open Gqkg_graph
+
+val out_neighbors : Instance.t -> int -> int array
+val in_neighbors : Instance.t -> int -> int array
+
+(** Out- and in-neighbors concatenated (undirected view). *)
+val all_neighbors : Instance.t -> int -> int array
+
+(** Distances (-1 = unreachable) and visit order from a source.
+    [directed] (default true) selects whether edge direction matters. *)
+val bfs : ?directed:bool -> Instance.t -> source:int -> int array * int list
+
+val bfs_distances : ?directed:bool -> Instance.t -> source:int -> int array
+
+(** Reverse finishing order of a full DFS (last finished first). *)
+val dfs_finish_order : ?directed:bool -> Instance.t -> int list
+
+(** Component labels in [\[0, count)] and the component count. *)
+val weakly_connected_components : Instance.t -> int array * int
+
+(** Tarjan; labels are in reverse topological order of the
+    condensation. *)
+val strongly_connected_components : Instance.t -> int array * int

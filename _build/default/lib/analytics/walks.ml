@@ -1,0 +1,40 @@
+(* Walk counting: Section 4.2 notes that "given a labeled graph L, a pair
+   of nodes a, b and a length k, count the number of paths of length k
+   from a to b" is efficiently solvable — it is the k-step walk count,
+   computed by dynamic programming (equivalently, powers of the adjacency
+   matrix).  The contrast with the regex-constrained variant (intractable,
+   Section 4.1) is experiment E4's backdrop. *)
+
+open Gqkg_graph
+
+(* walks.(v) after the call = number of directed walks of length k from
+   [source] ending at v.  Floats, as counts grow exponentially. *)
+let counts_from ?(directed = true) inst ~source ~length =
+  let n = inst.Instance.num_nodes in
+  let current = Array.make n 0.0 in
+  current.(source) <- 1.0;
+  let next = Array.make n 0.0 in
+  for _ = 1 to length do
+    Array.fill next 0 n 0.0;
+    for v = 0 to n - 1 do
+      if current.(v) > 0.0 then begin
+        Array.iter (fun (_e, w) -> next.(w) <- next.(w) +. current.(v)) (inst.Instance.out_edges v);
+        if not directed then
+          Array.iter (fun (_e, u) -> next.(u) <- next.(u) +. current.(v)) (inst.Instance.in_edges v)
+      end
+    done;
+    Array.blit next 0 current 0 n
+  done;
+  current
+
+(* Number of length-k walks from a to b. *)
+let count ?directed inst ~source ~target ~length =
+  (counts_from ?directed inst ~source ~length).(target)
+
+(* Total number of length-k walks in the graph. *)
+let total ?directed inst ~length =
+  let acc = ref 0.0 in
+  for source = 0 to inst.Instance.num_nodes - 1 do
+    Array.iter (fun c -> acc := !acc +. c) (counts_from ?directed inst ~source ~length)
+  done;
+  !acc

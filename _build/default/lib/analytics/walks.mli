@@ -1,0 +1,15 @@
+(** Walk counting — the tractable baseline of Section 4.2: the number of
+    length-k walks between nodes is an easy dynamic program, in contrast
+    to the SpanL-complete regex-constrained Count. Floats, as counts grow
+    exponentially. *)
+
+open Gqkg_graph
+
+(** Walks of exactly [length] steps from [source], per end node. *)
+val counts_from : ?directed:bool -> Instance.t -> source:int -> length:int -> float array
+
+(** Number of length-k walks from a to b. *)
+val count : ?directed:bool -> Instance.t -> source:int -> target:int -> length:int -> float
+
+(** Total number of length-k walks. *)
+val total : ?directed:bool -> Instance.t -> length:int -> float

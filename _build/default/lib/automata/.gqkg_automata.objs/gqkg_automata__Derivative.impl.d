@@ -1,0 +1,1 @@
+lib/automata/derivative.ml: Atom Gqkg_graph Regex

@@ -1,0 +1,1 @@
+lib/automata/derivative.mli: Atom Gqkg_graph Regex

@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Array Buffer List Printf Regex Stack

@@ -1,0 +1,1 @@
+lib/automata/nfa.mli: Gqkg_graph Regex

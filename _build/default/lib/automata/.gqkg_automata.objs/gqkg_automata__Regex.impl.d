@@ -1,0 +1,1 @@
+lib/automata/regex.ml: Atom Const Fmt Gqkg_graph List

@@ -1,0 +1,1 @@
+lib/automata/regex_parser.ml: Array Atom Const Gqkg_graph List Printf Regex String

@@ -1,0 +1,155 @@
+(* Guarded non-deterministic finite automata compiled from the Section 4
+   regular expressions (Thompson's construction).
+
+   The alphabet is not a fixed set of letters: transitions are *guarded
+   moves* evaluated against a data-model oracle (Instance.t):
+
+     - [Eps]           : spontaneous;
+     - [Node_check t]  : spontaneous, allowed only when the current node
+                         satisfies the test (compiles [?t]);
+     - [Forward t]     : consume one edge e with ρ(e) = (current, next)
+                         whose label/properties satisfy [t];
+     - [Backward t]    : consume one edge e with ρ(e) = (next, current).
+
+   A path n0 e1 n1 ... ek nk is accepted iff some run consumes e1..ek from
+   the start state to the accept state, with every Node_check passed at the
+   node where it fires.  This matches the denotational semantics [[r]] of
+   the paper (proved by structural induction; the test suite checks the
+   worked examples and random graphs against a reference evaluator). *)
+
+type move =
+  | Eps
+  | Node_check of Regex.test
+  | Forward of Regex.test
+  | Backward of Regex.test
+
+type t = {
+  num_states : int;
+  start : int;
+  accept : int;
+  transitions : (move * int) list array; (* state -> out-transitions *)
+}
+
+let num_states a = a.num_states
+let start a = a.start
+let accept a = a.accept
+let transitions a q = a.transitions.(q)
+
+(* Thompson construction with one fresh start/accept pair per node of the
+   regex; linear in the size of the expression. *)
+let of_regex regex =
+  let transitions = ref [] in
+  let count = ref 0 in
+  let fresh () =
+    let q = !count in
+    incr count;
+    q
+  in
+  let add q move q' = transitions := (q, move, q') :: !transitions in
+  let rec build = function
+    | Regex.Node_test t ->
+        let s = fresh () and a = fresh () in
+        add s (Node_check t) a;
+        (s, a)
+    | Regex.Fwd t ->
+        let s = fresh () and a = fresh () in
+        add s (Forward t) a;
+        (s, a)
+    | Regex.Bwd t ->
+        let s = fresh () and a = fresh () in
+        add s (Backward t) a;
+        (s, a)
+    | Regex.Alt (r1, r2) ->
+        let s = fresh () and a = fresh () in
+        let s1, a1 = build r1 and s2, a2 = build r2 in
+        add s Eps s1;
+        add s Eps s2;
+        add a1 Eps a;
+        add a2 Eps a;
+        (s, a)
+    | Regex.Seq (r1, r2) ->
+        let s1, a1 = build r1 and s2, a2 = build r2 in
+        add a1 Eps s2;
+        (s1, a2)
+    | Regex.Star r ->
+        let s = fresh () and a = fresh () in
+        let s1, a1 = build r in
+        add s Eps s1;
+        add s Eps a;
+        add a1 Eps s1;
+        add a1 Eps a;
+        (s, a)
+  in
+  let start, accept = build regex in
+  let table = Array.make !count [] in
+  List.iter (fun (q, move, q') -> table.(q) <- (move, q') :: table.(q)) !transitions;
+  { num_states = !count; start; accept; transitions = table }
+
+(* Closure of a set of states under Eps and under Node_check moves whose
+   test the given node passes.  [node_sat] answers atomic tests for that
+   node.  Returns a sorted, duplicate-free array — the canonical key used
+   by the lazy subset construction in the product graph. *)
+let closure a ~node_sat states =
+  let seen = Array.make a.num_states false in
+  let stack = Stack.create () in
+  let push q =
+    if not seen.(q) then begin
+      seen.(q) <- true;
+      Stack.push q stack
+    end
+  in
+  Array.iter push states;
+  while not (Stack.is_empty stack) do
+    let q = Stack.pop stack in
+    List.iter
+      (fun (move, q') ->
+        match move with
+        | Eps -> push q'
+        | Node_check t -> if Regex.eval_test node_sat t then push q'
+        | Forward _ | Backward _ -> ())
+      a.transitions.(q)
+  done;
+  let out = ref [] in
+  for q = a.num_states - 1 downto 0 do
+    if seen.(q) then out := q :: !out
+  done;
+  Array.of_list !out
+
+let is_accepting a states = Array.exists (fun q -> q = a.accept) states
+
+(* All (test, target) pairs for edge-consuming moves out of a state set,
+   split by direction. *)
+let edge_moves a states =
+  let fwd = ref [] and bwd = ref [] in
+  Array.iter
+    (fun q ->
+      List.iter
+        (fun (move, q') ->
+          match move with
+          | Forward t -> fwd := (t, q') :: !fwd
+          | Backward t -> bwd := (t, q') :: !bwd
+          | Eps | Node_check _ -> ())
+        a.transitions.(q))
+    states;
+  (!fwd, !bwd)
+
+(* Human-readable dump for debugging and the CLI's --explain flag. *)
+let to_string a =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "NFA: %d states, start=%d, accept=%d\n" a.num_states a.start a.accept);
+  Array.iteri
+    (fun q moves ->
+      List.iter
+        (fun (move, q') ->
+          let label =
+            match move with
+            | Eps -> "eps"
+            | Node_check t -> "?" ^ Regex.test_to_string ~top:true t
+            | Forward t -> Regex.test_to_string ~top:true t
+            | Backward t -> Regex.test_to_string ~top:true t ^ "^-"
+          in
+          Buffer.add_string buf (Printf.sprintf "  %d --%s--> %d\n" q label q'))
+        moves)
+    a.transitions;
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Guarded NFAs compiled from Section 4 regular expressions (Thompson's
+    construction). Transitions are moves evaluated against a data-model
+    oracle rather than letters of a fixed alphabet. *)
+
+type move =
+  | Eps  (** spontaneous *)
+  | Node_check of Regex.test  (** spontaneous, if the current node passes *)
+  | Forward of Regex.test  (** consume an edge along its direction *)
+  | Backward of Regex.test  (** consume an edge against its direction *)
+
+type t
+
+(** Linear-size Thompson construction: single start, single accept. *)
+val of_regex : Regex.t -> t
+
+val num_states : t -> int
+val start : t -> int
+val accept : t -> int
+val transitions : t -> int -> (move * int) list
+
+(** Closure of a state set under ε and satisfied node-checks; [node_sat]
+    answers atomic tests for the current node. Sorted and duplicate-free
+    (the canonical key of the subset construction). *)
+val closure : t -> node_sat:(Gqkg_graph.Atom.t -> bool) -> int array -> int array
+
+(** Does the (closed) set contain the accept state? *)
+val is_accepting : t -> int array -> bool
+
+(** Edge-consuming moves out of a state set: (test, target) pairs,
+    (forward, backward). *)
+val edge_moves : t -> int array -> (Regex.test * int) list * (Regex.test * int) list
+
+(** Human-readable dump. *)
+val to_string : t -> string

@@ -1,0 +1,288 @@
+(* Hand-written lexer and recursive-descent parser for the ASCII concrete
+   syntax of the Section 4 regular expressions:
+
+     ?person/(contact & date=3/4/21)/?infected
+     ?infected/rides/?bus/rides^-/(?person/(lives + contact))*/?person
+
+   Correspondence with the paper's notation: [!] is ¬, [&] is ∧, [|] is ∨,
+   [+] alternation, [/] concatenation, [*] Kleene star, [?t] node test,
+   [t^-] backward edge, [fN=v] the feature test (f_N = v), [p=v] the
+   property test (p = v), a bare word a label test.
+
+   Disambiguation of parentheses: tests never contain the operators
+   [/ * ? ^- +], and regexes never contain [& | !] outside a test, so a
+   parenthesized group is classified by scanning to its matching paren.
+   Inside a value position (after [=]), [n/m/y] between digits lexes as one
+   date token, so query (3) round-trips. *)
+
+type token =
+  | Word of string (* label / property-name / value piece *)
+  | Equals
+  | Bang
+  | Amp
+  | Pipe
+  | Plus
+  | Slash
+  | Star
+  | Question
+  | Caret_minus
+  | Lparen
+  | Rparen
+
+exception Error of { position : int; message : string }
+
+let fail position fmt = Printf.ksprintf (fun message -> raise (Error { position; message })) fmt
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '-' || c = ':'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit position token = tokens := (position, token) :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let start = !i in
+    let c = input.[start] in
+    (match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '=' ->
+        emit start Equals;
+        incr i;
+        (* Value position: lex greedily, letting '/' join digit groups so
+           dates survive (they would otherwise split on the concatenation
+           operator). *)
+        while !i < n && (input.[!i] = ' ' || input.[!i] = '\t') do
+          incr i
+        done;
+        if !i < n && input.[!i] = '\'' then begin
+          (* Quoted value: anything up to the closing quote. *)
+          let close =
+            match String.index_from_opt input (!i + 1) '\'' with
+            | Some j -> j
+            | None -> fail !i "unterminated quoted value"
+          in
+          emit !i (Word (String.sub input (!i + 1) (close - !i - 1)));
+          i := close + 1
+        end
+        else begin
+          let value_start = !i in
+          let continue = ref true in
+          while !continue && !i < n do
+            let c = input.[!i] in
+            if is_word_char c then incr i
+            else if
+              c = '/'
+              && !i > value_start
+              && !i + 1 < n
+              && input.[!i - 1] >= '0'
+              && input.[!i - 1] <= '9'
+              && input.[!i + 1] >= '0'
+              && input.[!i + 1] <= '9'
+            then incr i
+            else continue := false
+          done;
+          if !i = value_start then fail value_start "expected a value after '='";
+          emit value_start (Word (String.sub input value_start (!i - value_start)))
+        end
+    | '!' -> emit start Bang; incr i
+    | '&' -> emit start Amp; incr i
+    | '|' -> emit start Pipe; incr i
+    | '+' -> emit start Plus; incr i
+    | '/' -> emit start Slash; incr i
+    | '*' -> emit start Star; incr i
+    | '?' -> emit start Question; incr i
+    | '(' -> emit start Lparen; incr i
+    | ')' -> emit start Rparen; incr i
+    | '^' ->
+        if start + 1 < n && input.[start + 1] = '-' then begin
+          emit start Caret_minus;
+          i := start + 2
+        end
+        else fail start "expected '^-'"
+    | '\'' ->
+        let close =
+          match String.index_from_opt input (start + 1) '\'' with
+          | Some j -> j
+          | None -> fail start "unterminated quoted word"
+        in
+        emit start (Word (String.sub input (start + 1) (close - start - 1)));
+        i := close + 1
+    | c when is_word_char c ->
+        while !i < n && is_word_char input.[!i] do
+          incr i
+        done;
+        emit start (Word (String.sub input start (!i - start)))
+    | c -> fail start "unexpected character %C" c);
+    if !i = start then fail start "lexer stuck"
+  done;
+  Array.of_list (List.rev !tokens)
+
+(* --- Parser state ------------------------------------------------------ *)
+
+type state = { tokens : (int * token) array; mutable cursor : int }
+
+let peek st = if st.cursor < Array.length st.tokens then Some (snd st.tokens.(st.cursor)) else None
+let position st =
+  if st.cursor < Array.length st.tokens then fst st.tokens.(st.cursor) else -1
+
+let advance st = st.cursor <- st.cursor + 1
+
+let expect st token message =
+  match peek st with
+  | Some t when t = token -> advance st
+  | _ -> fail (position st) "expected %s" message
+
+(* Classify the parenthesized group starting at the cursor (which points
+   at Lparen): true if it is a *test* group.  Tests contain only words,
+   =, !, &, |, parens. *)
+let group_is_test st =
+  let depth = ref 0 and i = ref st.cursor and verdict = ref None in
+  let tokens = st.tokens in
+  let n = Array.length tokens in
+  while !verdict = None && !i < n do
+    (match snd tokens.(!i) with
+    | Lparen -> incr depth
+    | Rparen ->
+        decr depth;
+        if !depth = 0 then verdict := Some true (* only test tokens seen *)
+    | Slash | Star | Question | Caret_minus | Plus -> verdict := Some false
+    | Amp | Pipe | Bang | Word _ | Equals -> ());
+    incr i
+  done;
+  match !verdict with Some v -> v | None -> fail (position st) "unbalanced parentheses"
+
+(* A word, possibly followed by '=' value, makes an atom.  [fN=v] is the
+   feature test of vector-labeled graphs. *)
+let feature_index word =
+  let n = String.length word in
+  if n >= 2 && word.[0] = 'f' then begin
+    let digits = String.sub word 1 (n - 1) in
+    match int_of_string_opt digits with Some i when i >= 1 -> Some i | _ -> None
+  end
+  else None
+
+open Gqkg_graph
+
+let parse_atom st =
+  match peek st with
+  | Some (Word w) -> begin
+      advance st;
+      match peek st with
+      | Some Equals -> begin
+          advance st;
+          match peek st with
+          | Some (Word v) ->
+              advance st;
+              let value = Const.of_string v in
+              (match feature_index w with
+              | Some i -> Atom.Feature (i, value)
+              | None -> Atom.Prop (Const.of_string w, value))
+          | _ -> fail (position st) "expected a value after '='"
+        end
+      | _ -> Atom.Label (Const.of_string w)
+    end
+  | _ -> fail (position st) "expected a label, property or feature test"
+
+let rec parse_test st : Regex.test =
+  let left = parse_test_and st in
+  match peek st with
+  | Some Pipe ->
+      advance st;
+      Regex.Or (left, parse_test st)
+  | _ -> left
+
+and parse_test_and st =
+  let left = parse_test_not st in
+  match peek st with
+  | Some Amp ->
+      advance st;
+      Regex.And (left, parse_test_and st)
+  | _ -> left
+
+and parse_test_not st =
+  match peek st with
+  | Some Bang ->
+      advance st;
+      Regex.Not (parse_test_not st)
+  | Some Lparen ->
+      advance st;
+      let t = parse_test st in
+      expect st Rparen "')'";
+      t
+  | _ -> Regex.Atom (parse_atom st)
+
+let rec parse_regex st =
+  let left = parse_seq st in
+  match peek st with
+  | Some Plus ->
+      advance st;
+      Regex.Alt (left, parse_regex st)
+  | _ -> left
+
+and parse_seq st =
+  let left = parse_postfix st in
+  match peek st with
+  | Some Slash ->
+      advance st;
+      Regex.Seq (left, parse_seq st)
+  | _ -> left
+
+and parse_postfix st =
+  let base = parse_primary st in
+  let rec loop r =
+    match peek st with
+    | Some Star ->
+        advance st;
+        loop (Regex.Star r)
+    | _ -> r
+  in
+  loop base
+
+(* A primary is ?test, a (possibly parenthesized) test used as an edge
+   step (forward, or backward with ^-), or a parenthesized regex. *)
+and parse_primary st =
+  match peek st with
+  | Some Question ->
+      advance st;
+      (* A node test takes a test primary: atom, !test or (test). *)
+      Regex.Node_test (parse_test_not st)
+  | Some Lparen ->
+      if group_is_test st then begin
+        advance st;
+        let t = parse_test st in
+        expect st Rparen "')'";
+        parse_direction st t
+      end
+      else begin
+        advance st;
+        let r = parse_regex st in
+        expect st Rparen "')'";
+        r
+      end
+  | Some (Word _) ->
+      let atom = parse_atom st in
+      parse_direction st (Regex.Atom atom)
+  | Some Bang ->
+      let t = parse_test_not st in
+      parse_direction st t
+  | _ -> fail (position st) "expected a test, '?test' or '(...)'"
+
+and parse_direction st test =
+  match peek st with
+  | Some Caret_minus ->
+      advance st;
+      Regex.Bwd test
+  | _ -> Regex.Fwd test
+
+let parse input =
+  let st = { tokens = tokenize input; cursor = 0 } in
+  if Array.length st.tokens = 0 then fail 0 "empty regular expression";
+  let r = parse_regex st in
+  if st.cursor <> Array.length st.tokens then fail (position st) "trailing input";
+  r
+
+let parse_opt input = match parse input with r -> Some r | exception Error _ -> None

@@ -1,0 +1,18 @@
+(** Parser for the ASCII concrete syntax of Section 4 regular
+    expressions, e.g.
+
+    {v ?person/(contact & date=3/4/21)/?infected v}
+    {v ?infected/rides/?bus/rides^-/(?person/(lives + contact))*/?person v}
+
+    [!], [&], [|] are ¬, ∧, ∨; [+] alternation; [/] concatenation; [*]
+    star; [?t] a node test; [t^-] a backward edge; [p=v] a property
+    test; [fN=v] the feature test (f_N = v); quoted ['values'] may
+    contain spaces; dates like [3/4/21] lex as one token in value
+    position. *)
+
+exception Error of { position : int; message : string }
+
+(** Raises {!Error} with a 0-based character position. *)
+val parse : string -> Regex.t
+
+val parse_opt : string -> Regex.t option

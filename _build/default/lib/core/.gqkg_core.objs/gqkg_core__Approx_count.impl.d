@@ -1,0 +1,1 @@
+lib/core/approx_count.ml: Alias Array Gqkg_automata Gqkg_graph Gqkg_util Hashtbl Instance List Nfa Path Regex Splitmix

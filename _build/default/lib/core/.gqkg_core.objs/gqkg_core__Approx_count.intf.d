@@ -1,0 +1,1 @@
+lib/core/approx_count.mli: Gqkg_automata Gqkg_graph Path

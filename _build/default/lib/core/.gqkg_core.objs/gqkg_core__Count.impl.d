@@ -1,0 +1,1 @@
+lib/core/count.ml: Array Gqkg_graph Hashtbl List Option Product

@@ -1,0 +1,1 @@
+lib/core/count.mli: Gqkg_automata Gqkg_graph Product

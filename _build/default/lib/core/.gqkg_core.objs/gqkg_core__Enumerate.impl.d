@@ -1,0 +1,1 @@
+lib/core/enumerate.ml: Array Count Fun Gqkg_graph Instance List Path Product

@@ -1,0 +1,1 @@
+lib/core/enumerate.mli: Gqkg_automata Gqkg_graph Path

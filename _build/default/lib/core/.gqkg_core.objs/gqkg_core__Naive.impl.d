@@ -1,0 +1,1 @@
+lib/core/naive.ml: Gqkg_automata Gqkg_graph Hashtbl Instance List Option Path Regex Set

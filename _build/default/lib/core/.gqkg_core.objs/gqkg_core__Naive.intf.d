@@ -1,0 +1,1 @@
+lib/core/naive.mli: Gqkg_automata Gqkg_graph Path

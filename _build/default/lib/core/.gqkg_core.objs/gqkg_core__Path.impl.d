@@ -1,0 +1,1 @@
+lib/core/path.ml: Array Buffer Fmt Gqkg_graph Hashtbl Instance Printf Stdlib

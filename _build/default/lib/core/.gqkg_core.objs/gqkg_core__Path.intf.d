@@ -1,0 +1,1 @@
+lib/core/path.mli: Format Gqkg_graph

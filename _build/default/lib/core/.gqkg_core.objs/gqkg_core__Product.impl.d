@@ -1,0 +1,1 @@
+lib/core/product.ml: Array Fun Gqkg_automata Gqkg_graph Gqkg_util Hashtbl Instance List Nfa Regex

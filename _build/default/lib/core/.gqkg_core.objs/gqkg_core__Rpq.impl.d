@@ -1,0 +1,1 @@
+lib/core/rpq.ml: Array Gqkg_automata Gqkg_graph Hashtbl Instance List Nfa Path Product Queue Regex

@@ -1,0 +1,1 @@
+lib/core/rpq.mli: Gqkg_automata Gqkg_graph Path

@@ -1,0 +1,1 @@
+lib/core/uniform_gen.ml: Alias Array Count Gqkg_graph Gqkg_util Instance List Path Product

@@ -1,0 +1,1 @@
+lib/core/uniform_gen.mli: Gqkg_automata Gqkg_graph Gqkg_util Path

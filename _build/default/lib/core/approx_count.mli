@@ -1,0 +1,40 @@
+(** Randomized approximation of Count(G, r, k) — the FPRAS of Section 4.1
+    (Arenas-Croquevielle-Jayaram-Riveros), implemented as a level-by-level
+    Karp–Luby union estimator over the non-determinized product (see
+    DESIGN.md §5). Estimates land within the requested relative error
+    with high probability; when every union has uniform run-multiplicity
+    the estimator is deterministic-exact. *)
+
+type t
+
+(** [create inst r ~epsilon] sizes the per-configuration sample pools at
+    Θ(1/ε²). Raises unless 0 < ε < 1. *)
+val create : ?seed:int -> Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> epsilon:float -> t
+
+(** Estimate Count(G, r, k). *)
+val estimate : t -> length:int -> float
+
+(** One-shot estimation. *)
+val count :
+  ?seed:int -> Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> length:int -> epsilon:float -> float
+
+(** {2 Internals exposed for the ablation harness and white-box tests} *)
+
+(** Configuration id: node × NFA state. *)
+val config : t -> node:int -> state:int -> int
+
+val config_node : t -> int -> int
+val config_state : t -> int -> int
+
+(** Single-state ε/node-check closure at a node. *)
+val state_closure : t -> node:int -> int -> int array
+
+(** One-step transitions of a configuration: (edge, successor) pairs. *)
+val config_transitions : t -> int -> (int * int) list
+
+(** Subset simulation of a concrete path (the membership oracle). *)
+val simulate : t -> Path.t -> int array
+
+(** Number of union branches generating [prefix]·[e] into NFA state
+    [q'] — the Karp–Luby multiplicity. *)
+val multiplicity : t -> prefix:Path.t -> e:int -> q':int -> int

@@ -1,0 +1,125 @@
+(* The problem Count of Section 4.1: given L, r and k, compute the number
+   of paths p ∈ [[r]]_L with |p| = k.
+
+   Count is SpanL-complete in general [Alvarez & Jenner 1993], which here
+   surfaces as the worst-case exponential size of the determinized
+   product; on real queries the product stays small and the dynamic
+   program below is exact and fast.  It is the baseline the FPRAS of
+   {!Approx_count} is compared against (experiment E4), and its tables
+   are reused by the uniform generator and the pruned enumerator. *)
+
+type table = {
+  product : Product.t;
+  depth : int;
+  state_ids : int array; (* all states reachable within depth *)
+  index_of : (int, int) Hashtbl.t; (* state id -> dense index *)
+  suffix : float array array; (* suffix.(j).(i): # accepting suffixes of length j from state i *)
+}
+
+(* Number of accepting path-suffixes of length exactly j starting in each
+   product state, for j = 0..depth.  Floats: path counts explode
+   combinatorially and the consumers (sampler, estimator comparisons)
+   need ratios, not exact big integers; an exact int variant is exposed
+   separately for small counts. *)
+let build product ~depth =
+  (* Materialize every state reachable within [depth] steps from any start. *)
+  let levels = Product.levels product ~depth in
+  let index_of = Hashtbl.create 256 in
+  let ids = ref [] in
+  Array.iter
+    (fun level ->
+      List.iter
+        (fun id ->
+          if not (Hashtbl.mem index_of id) then begin
+            Hashtbl.add index_of id (Hashtbl.length index_of);
+            ids := id :: !ids
+          end)
+        level)
+    levels;
+  let state_ids = Array.of_list (List.rev !ids) in
+  let n = Array.length state_ids in
+  let suffix = Array.init (depth + 1) (fun _ -> Array.make n 0.0) in
+  Array.iteri
+    (fun i id -> if Product.is_accepting product id then suffix.(0).(i) <- 1.0)
+    state_ids;
+  for j = 1 to depth do
+    Array.iteri
+      (fun i id ->
+        let total = ref 0.0 in
+        Array.iter
+          (fun (_e, succ) ->
+            match Hashtbl.find_opt index_of succ with
+            | Some si -> total := !total +. suffix.(j - 1).(si)
+            | None -> () (* beyond materialized horizon; counted as 0 at this depth *))
+          (Product.successors product id);
+        suffix.(j).(i) <- !total)
+      state_ids
+  done;
+  { product; depth; state_ids; index_of; suffix }
+
+let suffix_count t ~state ~length =
+  if length < 0 || length > t.depth then invalid_arg "Count.suffix_count: length out of range";
+  match Hashtbl.find_opt t.index_of state with
+  | Some i -> t.suffix.(length).(i)
+  | None -> 0.0
+
+(* Count(G, r, k): total over all start nodes. *)
+let count_at t ~length =
+  if length < 0 || length > t.depth then invalid_arg "Count.count_at: length out of range";
+  let total = ref 0.0 in
+  for node = 0 to (Product.instance t.product).Gqkg_graph.Instance.num_nodes - 1 do
+    match Product.start_state t.product node with
+    | Some s0 -> total := !total +. suffix_count t ~state:s0 ~length
+    | None -> ()
+  done;
+  !total
+
+(* Counts restricted to paths from a given start node. *)
+let count_from t ~source ~length =
+  match Product.start_state t.product source with
+  | Some s0 -> suffix_count t ~state:s0 ~length
+  | None -> 0.0
+
+(* One-shot: Count(G, r, k). *)
+let count inst regex ~length =
+  let product = Product.create inst regex in
+  let t = build product ~depth:length in
+  count_at t ~length
+
+(* Counts for every length 0..k in one preprocessing pass. *)
+let count_all inst regex ~max_length =
+  let product = Product.create inst regex in
+  let t = build product ~depth:max_length in
+  Array.init (max_length + 1) (fun k -> count_at t ~length:k)
+
+(* Count of paths from [source] to [target] of exactly [length] — the
+   pairwise form the paper contrasts with plain walk counting in
+   Section 4.2.  Forward DP over the product from the source's start
+   state, accepting only at the target node. *)
+let count_between inst regex ~source ~target ~length =
+  if length < 0 then invalid_arg "Count.count_between: negative length";
+  let product = Product.create inst regex in
+  match Product.start_state product source with
+  | None -> 0.0
+  | Some s0 ->
+      let current = Hashtbl.create 16 in
+      Hashtbl.replace current s0 1.0;
+      let current = ref current in
+      for _ = 1 to length do
+        let next = Hashtbl.create 16 in
+        Hashtbl.iter
+          (fun state weight ->
+            Array.iter
+              (fun (_e, succ) ->
+                Hashtbl.replace next succ
+                  (weight +. Option.value (Hashtbl.find_opt next succ) ~default:0.0))
+              (Product.successors product state))
+          !current;
+        current := next
+      done;
+      Hashtbl.fold
+        (fun state weight acc ->
+          if Product.is_accepting product state && Product.node_of product state = target then
+            acc +. weight
+          else acc)
+        !current 0.0

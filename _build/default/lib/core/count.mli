@@ -1,0 +1,47 @@
+(** The problem Count of Section 4.1: the number of paths p ∈ [[r]] with
+    |p| = k, computed exactly by dynamic programming over the
+    deterministic product.
+
+    Counts are floats: they grow combinatorially, and every consumer
+    (the uniform sampler's weights, FPRAS accuracy comparisons) needs
+    ratios rather than exact big integers. *)
+
+type table
+(** Suffix-count tables: for every product state reachable within the
+    construction depth, the number of accepting completions of each
+    residual length. The "data structure built in the preprocessing
+    phase" of the paper's Gen algorithm. *)
+
+(** [build product ~depth] materializes the product to [depth] moves and
+    computes the suffix counts for residual lengths [0..depth]. *)
+val build : Product.t -> depth:int -> table
+
+(** [suffix_count t ~state ~length] is the number of accepting suffixes
+    of exactly [length] moves from [state]. Reliable whenever
+    [state]'s minimal distance from a start plus [length] is within the
+    construction depth (always the case for the uses in this library);
+    deeper queries undercount because the horizon was not materialized.
+    Raises if [length] exceeds the depth. *)
+val suffix_count : table -> state:int -> length:int -> float
+
+(** Count(G, r, k) over all start nodes, for k ≤ depth. *)
+val count_at : table -> length:int -> float
+
+(** Paths of the given length starting at [source]. *)
+val count_from : table -> source:int -> length:int -> float
+
+(** One-shot Count(G, r, k). *)
+val count : Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> length:int -> float
+
+(** Counts for every length 0..max_length with one preprocessing pass. *)
+val count_all : Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> max_length:int -> float array
+
+(** Paths from [source] to [target] of exactly [length] — the pairwise
+    count the regex-constrained centrality of Section 4.2 builds on. *)
+val count_between :
+  Gqkg_graph.Instance.t ->
+  Gqkg_automata.Regex.t ->
+  source:int ->
+  target:int ->
+  length:int ->
+  float

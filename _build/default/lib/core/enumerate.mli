@@ -1,0 +1,36 @@
+(** Polynomial-delay enumeration of the paths p ∈ [[r]] with |p| = k
+    (Section 4.1).
+
+    After preprocessing (the {!Count} tables), answers are produced one
+    at a time by a pruned depth-first walk of the deterministic product:
+    a branch is entered only if it has an accepting completion of the
+    right residual length, so every descent emits a path and the delay
+    between consecutive answers is polynomial. No path is emitted twice. *)
+
+type t
+
+(** [create inst r ~length] preprocesses; [sources] restricts the start
+    nodes (default: all). *)
+val create :
+  ?sources:int list -> Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> length:int -> t
+
+(** Next answer, or [None] when exhausted. *)
+val next : t -> Path.t option
+
+val iter : t -> (Path.t -> unit) -> unit
+val to_list : t -> Path.t list
+
+(** Largest number of internal steps between two consecutive answers so
+    far (the delay instrumentation of experiment E6). *)
+val max_delay : t -> int
+
+(** Number of answers emitted so far. *)
+val emitted : t -> int
+
+(** All answers of exactly the given length. *)
+val paths :
+  ?sources:int list -> Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> length:int -> Path.t list
+
+(** All answers of length ≤ the bound, by increasing length. *)
+val paths_up_to :
+  ?sources:int list -> Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> max_length:int -> Path.t list

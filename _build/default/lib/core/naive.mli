@@ -1,0 +1,15 @@
+(** Reference evaluator: the denotational semantics [[r]] transcribed
+    literally, materializing the set of matching paths up to a length
+    bound. Exponential — exists to be obviously correct: the oracle for
+    the product engine in tests, and the "materialize everything"
+    baseline of the enumeration experiment. *)
+
+(** All paths in [[r]] of length ≤ the bound, sorted by {!Path.compare}. *)
+val paths : Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> max_length:int -> Path.t list
+
+(** Count(G, r, k) by brute force. *)
+val count : Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> length:int -> int
+
+(** Distinct (start, end) pairs of matching paths up to the bound,
+    sorted. *)
+val pairs : Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> max_length:int -> (int * int) list

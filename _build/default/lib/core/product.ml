@@ -1,0 +1,155 @@
+(* Lazy deterministic product of a graph instance with the guarded NFA of
+   a regular expression.
+
+   A product state is a pair (graph node, set of NFA states) where the set
+   is closed under ε and satisfied node-checks.  Because the second
+   component is a *set*, the product is deterministic as a transducer of
+   paths: a path n0 e1 n1 ... ek nk has exactly one run.  This is the key
+   property behind the Section 4.1 algorithms — counting runs then *is*
+   counting paths, sampling runs uniformly samples paths uniformly, and
+   depth-first enumeration emits each path once.
+
+   States are discovered on demand and given dense ids; successor lists
+   are memoized.  A move of the product is "(edge e, destination node w)":
+   for an edge that can be traversed both ways between the same pair of
+   incident nodes (a self-loop), forward and backward NFA transitions feed
+   the same move, so the path is still counted once. *)
+
+open Gqkg_graph
+open Gqkg_automata
+
+type state = { node : int; nfa_states : int array (* sorted, closed *) }
+
+module Key = struct
+  type t = int * int array
+
+  let equal (n1, s1) (n2, s2) = n1 = n2 && s1 = s2
+  let hash = Hashtbl.hash
+end
+
+module Key_table = Hashtbl.Make (Key)
+
+type t = {
+  inst : Instance.t;
+  nfa : Nfa.t;
+  ids : int Key_table.t;
+  states : state Gqkg_util.Dynarray.t;
+  mutable successors : (int * int) array option array; (* id -> [(edge, succ id)] *)
+  accepting : bool Gqkg_util.Dynarray.t;
+  start_cache : int option array; (* node -> start state id, -1 = unknown *)
+  mutable start_known : bool array;
+}
+
+let create inst regex =
+  let nfa = Nfa.of_regex regex in
+  {
+    inst;
+    nfa;
+    ids = Key_table.create 256;
+    states = Gqkg_util.Dynarray.create { node = -1; nfa_states = [||] };
+    successors = Array.make 16 None;
+    accepting = Gqkg_util.Dynarray.create false;
+    start_cache = Array.make (max inst.Instance.num_nodes 1) None;
+    start_known = Array.make (max inst.Instance.num_nodes 1) false;
+  }
+
+let instance p = p.inst
+let nfa p = p.nfa
+let num_states p = Gqkg_util.Dynarray.length p.states
+let state p id = Gqkg_util.Dynarray.get p.states id
+let node_of p id = (state p id).node
+let is_accepting p id = Gqkg_util.Dynarray.get p.accepting id
+
+(* Intern a (node, closed state set) pair. *)
+let intern p node nfa_states =
+  let key = (node, nfa_states) in
+  match Key_table.find_opt p.ids key with
+  | Some id -> id
+  | None ->
+      let id = Gqkg_util.Dynarray.push p.states { node; nfa_states } in
+      let _ = Gqkg_util.Dynarray.push p.accepting (Nfa.is_accepting p.nfa nfa_states) in
+      Key_table.add p.ids key id;
+      if id >= Array.length p.successors then begin
+        let bigger = Array.make (2 * (id + 1)) None in
+        Array.blit p.successors 0 bigger 0 (Array.length p.successors);
+        p.successors <- bigger
+      end;
+      id
+
+(* The unique start state at a node: closure of {q0}; [None] when the
+   closure is the empty set of viable states — cannot happen with Thompson
+   NFAs (the start state itself is always in its closure), so this always
+   yields a state; kept total for robustness. *)
+let start_state p node =
+  if p.start_known.(node) then p.start_cache.(node)
+  else begin
+    let node_sat = p.inst.Instance.node_atom node in
+    let closed = Nfa.closure p.nfa ~node_sat [| Nfa.start p.nfa |] in
+    let result = if Array.length closed = 0 then None else Some (intern p node closed) in
+    p.start_cache.(node) <- result;
+    p.start_known.(node) <- true;
+    result
+  end
+
+let successors p id =
+  match p.successors.(id) with
+  | Some s -> s
+  | None ->
+      let { node = v; nfa_states } = state p id in
+      let fwd_moves, bwd_moves = Nfa.edge_moves p.nfa nfa_states in
+      (* Collect NFA targets per product move (edge, destination). *)
+      let by_move : (int * int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+      let add_targets e w tests edge_sat =
+        List.iter
+          (fun (test, q') ->
+            if Regex.eval_test edge_sat test then begin
+              match Hashtbl.find_opt by_move (e, w) with
+              | Some acc -> if not (List.mem q' !acc) then acc := q' :: !acc
+              | None -> Hashtbl.add by_move (e, w) (ref [ q' ])
+            end)
+          tests
+      in
+      if fwd_moves <> [] then
+        Array.iter
+          (fun (e, w) -> add_targets e w fwd_moves (p.inst.Instance.edge_atom e))
+          (p.inst.Instance.out_edges v);
+      if bwd_moves <> [] then
+        Array.iter
+          (fun (e, u) -> add_targets e u bwd_moves (p.inst.Instance.edge_atom e))
+          (p.inst.Instance.in_edges v);
+      let out = ref [] in
+      Hashtbl.iter
+        (fun (e, w) targets ->
+          let arr = Array.of_list !targets in
+          Array.sort compare arr;
+          let closed = Nfa.closure p.nfa ~node_sat:(p.inst.Instance.node_atom w) arr in
+          if Array.length closed > 0 then out := (e, intern p w closed) :: !out)
+        by_move;
+      (* Deterministic order: sort by (edge, successor). *)
+      let arr = Array.of_list !out in
+      Array.sort compare arr;
+      p.successors.(id) <- Some arr;
+      arr
+
+(* Breadth-first materialization of the states reachable within [depth]
+   steps from every node's start state.  Returns the per-level state-id
+   sets (level.(i) = ids reachable by paths of length exactly i; a state
+   can appear in several levels). *)
+let levels p ~depth =
+  let all_starts =
+    List.filter_map (start_state p) (List.init p.inst.Instance.num_nodes Fun.id)
+  in
+  let first = List.sort_uniq compare all_starts in
+  let levels = Array.make (depth + 1) [] in
+  levels.(0) <- first;
+  for i = 1 to depth do
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun id ->
+        Array.iter
+          (fun (_edge, succ) -> if not (Hashtbl.mem seen succ) then Hashtbl.add seen succ ())
+          (successors p id))
+      levels.(i - 1);
+    levels.(i) <- Hashtbl.fold (fun id () acc -> id :: acc) seen [] |> List.sort compare
+  done;
+  levels

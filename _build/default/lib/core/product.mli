@@ -1,0 +1,42 @@
+(** Lazy deterministic product of a graph instance and a regex automaton.
+
+    A product state pairs a graph node with a closed {e set} of NFA
+    states, so every matching path has exactly one run — the property the
+    Section 4.1 algorithms (counting, uniform generation, enumeration)
+    rely on. States are discovered on demand and given dense ids. *)
+
+type t
+
+(** A product state: the node plus the sorted, ε/node-check-closed NFA
+    state set. *)
+type state = { node : int; nfa_states : int array }
+
+val create : Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> t
+val instance : t -> Gqkg_graph.Instance.t
+val nfa : t -> Gqkg_automata.Nfa.t
+
+(** Number of states materialized so far (grows as the product is
+    explored). *)
+val num_states : t -> int
+
+val state : t -> int -> state
+
+(** Graph node of a product state. *)
+val node_of : t -> int -> int
+
+(** Does the state set contain the accept state (after closure)? *)
+val is_accepting : t -> int -> bool
+
+(** The unique start state at a node: the closure of the NFA start there.
+    [None] only for degenerate automata with an empty closure. *)
+val start_state : t -> int -> int option
+
+(** Memoized successor moves [(edge, successor-id)] of a state, in a
+    deterministic order. One entry per (edge, destination) move — a
+    self-loop matched in both directions yields a single move. *)
+val successors : t -> int -> (int * int) array
+
+(** [levels p ~depth] materializes every state reachable from any node's
+    start state within [depth] moves; [result.(i)] lists (sorted) the ids
+    reachable by paths of length exactly [i]. *)
+val levels : t -> depth:int -> int list array

@@ -1,0 +1,172 @@
+(* Regular path query evaluation: the endpoint-oriented views of [[r]].
+
+   Besides full path extraction (Count / Gen / Enum in their own modules),
+   the classic RPQ questions are: which nodes can start a matching path,
+   which pairs (a, b) are joined by one, and what is the length of the
+   shortest matching path between two nodes.  All of them are breadth-
+   first searches over the lazy deterministic product. *)
+
+open Gqkg_graph
+open Gqkg_automata
+
+(* Does the concrete path conform to the expression?  Evaluated by running
+   the guarded NFA over the path — the reference semantics used by tests
+   and by the FPRAS membership oracle. *)
+let matches_path inst regex path =
+  let nfa = Nfa.of_regex regex in
+  let k = Path.length path in
+  let current = ref (Nfa.closure nfa ~node_sat:(inst.Instance.node_atom (Path.node path 0)) [| Nfa.start nfa |]) in
+  let alive = ref true in
+  for i = 0 to k - 1 do
+    if !alive then begin
+      let e = Path.edge path i in
+      let v = Path.node path i and w = Path.node path (i + 1) in
+      let s, d = inst.Instance.endpoints e in
+      let edge_sat = inst.Instance.edge_atom e in
+      let fwd_moves, bwd_moves = Nfa.edge_moves nfa !current in
+      let targets = ref [] in
+      let add tests =
+        List.iter
+          (fun (test, q') ->
+            if Regex.eval_test edge_sat test && not (List.mem q' !targets) then targets := q' :: !targets)
+          tests
+      in
+      if s = v && d = w then add fwd_moves;
+      if s = w && d = v then add bwd_moves;
+      let arr = Array.of_list !targets in
+      Array.sort compare arr;
+      let closed = Nfa.closure nfa ~node_sat:(inst.Instance.node_atom w) arr in
+      if Array.length closed = 0 then alive := false else current := closed
+    end
+  done;
+  !alive && Nfa.is_accepting nfa !current
+
+(* Product states reachable from [source], with the shortest number of
+   steps to each; bounded by [max_length] steps when given. *)
+let bfs_product product ~source ~max_length =
+  let dist = Hashtbl.create 64 in
+  match Product.start_state product source with
+  | None -> dist
+  | Some s0 ->
+      let queue = Queue.create () in
+      Hashtbl.replace dist s0 0;
+      Queue.push s0 queue;
+      while not (Queue.is_empty queue) do
+        let id = Queue.pop queue in
+        let d = Hashtbl.find dist id in
+        let expand = match max_length with Some m -> d < m | None -> true in
+        if expand then
+          Array.iter
+            (fun (_e, succ) ->
+              if not (Hashtbl.mem dist succ) then begin
+                Hashtbl.replace dist succ (d + 1);
+                Queue.push succ queue
+              end)
+            (Product.successors product id)
+      done;
+      dist
+
+(* Nodes b reachable from [source] by a path in [[r]], i.e. the standard
+   RPQ semantics.  [max_length] bounds path length (mandatory only for
+   queries where [[r]] is infinite and reachability is still complete
+   without a bound, since products are finite; the bound is for cost
+   control). *)
+let reachable_from_product product ~source ~max_length =
+  let dist = bfs_product product ~source ~max_length in
+  let seen = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun id _d ->
+      if Product.is_accepting product id then Hashtbl.replace seen (Product.node_of product id) ())
+    dist;
+  Hashtbl.fold (fun n () acc -> n :: acc) seen [] |> List.sort compare
+
+let reachable_from ?max_length inst regex ~source =
+  let product = Product.create inst regex in
+  reachable_from_product product ~source ~max_length
+
+(* All pairs (a, b) such that some path in [[r]] goes from a to b. *)
+let eval_pairs ?max_length inst regex =
+  let product = Product.create inst regex in
+  let out = ref [] in
+  for source = inst.Instance.num_nodes - 1 downto 0 do
+    let targets = reachable_from_product product ~source ~max_length in
+    List.iter (fun b -> out := (source, b) :: !out) (List.rev targets)
+  done;
+  !out
+
+(* Node extraction (Section 4.3): nodes a with at least one matching path
+   starting at a (existentially quantified endpoint). *)
+let source_nodes ?max_length inst regex =
+  let product = Product.create inst regex in
+  let out = ref [] in
+  for source = inst.Instance.num_nodes - 1 downto 0 do
+    match reachable_from_product product ~source ~max_length with
+    | [] -> ()
+    | _ :: _ -> out := source :: !out
+  done;
+  !out
+
+(* Length of the shortest path in [[r]] from a to b, if any: the distance
+   d_r(a, b) used by the regex-constrained centrality of Section 4.2. *)
+let shortest_in_product product ~source ~target ~max_length =
+  let dist = bfs_product product ~source ~max_length in
+  let best = ref None in
+  Hashtbl.iter
+    (fun id d ->
+      if Product.is_accepting product id && Product.node_of product id = target then
+        match !best with Some b when b <= d -> () | _ -> best := Some d)
+    dist;
+  !best
+
+(* Length of the shortest path in [[r]] from a to b, if any: the distance
+   d_r(a, b) used by the regex-constrained centrality of Section 4.2. *)
+let shortest_path_length ?max_length inst regex ~source ~target =
+  let product = Product.create inst regex in
+  shortest_in_product product ~source ~target ~max_length
+
+(* A concrete shortest matching path from a to b (a witness, in the
+   G-CORE sense of paths as first-class results): BFS over the product
+   with parent pointers, reconstructing the first accepting arrival. *)
+let shortest_witness ?max_length inst regex ~source ~target =
+  let product = Product.create inst regex in
+  match Product.start_state product source with
+  | None -> None
+  | Some s0 ->
+      let parent = Hashtbl.create 64 in
+      (* state -> (predecessor state, edge); s0 has no entry *)
+      let dist = Hashtbl.create 64 in
+      Hashtbl.replace dist s0 0;
+      let queue = Queue.create () in
+      Queue.push s0 queue;
+      let found = ref None in
+      let reconstruct final =
+        let rec back state acc_nodes acc_edges =
+          match Hashtbl.find_opt parent state with
+          | None -> (Product.node_of product state :: acc_nodes, acc_edges)
+          | Some (pred, edge) ->
+              back pred (Product.node_of product state :: acc_nodes) (edge :: acc_edges)
+        in
+        let nodes, edges = back final [] [] in
+        Path.make ~nodes:(Array.of_list nodes) ~edges:(Array.of_list edges)
+      in
+      if Product.is_accepting product s0 && Product.node_of product s0 = target then
+        found := Some (Path.trivial source)
+      else begin
+        while !found = None && not (Queue.is_empty queue) do
+          let v = Queue.pop queue in
+          let d = Hashtbl.find dist v in
+          let expand = match max_length with Some m -> d < m | None -> true in
+          if expand then
+            Array.iter
+              (fun (e, succ) ->
+                if !found = None && not (Hashtbl.mem dist succ) then begin
+                  Hashtbl.replace dist succ (d + 1);
+                  Hashtbl.replace parent succ (v, e);
+                  if Product.is_accepting product succ && Product.node_of product succ = target then
+                    found := Some (reconstruct succ)
+                  else Queue.push succ queue
+                end)
+              (Product.successors product v)
+        done
+      end;
+      !found

@@ -1,0 +1,19 @@
+(** Uniform generation of matching paths (the problem Gen, Section 4.1).
+
+    [create] is the preprocessing phase (suffix-count tables over the
+    deterministic product); [sample] the generation phase, drawing each
+    path p ∈ [[r]] with |p| = k with probability exactly
+    1 / Count(G, r, k). *)
+
+type t
+
+val create : Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> length:int -> t
+
+(** Count(G, r, k) as seen by this sampler. *)
+val total_count : t -> float
+
+(** One exactly-uniform draw; [None] when the answer set is empty. *)
+val sample : t -> Gqkg_util.Splitmix.t -> Path.t option
+
+(** [n] independent draws with replacement. *)
+val samples : t -> Gqkg_util.Splitmix.t -> int -> Path.t list

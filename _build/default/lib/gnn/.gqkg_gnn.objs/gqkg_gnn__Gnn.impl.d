@@ -1,0 +1,1 @@
+lib/gnn/gnn.ml: Array Gqkg_graph Gqkg_util Hashtbl Instance List Splitmix Vec Vector_graph

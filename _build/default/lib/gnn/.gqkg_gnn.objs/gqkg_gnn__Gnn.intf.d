@@ -1,0 +1,1 @@
+lib/gnn/gnn.mli: Gqkg_graph Gqkg_util Instance Splitmix Vec Vector_graph

@@ -1,0 +1,1 @@
+lib/gnn/logic_gnn.ml: Array Gml Gnn Gqkg_graph Gqkg_logic Gqkg_util Hashtbl Instance List Vec

@@ -1,0 +1,1 @@
+lib/gnn/logic_gnn.mli: Gml Gnn Gqkg_graph Gqkg_logic Instance

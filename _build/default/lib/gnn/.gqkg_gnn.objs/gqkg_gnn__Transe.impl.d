@@ -1,0 +1,1 @@
+lib/gnn/transe.ml: Array Float Gqkg_kg Gqkg_util Hashtbl List Splitmix Term Triple_store

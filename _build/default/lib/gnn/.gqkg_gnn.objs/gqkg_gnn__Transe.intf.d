@@ -1,0 +1,1 @@
+lib/gnn/transe.mli: Gqkg_kg Term Triple_store

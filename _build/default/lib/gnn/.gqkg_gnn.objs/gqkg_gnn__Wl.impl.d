@@ -1,0 +1,1 @@
+lib/gnn/wl.ml: Array Gqkg_graph Hashtbl Instance List Option Vector_graph

@@ -1,0 +1,1 @@
+lib/gnn/wl.mli: Gqkg_graph Instance Vector_graph

@@ -1,0 +1,1 @@
+lib/gnn/wl_kernel.ml: Array Gqkg_graph Hashtbl Instance List Option

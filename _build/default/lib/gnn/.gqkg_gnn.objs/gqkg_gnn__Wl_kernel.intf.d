@@ -1,0 +1,1 @@
+lib/gnn/wl_kernel.mli: Gqkg_graph Hashtbl Instance

@@ -1,0 +1,35 @@
+(** Aggregate-combine graph neural networks (AC-GNNs) as unary queries
+    (Section 4.3): x'_v = σ(x_v·C + (Σ_{u∈N(v)} x_u)·A + b) with σ the
+    truncated ReLU, N(v) the undirected neighborhood, followed by a
+    linear threshold classifier. *)
+
+open Gqkg_graph
+open Gqkg_util
+
+type layer = { combine : Vec.mat; aggregate : Vec.mat; bias : Vec.vec }
+type t
+
+(** Validates all dimensions; raises on mismatch. *)
+val make : input_dim:int -> layers:layer list -> classifier:Vec.vec -> threshold:float -> t
+
+val num_layers : t -> int
+
+(** Forward pass: final embedding of every node. [features v] must have
+    [input_dim] entries. *)
+val embeddings : t -> Instance.t -> features:(int -> float array) -> float array array
+
+(** The network as a boolean unary query. *)
+val classify : t -> Instance.t -> features:(int -> float array) -> bool array
+
+val classified_nodes : t -> Instance.t -> features:(int -> float array) -> int list
+
+(** Random AC-GNN with Gaussian weights (benchmark workloads). *)
+val random : Splitmix.t -> input_dim:int -> widths:int list -> scale:float -> t
+
+(** One-hot input features over the value palettes of a vector-labeled
+    graph: (feature function, width). *)
+val one_hot_features : Vector_graph.t -> (int -> float array) * int
+
+(** Mean of the node embeddings: permutation-invariant graph-level
+    readout. *)
+val mean_pool : float array array -> float array

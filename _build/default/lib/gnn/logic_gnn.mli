@@ -1,0 +1,23 @@
+(** The constructive half of the Section 4.3 correspondence: compile any
+    graded modal logic formula to an AC-GNN computing it exactly
+    (Barceló et al. 2020, Proposition 4.1). One embedding coordinate per
+    subformula; operator-depth many identical layers; the classifier
+    reads the root's coordinate. *)
+
+open Gqkg_graph
+open Gqkg_logic
+
+type compiled = {
+  gnn : Gnn.t;
+  features : Instance.t -> int -> float array;  (** atomic truth values *)
+  formula : Gml.t;
+}
+
+val operator_depth : Gml.t -> int
+val compile : Gml.t -> compiled
+
+(** The compiled network as a unary query — provably equal to
+    {!Gqkg_logic.Gml.eval} (checked by the E10 property tests). *)
+val classify : compiled -> Instance.t -> bool array
+
+val classified_nodes : compiled -> Instance.t -> int list

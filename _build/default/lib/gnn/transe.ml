@@ -1,0 +1,200 @@
+(* TransE knowledge-graph embeddings [Bordes et al. 2013] — the paper's
+   Section 2.3 names embedding-based refinement and completion as the
+   flagship way knowledge graphs "produce" new knowledge by learning.
+
+   Entities and relations live in R^d; a true triple (h, r, t) should
+   satisfy e_h + e_r ≈ e_t.  Training minimizes the margin ranking loss
+
+     max(0, margin + d(h + r, t) - d(h' + r, t'))
+
+   over corrupted triples (h', r, t') with either endpoint replaced by a
+   random entity, by SGD with per-step entity renormalization (the
+   original recipe).  Distances are L1.  Everything is deterministic in
+   the PRNG.
+
+   The standard evaluation is link prediction: rank every entity as a
+   candidate tail (head) for a held-out triple, filtered to ignore other
+   true triples; report mean rank and hits@k. *)
+
+open Gqkg_kg
+open Gqkg_util
+
+type t = {
+  dimension : int;
+  entities : Term.t array;
+  relations : Term.t array;
+  entity_index : (Term.t, int) Hashtbl.t;
+  relation_index : (Term.t, int) Hashtbl.t;
+  entity_vectors : float array array;
+  relation_vectors : float array array;
+}
+
+type triple_ids = { h : int; r : int; t : int }
+
+let entity_id model term = Hashtbl.find_opt model.entity_index term
+let relation_id model term = Hashtbl.find_opt model.relation_index term
+
+(* d(h + r, t): lower is more plausible. *)
+let score model { h; r; t } =
+  let eh = model.entity_vectors.(h) and er = model.relation_vectors.(r) in
+  let et = model.entity_vectors.(t) in
+  let acc = ref 0.0 in
+  for i = 0 to model.dimension - 1 do
+    acc := !acc +. Float.abs (eh.(i) +. er.(i) -. et.(i))
+  done;
+  !acc
+
+let normalize v =
+  let norm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v) in
+  if norm > 0.0 then Array.iteri (fun i x -> v.(i) <- x /. norm) v
+
+(* Collect the vocabulary and the id-triples of a store. *)
+let vocabulary store =
+  let entities = Hashtbl.create 64 and relations = Hashtbl.create 16 in
+  let entity term =
+    match Hashtbl.find_opt entities term with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length entities in
+        Hashtbl.add entities term id;
+        id
+  in
+  let relation term =
+    match Hashtbl.find_opt relations term with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length relations in
+        Hashtbl.add relations term id;
+        id
+  in
+  let triples = ref [] in
+  Triple_store.iter store (fun { Triple_store.s; p; o } ->
+      triples := { h = entity s; r = relation p; t = entity o } :: !triples);
+  (entities, relations, List.rev !triples)
+
+let init rng ~dimension entities relations =
+  let fresh () =
+    Array.init dimension (fun _ ->
+        Splitmix.float rng (2.0 /. sqrt (float_of_int dimension))
+        -. (1.0 /. sqrt (float_of_int dimension)))
+  in
+  let by_id table =
+    let arr = Array.make (Hashtbl.length table) (Term.Iri "") in
+    Hashtbl.iter (fun term id -> arr.(id) <- term) table;
+    arr
+  in
+  let entity_terms = by_id entities and relation_terms = by_id relations in
+  let model =
+    {
+      dimension;
+      entities = entity_terms;
+      relations = relation_terms;
+      entity_index = entities;
+      relation_index = relations;
+      entity_vectors = Array.init (Array.length entity_terms) (fun _ -> fresh ());
+      relation_vectors = Array.init (Array.length relation_terms) (fun _ -> fresh ());
+    }
+  in
+  Array.iter normalize model.relation_vectors;
+  model
+
+(* One SGD step on a (positive, corrupted) pair. *)
+let sgd_step model ~learning_rate ~margin positive negative =
+  let loss = margin +. score model positive -. score model negative in
+  if loss > 0.0 then begin
+    let update ids sign =
+      (* Gradient of the L1 distance: the sign vector, pushed onto h and
+         r (towards t) and pulled off t; [sign] flips for the corrupted
+         triple. *)
+      let eh = model.entity_vectors.(ids.h) in
+      let er = model.relation_vectors.(ids.r) in
+      let et = model.entity_vectors.(ids.t) in
+      for i = 0 to model.dimension - 1 do
+        let g = sign *. learning_rate *. Float.of_int (compare (eh.(i) +. er.(i) -. et.(i)) 0.0) in
+        eh.(i) <- eh.(i) -. g;
+        er.(i) <- er.(i) -. g;
+        et.(i) <- et.(i) +. g
+      done
+    in
+    update positive 1.0;
+    update negative (-1.0);
+    normalize model.entity_vectors.(positive.h);
+    normalize model.entity_vectors.(positive.t);
+    normalize model.entity_vectors.(negative.h);
+    normalize model.entity_vectors.(negative.t)
+  end;
+  Float.max 0.0 loss
+
+type config = { dimension : int; epochs : int; learning_rate : float; margin : float; seed : int }
+
+let default_config = { dimension = 24; epochs = 200; learning_rate = 0.02; margin = 1.0; seed = 17 }
+
+(* Train on the triples of a store.  Returns the model and the per-epoch
+   mean loss trace (diagnostics for tests and the bench). *)
+let train ?(config = default_config) store =
+  let rng = Splitmix.create config.seed in
+  let entities, relations, triples = vocabulary store in
+  let model = init rng ~dimension:config.dimension entities relations in
+  let triples = Array.of_list triples in
+  let num_entities = Array.length model.entities in
+  let losses = ref [] in
+  if Array.length triples > 0 && num_entities > 1 then
+    for _ = 1 to config.epochs do
+      Splitmix.shuffle_in_place rng triples;
+      let total = ref 0.0 in
+      Array.iter
+        (fun positive ->
+          (* Corrupt head or tail uniformly. *)
+          let corrupt_head = Splitmix.bool rng in
+          let replacement = Splitmix.int rng num_entities in
+          let negative =
+            if corrupt_head then { positive with h = replacement } else { positive with t = replacement }
+          in
+          total :=
+            !total
+            +. sgd_step model ~learning_rate:config.learning_rate ~margin:config.margin positive
+                 negative)
+        triples;
+      losses := (!total /. float_of_int (Array.length triples)) :: !losses
+    done;
+  (model, List.rev !losses)
+
+(* Plausibility of a concrete triple under the model (lower = better);
+   None when a term is out of vocabulary. *)
+let triple_score model ~h ~r ~t =
+  match (entity_id model h, relation_id model r, entity_id model t) with
+  | Some h, Some r, Some t -> Some (score model { h; r; t })
+  | _ -> None
+
+(* Rank of the true tail among all entities as tail candidates,
+   filtering the other true triples ([known] decides). 1 = best. *)
+let tail_rank model ~known { h; r; t } =
+  let true_score = score model { h; r; t } in
+  let better = ref 0 in
+  for candidate = 0 to Array.length model.entities - 1 do
+    if candidate <> t && not (known { h; r; t = candidate }) then
+      if score model { h; r; t = candidate } < true_score then incr better
+  done;
+  !better + 1
+
+(* Filtered link-prediction evaluation on a triple list: (mean rank,
+   hits@k). *)
+let evaluate model ~known ~k triples =
+  match triples with
+  | [] -> (0.0, 0.0)
+  | _ ->
+      let n = List.length triples in
+      let total_rank = ref 0 and hits = ref 0 in
+      List.iter
+        (fun triple ->
+          let rank = tail_rank model ~known triple in
+          total_rank := !total_rank + rank;
+          if rank <= k then incr hits)
+        triples;
+      (float_of_int !total_rank /. float_of_int n, float_of_int !hits /. float_of_int n)
+
+(* Convenience: ids of a term triple, when all in vocabulary. *)
+let ids_of model ~h ~r ~t =
+  match (entity_id model h, relation_id model r, entity_id model t) with
+  | Some h, Some r, Some t -> Some { h; r; t }
+  | _ -> None

@@ -1,0 +1,39 @@
+(** TransE knowledge-graph embeddings [Bordes et al. 2013]: the
+    Section 2.3 "produce knowledge by learning" capability. Entities and
+    relations embed in R^d with e_h + e_r ≈ e_t for true triples;
+    trained by margin-ranking SGD with negative sampling; evaluated by
+    filtered link prediction. Deterministic in the seed. *)
+
+open Gqkg_kg
+
+type t
+
+(** Id-triple over the model's dense vocabulary. *)
+type triple_ids = { h : int; r : int; t : int }
+
+val entity_id : t -> Term.t -> int option
+val relation_id : t -> Term.t -> int option
+
+(** d(e_h + e_r, e_t), L1: lower = more plausible. *)
+val score : t -> triple_ids -> float
+
+type config = { dimension : int; epochs : int; learning_rate : float; margin : float; seed : int }
+
+val default_config : config
+
+(** Train on a store's triples; returns the model and the per-epoch mean
+    loss trace. *)
+val train : ?config:config -> Triple_store.t -> t * float list
+
+(** Plausibility of a term triple; [None] when out of vocabulary. *)
+val triple_score : t -> h:Term.t -> r:Term.t -> t:Term.t -> float option
+
+(** Rank (1 = best) of the true tail among all entities, skipping
+    candidates [known] flags as true triples (the "filtered" protocol). *)
+val tail_rank : t -> known:(triple_ids -> bool) -> triple_ids -> int
+
+(** Filtered link prediction on a test set: (mean rank, hits\@k). *)
+val evaluate : t -> known:(triple_ids -> bool) -> k:int -> triple_ids list -> float * float
+
+(** Ids of a term triple when fully in vocabulary. *)
+val ids_of : t -> h:Term.t -> r:Term.t -> t:Term.t -> triple_ids option

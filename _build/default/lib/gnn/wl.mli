@@ -1,0 +1,35 @@
+(** The Weisfeiler-Lehman test (1-WL color refinement) — Section 4.3's
+    yardstick for AC-GNN expressiveness. The neighborhood is undirected
+    with multiplicity, matching {!Gnn} aggregation and the ◇ of
+    {!Gqkg_logic.Gml}. *)
+
+open Gqkg_graph
+
+type coloring = {
+  colors : int array;  (** stable color per node, dense ids *)
+  rounds : int;  (** refinement rounds until stability *)
+  num_colors : int;
+}
+
+(** Refine to stability (or [max_rounds]); [init] gives initial colors
+    (labels, feature hashes, ...). *)
+val refine : ?max_rounds:int -> Instance.t -> init:(int -> int) -> coloring
+
+(** Uniform initial coloring: pure structure. *)
+val refine_unlabeled : ?max_rounds:int -> Instance.t -> coloring
+
+(** Initial colors from the node's full feature vector. *)
+val refine_vector : ?max_rounds:int -> Vector_graph.t -> coloring
+
+(** (color, count) pairs, sorted by color. *)
+val color_histogram : coloring -> (int * int) list
+
+(** The WL isomorphism test on the disjoint union. [`Distinguished]
+    certifies non-isomorphism; [`Possibly_isomorphic] is WL's "maybe"
+    (wrong on e.g. pairs of regular graphs). *)
+val isomorphism_test :
+  ?init1:(int -> int) ->
+  ?init2:(int -> int) ->
+  Instance.t ->
+  Instance.t ->
+  [ `Distinguished | `Possibly_isomorphic ]

@@ -1,0 +1,23 @@
+(** The Weisfeiler-Lehman subtree kernel (Shervashidze et al.): graph
+    similarity from joint color refinement — rounds-wise inner products
+    of color histograms. *)
+
+open Gqkg_graph
+
+(** Per-round (histogram₁, histogram₂) under joint refinement of the
+    disjoint union, for rounds 0..[rounds]. *)
+val joint_histograms :
+  ?rounds:int ->
+  ?init1:(int -> int) ->
+  ?init2:(int -> int) ->
+  Instance.t ->
+  Instance.t ->
+  ((int, int) Hashtbl.t * (int, int) Hashtbl.t) list
+
+(** The raw kernel value. *)
+val kernel : ?rounds:int -> ?init1:(int -> int) -> ?init2:(int -> int) -> Instance.t -> Instance.t -> float
+
+(** Normalized to [0, 1]; exactly 1.0 when WL cannot tell the graphs
+    apart. *)
+val similarity :
+  ?rounds:int -> ?init1:(int -> int) -> ?init2:(int -> int) -> Instance.t -> Instance.t -> float

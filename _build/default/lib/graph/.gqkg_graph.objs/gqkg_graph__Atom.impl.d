@@ -1,0 +1,1 @@
+lib/graph/atom.ml: Const Fmt Int Printf

@@ -1,0 +1,1 @@
+lib/graph/atom.mli: Const Format

@@ -1,0 +1,1 @@
+lib/graph/const.ml: Float Fmt Hashtbl Int Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/graph/const.mli: Format

@@ -1,0 +1,1 @@
+lib/graph/figure2.ml: Const Lazy Property_graph Vector_graph

@@ -1,0 +1,1 @@
+lib/graph/figure2.mli: Labeled_graph Property_graph Vector_graph

@@ -1,0 +1,1 @@
+lib/graph/graph_io.ml: Array Buffer Const List Printf Property_graph String

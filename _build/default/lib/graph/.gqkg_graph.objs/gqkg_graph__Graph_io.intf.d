@@ -1,0 +1,1 @@
+lib/graph/graph_io.mli: Labeled_graph Property_graph

@@ -1,0 +1,1 @@
+lib/graph/instance.ml: Atom

@@ -1,0 +1,1 @@
+lib/graph/instance.mli: Atom

@@ -1,0 +1,1 @@
+lib/graph/journal.ml: Array Const Fun Hashtbl List Option Printf Property_graph String Sys

@@ -1,0 +1,1 @@
+lib/graph/journal.mli: Const Property_graph

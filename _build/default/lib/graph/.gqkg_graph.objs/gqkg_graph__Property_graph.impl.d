@@ -1,0 +1,1 @@
+lib/graph/property_graph.ml: Array Atom Const Hashtbl Instance Labeled_graph List Multigraph Option Set

@@ -1,0 +1,1 @@
+lib/graph/property_graph.mli: Atom Const Instance Labeled_graph Multigraph

@@ -1,0 +1,1 @@
+lib/graph/vector_graph.ml: Array Atom Const Instance Labeled_graph Multigraph Printf Property_graph Set

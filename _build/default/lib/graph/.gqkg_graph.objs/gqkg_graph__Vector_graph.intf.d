@@ -1,0 +1,1 @@
+lib/graph/vector_graph.mli: Atom Const Instance Labeled_graph Multigraph Property_graph

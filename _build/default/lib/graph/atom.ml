@@ -1,0 +1,45 @@
+(* Atomic tests of the regular-expression grammars of Section 4:
+   - [Label ℓ]      over labeled graphs (grammar (1));
+   - [Prop (p, v)]  the (p = v) extension for property graphs;
+   - [Feature (i, v)] the (f_i = v) extension for vector-labeled graphs,
+     with the paper's 1-based feature indexing.
+   Boolean combinations live in the regex layer; each data model only has
+   to say whether a node or an edge satisfies an atom. *)
+
+type t =
+  | Label of Const.t
+  | Prop of Const.t * Const.t
+  | Feature of int * Const.t
+
+let label s = Label (Const.str s)
+let prop p v = Prop (Const.str p, v)
+
+let feature i v =
+  if i < 1 then invalid_arg "Atom.feature: features are 1-based";
+  Feature (i, v)
+
+let equal a b =
+  match (a, b) with
+  | Label x, Label y -> Const.equal x y
+  | Prop (p, v), Prop (q, w) -> Const.equal p q && Const.equal v w
+  | Feature (i, v), Feature (j, w) -> i = j && Const.equal v w
+  | (Label _ | Prop _ | Feature _), _ -> false
+
+let compare a b =
+  let tag = function Label _ -> 0 | Prop _ -> 1 | Feature _ -> 2 in
+  match (a, b) with
+  | Label x, Label y -> Const.compare x y
+  | Prop (p, v), Prop (q, w) ->
+      let c = Const.compare p q in
+      if c <> 0 then c else Const.compare v w
+  | Feature (i, v), Feature (j, w) ->
+      let c = Int.compare i j in
+      if c <> 0 then c else Const.compare v w
+  | _ -> Int.compare (tag a) (tag b)
+
+let to_string = function
+  | Label l -> Const.to_string l
+  | Prop (p, v) -> Printf.sprintf "%s=%s" (Const.to_string p) (Const.to_string v)
+  | Feature (i, v) -> Printf.sprintf "f%d=%s" i (Const.to_string v)
+
+let pp ppf a = Fmt.string ppf (to_string a)

@@ -1,0 +1,20 @@
+(** Atomic tests of the Section 4 regular-expression grammars. *)
+
+type t =
+  | Label of Const.t  (** ℓ — the node/edge label equals ℓ *)
+  | Prop of Const.t * Const.t  (** (p = v) — property graphs *)
+  | Feature of int * Const.t  (** (f_i = v), 1-based — vector-labeled graphs *)
+
+(** [label s] is [Label (Str s)]. *)
+val label : string -> t
+
+(** [prop p v] is [Prop (Str p, v)]. *)
+val prop : string -> Const.t -> t
+
+(** 1-based feature test; raises on [i < 1]. *)
+val feature : int -> Const.t -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

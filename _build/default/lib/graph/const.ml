@@ -1,0 +1,78 @@
+(* The set Const of the paper (Section 3): constants usable as node and
+   edge identifiers, labels, property names and actual values.  We give it
+   a little structure (strings, integers, reals, dates) because the worked
+   examples use ages and dates; [Bottom] is the ⊥ placeholder of
+   vector-labeled graphs (Figure 2(c)). *)
+
+type t =
+  | Str of string
+  | Int of int
+  | Real of float
+  | Date of { year : int; month : int; day : int }
+  | Bottom
+
+let str s = Str s
+let int n = Int n
+let real x = Real x
+
+let date ~year ~month ~day =
+  if month < 1 || month > 12 || day < 1 || day > 31 then invalid_arg "Const.date: invalid date";
+  Date { year; month; day }
+
+let bottom = Bottom
+
+let equal a b =
+  match (a, b) with
+  | Str x, Str y -> String.equal x y
+  | Int x, Int y -> x = y
+  | Real x, Real y -> Float.equal x y
+  | Date x, Date y -> x.year = y.year && x.month = y.month && x.day = y.day
+  | Bottom, Bottom -> true
+  | (Str _ | Int _ | Real _ | Date _ | Bottom), _ -> false
+
+let compare a b =
+  let tag = function Str _ -> 0 | Int _ -> 1 | Real _ -> 2 | Date _ -> 3 | Bottom -> 4 in
+  match (a, b) with
+  | Str x, Str y -> String.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Real x, Real y -> Float.compare x y
+  | Date x, Date y -> Stdlib.compare (x.year, x.month, x.day) (y.year, y.month, y.day)
+  | Bottom, Bottom -> 0
+  | _ -> Int.compare (tag a) (tag b)
+
+let hash = Hashtbl.hash
+
+(* Rendering follows the paper's figures: dates as month/day/two-digit-year
+   ("3/4/21"), ⊥ for missing vector entries. *)
+let to_string = function
+  | Str s -> s
+  | Int n -> string_of_int n
+  | Real x -> Printf.sprintf "%g" x
+  | Date { year; month; day } -> Printf.sprintf "%d/%d/%02d" month day (year mod 100)
+  | Bottom -> "_|_"
+
+let pp ppf c = Fmt.string ppf (to_string c)
+
+(* Parse the concrete syntax used by the graph file format and the regex
+   parser: dates as m/d/yy or m/d/yyyy, then ints, then floats, ⊥ for
+   Bottom, everything else a string. *)
+let of_string s =
+  if String.equal s "_|_" then Bottom
+  else begin
+    match String.split_on_char '/' s with
+    | [ m; d; y ]
+      when String.length y > 0
+           && (match (int_of_string_opt m, int_of_string_opt d, int_of_string_opt y) with
+              | Some m, Some d, Some _ -> m >= 1 && m <= 12 && d >= 1 && d <= 31
+              | _ -> false) ->
+        let year = int_of_string y in
+        let year = if year < 100 then 2000 + year else year in
+        Date { year; month = int_of_string m; day = int_of_string d }
+    | _ -> (
+        match int_of_string_opt s with
+        | Some n -> Int n
+        | None -> (
+            match float_of_string_opt s with
+            | Some x when String.contains s '.' -> Real x
+            | _ -> Str s))
+  end

@@ -1,0 +1,30 @@
+(** The set [Const] of the paper: constants used as identifiers, labels,
+    property names and values. [Bottom] is the ⊥ of vector-labeled graphs. *)
+
+type t =
+  | Str of string
+  | Int of int
+  | Real of float
+  | Date of { year : int; month : int; day : int }
+  | Bottom
+
+val str : string -> t
+val int : int -> t
+val real : float -> t
+
+(** Raises on out-of-range month/day. *)
+val date : year:int -> month:int -> day:int -> t
+
+val bottom : t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** Paper-style rendering: dates as ["3/4/21"], ⊥ as ["_|_"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Inverse of {!to_string} on the concrete syntax: date, int, float
+    (with a dot), ⊥, otherwise string. *)
+val of_string : string -> t

@@ -1,0 +1,14 @@
+(** The running example of the paper: the Figure 2 graph in the three
+    data models. The node/edge inventory is reconstructed from the prose
+    (see the implementation header); every worked query of Section 4 has
+    the answers the text describes on it. *)
+
+(** Figure 2(b): the property graph (people, bus, address, company, with
+    names/ages/zip/dates). *)
+val property : unit -> Property_graph.t
+
+(** Figure 2(a): the same graph with σ forgotten. *)
+val labeled : unit -> Labeled_graph.t
+
+(** Figure 2(c): the flattening of (b) with its feature schema. *)
+val vector : unit -> Vector_graph.t * Vector_graph.schema

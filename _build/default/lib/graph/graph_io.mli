@@ -1,0 +1,32 @@
+(** Plain-text serialization of property graphs and Graphviz DOT export.
+
+    Format (one declaration per line; ['#'] starts a comment):
+    {v
+    node <id> <label> [<prop>=<value> ...]
+    edge <id> <src-id> <dst-id> <label> [<prop>=<value> ...]
+    v}
+    Tokens are whitespace-separated and parsed with {!Const.of_string};
+    edges may reference nodes declared later. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** Raises {!Parse_error} with a 1-based line number. *)
+val property_graph_of_string : string -> Property_graph.t
+
+val labeled_graph_of_string : string -> Labeled_graph.t
+
+(** Deterministic rendering in declaration (index) order; a fixed point
+    of parse ∘ render. *)
+val property_graph_to_string : Property_graph.t -> string
+
+val labeled_graph_to_string : Labeled_graph.t -> string
+
+(** Order-insensitive canonical form (node and edge declarations
+    sorted): the right equality after set-based round-trips (RDF). *)
+val canonical_string : Property_graph.t -> string
+
+val load_property_graph : string -> Property_graph.t
+val save_property_graph : string -> Property_graph.t -> unit
+
+(** Graphviz digraph of the labeled view. *)
+val to_dot : ?name:string -> Property_graph.t -> string

@@ -1,0 +1,24 @@
+(* The uniform query-engine view over all data models of Section 3.
+
+   Every model (labeled, property, vector-labeled, and RDF via gqkg_kg)
+   exposes itself as an [Instance.t]: dense node/edge indexes, ρ,
+   adjacency in both directions, and an oracle answering atomic tests on
+   nodes and edges.  The whole Section 4 machinery (path semantics,
+   counting, generation, enumeration, regex-constrained centrality) is
+   written once against this record — this is the "unified and simple
+   view" the tutorial advocates. *)
+
+type t = {
+  num_nodes : int;
+  num_edges : int;
+  endpoints : int -> int * int;
+  out_edges : int -> (int * int) array; (* node -> [(edge, head)] *)
+  in_edges : int -> (int * int) array; (* node -> [(edge, tail)] *)
+  node_atom : int -> Atom.t -> bool;
+  edge_atom : int -> Atom.t -> bool;
+  node_name : int -> string;
+  edge_name : int -> string;
+}
+
+let src t e = fst (t.endpoints e)
+let dst t e = snd (t.endpoints e)

@@ -1,0 +1,21 @@
+(** The uniform query-engine view over all Section 3 data models.
+
+    Every model (labeled, property, vector-labeled, RDF) exposes itself
+    as a value of this record: dense node/edge indexes, ρ, adjacency in
+    both directions, and an oracle answering atomic tests. The entire
+    Section 4 machinery is written once against it. *)
+
+type t = {
+  num_nodes : int;
+  num_edges : int;
+  endpoints : int -> int * int;  (** ρ(e) = (source, target) *)
+  out_edges : int -> (int * int) array;  (** node → [(edge, head)] *)
+  in_edges : int -> (int * int) array;  (** node → [(edge, tail)] *)
+  node_atom : int -> Atom.t -> bool;
+  edge_atom : int -> Atom.t -> bool;
+  node_name : int -> string;  (** display name *)
+  edge_name : int -> string;
+}
+
+val src : t -> int -> int
+val dst : t -> int -> int

@@ -1,0 +1,54 @@
+(** Append-only journal (write-ahead log) for property graphs: the
+    storage lifecycle of Section 2.1 — durable, growing and shrinking by
+    explicit operations, rebuildable by replay. *)
+
+type op =
+  | Add_node of { id : Const.t; label : Const.t }
+  | Add_edge of { id : Const.t; src : Const.t; dst : Const.t; label : Const.t }
+  | Set_node_prop of { id : Const.t; prop : Const.t; value : Const.t }
+  | Set_edge_prop of { id : Const.t; prop : Const.t; value : Const.t }
+  | Del_node of { id : Const.t }  (** deletes incident edges too *)
+  | Del_edge of { id : Const.t }
+
+exception Replay_error of { line : int; message : string }
+
+(** One line per op, no trailing newline. *)
+val op_to_line : op -> string
+
+(** [None] on blank lines; raises {!Replay_error} on malformed input. *)
+val op_of_line : line:int -> string -> op option
+
+(** Replay a history into a graph. Raises {!Replay_error} on invalid
+    sequences (duplicate adds, references to missing objects). *)
+val replay_ops : op list -> Property_graph.t
+
+(** Parse a journal text; [tolerate_partial] ignores a torn final line
+    (crash recovery). *)
+val ops_of_string : ?tolerate_partial:bool -> string -> op list
+
+val ops_to_string : op list -> string
+
+(** The minimal history recreating the graph's current state. *)
+val ops_of_graph : Property_graph.t -> op list
+
+(** {2 The durable store} *)
+
+type store
+
+(** Open (or create) a journal file, validating it by replay. *)
+val open_store : ?tolerate_partial:bool -> string -> store
+
+(** Validate the operation against the current state, append it durably
+    (flushed), and invalidate the cached graph. Raises {!Replay_error}
+    on invalid operations — nothing is written in that case. *)
+val append : store -> op -> unit
+
+(** The materialized current state (cached between mutations). *)
+val graph : store -> Property_graph.t
+
+val num_ops : store -> int
+
+(** Rewrite the journal as the minimal history of the current state. *)
+val checkpoint : store -> unit
+
+val close_store : store -> unit

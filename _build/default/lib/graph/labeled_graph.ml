@@ -1,0 +1,131 @@
+(* Labeled graphs L = (N, E, ρ, λ) of Section 3: a multigraph where every
+   node and every edge carries one label from Const ("heterogeneous
+   graphs").  Figure 2(a) is an instance. *)
+
+type t = { base : Multigraph.t; node_labels : Const.t array; edge_labels : Const.t array }
+
+let base g = g.base
+let num_nodes g = Multigraph.num_nodes g.base
+let num_edges g = Multigraph.num_edges g.base
+let node_label g n = g.node_labels.(n)
+let edge_label g e = g.edge_labels.(e)
+let node_id g n = Multigraph.node_id g.base n
+let edge_id g e = Multigraph.edge_id g.base e
+let endpoints g e = Multigraph.endpoints g.base e
+let out_edges g n = Multigraph.out_edges g.base n
+let in_edges g n = Multigraph.in_edges g.base n
+let find_node g id = Multigraph.find_node g.base id
+let node_of_exn g id = Multigraph.node_of_exn g.base id
+
+let nodes_with_label g l =
+  let out = ref [] in
+  for n = num_nodes g - 1 downto 0 do
+    if Const.equal g.node_labels.(n) l then out := n :: !out
+  done;
+  !out
+
+let edges_with_label g l =
+  let out = ref [] in
+  for e = num_edges g - 1 downto 0 do
+    if Const.equal g.edge_labels.(e) l then out := e :: !out
+  done;
+  !out
+
+(* Distinct labels in use, each with its multiplicity. *)
+let label_histogram labels =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun l ->
+      let count = Option.value (Hashtbl.find_opt tbl l) ~default:0 in
+      Hashtbl.replace tbl l (count + 1))
+    labels;
+  Hashtbl.fold (fun l c acc -> (l, c) :: acc) tbl [] |> List.sort (fun (a, _) (b, _) -> Const.compare a b)
+
+let node_label_histogram g = label_histogram g.node_labels
+let edge_label_histogram g = label_histogram g.edge_labels
+
+let node_satisfies_atom g n = function
+  | Atom.Label l -> Const.equal g.node_labels.(n) l
+  | Atom.Prop _ | Atom.Feature _ -> false
+
+let edge_satisfies_atom g e = function
+  | Atom.Label l -> Const.equal g.edge_labels.(e) l
+  | Atom.Prop _ | Atom.Feature _ -> false
+
+module Builder = struct
+  type graph = t
+
+  type t = {
+    base : Multigraph.Builder.t;
+    node_labels : (int, Const.t) Hashtbl.t;
+    edge_labels : (int, Const.t) Hashtbl.t;
+  }
+
+  let create () =
+    { base = Multigraph.Builder.create (); node_labels = Hashtbl.create 64; edge_labels = Hashtbl.create 64 }
+
+  (* Re-adding a node keeps its first label unless [relabel] is used. *)
+  let add_node b id ~label =
+    let n = Multigraph.Builder.add_node b.base id in
+    if not (Hashtbl.mem b.node_labels n) then Hashtbl.replace b.node_labels n label;
+    n
+
+  let relabel_node b n ~label = Hashtbl.replace b.node_labels n label
+
+  let add_edge b id ~src ~dst ~label =
+    let e = Multigraph.Builder.add_edge b.base id ~src ~dst in
+    Hashtbl.replace b.edge_labels e label;
+    e
+
+  let fresh_edge b ~src ~dst ~label =
+    let e = Multigraph.Builder.fresh_edge b.base ~src ~dst in
+    Hashtbl.replace b.edge_labels e label;
+    e
+
+  let find_node b id = Multigraph.Builder.find_node b.base id
+
+  let freeze b =
+    let base = Multigraph.Builder.freeze b.base in
+    let fetch tbl i =
+      match Hashtbl.find_opt tbl i with Some l -> l | None -> Const.bottom
+    in
+    ({
+       base;
+       node_labels = Array.init (Multigraph.num_nodes base) (fetch b.node_labels);
+       edge_labels = Array.init (Multigraph.num_edges base) (fetch b.edge_labels);
+     }
+      : graph)
+end
+
+(* Build from explicit lists: nodes as (id, label), edges as
+   (id, src-id, dst-id, label); endpoints must be declared as nodes. *)
+let of_lists ~nodes ~edges =
+  let b = Builder.create () in
+  List.iter (fun (id, label) -> ignore (Builder.add_node b id ~label)) nodes;
+  List.iter
+    (fun (id, s, d, label) ->
+      match (Builder.find_node b s, Builder.find_node b d) with
+      | Some s, Some d -> ignore (Builder.add_edge b id ~src:s ~dst:d ~label)
+      | _ -> invalid_arg "Labeled_graph.of_lists: edge endpoint not declared")
+    edges;
+  Builder.freeze b
+
+let make ~base ~node_labels ~edge_labels =
+  if Array.length node_labels <> Multigraph.num_nodes base then
+    invalid_arg "Labeled_graph.make: node label count";
+  if Array.length edge_labels <> Multigraph.num_edges base then
+    invalid_arg "Labeled_graph.make: edge label count";
+  { base; node_labels; edge_labels }
+
+let to_instance g =
+  {
+    Instance.num_nodes = num_nodes g;
+    num_edges = num_edges g;
+    endpoints = Multigraph.endpoints g.base;
+    out_edges = Multigraph.out_edges g.base;
+    in_edges = Multigraph.in_edges g.base;
+    node_atom = node_satisfies_atom g;
+    edge_atom = edge_satisfies_atom g;
+    node_name = (fun n -> Const.to_string (node_id g n));
+    edge_name = (fun e -> Const.to_string (edge_id g e));
+  }

@@ -1,0 +1,1 @@
+lib/kg/bgp.ml: Gqkg_automata Gqkg_core Hashtbl List Option Printf Rdf_graph Term Triple_store

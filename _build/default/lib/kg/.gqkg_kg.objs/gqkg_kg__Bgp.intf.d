@@ -1,0 +1,1 @@
+lib/kg/bgp.mli: Gqkg_automata Term Triple_store

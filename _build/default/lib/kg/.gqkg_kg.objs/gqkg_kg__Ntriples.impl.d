@@ -1,0 +1,1 @@
+lib/kg/ntriples.ml: Buffer List Printf String Term Triple_store

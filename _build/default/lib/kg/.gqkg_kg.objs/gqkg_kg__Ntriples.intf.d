@@ -1,0 +1,1 @@
+lib/kg/ntriples.mli: Term Triple_store

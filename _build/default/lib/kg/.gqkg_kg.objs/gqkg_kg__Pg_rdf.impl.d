@@ -1,0 +1,1 @@
+lib/kg/pg_rdf.ml: Array Const Gqkg_graph Hashtbl List Option Property_graph Rdfs String Term Triple_store

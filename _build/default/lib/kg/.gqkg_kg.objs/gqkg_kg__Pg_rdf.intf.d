@@ -1,0 +1,1 @@
+lib/kg/pg_rdf.mli: Const Gqkg_graph Property_graph Term Triple_store

@@ -1,0 +1,1 @@
+lib/kg/rdf_graph.ml: Array Atom Const Gqkg_graph Hashtbl Instance List Option Rdfs String Term Triple_store

@@ -1,0 +1,1 @@
+lib/kg/rdf_graph.mli: Gqkg_graph Term Triple_store

@@ -1,0 +1,1 @@
+lib/kg/rdfs.ml: List Term Triple_store

@@ -1,0 +1,1 @@
+lib/kg/rdfs.mli: Term Triple_store

@@ -1,0 +1,1 @@
+lib/kg/sparql.ml: Bgp Gqkg_automata List Ntriples Printf Rdfs String Term

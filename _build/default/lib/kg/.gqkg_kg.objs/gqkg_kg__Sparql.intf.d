@@ -1,0 +1,1 @@
+lib/kg/sparql.mli: Bgp Term Triple_store

@@ -1,0 +1,1 @@
+lib/kg/term.ml: Buffer Fmt Hashtbl Int Printf Stdlib String

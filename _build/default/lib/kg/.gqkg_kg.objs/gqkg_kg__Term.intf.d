@@ -1,0 +1,1 @@
+lib/kg/term.mli: Format

@@ -1,0 +1,1 @@
+lib/kg/triple_store.mli: Term

@@ -1,0 +1,237 @@
+(* Basic graph pattern (BGP) matching: the conjunctive core of SPARQL
+   [Harris & Seaborne 2013], which Section 4 treats as the declarative
+   face of node/pattern extraction over RDF.
+
+   A pattern component is a constant term or a variable; a query is a
+   list of triple patterns with a SELECT head.  Evaluation is greedy
+   index-backed backtracking (same planning idea as {!Gqkg_logic.Cq},
+   but over the SPO/POS/OSP indexes). *)
+
+type component = Const of Term.t | Var of string
+
+type triple_pattern = { ps : component; pp : component; po : component }
+
+(* A pattern is a plain triple pattern, or a SPARQL-1.1-style property
+   path: subject and object joined by a Section 4 regular expression over
+   predicates (evaluated by the RPQ product engine over the RDF graph
+   view). *)
+type pattern =
+  | Triple of triple_pattern
+  | Path of { src : component; path : Gqkg_automata.Regex.t; dst : component }
+
+let pattern ps pp po = Triple { ps; pp; po }
+let path_pattern src path dst = Path { src; path; dst }
+
+let v name = Var name
+let c term = Const term
+let iri s = Const (Term.Iri s)
+
+type query = { select : string list; where : pattern list }
+
+type binding = (string * Term.t) list
+
+let component_vars cs = List.filter_map (function Var x -> Some x | Const _ -> None) cs
+
+let pattern_vars = function
+  | Triple { ps; pp; po } -> component_vars [ ps; pp; po ]
+  | Path { src; dst; _ } -> component_vars [ src; dst ]
+
+(* Resolve a component under the bindings: a bound variable behaves like
+   a constant. *)
+let resolve env = function
+  | Const t -> Some t
+  | Var x -> List.assoc_opt x env
+
+(* Materialized relation of a property-path pattern: endpoint term pairs
+   of matching paths, indexed both ways.  Built once per distinct path
+   expression and shared by the backtracking join. *)
+type path_relation = {
+  path_pairs : (Term.t * Term.t) list;
+  path_forward : (Term.t, Term.t list) Hashtbl.t;
+  path_backward : (Term.t, Term.t list) Hashtbl.t;
+  path_pair_set : (Term.t * Term.t, unit) Hashtbl.t;
+}
+
+type context = {
+  store : Triple_store.t;
+  mutable rdf : Rdf_graph.t option; (* built on first path pattern *)
+  path_relations : (string, path_relation) Hashtbl.t;
+}
+
+let make_context store = { store; rdf = None; path_relations = Hashtbl.create 4 }
+
+let rdf_view ctx =
+  match ctx.rdf with
+  | Some g -> g
+  | None ->
+      let g = Rdf_graph.of_store ctx.store in
+      ctx.rdf <- Some g;
+      g
+
+let path_relation ctx path =
+  let key = Gqkg_automata.Regex.to_string ~top:true path in
+  match Hashtbl.find_opt ctx.path_relations key with
+  | Some rel -> rel
+  | None ->
+      let g = rdf_view ctx in
+      let inst = Rdf_graph.to_instance g in
+      let pairs =
+        List.map
+          (fun (a, b) -> (Rdf_graph.node_term g a, Rdf_graph.node_term g b))
+          (Gqkg_core.Rpq.eval_pairs inst path)
+      in
+      let path_forward = Hashtbl.create 64 and path_backward = Hashtbl.create 64 in
+      let path_pair_set = Hashtbl.create 256 in
+      let push tbl k value =
+        Hashtbl.replace tbl k (value :: Option.value (Hashtbl.find_opt tbl k) ~default:[])
+      in
+      List.iter
+        (fun (a, b) ->
+          push path_forward a b;
+          push path_backward b a;
+          Hashtbl.replace path_pair_set (a, b) ())
+        pairs;
+      let rel = { path_pairs = pairs; path_forward; path_backward; path_pair_set } in
+      Hashtbl.add ctx.path_relations key rel;
+      rel
+
+(* Estimated result size of a triple pattern under the current bindings. *)
+let triple_cost store env pat =
+  let to_id component =
+    match resolve env component with
+    | None -> Some None (* wildcard *)
+    | Some term -> (
+        match Triple_store.id_of store term with
+        | Some id -> Some (Some id)
+        | None -> None (* constant not present: empty *))
+  in
+  match (to_id pat.ps, to_id pat.pp, to_id pat.po) with
+  | Some s, Some p, Some o -> Triple_store.count_matching_ids store ~s ~p ~o
+  | _ -> 0
+
+let triple_matches store env pat k =
+  let to_id component =
+    match resolve env component with
+    | None -> Some None
+    | Some term -> (
+        match Triple_store.id_of store term with Some id -> Some (Some id) | None -> None)
+  in
+  match (to_id pat.ps, to_id pat.pp, to_id pat.po) with
+  | Some s, Some p, Some o ->
+      Triple_store.iter_matching_ids store ~s ~p ~o (fun si pi oi ->
+          (* Bind unbound variables; reject on conflicting repeated vars
+             within the pattern (e.g. ?x ?p ?x). *)
+          let bind env component id =
+            match (component, env) with
+            | Const _, Some env -> Some env
+            | Var x, Some env -> begin
+                let term = Triple_store.term_of store id in
+                match List.assoc_opt x env with
+                | Some existing -> if Term.equal existing term then Some env else None
+                | None -> Some ((x, term) :: env)
+              end
+            | _, None -> None
+          in
+          match bind (bind (bind (Some env) pat.po oi) pat.pp pi) pat.ps si with
+          | Some env' -> k env'
+          | None -> ())
+  | _ -> ()
+
+let path_cost ctx env src path dst =
+  let rel = path_relation ctx path in
+  match (resolve env src, resolve env dst) with
+  | Some _, Some _ -> 1
+  | Some s, None -> List.length (Option.value (Hashtbl.find_opt rel.path_forward s) ~default:[])
+  | None, Some d -> List.length (Option.value (Hashtbl.find_opt rel.path_backward d) ~default:[])
+  | None, None -> List.length rel.path_pairs
+
+let path_matches ctx env src path dst k =
+  let rel = path_relation ctx path in
+  let bind env component term =
+    match component with
+    | Const _ -> Some env
+    | Var x -> (
+        match List.assoc_opt x env with
+        | Some existing -> if Term.equal existing term then Some env else None
+        | None -> Some ((x, term) :: env))
+  in
+  match (resolve env src, resolve env dst) with
+  | Some s, Some d -> if Hashtbl.mem rel.path_pair_set (s, d) then k env
+  | Some s, None ->
+      List.iter
+        (fun d -> match bind env dst d with Some env' -> k env' | None -> ())
+        (Option.value (Hashtbl.find_opt rel.path_forward s) ~default:[])
+  | None, Some d ->
+      List.iter
+        (fun s -> match bind env src s with Some env' -> k env' | None -> ())
+        (Option.value (Hashtbl.find_opt rel.path_backward d) ~default:[])
+  | None, None ->
+      List.iter
+        (fun (s, d) ->
+          match bind env src s with
+          | Some env' -> ( match bind env' dst d with Some env'' -> k env'' | None -> ())
+          | None -> ())
+        rel.path_pairs
+
+let pattern_cost ctx env = function
+  | Triple pat -> triple_cost ctx.store env pat
+  | Path { src; path; dst } -> path_cost ctx env src path dst
+
+let pattern_matches ctx env pat k =
+  match pat with
+  | Triple pat -> triple_matches ctx.store env pat k
+  | Path { src; path; dst } -> path_matches ctx env src path dst k
+
+let iter_solutions store query ~yield =
+  let ctx = make_context store in
+  let rec solve env remaining =
+    match remaining with
+    | [] -> yield env
+    | _ ->
+        let best = ref None in
+        List.iter
+          (fun pat ->
+            let cost = pattern_cost ctx env pat in
+            match !best with
+            | Some (_, best_cost) when best_cost <= cost -> ()
+            | _ -> best := Some (pat, cost))
+          remaining;
+        (match !best with
+        | None -> ()
+        | Some (pat, _) ->
+            let rest = List.filter (fun p -> p != pat) remaining in
+            pattern_matches ctx env pat (fun env' -> solve env' rest))
+  in
+  solve [] query.where
+
+(* SELECT evaluation: the distinct projections of the solutions onto the
+   selected variables (unbound selected variables are an error). *)
+let select store query =
+  List.iter
+    (fun x ->
+      if not (List.exists (fun pat -> List.mem x (pattern_vars pat)) query.where) then
+        invalid_arg (Printf.sprintf "Bgp.select: variable ?%s not used in the pattern" x))
+    query.select;
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  iter_solutions store query ~yield:(fun env ->
+      let row = List.map (fun x -> List.assoc x env) query.select in
+      let key = List.map Term.to_string row in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.replace seen key ();
+        out := row :: !out
+      end);
+  List.sort (fun a b -> List.compare Term.compare a b) !out
+
+(* COUNT of all solution mappings, without projection or dedup. *)
+let count_solutions store query =
+  let n = ref 0 in
+  iter_solutions store query ~yield:(fun _ -> incr n);
+  !n
+
+(* ASK. *)
+let ask store query =
+  let exception Found in
+  match iter_solutions store query ~yield:(fun _ -> raise Found) with
+  | () -> false
+  | exception Found -> true

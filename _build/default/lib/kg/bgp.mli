@@ -1,0 +1,41 @@
+(** Basic graph pattern matching — the conjunctive core of SPARQL — with
+    SPARQL-1.1-style property-path patterns (Section 4's declarative
+    face of pattern extraction over RDF). Evaluation is greedy
+    index-backed backtracking over the SPO/POS/OSP indexes; path
+    patterns are materialized once each by the RPQ product engine. *)
+
+type component = Const of Term.t | Var of string
+
+type triple_pattern = { ps : component; pp : component; po : component }
+
+type pattern =
+  | Triple of triple_pattern
+  | Path of { src : component; path : Gqkg_automata.Regex.t; dst : component }
+
+(** A plain triple pattern. *)
+val pattern : component -> component -> component -> pattern
+
+(** A property-path pattern: endpoints joined by a regular expression
+    over predicates. *)
+val path_pattern : component -> Gqkg_automata.Regex.t -> component -> pattern
+
+val v : string -> component
+val c : Term.t -> component
+val iri : string -> component
+
+type query = { select : string list; where : pattern list }
+type binding = (string * Term.t) list
+
+val pattern_vars : pattern -> string list
+
+(** Call [yield] once per solution mapping (not deduplicated). *)
+val iter_solutions : Triple_store.t -> query -> yield:(binding -> unit) -> unit
+
+(** Distinct projections onto the selected variables, sorted. Raises if
+    a selected variable is unused. *)
+val select : Triple_store.t -> query -> Term.t list list
+
+(** Number of solution mappings (no projection or dedup). *)
+val count_solutions : Triple_store.t -> query -> int
+
+val ask : Triple_store.t -> query -> bool

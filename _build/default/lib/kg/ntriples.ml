@@ -1,0 +1,162 @@
+(* N-Triples parsing and serialization (the line-oriented RDF exchange
+   syntax): one triple per line, subject predicate object '.', with
+   IRIs in angle brackets, literals in quotes with optional ^^<datatype>
+   or @lang, and _:name blank nodes.  Full-line comments start with #. *)
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type cursor = { text : string; mutable pos : int; line : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.text && (c.text.[c.pos] = ' ' || c.text.[c.pos] = '\t')
+  do
+    c.pos <- c.pos + 1
+  done
+
+let parse_iri c =
+  (* c.pos at '<' *)
+  match String.index_from_opt c.text c.pos '>' with
+  | None -> fail c.line "unterminated IRI"
+  | Some close ->
+      let iri = String.sub c.text (c.pos + 1) (close - c.pos - 1) in
+      c.pos <- close + 1;
+      Term.Iri iri
+
+let parse_bnode c =
+  (* c.pos at '_' *)
+  if c.pos + 1 >= String.length c.text || c.text.[c.pos + 1] <> ':' then
+    fail c.line "malformed blank node";
+  let start = c.pos + 2 in
+  let finish = ref start in
+  while
+    !finish < String.length c.text
+    && (match c.text.[!finish] with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+       | _ -> false)
+  do
+    incr finish
+  done;
+  if !finish = start then fail c.line "empty blank node label";
+  let label = String.sub c.text start (!finish - start) in
+  c.pos <- !finish;
+  Term.Bnode label
+
+let parse_literal c =
+  (* c.pos at opening quote *)
+  let buf = Buffer.create 16 in
+  let i = ref (c.pos + 1) in
+  let closed = ref false in
+  while (not !closed) && !i < String.length c.text do
+    (match c.text.[!i] with
+    | '\\' ->
+        if !i + 1 >= String.length c.text then fail c.line "dangling escape";
+        (match c.text.[!i + 1] with
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | e -> fail c.line "unknown escape \\%c" e);
+        incr i
+    | '"' -> closed := true
+    | ch -> Buffer.add_char buf ch);
+    incr i
+  done;
+  if not !closed then fail c.line "unterminated literal";
+  c.pos <- !i;
+  let value = Buffer.contents buf in
+  match peek c with
+  | Some '^' ->
+      if c.pos + 1 >= String.length c.text || c.text.[c.pos + 1] <> '^' then
+        fail c.line "malformed datatype marker";
+      c.pos <- c.pos + 2;
+      (match peek c with
+      | Some '<' -> begin
+          match parse_iri c with
+          | Term.Iri dt -> Term.literal ~datatype:dt value
+          | _ -> assert false
+        end
+      | _ -> fail c.line "datatype must be an IRI")
+  | Some '@' ->
+      let start = c.pos + 1 in
+      let finish = ref start in
+      while
+        !finish < String.length c.text
+        && (match c.text.[!finish] with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr finish
+      done;
+      if !finish = start then fail c.line "empty language tag";
+      let lang = String.sub c.text start (!finish - start) in
+      c.pos <- !finish;
+      Term.literal ~lang value
+  | _ -> Term.literal value
+
+let parse_term c =
+  skip_ws c;
+  match peek c with
+  | Some '<' -> parse_iri c
+  | Some '_' -> parse_bnode c
+  | Some '"' -> parse_literal c
+  | Some ch -> fail c.line "unexpected character %C" ch
+  | None -> fail c.line "unexpected end of line"
+
+let parse_line ~line text =
+  let trimmed = String.trim text in
+  if trimmed = "" || trimmed.[0] = '#' then None
+  else begin
+    let c = { text = trimmed; pos = 0; line } in
+    let s = parse_term c in
+    let p = parse_term c in
+    let o = parse_term c in
+    skip_ws c;
+    (match peek c with
+    | Some '.' -> c.pos <- c.pos + 1
+    | _ -> fail line "expected terminating '.'");
+    skip_ws c;
+    (match peek c with
+    | None -> ()
+    | Some '#' -> ()
+    | Some ch -> fail line "trailing garbage %C" ch);
+    (match p with
+    | Term.Iri _ -> ()
+    | _ -> fail line "predicate must be an IRI");
+    Some (Triple_store.triple s p o)
+  end
+
+let parse_string text =
+  let store = Triple_store.create () in
+  List.iteri
+    (fun i line ->
+      match parse_line ~line:(i + 1) line with
+      | Some tr -> ignore (Triple_store.add store tr)
+      | None -> ())
+    (String.split_on_char '\n' text);
+  store
+
+let to_string store =
+  let buf = Buffer.create 1024 in
+  let triples = List.sort compare (List.map (fun { Triple_store.s; p; o } -> (Term.to_string s, Term.to_string p, Term.to_string o)) (Triple_store.to_list store)) in
+  List.iter (fun (s, p, o) -> Buffer.add_string buf (Printf.sprintf "%s %s %s .\n" s p o)) triples;
+  Buffer.contents buf
+
+let load path =
+  let ic = open_in path in
+  let text =
+    try really_input_string ic (in_channel_length ic)
+    with exn ->
+      close_in ic;
+      raise exn
+  in
+  close_in ic;
+  parse_string text
+
+let save path store =
+  let oc = open_out path in
+  output_string oc (to_string store);
+  close_out oc

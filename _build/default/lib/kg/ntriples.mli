@@ -1,0 +1,22 @@
+(** N-Triples parsing and serialization: one triple per line, IRIs in
+    angle brackets, literals with optional [^^<datatype>] or [@lang],
+    [_:name] blank nodes, full-line ['#'] comments. *)
+
+exception Parse_error of { line : int; message : string }
+
+(** Lexing cursor over a single line, exposed for embedders (the
+    SPARQL-lite parser reuses the literal lexer). *)
+type cursor = { text : string; mutable pos : int; line : int }
+
+(** Parse a ["..."] literal (with optional [^^<dt>] / [@lang]) starting
+    at the cursor's opening quote, advancing it. *)
+val parse_literal : cursor -> Term.t
+
+(** Raises {!Parse_error} with a 1-based line number. *)
+val parse_string : string -> Triple_store.t
+
+(** Deterministic (sorted) rendering; a fixed point of parse ∘ render. *)
+val to_string : Triple_store.t -> string
+
+val load : string -> Triple_store.t
+val save : string -> Triple_store.t -> unit

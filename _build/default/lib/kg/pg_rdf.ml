@@ -1,0 +1,152 @@
+(* Mapping between property graphs and RDF — the model interoperability
+   at the heart of Section 3's "unified view".  Because RDF edges are
+   bare triples (no identity, no properties), a property-graph edge is
+   *reified*: it becomes a resource with source, target, label and its
+   properties, alongside a direct (source, label, target) triple that
+   keeps plain path queries natural.
+
+   Vocabulary (all under the urn:gqkg: namespace):
+     urn:gqkg:node/<id>     node resource      urn:gqkg:edge/<id>  edge resource
+     urn:gqkg:label/<l>     class of nodes/edges labeled l (via rdf:type)
+     urn:gqkg:prop/<p>      property p (object is a literal)
+     urn:gqkg:rel/<l>       direct edge triple predicate for label l
+     urn:gqkg:source/target reification wiring
+
+   [to_property_graph] inverts [of_property_graph] exactly on its image
+   (round-trip checked by property tests, E11). *)
+
+open Gqkg_graph
+
+let ns = "urn:gqkg:"
+let node_iri id = Term.Iri (ns ^ "node/" ^ Const.to_string id)
+let edge_iri id = Term.Iri (ns ^ "edge/" ^ Const.to_string id)
+let label_iri l = Term.Iri (ns ^ "label/" ^ Const.to_string l)
+let prop_iri p = Term.Iri (ns ^ "prop/" ^ Const.to_string p)
+let rel_iri l = Term.Iri (ns ^ "rel/" ^ Const.to_string l)
+let source_iri = Term.Iri (ns ^ "source")
+let target_iri = Term.Iri (ns ^ "target")
+
+let value_literal v = Term.literal (Const.to_string v)
+
+let of_property_graph pg =
+  let store = Triple_store.create () in
+  let add s p o = ignore (Triple_store.add store (Triple_store.triple s p o)) in
+  for n = 0 to Property_graph.num_nodes pg - 1 do
+    let subject = node_iri (Property_graph.node_id pg n) in
+    add subject Rdfs.rdf_type (label_iri (Property_graph.node_label pg n));
+    Array.iter
+      (fun (p, v) -> add subject (prop_iri p) (value_literal v))
+      (Property_graph.node_properties pg n)
+  done;
+  for e = 0 to Property_graph.num_edges pg - 1 do
+    let s, d = Property_graph.endpoints pg e in
+    let s_iri = node_iri (Property_graph.node_id pg s) in
+    let d_iri = node_iri (Property_graph.node_id pg d) in
+    let label = Property_graph.edge_label pg e in
+    (* Direct triple for natural path querying... *)
+    add s_iri (rel_iri label) d_iri;
+    (* ...and the reified resource carrying identity and properties. *)
+    let e_iri = edge_iri (Property_graph.edge_id pg e) in
+    add e_iri Rdfs.rdf_type (label_iri label);
+    add e_iri source_iri s_iri;
+    add e_iri target_iri d_iri;
+    Array.iter (fun (p, v) -> add e_iri (prop_iri p) (value_literal v)) (Property_graph.edge_properties pg e)
+  done;
+  store
+
+(* Strip a namespace prefix, or None if it does not apply. *)
+let strip prefix term =
+  match term with
+  | Term.Iri s when String.length s > String.length prefix && String.sub s 0 (String.length prefix) = prefix
+    -> Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+  | _ -> None
+
+let to_property_graph store =
+  let b = Property_graph.Builder.create () in
+  (* Nodes: resources typed with a label IRI under urn:gqkg:node/, added
+     in identifier order so the reconstruction is deterministic. *)
+  let node_decls = ref [] in
+  Triple_store.iter_matching store ~s:None ~p:(Some Rdfs.rdf_type) ~o:None (fun tr ->
+      match (strip (ns ^ "node/") tr.Triple_store.s, strip (ns ^ "label/") tr.o) with
+      | Some id, Some label -> node_decls := (id, label) :: !node_decls
+      | _ -> ());
+  List.iter
+    (fun (id, label) ->
+      ignore (Property_graph.Builder.add_node b (Const.of_string id) ~label:(Const.of_string label)))
+    (List.sort compare !node_decls);
+  (* Edges: reified resources with source and target. *)
+  let edge_info = Hashtbl.create 64 in
+  let note id field value =
+    let s, t, l = Option.value (Hashtbl.find_opt edge_info id) ~default:(None, None, None) in
+    Hashtbl.replace edge_info id
+      (match field with
+      | `Source -> (Some value, t, l)
+      | `Target -> (s, Some value, l)
+      | `Label -> (s, t, Some value))
+  in
+  Triple_store.iter store (fun tr ->
+      match strip (ns ^ "edge/") tr.Triple_store.s with
+      | None -> ()
+      | Some id -> begin
+          if Term.equal tr.p source_iri then
+            Option.iter (fun s -> note id `Source s) (strip (ns ^ "node/") tr.o)
+          else if Term.equal tr.p target_iri then
+            Option.iter (fun t -> note id `Target t) (strip (ns ^ "node/") tr.o)
+          else if Term.equal tr.p Rdfs.rdf_type then
+            Option.iter (fun l -> note id `Label l) (strip (ns ^ "label/") tr.o)
+        end);
+  let edge_index = Hashtbl.create 64 in
+  (* Deterministic edge order: sort by identifier. *)
+  let infos = Hashtbl.fold (fun id info acc -> (id, info) :: acc) edge_info [] |> List.sort compare in
+  List.iter
+    (fun (id, info) ->
+      match info with
+      | Some s, Some t, Some l -> begin
+          match
+            ( Property_graph.Builder.find_node b (Const.of_string s),
+              Property_graph.Builder.find_node b (Const.of_string t) )
+          with
+          | Some s, Some t ->
+              let e =
+                Property_graph.Builder.add_edge b (Const.of_string id) ~src:s ~dst:t
+                  ~label:(Const.of_string l)
+              in
+              Hashtbl.replace edge_index id e
+          | _ -> ()
+        end
+      | _ -> ())
+    infos;
+  (* Properties of nodes and edges. *)
+  Triple_store.iter store (fun tr ->
+      match tr.Triple_store.p with
+      | Term.Iri _ -> begin
+          match strip (ns ^ "prop/") tr.p with
+          | None -> ()
+          | Some pname -> begin
+              let value =
+                match tr.o with Term.Literal { value; _ } -> Some (Const.of_string value) | _ -> None
+              in
+              match value with
+              | None -> ()
+              | Some value -> begin
+                  match strip (ns ^ "node/") tr.s with
+                  | Some id -> begin
+                      match Property_graph.Builder.find_node b (Const.of_string id) with
+                      | Some n ->
+                          Property_graph.Builder.set_node_property b n ~prop:(Const.of_string pname) ~value
+                      | None -> ()
+                    end
+                  | None -> (
+                      match strip (ns ^ "edge/") tr.s with
+                      | Some id -> (
+                          match Hashtbl.find_opt edge_index id with
+                          | Some e ->
+                              Property_graph.Builder.set_edge_property b e ~prop:(Const.of_string pname)
+                                ~value
+                          | None -> ())
+                      | None -> ())
+                end
+            end
+        end
+      | Term.Literal _ | Term.Bnode _ -> ());
+  Property_graph.Builder.freeze b

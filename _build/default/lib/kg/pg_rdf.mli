@@ -1,0 +1,20 @@
+(** Property-graph ↔ RDF mapping (the Section 3 model interoperability).
+    Edges are reified (source/target/type plus properties) alongside a
+    direct (source, rel-label, target) triple for natural path querying;
+    [to_property_graph] inverts [of_property_graph] exactly on its image
+    (up to declaration order). *)
+
+open Gqkg_graph
+
+(** Vocabulary (all under urn:gqkg:). *)
+val node_iri : Const.t -> Term.t
+
+val edge_iri : Const.t -> Term.t
+val label_iri : Const.t -> Term.t
+val prop_iri : Const.t -> Term.t
+val rel_iri : Const.t -> Term.t
+val source_iri : Term.t
+val target_iri : Term.t
+
+val of_property_graph : Property_graph.t -> Triple_store.t
+val to_property_graph : Triple_store.t -> Property_graph.t

@@ -1,0 +1,20 @@
+(** RDF graphs as labeled graphs (Section 3): each triple (s, p, o) is
+    an edge from s to o labeled p. Exposing a triple store through the
+    uniform Instance view lets every Section 4 algorithm run unchanged
+    over RDF. Atomic tests: an edge satisfies label ℓ when its predicate
+    is ℓ or has local name ℓ; a node satisfies ℓ when it has a matching
+    rdf:type; (p = v) holds when a literal-valued triple exists. *)
+
+type t
+
+val of_store : Triple_store.t -> t
+val num_nodes : t -> int
+val num_edges : t -> int
+
+(** The RDF term at a node index. *)
+val node_term : t -> int -> Term.t
+
+val find_node : t -> Term.t -> int option
+val node_satisfies_atom : t -> int -> Gqkg_graph.Atom.t -> bool
+val edge_satisfies_atom : t -> int -> Gqkg_graph.Atom.t -> bool
+val to_instance : t -> Gqkg_graph.Instance.t

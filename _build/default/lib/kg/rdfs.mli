@@ -1,0 +1,17 @@
+(** RDFS forward-chaining inference — the deduction capability of
+    knowledge graphs (Section 2.3). Materializes rdfs2/3/5/7/9/11
+    (domain, range, subPropertyOf and subClassOf transitivity, property
+    and type inheritance) to a fixpoint. *)
+
+val rdf_type : Term.t
+val rdfs_sub_class_of : Term.t
+val rdfs_sub_property_of : Term.t
+val rdfs_domain : Term.t
+val rdfs_range : Term.t
+
+(** One pass; returns the number of new triples. *)
+val pass : Triple_store.t -> int
+
+(** To fixpoint; returns the total number of inferred triples.
+    Idempotent: a second call returns 0. *)
+val materialize : Triple_store.t -> int

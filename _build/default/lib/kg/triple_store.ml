@@ -1,0 +1,179 @@
+(* An indexed RDF triple store: the storage layer of the knowledge-graph
+   model.  Terms are interned to dense ids; three hash indexes (SPO, POS,
+   OSP) make every triple-pattern shape answerable by direct lookup —
+   the textbook design of RDF stores, scaled to our in-memory needs.
+
+   The store is mutable (knowledge graphs grow — Section 2.1 stresses the
+   flexibility of adding nodes/edges); query layers take a snapshot view
+   through the read API only. *)
+
+type triple = { s : Term.t; p : Term.t; o : Term.t }
+
+let triple s p o = { s; p; o }
+
+module Term_table = Hashtbl.Make (struct
+  type t = Term.t
+
+  let equal = Term.equal
+  let hash = Term.hash
+end)
+
+type t = {
+  ids : int Term_table.t;
+  mutable terms : Term.t array;
+  mutable term_count : int;
+  (* Index maps: first component -> second -> third list (dedup via set
+     semantics enforced on insert through [mem]). *)
+  spo : (int, (int, int list ref) Hashtbl.t) Hashtbl.t;
+  pos : (int, (int, int list ref) Hashtbl.t) Hashtbl.t;
+  osp : (int, (int, int list ref) Hashtbl.t) Hashtbl.t;
+  mutable size : int;
+}
+
+let create () =
+  {
+    ids = Term_table.create 256;
+    terms = Array.make 256 (Term.Iri "");
+    term_count = 0;
+    spo = Hashtbl.create 256;
+    pos = Hashtbl.create 256;
+    osp = Hashtbl.create 256;
+    size = 0;
+  }
+
+let size t = t.size
+let num_terms t = t.term_count
+
+let intern t term =
+  match Term_table.find_opt t.ids term with
+  | Some id -> id
+  | None ->
+      let id = t.term_count in
+      if id = Array.length t.terms then begin
+        let bigger = Array.make (2 * id) (Term.Iri "") in
+        Array.blit t.terms 0 bigger 0 id;
+        t.terms <- bigger
+      end;
+      t.terms.(id) <- term;
+      Term_table.add t.ids term id;
+      t.term_count <- id + 1;
+      id
+
+let term_of t id =
+  if id < 0 || id >= t.term_count then invalid_arg "Triple_store.term_of: unknown id";
+  t.terms.(id)
+
+let id_of t term = Term_table.find_opt t.ids term
+
+let index_add index a b c =
+  let second =
+    match Hashtbl.find_opt index a with
+    | Some m -> m
+    | None ->
+        let m = Hashtbl.create 4 in
+        Hashtbl.add index a m;
+        m
+  in
+  match Hashtbl.find_opt second b with
+  | Some thirds -> thirds := c :: !thirds
+  | None -> Hashtbl.add second b (ref [ c ])
+
+let index_mem index a b c =
+  match Hashtbl.find_opt index a with
+  | None -> false
+  | Some second -> (
+      match Hashtbl.find_opt second b with None -> false | Some thirds -> List.mem c !thirds)
+
+let mem_ids t ~s ~p ~o = index_mem t.spo s p o
+
+let mem t { s; p; o } =
+  match (id_of t s, id_of t p, id_of t o) with
+  | Some s, Some p, Some o -> mem_ids t ~s ~p ~o
+  | _ -> false
+
+(* Set semantics: re-adding an existing triple is a no-op. Returns whether
+   the triple was new. *)
+let add t { s; p; o } =
+  let si = intern t s and pi = intern t p and oi = intern t o in
+  if mem_ids t ~s:si ~p:pi ~o:oi then false
+  else begin
+    index_add t.spo si pi oi;
+    index_add t.pos pi oi si;
+    index_add t.osp oi si pi;
+    t.size <- t.size + 1;
+    true
+  end
+
+let add_all t triples = List.iter (fun tr -> ignore (add t tr)) triples
+
+(* Iterate all triples as id triples (s, p, o). *)
+let iter_ids t f =
+  Hashtbl.iter
+    (fun s second -> Hashtbl.iter (fun p thirds -> List.iter (fun o -> f s p o) !thirds) second)
+    t.spo
+
+let iter t f = iter_ids t (fun s p o -> f { s = t.terms.(s); p = t.terms.(p); o = t.terms.(o) })
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun tr -> acc := tr :: !acc);
+  !acc
+
+(* Pattern matching: [None] components are wildcards.  The index is
+   chosen by the bound components; every shape is a lookup, never a scan
+   of unrelated triples (full scan only for the all-wildcard pattern). *)
+let iter_matching_ids t ~s ~p ~o f =
+  let second_all index a g =
+    match Hashtbl.find_opt index a with
+    | None -> ()
+    | Some second -> Hashtbl.iter (fun b thirds -> List.iter (fun c -> g b c) !thirds) second
+  in
+  let thirds_of index a b g =
+    match Hashtbl.find_opt index a with
+    | None -> ()
+    | Some second -> (
+        match Hashtbl.find_opt second b with None -> () | Some thirds -> List.iter g !thirds)
+  in
+  match (s, p, o) with
+  | Some s, Some p, Some o -> if mem_ids t ~s ~p ~o then f s p o
+  | Some s, Some p, None -> thirds_of t.spo s p (fun o -> f s p o)
+  | Some s, None, Some o -> thirds_of t.osp o s (fun p -> f s p o)
+  | None, Some p, Some o -> thirds_of t.pos p o (fun s -> f s p o)
+  | Some s, None, None -> second_all t.spo s (fun p o -> f s p o)
+  | None, Some p, None -> second_all t.pos p (fun o s -> f s p o)
+  | None, None, Some o -> second_all t.osp o (fun s p -> f s p o)
+  | None, None, None -> iter_ids t f
+
+(* Count without materializing. *)
+let count_matching_ids t ~s ~p ~o =
+  let n = ref 0 in
+  iter_matching_ids t ~s ~p ~o (fun _ _ _ -> incr n);
+  !n
+
+let iter_matching t ~s ~p ~o f =
+  let resolve = function
+    | None -> Some None
+    | Some term -> ( match id_of t term with Some id -> Some (Some id) | None -> None)
+  in
+  match (resolve s, resolve p, resolve o) with
+  | Some s, Some p, Some o ->
+      iter_matching_ids t ~s ~p ~o (fun s p o ->
+          f { s = t.terms.(s); p = t.terms.(p); o = t.terms.(o) })
+  | _ -> () (* a constant term absent from the store matches nothing *)
+
+let matching t ~s ~p ~o =
+  let acc = ref [] in
+  iter_matching t ~s ~p ~o (fun tr -> acc := tr :: !acc);
+  !acc
+
+(* Knowledge-graph integration: the RDF promise that shared IRIs denote
+   shared entities makes merging a union of triple sets. *)
+let merge ~into source = iter source (fun tr -> ignore (add into tr))
+
+let copy t =
+  let fresh = create () in
+  merge ~into:fresh t;
+  fresh
+
+(* Distinct predicate ids in use. *)
+let predicate_ids t = Hashtbl.fold (fun p _ acc -> p :: acc) t.pos [] |> List.sort compare

@@ -1,0 +1,55 @@
+(** Indexed in-memory RDF triple store: interned terms and SPO/POS/OSP
+    hash indexes, so every triple-pattern shape is a lookup. Mutable
+    (knowledge graphs grow); set semantics. *)
+
+type triple = { s : Term.t; p : Term.t; o : Term.t }
+
+val triple : Term.t -> Term.t -> Term.t -> triple
+
+type t
+
+val create : unit -> t
+
+(** Number of distinct triples. *)
+val size : t -> int
+
+(** Number of interned terms. *)
+val num_terms : t -> int
+
+(** Dense id of a term, interning on first sight. *)
+val intern : t -> Term.t -> int
+
+val term_of : t -> int -> Term.t
+val id_of : t -> Term.t -> int option
+val mem : t -> triple -> bool
+val mem_ids : t -> s:int -> p:int -> o:int -> bool
+
+(** Returns whether the triple was new (set semantics). *)
+val add : t -> triple -> bool
+
+val add_all : t -> triple list -> unit
+val iter : t -> (triple -> unit) -> unit
+val iter_ids : t -> (int -> int -> int -> unit) -> unit
+val to_list : t -> triple list
+
+(** Pattern matching: [None] components are wildcards; the right index
+    is chosen per shape. A constant term absent from the store matches
+    nothing. *)
+val iter_matching :
+  t -> s:Term.t option -> p:Term.t option -> o:Term.t option -> (triple -> unit) -> unit
+
+val matching : t -> s:Term.t option -> p:Term.t option -> o:Term.t option -> triple list
+
+val iter_matching_ids :
+  t -> s:int option -> p:int option -> o:int option -> (int -> int -> int -> unit) -> unit
+
+(** Count without materializing. *)
+val count_matching_ids : t -> s:int option -> p:int option -> o:int option -> int
+
+(** Knowledge-graph integration: set union (shared IRIs deduplicate). *)
+val merge : into:t -> t -> unit
+
+val copy : t -> t
+
+(** Distinct predicate ids in use, ascending. *)
+val predicate_ids : t -> int list

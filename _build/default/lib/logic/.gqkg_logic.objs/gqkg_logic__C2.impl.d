@@ -1,0 +1,1 @@
+lib/logic/c2.ml: Atom Const Fo Gml Gqkg_graph Hashtbl Instance List Printf Set String

@@ -1,0 +1,1 @@
+lib/logic/c2.mli: Const Gml Gqkg_graph Instance Set

@@ -1,0 +1,1 @@
+lib/logic/cq.ml: Array Atom Const Gqkg_graph Hashtbl Instance List Option Printf Set String

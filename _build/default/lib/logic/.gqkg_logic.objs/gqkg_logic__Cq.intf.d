@@ -1,0 +1,1 @@
+lib/logic/cq.mli: Const Gqkg_graph Instance

@@ -1,0 +1,1 @@
+lib/logic/crpq.ml: Buffer Gqkg_automata Gqkg_core Gqkg_graph Hashtbl Instance List Option Printf Regex Set String

@@ -1,0 +1,1 @@
+lib/logic/crpq.mli: Gqkg_automata Gqkg_core Gqkg_graph Instance Regex

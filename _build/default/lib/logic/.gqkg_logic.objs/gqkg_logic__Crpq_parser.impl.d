@@ -1,0 +1,1 @@
+lib/logic/crpq_parser.ml: Crpq Gqkg_automata List Printf Regex Regex_parser String

@@ -1,0 +1,1 @@
+lib/logic/crpq_parser.mli: Crpq

@@ -1,0 +1,1 @@
+lib/logic/fo.ml: Atom Const Fmt Gqkg_graph Hashtbl Instance List Option Printf Set String

@@ -1,0 +1,1 @@
+lib/logic/fo.mli: Const Format Gqkg_graph Instance Set

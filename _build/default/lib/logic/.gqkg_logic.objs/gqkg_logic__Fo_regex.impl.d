@@ -1,0 +1,1 @@
+lib/logic/fo_regex.ml: Fo Gqkg_automata Gqkg_graph Printf Regex

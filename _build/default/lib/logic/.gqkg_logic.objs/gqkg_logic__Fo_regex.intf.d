@@ -1,0 +1,1 @@
+lib/logic/fo_regex.mli: Fo Gqkg_automata

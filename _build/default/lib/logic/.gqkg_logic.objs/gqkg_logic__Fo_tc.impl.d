@@ -1,0 +1,1 @@
+lib/logic/fo_tc.ml: Array Fo Gqkg_automata Gqkg_core Gqkg_graph Hashtbl Instance List Queue Regex

@@ -1,0 +1,1 @@
+lib/logic/fo_tc.mli: Fo Gqkg_automata Gqkg_graph Regex Set

@@ -1,0 +1,1 @@
+lib/logic/gml.ml: Array Atom Fmt Gqkg_graph Hashtbl Instance List Printf

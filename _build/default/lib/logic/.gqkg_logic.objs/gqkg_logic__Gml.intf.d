@@ -1,0 +1,1 @@
+lib/logic/gml.mli: Atom Const Format Gqkg_graph Instance

@@ -1,0 +1,42 @@
+(** C²: two-variable first-order logic with counting quantifiers — the
+    logic matching the Weisfeiler-Lehman test's distinguishing power
+    [Cai, Fürer & Immerman 1992]; the third corner of the Section 4.3
+    correspondence. *)
+
+open Gqkg_graph
+
+type formula =
+  | Node_pred of Const.t * string
+  | Edge_pred of Const.t * string * string  (** labeled edge x→y *)
+  | Adjacent of string * string  (** any edge between x and y, either way *)
+  | Eq of string * string
+  | Neg of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Count_exists of int * string * formula  (** ∃≥k x φ *)
+
+val node_pred : string -> string -> formula
+val edge_pred : string -> string -> string -> formula
+
+(** ∃≥k; raises on k < 1. *)
+val exists : ?at_least:int -> string -> formula -> formula
+
+module Vars : Set.S with type elt = string
+
+val free_vars : formula -> Vars.t
+val all_vars : formula -> Vars.t
+val width : formula -> int
+
+(** At most two variable names in the whole formula? *)
+val is_c2 : formula -> bool
+
+val to_string : formula -> string
+
+(** Unary query in [free]; rejects formulas outside C² or with stray
+    free variables. Sorted answers. *)
+val eval : Instance.t -> formula -> free:string -> int list
+
+(** Embed graded modal logic: ◇≥k φ ↦ ∃≥k y (adj(x,y) ∧ φ(y)). Agrees
+    with {!Gml.eval} on simple graphs (no parallel edges). Raises on
+    non-label atoms. *)
+val of_gml : Gml.t -> formula

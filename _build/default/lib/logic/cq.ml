@@ -1,0 +1,172 @@
+(* Conjunctive queries over labeled graphs: the basic pattern-matching
+   formalism behind "extracting nodes satisfying a pattern" (Sections 2.1
+   and 4.3).  A query is a set of node-label and edge-label atoms over
+   variables; answers are the assignments of graph nodes to the free
+   (head) variables that satisfy every atom.
+
+   Evaluation is backtracking search with a greedy join order: at every
+   step the next atom is the one with the fewest candidate matches given
+   the bindings so far, and already-bound edge atoms become constant-time
+   index probes.  This is a small but real query optimizer — enough to
+   make pattern matching usable as the substrate for the higher layers. *)
+
+open Gqkg_graph
+
+type atom =
+  | Node of Const.t * string  (** label(x) *)
+  | Edge of Const.t * string * string  (** label(x, y) *)
+
+type t = { head : string list; body : atom list }
+
+let query ~head ~body = { head; body }
+
+let node_atom l x = Node (Const.str l, x)
+let edge_atom l x y = Edge (Const.str l, x, y)
+
+module Vars = Set.Make (String)
+
+let atom_vars = function
+  | Node (_, x) -> Vars.singleton x
+  | Edge (_, x, y) -> Vars.add x (Vars.singleton y)
+
+let body_vars body = List.fold_left (fun acc a -> Vars.union acc (atom_vars a)) Vars.empty body
+
+(* Precomputed label indexes. *)
+type indexes = {
+  inst : Instance.t;
+  nodes_by_label : (Const.t, int array) Hashtbl.t;
+  edges_by_label : (Const.t, (int * int) array) Hashtbl.t; (* (src, dst) pairs *)
+  out_by_label : (Const.t * int, int array) Hashtbl.t; (* (label, src) -> dsts *)
+  in_by_label : (Const.t * int, int array) Hashtbl.t; (* (label, dst) -> srcs *)
+  pair_set : (Const.t * int * int, unit) Hashtbl.t;
+}
+
+let index_nodes_by_label idx label =
+  match Hashtbl.find_opt idx.nodes_by_label label with
+  | Some a -> a
+  | None ->
+      let out = ref [] in
+      for v = idx.inst.Instance.num_nodes - 1 downto 0 do
+        if idx.inst.Instance.node_atom v (Atom.Label label) then out := v :: !out
+      done;
+      let arr = Array.of_list !out in
+      Hashtbl.replace idx.nodes_by_label label arr;
+      arr
+
+let index_edges_by_label idx label =
+  match Hashtbl.find_opt idx.edges_by_label label with
+  | Some a -> a
+  | None ->
+      let pairs = ref [] in
+      let outs = Hashtbl.create 16 and ins = Hashtbl.create 16 in
+      for e = idx.inst.Instance.num_edges - 1 downto 0 do
+        if idx.inst.Instance.edge_atom e (Atom.Label label) then begin
+          let s, d = idx.inst.Instance.endpoints e in
+          pairs := (s, d) :: !pairs;
+          Hashtbl.replace idx.pair_set (label, s, d) ();
+          Hashtbl.replace outs s (d :: Option.value (Hashtbl.find_opt outs s) ~default:[]);
+          Hashtbl.replace ins d (s :: Option.value (Hashtbl.find_opt ins d) ~default:[])
+        end
+      done;
+      let arr = Array.of_list !pairs in
+      Hashtbl.replace idx.edges_by_label label arr;
+      Hashtbl.iter (fun s ds -> Hashtbl.replace idx.out_by_label (label, s) (Array.of_list ds)) outs;
+      Hashtbl.iter (fun d ss -> Hashtbl.replace idx.in_by_label (label, d) (Array.of_list ss)) ins;
+      arr
+
+let make_indexes inst =
+  {
+    inst;
+    nodes_by_label = Hashtbl.create 16;
+    edges_by_label = Hashtbl.create 16;
+    out_by_label = Hashtbl.create 64;
+    in_by_label = Hashtbl.create 64;
+    pair_set = Hashtbl.create 256;
+  }
+
+(* Estimated number of candidate bindings an atom contributes, under the
+   current partial assignment: the greedy cost function of the planner. *)
+let atom_cost idx env = function
+  | Node (l, x) ->
+      if List.mem_assoc x env then 1 else Array.length (index_nodes_by_label idx l)
+  | Edge (l, x, y) -> begin
+      let all () = Array.length (index_edges_by_label idx l) in
+      match (List.assoc_opt x env, List.assoc_opt y env) with
+      | Some _, Some _ -> 1
+      | Some s, None ->
+          ignore (index_edges_by_label idx l);
+          Array.length (Option.value (Hashtbl.find_opt idx.out_by_label (l, s)) ~default:[||])
+      | None, Some d ->
+          ignore (index_edges_by_label idx l);
+          Array.length (Option.value (Hashtbl.find_opt idx.in_by_label (l, d)) ~default:[||])
+      | None, None -> all ()
+    end
+
+(* All extensions of [env] satisfying the atom, passed to [k]. *)
+let atom_matches idx env atom k =
+  match atom with
+  | Node (l, x) -> begin
+      match List.assoc_opt x env with
+      | Some v -> if idx.inst.Instance.node_atom v (Atom.Label l) then k env
+      | None -> Array.iter (fun v -> k ((x, v) :: env)) (index_nodes_by_label idx l)
+    end
+  | Edge (l, x, y) -> begin
+      ignore (index_edges_by_label idx l);
+      match (List.assoc_opt x env, List.assoc_opt y env) with
+      | Some s, Some d -> if Hashtbl.mem idx.pair_set (l, s, d) then k env
+      | Some s, None ->
+          Array.iter
+            (fun d -> k ((y, d) :: env))
+            (Option.value (Hashtbl.find_opt idx.out_by_label (l, s)) ~default:[||])
+      | None, Some d ->
+          Array.iter
+            (fun s -> k ((x, s) :: env))
+            (Option.value (Hashtbl.find_opt idx.in_by_label (l, d)) ~default:[||])
+      | None, None ->
+          Array.iter (fun (s, d) -> if x = y then (if s = d then k ((x, s) :: env)) else k ((x, s) :: (y, d) :: env)) (index_edges_by_label idx l)
+    end
+
+(* Evaluate, invoking [yield] once per answer (head-variable tuple);
+   duplicate answers from different witnesses are deduplicated. *)
+let iter_answers ?indexes inst q ~yield =
+  let idx = match indexes with Some i -> i | None -> make_indexes inst in
+  List.iter
+    (fun v ->
+      if not (Vars.mem v (body_vars q.body)) then
+        invalid_arg (Printf.sprintf "Cq: head variable %s not bound by the body" v))
+    q.head;
+  let seen = Hashtbl.create 64 in
+  let rec solve env remaining =
+    match remaining with
+    | [] ->
+        let answer = List.map (fun v -> List.assoc v env) q.head in
+        if not (Hashtbl.mem seen answer) then begin
+          Hashtbl.replace seen answer ();
+          yield answer
+        end
+    | _ ->
+        (* Greedy: pick the cheapest atom under the current bindings. *)
+        let best = ref None in
+        List.iter
+          (fun atom ->
+            let cost = atom_cost idx env atom in
+            match !best with
+            | Some (_, c) when c <= cost -> ()
+            | _ -> best := Some (atom, cost))
+          remaining;
+        (match !best with
+        | None -> ()
+        | Some (atom, _) ->
+            let rest = List.filter (fun a -> a != atom) remaining in
+            atom_matches idx env atom (fun env' -> solve env' rest))
+  in
+  solve [] q.body
+
+let answers ?indexes inst q =
+  let out = ref [] in
+  iter_answers ?indexes inst q ~yield:(fun a -> out := a :: !out);
+  List.sort compare !out
+
+(* Unary convenience: answers of a single-head-variable query. *)
+let answer_nodes ?indexes inst q =
+  List.filter_map (function [ v ] -> Some v | _ -> None) (answers ?indexes inst q)

@@ -1,0 +1,31 @@
+(** Conjunctive queries over labeled graphs: node-label and edge-label
+    atoms over variables, evaluated by greedy index-backed backtracking
+    (the basic pattern matching of Sections 2.1 and 4.3). *)
+
+open Gqkg_graph
+
+type atom =
+  | Node of Const.t * string  (** label(x) *)
+  | Edge of Const.t * string * string  (** label(x, y) *)
+
+type t = { head : string list; body : atom list }
+
+val query : head:string list -> body:atom list -> t
+val node_atom : string -> string -> atom
+val edge_atom : string -> string -> string -> atom
+
+(** Precomputed label indexes, shareable across queries on the same
+    instance. *)
+type indexes
+
+val make_indexes : Instance.t -> indexes
+
+(** Call [yield] once per distinct head tuple. Raises if a head variable
+    is not bound by the body. *)
+val iter_answers : ?indexes:indexes -> Instance.t -> t -> yield:(int list -> unit) -> unit
+
+(** Distinct head tuples, sorted. *)
+val answers : ?indexes:indexes -> Instance.t -> t -> int list list
+
+(** Single-head-variable convenience. *)
+val answer_nodes : ?indexes:indexes -> Instance.t -> t -> int list

@@ -1,0 +1,49 @@
+(** Conjunctive regular path queries (CRPQs): conjunctions of path atoms
+    (x, r, y) where r is a full Section 4 regular expression — the
+    backbone of modern graph query languages [Angles et al. 2017].
+
+    Each atom's endpoint relation is computed once with the product
+    engine and indexed both ways; the conjunction is solved by greedy
+    smallest-first backtracking join. *)
+
+open Gqkg_graph
+open Gqkg_automata
+
+type atom = { src : string; regex : Regex.t; dst : string }
+
+type t = { head : string list; body : atom list; limit : int option }
+
+val atom : src:string -> regex:Regex.t -> dst:string -> atom
+
+(** [limit] caps the number of distinct answers (SQL-style LIMIT). *)
+val query : ?limit:int -> head:string list -> body:atom list -> unit -> t
+
+(** Concrete-syntax rendering (parse-compatible with {!Crpq_parser} up
+    to node-label sugar). *)
+val to_string : t -> string
+
+(** Call [yield] once per distinct head tuple. [max_length] bounds path
+    length per atom (cost control for star-heavy patterns). Raises if a
+    head variable is not bound by the body. *)
+val iter_answers : ?max_length:int -> Instance.t -> t -> yield:(int list -> unit) -> unit
+
+(** Distinct head tuples, sorted. *)
+val answers : ?max_length:int -> Instance.t -> t -> int list list
+
+val answer_nodes : ?max_length:int -> Instance.t -> t -> int list
+
+(** Oracle: enumerate all variable assignments and filter. Exponential;
+    for tests and the E13 ablation. *)
+val answers_naive : ?max_length:int -> Instance.t -> t -> int list list
+
+(** Full solution mappings (every body variable bound), deduplicated. *)
+val solutions : ?max_length:int -> Instance.t -> t -> (string * int) list list
+
+(** Solutions with one shortest witness path per atom — paths as
+    first-class results (the G-CORE idea of the paper's reference [5]). *)
+val solutions_with_witnesses :
+  ?max_length:int -> Instance.t -> t -> ((string * int) list * (atom * Gqkg_core.Path.t) list) list
+
+(** Human-readable evaluation plan: per-atom relation sizes and the
+    static greedy order. *)
+val explain : ?max_length:int -> Instance.t -> t -> string

@@ -1,0 +1,68 @@
+(** First-order logic over graph vocabularies (Section 4.3): node labels
+    as unary predicates, edge labels as binary predicates; the φ(x)/ψ(x)
+    example and its two evaluation strategies. *)
+
+open Gqkg_graph
+
+type formula =
+  | Node_pred of Const.t * string  (** label(x) *)
+  | Edge_pred of Const.t * string * string  (** label(x, y) *)
+  | Eq of string * string
+  | Neg of formula
+  | And of formula * formula
+  | Or of formula * formula
+  | Exists of string * formula
+  | Forall of string * formula
+
+val node_pred : string -> string -> formula
+val edge_pred : string -> string -> string -> formula
+
+(** Right-nested conjunction; raises on []. *)
+val and_of : formula list -> formula
+
+module Vars : Set.S with type elt = string
+
+val free_vars : formula -> Vars.t
+
+(** All variable names used — the "number of variables" resource the
+    bounded-variable rewriting economizes. *)
+val all_vars : formula -> Vars.t
+
+val width : formula -> int
+val quantifier_rank : formula -> int
+val to_string : formula -> string
+val pp : Format.formatter -> formula -> unit
+
+(** {2 Evaluation} *)
+
+(** Shared edge-label lookup structures. *)
+type db
+
+val db_of_instance : Instance.t -> db
+
+(** The instance a db was built from. *)
+val db_instance : db -> Instance.t
+
+(** Is there an edge so labeled from the first node to the second? *)
+val edge_holds : db -> Const.t -> int -> int -> bool
+
+(** Tarskian truth under an environment (innermost binding wins). *)
+val holds : db -> (string * int) list -> formula -> bool
+
+(** Unary query by direct evaluation, O(n^quantifier-rank); the formula
+    must have no free variables beyond [free]. Sorted answers. *)
+val eval_naive : Instance.t -> formula -> free:string -> int list
+
+(** Unary query by bottom-up relational evaluation; every subformula's
+    extension is a table over its free variables. Raises when an
+    intermediate arity exceeds the variable bound (3) — that cap is the
+    bounded-variable discipline [Vardi 1995]. *)
+val eval_bounded : Instance.t -> formula -> free:string -> int list
+
+(** {2 The paper's worked formulas} *)
+
+(** φ(x) = person(x) ∧ ∃y∃z (rides(x,y) ∧ bus(y) ∧ rides(z,y) ∧ infected(z)) *)
+val phi : formula
+
+(** ψ(x): the equivalent 2-variable rewriting. *)
+val psi : formula

@@ -1,0 +1,98 @@
+(* Translation of star-free regular expressions into first-order logic
+   (Section 4.3's declarative view of node extraction).
+
+   The paper compiles r = ?person/rides/?bus/rides⁻/?infected into
+
+     φ(x) = person(x) ∧ ∃y∃z (rides(x,y) ∧ bus(y) ∧ rides(z,y) ∧ infected(z))
+
+   and then into the 2-variable ψ(x) by *reusing* variable names once
+   their values can be forgotten.  We implement both styles:
+
+   - [to_fo_fresh]: one fresh variable per intermediate node (width grows
+     with the length of the expression);
+   - [to_fo_reused]: the bounded-variable rewriting — a chain of steps
+     alternates between two variable names, re-binding the one whose
+     value is no longer needed, exactly the ψ(x) trick.
+
+   Only the star-free, label-test fragment is translatable (stars need
+   transitive closure, property tests need a richer vocabulary); both
+   functions return [None] outside the fragment. *)
+
+open Gqkg_automata
+
+(* One navigation step: an edge traversal (with direction) or a node
+   test.  A "chain" is the purely sequential normal form the rewriting
+   needs. *)
+type step = Check of Gqkg_graph.Const.t | Step_fwd of Gqkg_graph.Const.t | Step_bwd of Gqkg_graph.Const.t
+
+let chain_of_regex regex =
+  let rec flatten = function
+    | Regex.Node_test (Regex.Atom (Gqkg_graph.Atom.Label l)) -> Some [ Check l ]
+    | Regex.Fwd (Regex.Atom (Gqkg_graph.Atom.Label l)) -> Some [ Step_fwd l ]
+    | Regex.Bwd (Regex.Atom (Gqkg_graph.Atom.Label l)) -> Some [ Step_bwd l ]
+    | Regex.Seq (r1, r2) -> (
+        match (flatten r1, flatten r2) with Some a, Some b -> Some (a @ b) | _ -> None)
+    | Regex.Node_test _ | Regex.Fwd _ | Regex.Bwd _ | Regex.Alt _ | Regex.Star _ -> None
+  in
+  flatten regex
+
+(* Fresh-variable translation: variables x0 (the free one), x1, x2, ... *)
+let to_fo_fresh regex =
+  match chain_of_regex regex with
+  | None -> None
+  | Some steps ->
+      let var i = Printf.sprintf "x%d" i in
+      (* Collect conjuncts over the node variables of the chain. *)
+      let rec conjuncts i = function
+        | [] -> ([], i)
+        | Check l :: rest ->
+            let cs, last = conjuncts i rest in
+            (Fo.Node_pred (l, var i) :: cs, last)
+        | Step_fwd l :: rest ->
+            let cs, last = conjuncts (i + 1) rest in
+            (Fo.Edge_pred (l, var i, var (i + 1)) :: cs, last)
+        | Step_bwd l :: rest ->
+            let cs, last = conjuncts (i + 1) rest in
+            (Fo.Edge_pred (l, var (i + 1), var i) :: cs, last)
+      in
+      let cs, last = conjuncts 0 steps in
+      let body = match cs with [] -> Fo.Eq (var 0, var 0) | _ -> Fo.and_of cs in
+      (* Existentially close every variable except x0. *)
+      let rec close i f = if i > last then f else close (i + 1) (Fo.Exists (var i, f)) in
+      Some (close 1 body)
+
+(* Bounded-variable translation: fold the chain from the right, at each
+   edge step introducing ∃ over the *other* of two alternating names and
+   re-binding, so the result uses only variables "x" and "y" — the ψ(x)
+   construction. *)
+let to_fo_reused regex =
+  match chain_of_regex regex with
+  | None -> None
+  | Some steps ->
+      (* current = name of the variable denoting the current node. *)
+      let other = function "x" -> "y" | _ -> "x" in
+      let rec build current = function
+        | [] -> None
+        | [ Check l ] -> Some (Fo.Node_pred (l, current))
+        | Check l :: rest -> (
+            match build current rest with
+            | Some f -> Some (Fo.And (Fo.Node_pred (l, current), f))
+            | None -> Some (Fo.Node_pred (l, current)))
+        | Step_fwd l :: rest ->
+            let next = other current in
+            let edge = Fo.Edge_pred (l, current, next) in
+            Some
+              (Fo.Exists
+                 ( next,
+                   match build next rest with Some f -> Fo.And (edge, f) | None -> edge ))
+        | Step_bwd l :: rest ->
+            let next = other current in
+            let edge = Fo.Edge_pred (l, next, current) in
+            Some
+              (Fo.Exists
+                 ( next,
+                   match build next rest with Some f -> Fo.And (edge, f) | None -> edge ))
+      in
+      (match build "x" steps with
+      | Some f -> Some f
+      | None -> Some (Fo.Eq ("x", "x")) (* empty chain: always true *))

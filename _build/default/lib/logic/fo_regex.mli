@@ -1,0 +1,13 @@
+(** Translation of star-free, label-test regular expressions to
+    first-order logic (the declarative view of Section 4.3). Both return
+    [None] outside the chain fragment (stars, alternations, property
+    tests are untranslatable). *)
+
+(** One fresh variable per intermediate node; free variable ["x0"]. The
+    φ(x)-style formula. *)
+val to_fo_fresh : Gqkg_automata.Regex.t -> Fo.formula option
+
+(** The bounded-variable rewriting: alternates two names, re-binding the
+    one whose value can be forgotten; free variable ["x"]. The
+    ψ(x)-style formula (width 2). *)
+val to_fo_reused : Gqkg_automata.Regex.t -> Fo.formula option

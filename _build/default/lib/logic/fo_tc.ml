@@ -1,0 +1,103 @@
+(* Reachability logic: first-order logic extended with the transitive
+   closure of a binary definable relation — the "efficient fragment of
+   transitive closure logic" thread the paper cites [Alechina & Immerman
+   2000].  This is the declarative counterpart of the Kleene star: a
+   star-free step expression defines the base relation, TC closes it.
+
+     tc ::= TC(step)(x, y)        reach by >= 1 step
+          | TC0(step)(x, y)       reach by >= 0 steps
+
+   A step is any regex translatable to FO (the chain fragment of
+   {!Fo_regex}); its relation is computed once with the RPQ engine and
+   closed by breadth-first search, so evaluation stays O(n·(n+m)) — the
+   bounded-variable promise extended to recursion. *)
+
+open Gqkg_graph
+open Gqkg_automata
+
+type formula =
+  | Fo of Fo.formula  (** an ordinary FO formula *)
+  | Tc of { step : Regex.t; reflexive : bool; src : string; dst : string }
+      (** TC(step)(src, dst): dst reachable from src by ≥1 (or ≥0 when
+          [reflexive]) step-paths *)
+  | And of formula * formula
+  | Or of formula * formula
+  | Neg of formula
+  | Exists of string * formula
+
+let tc ?(reflexive = false) step ~src ~dst = Tc { step; reflexive; src; dst }
+
+module Vars = Fo.Vars
+
+let rec free_vars = function
+  | Fo f -> Fo.free_vars f
+  | Tc { src; dst; _ } -> Vars.add src (Vars.singleton dst)
+  | And (f, g) | Or (f, g) -> Vars.union (free_vars f) (free_vars g)
+  | Neg f -> free_vars f
+  | Exists (x, f) -> Vars.remove x (free_vars f)
+
+(* The closure of a step relation: reach.(a) = set of b with a step-path
+   a ->+ b (or ->* when reflexive).  One BFS per source over the
+   step-pair adjacency. *)
+let closure_relation ?max_length inst step ~reflexive =
+  let n = inst.Instance.num_nodes in
+  let successors = Array.make n [] in
+  List.iter
+    (fun (a, b) -> successors.(a) <- b :: successors.(a))
+    (Gqkg_core.Rpq.eval_pairs ?max_length inst step);
+  let reach = Array.init n (fun _ -> Hashtbl.create 4) in
+  for source = 0 to n - 1 do
+    let visited = reach.(source) in
+    let queue = Queue.create () in
+    let push v =
+      if not (Hashtbl.mem visited v) then begin
+        Hashtbl.replace visited v ();
+        Queue.push v queue
+      end
+    in
+    List.iter push successors.(source);
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      List.iter push successors.(v)
+    done;
+    if reflexive then Hashtbl.replace visited source ()
+  done;
+  reach
+
+(* Evaluate as a unary query in the free variable [free]; every other
+   variable must be bound by Exists.  TC atoms become precomputed
+   reachability tables; the rest is Tarskian evaluation with the same
+   environment discipline as {!Fo.eval_naive}. *)
+let eval ?max_length inst formula ~free =
+  if not (Vars.subset (free_vars formula) (Vars.singleton free)) then
+    invalid_arg "Fo_tc.eval: formula has free variables beyond the query variable";
+  (* Cache one closure per distinct (step, reflexive). *)
+  let closures = Hashtbl.create 4 in
+  let closure step reflexive =
+    let key = (Regex.to_string ~top:true step, reflexive) in
+    match Hashtbl.find_opt closures key with
+    | Some c -> c
+    | None ->
+        let c = closure_relation ?max_length inst step ~reflexive in
+        Hashtbl.add closures key c;
+        c
+  in
+  let db = Fo.db_of_instance inst in
+  let n = inst.Instance.num_nodes in
+  let rec holds env = function
+    | Fo f -> Fo.holds db env f
+    | Tc { step; reflexive; src; dst } ->
+        let a = List.assoc src env and b = List.assoc dst env in
+        Hashtbl.mem (closure step reflexive).(a) b
+    | And (f, g) -> holds env f && holds env g
+    | Or (f, g) -> holds env f || holds env g
+    | Neg f -> not (holds env f)
+    | Exists (x, f) ->
+        let rec loop v = v < n && (holds ((x, v) :: env) f || loop (v + 1)) in
+        loop 0
+  in
+  let out = ref [] in
+  for v = n - 1 downto 0 do
+    if holds [ (free, v) ] formula then out := v :: !out
+  done;
+  !out

@@ -1,0 +1,25 @@
+(** First-order logic with transitive closure of definable steps
+    (reachability logic, the paper's [Alechina & Immerman] thread). *)
+
+open Gqkg_automata
+
+type formula =
+  | Fo of Fo.formula
+  | Tc of { step : Regex.t; reflexive : bool; src : string; dst : string }
+  | And of formula * formula
+  | Or of formula * formula
+  | Neg of formula
+  | Exists of string * formula
+
+(** TC(step)(src, dst): dst reachable from src by ≥1 (or ≥0 when
+    [reflexive]) step-paths. *)
+val tc : ?reflexive:bool -> Regex.t -> src:string -> dst:string -> formula
+
+module Vars : Set.S with type elt = string
+
+val free_vars : formula -> Vars.t
+
+(** Unary query in [free]; every other variable must be bound. Each
+    distinct step relation is materialized once (RPQ engine) and closed
+    by BFS, so TC atoms cost O(n·(n+m)) total. Sorted answers. *)
+val eval : ?max_length:int -> Gqkg_graph.Instance.t -> formula -> free:string -> int list

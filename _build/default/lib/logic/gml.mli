@@ -1,0 +1,37 @@
+(** Graded modal logic — the declarative counterpart of AC-GNNs
+    (Section 4.3, Barceló et al. 2020). ◇≥n φ holds at a node with at
+    least n neighbors (undirected, with multiplicity) satisfying φ. *)
+
+open Gqkg_graph
+
+type t =
+  | Atom of Atom.t
+  | True
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Diamond of int * t  (** ◇≥n φ *)
+
+val label : string -> t
+val feature : int -> Const.t -> t
+
+(** [diamond ~at_least:n φ] is ◇≥n φ; raises on n < 1. *)
+val diamond : ?at_least:int -> t -> t
+
+(** Maximum ◇-nesting. *)
+val depth : t -> int
+
+val size : t -> int
+
+(** Subformulas, children before parents, duplicates collapsed — the
+    coordinate order of the logic→GNN compiler. *)
+val subformulas : t -> t list
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Truth value at every node, O(size · (n + m)). *)
+val eval : Instance.t -> t -> bool array
+
+(** The satisfying nodes, ascending. *)
+val models : Instance.t -> t -> int list

@@ -1,0 +1,49 @@
+(* Walker's alias method: O(n) preprocessing, O(1) sampling from an
+   arbitrary discrete distribution.  Used by the uniform path generator
+   (sampling the next product edge proportional to downstream path counts)
+   and by the workload generators. *)
+
+type t = { prob : float array; alias : int array }
+
+let create weights =
+  let n = Array.length weights in
+  if n = 0 then invalid_arg "Alias.create: empty distribution";
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Alias.create: weights must have positive sum";
+  Array.iter (fun w -> if w < 0.0 then invalid_arg "Alias.create: negative weight") weights;
+  let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+  let prob = Array.make n 0.0 and alias = Array.init n (fun i -> i) in
+  let small = Stack.create () and large = Stack.create () in
+  Array.iteri (fun i p -> if p < 1.0 then Stack.push i small else Stack.push i large) scaled;
+  while (not (Stack.is_empty small)) && not (Stack.is_empty large) do
+    let s = Stack.pop small and l = Stack.pop large in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.0;
+    if scaled.(l) < 1.0 then Stack.push l small else Stack.push l large
+  done;
+  let flush stack = Stack.iter (fun i -> prob.(i) <- 1.0) stack in
+  flush small;
+  flush large;
+  { prob; alias }
+
+let sample t rng =
+  let n = Array.length t.prob in
+  let i = Splitmix.int rng n in
+  if Splitmix.unit_float rng < t.prob.(i) then i else t.alias.(i)
+
+(* Direct inverse-CDF sampling, O(n) per draw; used where distributions are
+   built once and sampled once (no alias table worth building). *)
+let sample_weights weights rng =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then invalid_arg "Alias.sample_weights: weights must have positive sum";
+  let target = Splitmix.float rng total in
+  let n = Array.length weights in
+  let rec loop i acc =
+    if i = n - 1 then i
+    else begin
+      let acc = acc +. weights.(i) in
+      if target < acc then i else loop (i + 1) acc
+    end
+  in
+  loop 0 0.0

@@ -1,0 +1,12 @@
+(** Walker's alias method for O(1) discrete sampling. *)
+
+type t
+
+(** Build from non-negative weights with positive sum. *)
+val create : float array -> t
+
+(** Index drawn proportionally to the construction weights. *)
+val sample : t -> Splitmix.t -> int
+
+(** One-shot inverse-CDF draw directly from a weight array. *)
+val sample_weights : float array -> Splitmix.t -> int

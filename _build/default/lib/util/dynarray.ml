@@ -1,0 +1,34 @@
+(* Minimal growable array (OCaml 5.1 predates Stdlib.Dynarray).  Used by
+   the lazy product construction, where states are discovered on demand
+   and addressed by dense ids. *)
+
+type 'a t = { mutable data : 'a array; mutable size : int; dummy : 'a }
+
+let create ?(capacity = 16) dummy = { data = Array.make (max capacity 1) dummy; size = 0; dummy }
+
+let length t = t.size
+
+let get t i =
+  if i < 0 || i >= t.size then invalid_arg "Dynarray.get: out of bounds";
+  t.data.(i)
+
+let set t i v =
+  if i < 0 || i >= t.size then invalid_arg "Dynarray.set: out of bounds";
+  t.data.(i) <- v
+
+let push t v =
+  if t.size = Array.length t.data then begin
+    let bigger = Array.make (2 * t.size) t.dummy in
+    Array.blit t.data 0 bigger 0 t.size;
+    t.data <- bigger
+  end;
+  t.data.(t.size) <- v;
+  t.size <- t.size + 1;
+  t.size - 1
+
+let iteri t f =
+  for i = 0 to t.size - 1 do
+    f i t.data.(i)
+  done
+
+let to_array t = Array.sub t.data 0 t.size

@@ -1,0 +1,16 @@
+(** Growable array with dense integer addressing. *)
+
+type 'a t
+
+(** [create dummy] makes an empty array; [dummy] fills unused capacity. *)
+val create : ?capacity:int -> 'a -> 'a t
+
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+
+(** Append and return the new element's index. *)
+val push : 'a t -> 'a -> int
+
+val iteri : 'a t -> (int -> 'a -> unit) -> unit
+val to_array : 'a t -> 'a array

@@ -1,0 +1,77 @@
+(* Binary min-heap of (priority, payload) pairs with float priorities.
+   Used by Dijkstra, Brandes (weighted variant) and the densest-subgraph
+   peeling loop.  Stale-entry deletion is the caller's business (decrease-
+   key is emulated by reinsertion, the standard lazy approach). *)
+
+type 'a t = {
+  mutable keys : float array;
+  mutable values : 'a array;
+  mutable size : int;
+  dummy : 'a;
+}
+
+let create ?(capacity = 16) dummy =
+  let capacity = max capacity 1 in
+  { keys = Array.make capacity 0.0; values = Array.make capacity dummy; size = 0; dummy }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let grow t =
+  let capacity = 2 * Array.length t.keys in
+  let keys = Array.make capacity 0.0 in
+  let values = Array.make capacity t.dummy in
+  Array.blit t.keys 0 keys 0 t.size;
+  Array.blit t.values 0 values 0 t.size;
+  t.keys <- keys;
+  t.values <- values
+
+let swap t i j =
+  let k = t.keys.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.keys.(j) <- k;
+  let v = t.values.(i) in
+  t.values.(i) <- t.values.(j);
+  t.values.(j) <- v
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.keys.(i) < t.keys.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && t.keys.(left) < t.keys.(!smallest) then smallest := left;
+  if right < t.size && t.keys.(right) < t.keys.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let add t ~key value =
+  if t.size = Array.length t.keys then grow t;
+  t.keys.(t.size) <- key;
+  t.values.(t.size) <- value;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some (t.keys.(0), t.values.(0))
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let key = t.keys.(0) and value = t.values.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.keys.(0) <- t.keys.(t.size);
+      t.values.(0) <- t.values.(t.size);
+      sift_down t 0
+    end;
+    t.values.(t.size) <- t.dummy;
+    Some (key, value)
+  end

@@ -1,0 +1,18 @@
+(** Binary min-heap keyed by float priorities.
+
+    Decrease-key is emulated by reinsertion; callers skip stale pops. *)
+
+type 'a t
+
+(** [create dummy] makes an empty heap; [dummy] fills unused slots. *)
+val create : ?capacity:int -> 'a -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val add : 'a t -> key:float -> 'a -> unit
+
+(** Smallest key with its payload, without removing it. *)
+val peek : 'a t -> (float * 'a) option
+
+(** Remove and return the smallest key with its payload. *)
+val pop : 'a t -> (float * 'a) option

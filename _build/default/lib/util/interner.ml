@@ -1,0 +1,36 @@
+(* Bidirectional string <-> dense-int interning.  Graph labels, property
+   names and RDF terms are interned once so the hot query paths compare
+   ints instead of strings. *)
+
+type t = { by_string : (string, int) Hashtbl.t; mutable by_id : string array; mutable size : int }
+
+let create ?(capacity = 64) () =
+  { by_string = Hashtbl.create capacity; by_id = Array.make (max capacity 1) ""; size = 0 }
+
+let length t = t.size
+
+let intern t s =
+  match Hashtbl.find_opt t.by_string s with
+  | Some id -> id
+  | None ->
+      let id = t.size in
+      if id = Array.length t.by_id then begin
+        let bigger = Array.make (2 * id) "" in
+        Array.blit t.by_id 0 bigger 0 id;
+        t.by_id <- bigger
+      end;
+      t.by_id.(id) <- s;
+      Hashtbl.add t.by_string s id;
+      t.size <- id + 1;
+      id
+
+let find_opt t s = Hashtbl.find_opt t.by_string s
+
+let to_string t id =
+  if id < 0 || id >= t.size then invalid_arg "Interner.to_string: unknown id";
+  t.by_id.(id)
+
+let iter t f =
+  for id = 0 to t.size - 1 do
+    f id t.by_id.(id)
+  done

@@ -1,0 +1,20 @@
+(** Bidirectional string interning with dense integer ids. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** Number of distinct interned strings. *)
+val length : t -> int
+
+(** Id of the string, allocating a fresh id on first sight. *)
+val intern : t -> string -> int
+
+(** Id of the string if already interned. *)
+val find_opt : t -> string -> int option
+
+(** Inverse of {!intern}. Raises on unknown ids. *)
+val to_string : t -> int -> string
+
+(** Iterate over all (id, string) pairs in id order. *)
+val iter : t -> (int -> string -> unit) -> unit

@@ -1,0 +1,125 @@
+(* SplitMix64: a fast, splittable pseudo-random number generator.
+
+   We implement our own PRNG (rather than using [Stdlib.Random]) so that
+   every randomized algorithm in the library is deterministic given a seed,
+   independently of the OCaml version, and so that independent streams can
+   be split off for parallel or hierarchical experiments.  The algorithm is
+   the finalizer of Steele, Lea & Flood, "Fast Splittable Pseudorandom
+   Number Generators" (OOPSLA 2014). *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+(* A fresh generator whose stream is independent of the parent's future
+   output: standard SplitMix practice of seeding from the next output. *)
+let split t =
+  let seed = next_int64 t in
+  { state = mix64 seed }
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+(* Uniform integer in [0, bound) by rejection, avoiding modulo bias. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  let rec loop () =
+    let r = bits62 t in
+    let v = r mod bound in
+    if r - v + (bound - 1) < 0 then loop () else v
+  in
+  loop ()
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Splitmix.int_in_range: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  if bound <= 0.0 then invalid_arg "Splitmix.float: bound must be positive";
+  let x = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (x /. 9007199254740992.0 (* 2^53 *))
+
+let unit_float t = float t 1.0
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p = unit_float t < p
+
+(* Box-Muller transform. *)
+let gaussian t ~mu ~sigma =
+  let rec nonzero () =
+    let u = unit_float t in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = unit_float t in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+(* Inverse-transform sampling via repeated Bernoulli thinning would be slow
+   for large lambda; the multiplication method is fine at our scales. *)
+let poisson t lambda =
+  if lambda < 0.0 then invalid_arg "Splitmix.poisson: negative rate";
+  if lambda = 0.0 then 0
+  else begin
+    let limit = exp (-.lambda) in
+    let rec loop k prod = if prod <= limit then k - 1 else loop (k + 1) (prod *. unit_float t) in
+    loop 1 (unit_float t)
+  end
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let shuffle t arr =
+  let copy = Array.copy arr in
+  shuffle_in_place t copy;
+  copy
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Splitmix.choose: empty array";
+  arr.(int t (Array.length arr))
+
+(* Sample [k] distinct indices from [0, n) without replacement.  Uses a
+   partial Fisher-Yates over a scratch array when k is a large fraction of
+   n, and rejection via a hash set otherwise. *)
+let sample_without_replacement t ~n ~k =
+  if k < 0 || k > n then invalid_arg "Splitmix.sample_without_replacement";
+  if 4 * k >= n then begin
+    let scratch = Array.init n (fun i -> i) in
+    for i = 0 to k - 1 do
+      let j = int_in_range t ~lo:i ~hi:(n - 1) in
+      let tmp = scratch.(i) in
+      scratch.(i) <- scratch.(j);
+      scratch.(j) <- tmp
+    done;
+    Array.sub scratch 0 k
+  end
+  else begin
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let candidate = int t n in
+      if not (Hashtbl.mem seen candidate) then begin
+        Hashtbl.add seen candidate ();
+        out.(!filled) <- candidate;
+        incr filled
+      end
+    done;
+    out
+  end

@@ -1,0 +1,60 @@
+(* Disjoint-set forest with union by rank and path halving. *)
+
+type t = { parent : int array; rank : int array; mutable components : int }
+
+let create n =
+  if n < 0 then invalid_arg "Union_find.create: negative size";
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; components = n }
+
+let size t = Array.length t.parent
+
+let components t = t.components
+
+let find t x =
+  let parent = t.parent in
+  let rec loop x =
+    let p = parent.(x) in
+    if p = x then x
+    else begin
+      (* Path halving: point x at its grandparent as we walk up. *)
+      let gp = parent.(p) in
+      parent.(x) <- gp;
+      loop gp
+    end
+  in
+  loop x
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then false
+  else begin
+    let rank = t.rank in
+    let big, small = if rank.(rx) >= rank.(ry) then (rx, ry) else (ry, rx) in
+    t.parent.(small) <- big;
+    if rank.(big) = rank.(small) then rank.(big) <- rank.(big) + 1;
+    t.components <- t.components - 1;
+    true
+  end
+
+let same t x y = find t x = find t y
+
+(* Map every element to a dense component id in [0, components). *)
+let labeling t =
+  let n = size t in
+  let ids = Hashtbl.create 16 in
+  let out = Array.make n 0 in
+  let next = ref 0 in
+  for i = 0 to n - 1 do
+    let root = find t i in
+    let id =
+      match Hashtbl.find_opt ids root with
+      | Some id -> id
+      | None ->
+          let id = !next in
+          incr next;
+          Hashtbl.add ids root id;
+          id
+    in
+    out.(i) <- id
+  done;
+  out

@@ -1,0 +1,20 @@
+(** Disjoint-set forest over the elements [0 .. n-1]. *)
+
+type t
+
+val create : int -> t
+val size : t -> int
+
+(** Current number of disjoint components. *)
+val components : t -> int
+
+(** Canonical representative of the element's component. *)
+val find : t -> int -> int
+
+(** Merge the two components; returns [false] if already merged. *)
+val union : t -> int -> int -> bool
+
+val same : t -> int -> int -> bool
+
+(** Dense component id per element, ids in [\[0, components)]. *)
+val labeling : t -> int array

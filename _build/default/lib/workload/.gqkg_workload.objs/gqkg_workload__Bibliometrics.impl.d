@@ -1,0 +1,1 @@
+lib/workload/bibliometrics.ml: Bgp Float Gqkg_kg Gqkg_util List Printf Rdfs Splitmix Term Triple_store

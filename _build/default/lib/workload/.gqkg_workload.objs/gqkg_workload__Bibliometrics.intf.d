@@ -1,0 +1,1 @@
+lib/workload/bibliometrics.mli: Gqkg_kg Gqkg_util Splitmix Term Triple_store

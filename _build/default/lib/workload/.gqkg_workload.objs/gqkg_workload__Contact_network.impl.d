@@ -1,0 +1,1 @@
+lib/workload/contact_network.ml: Array Const Gqkg_graph Gqkg_util Printf Property_graph Splitmix

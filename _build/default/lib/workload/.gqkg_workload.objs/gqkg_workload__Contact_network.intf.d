@@ -1,0 +1,1 @@
+lib/workload/contact_network.mli: Gqkg_graph Gqkg_util Property_graph Splitmix

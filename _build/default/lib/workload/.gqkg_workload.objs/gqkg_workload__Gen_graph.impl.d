@@ -1,0 +1,1 @@
+lib/workload/gen_graph.ml: Array Const Gqkg_graph Gqkg_util Hashtbl Labeled_graph List Printf Splitmix

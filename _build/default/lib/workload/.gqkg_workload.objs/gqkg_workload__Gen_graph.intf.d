@@ -1,0 +1,1 @@
+lib/workload/gen_graph.mli: Gqkg_graph Gqkg_util Labeled_graph Splitmix

@@ -1,0 +1,1 @@
+lib/workload/gen_regex.ml: Array Atom Const Gqkg_automata Gqkg_graph Gqkg_util Regex Splitmix

@@ -1,0 +1,1 @@
+lib/workload/gen_regex.mli: Gqkg_automata Gqkg_util Regex Splitmix

@@ -1,0 +1,149 @@
+(* Synthetic bibliographic knowledge graph for reproducing Figure 1.
+
+   The paper counts DBLP publications (2010-2020) whose titles contain
+   one of five keywords, and observes: "knowledge graph" inflects upward
+   after the 2012 Google announcement and dominates by 2020; "RDF" and
+   "SPARQL" stay stable with a mild decline; "graph database" is
+   comparatively small with no significant growth; "property graph" is
+   negligible.  It also reports that the share of knowledge-graph papers
+   about RDF/SPARQL fell from ~70% (2015) to ~14% (2020).
+
+   We do not have DBLP in this sealed environment (DESIGN.md §2), so we
+   generate a corpus whose per-keyword yearly volumes follow growth
+   models with those qualitative shapes (Poisson noise on top), and tag
+   publications with keyword resources.  The Figure 1 experiment then
+   *queries the knowledge graph itself* for the counts — same pipeline as
+   the paper's analysis, synthetic raw data. *)
+
+open Gqkg_util
+open Gqkg_kg
+
+let keywords = [ "knowledge_graph"; "rdf"; "sparql"; "graph_database"; "property_graph" ]
+
+let first_year = 2010
+let last_year = 2020
+
+(* Expected publication volume per keyword and year — the calibrated
+   growth models. *)
+let expected_volume keyword year =
+  let y = float_of_int (year - 2010) in
+  match keyword with
+  | "knowledge_graph" ->
+      (* Quiet until the 2012 announcement, then exponential takeoff
+         saturating around ~900/year by 2020. *)
+      if year <= 2012 then 15.0 else Float.min 900.0 (22.0 *. exp (0.48 *. (y -. 2.0)))
+  | "rdf" -> 330.0 -. (8.0 *. y) (* stable, mild decline *)
+  | "sparql" -> 150.0 -. (4.0 *. y)
+  | "graph_database" -> 35.0 +. (1.5 *. y) (* comparatively small, no real growth *)
+  | "property_graph" -> 2.0 +. (0.8 *. y) (* negligible *)
+  | _ -> invalid_arg "Bibliometrics.expected_volume: unknown keyword"
+
+(* Fraction of knowledge-graph papers that are *also* about RDF/SPARQL:
+   ~70% in 2015 falling to ~14% in 2020 (and assumed high before). *)
+let kg_rdf_share year =
+  if year <= 2013 then 0.80
+  else Float.max 0.14 (0.70 -. (0.112 *. float_of_int (year - 2015)))
+
+let ns = "urn:bib:"
+let publication_class = Term.Iri (ns ^ "Publication")
+let keyword_pred = Term.Iri (ns ^ "keyword")
+let year_pred = Term.Iri (ns ^ "year")
+let venue_pred = Term.Iri (ns ^ "venue")
+let author_pred = Term.Iri (ns ^ "author")
+let keyword_iri k = Term.Iri (ns ^ "kw/" ^ k)
+
+let venues = [| "sigmod"; "vldb"; "iswc"; "www"; "kdd"; "eswc" |]
+
+(* Generate the corpus as an RDF knowledge graph.  [volume_scale] shrinks
+   the corpus for fast tests (1.0 reproduces the full calibrated sizes). *)
+let generate ?(volume_scale = 1.0) rng =
+  let store = Triple_store.create () in
+  let add s p o = ignore (Triple_store.add store (Triple_store.triple s p o)) in
+  let pub_counter = ref 0 in
+  let publish year keyword_list =
+    let id = !pub_counter in
+    incr pub_counter;
+    let pub = Term.Iri (Printf.sprintf "%spub/%d" ns id) in
+    add pub Rdfs.rdf_type publication_class;
+    add pub year_pred (Term.of_int year);
+    add pub venue_pred (Term.Iri (ns ^ "venue/" ^ Splitmix.choose rng venues));
+    (* One to four authors drawn from a pool; enough structure for the
+       example applications to join over. *)
+    for _ = 1 to Splitmix.int_in_range rng ~lo:1 ~hi:4 do
+      add pub author_pred (Term.Iri (Printf.sprintf "%sauthor/%d" ns (Splitmix.int rng 2000)))
+    done;
+    List.iter (fun k -> add pub keyword_pred (keyword_iri k)) keyword_list
+  in
+  for year = first_year to last_year do
+    List.iter
+      (fun keyword ->
+        let expected = volume_scale *. expected_volume keyword year in
+        let count = Splitmix.poisson rng expected in
+        for _ = 1 to count do
+          match keyword with
+          | "knowledge_graph" ->
+              (* A share of KG papers also carries rdf or sparql. *)
+              if Splitmix.bernoulli rng (kg_rdf_share year) then begin
+                let second = if Splitmix.bool rng then "rdf" else "sparql" in
+                publish year [ "knowledge_graph"; second ]
+              end
+              else publish year [ "knowledge_graph" ]
+          | keyword -> publish year [ keyword ]
+        done)
+      keywords
+  done;
+  store
+
+(* The Figure 1 query: publications tagged [keyword] in [year], counted
+   through the BGP engine (the data-management code path under test). *)
+let count_keyword_year store ~keyword ~year =
+  Bgp.count_solutions store
+    {
+      Bgp.select = [ "p" ];
+      where =
+        [
+          Bgp.pattern (Bgp.v "p") (Bgp.c Rdfs.rdf_type) (Bgp.c publication_class);
+          Bgp.pattern (Bgp.v "p") (Bgp.c keyword_pred) (Bgp.c (keyword_iri keyword));
+          Bgp.pattern (Bgp.v "p") (Bgp.c year_pred) (Bgp.c (Term.of_int year));
+        ];
+    }
+
+(* Publications carrying both the KG keyword and rdf-or-sparql in [year]:
+   the numerator of the falling-share statistic. *)
+let count_kg_with_rdf store ~year =
+  let count second =
+    Bgp.count_solutions store
+      {
+        Bgp.select = [ "p" ];
+        where =
+          [
+            Bgp.pattern (Bgp.v "p") (Bgp.c keyword_pred) (Bgp.c (keyword_iri "knowledge_graph"));
+            Bgp.pattern (Bgp.v "p") (Bgp.c keyword_pred) (Bgp.c (keyword_iri second));
+            Bgp.pattern (Bgp.v "p") (Bgp.c year_pred) (Bgp.c (Term.of_int year));
+          ];
+      }
+  in
+  count "rdf" + count "sparql"
+
+type series = { keyword : string; counts : (int * int) list (* year, count *) }
+
+(* The full Figure 1 dataset, one series per keyword. *)
+let figure1_series store =
+  List.map
+    (fun keyword ->
+      {
+        keyword;
+        counts =
+          List.init (last_year - first_year + 1) (fun i ->
+              let year = first_year + i in
+              (year, count_keyword_year store ~keyword ~year));
+      })
+    keywords
+
+let share_statistics store =
+  List.filter_map
+    (fun year ->
+      let kg = count_keyword_year store ~keyword:"knowledge_graph" ~year in
+      if kg = 0 then None
+      else Some (year, float_of_int (count_kg_with_rdf store ~year) /. float_of_int kg))
+    [ 2015; 2020 ]

@@ -1,0 +1,42 @@
+(** Synthetic bibliographic knowledge graph for Figure 1 (the DBLP
+    substitution, DESIGN.md §2): per-keyword yearly publication volumes
+    follow growth models calibrated to the paper's described shape; the
+    bench then queries the KG for the counts. *)
+
+open Gqkg_util
+open Gqkg_kg
+
+val keywords : string list
+val first_year : int
+val last_year : int
+
+(** Expected volume of a keyword in a year (the calibrated model). *)
+val expected_volume : string -> int -> float
+
+(** Modeled share of KG papers also about RDF/SPARQL. *)
+val kg_rdf_share : int -> float
+
+val publication_class : Term.t
+val keyword_pred : Term.t
+val year_pred : Term.t
+val venue_pred : Term.t
+val author_pred : Term.t
+val keyword_iri : string -> Term.t
+
+(** Generate the corpus; [volume_scale] shrinks it for fast tests. *)
+val generate : ?volume_scale:float -> Splitmix.t -> Triple_store.t
+
+(** Publications tagged [keyword] in [year], counted through the BGP
+    engine. *)
+val count_keyword_year : Triple_store.t -> keyword:string -> year:int -> int
+
+(** Publications carrying both the KG keyword and rdf-or-sparql. *)
+val count_kg_with_rdf : Triple_store.t -> year:int -> int
+
+type series = { keyword : string; counts : (int * int) list  (** (year, count) *) }
+
+(** One series per keyword — the Figure 1 dataset. *)
+val figure1_series : Triple_store.t -> series list
+
+(** (year, share) for 2015 and 2020 — the falling KG∩RDF statistic. *)
+val share_statistics : Triple_store.t -> (int * float) list

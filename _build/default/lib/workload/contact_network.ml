@@ -1,0 +1,137 @@
+(* Scaled generator for the paper's running example: a contact-tracing
+   network of people, buses, addresses and companies (Figure 2 writ
+   large).  Every Section 4 experiment that needs "a realistic labeled /
+   property graph" draws from here, so the regexes of the paper — (2),
+   (3), r, r1 and the bus-centrality query — are meaningful on every
+   instance.
+
+   Structure (all sizes parameters):
+   - [people] person nodes, a fraction [infected] labeled "infected";
+   - [buses] bus nodes, each owned by one of [companies] companies;
+   - [addresses] address nodes (with zip properties); people are assigned
+     to addresses (households) and get "lives" edges;
+   - each person "rides" [rides_per_person] uniformly chosen buses, with
+     a date property;
+   - [contacts] "contact" edges between random pairs of people, with a
+     date property. *)
+
+open Gqkg_graph
+open Gqkg_util
+
+type params = {
+  people : int;
+  infected : float; (* fraction of people labeled infected *)
+  buses : int;
+  companies : int;
+  addresses : int;
+  household : int; (* max people per address *)
+  rides_per_person : int;
+  contacts : int;
+}
+
+let default =
+  {
+    people = 50;
+    infected = 0.15;
+    buses = 5;
+    companies = 2;
+    addresses = 20;
+    household = 3;
+    rides_per_person = 2;
+    contacts = 40;
+  }
+
+let random_date rng =
+  Const.date ~year:2021 ~month:(Splitmix.int_in_range rng ~lo:1 ~hi:4)
+    ~day:(Splitmix.int_in_range rng ~lo:1 ~hi:28)
+
+let generate ?(params = default) rng =
+  if params.people < 1 || params.buses < 1 || params.addresses < 1 || params.companies < 1 then
+    invalid_arg "Contact_network.generate: all populations must be positive";
+  let b = Property_graph.Builder.create () in
+  let person = Array.make params.people 0 in
+  let edge_counter = ref 0 in
+  let fresh_edge () =
+    let id = Const.str (Printf.sprintf "e%d" !edge_counter) in
+    incr edge_counter;
+    id
+  in
+  for i = 0 to params.people - 1 do
+    let label = if Splitmix.bernoulli rng params.infected then "infected" else "person" in
+    let n = Property_graph.Builder.add_node b (Const.str (Printf.sprintf "p%d" i)) ~label:(Const.str label) in
+    Property_graph.Builder.set_node_property b n ~prop:(Const.str "age")
+      ~value:(Const.int (Splitmix.int_in_range rng ~lo:5 ~hi:90));
+    person.(i) <- n
+  done;
+  let bus = Array.make params.buses 0 in
+  for i = 0 to params.buses - 1 do
+    bus.(i) <- Property_graph.Builder.add_node b (Const.str (Printf.sprintf "b%d" i)) ~label:(Const.str "bus")
+  done;
+  let company = Array.make params.companies 0 in
+  for i = 0 to params.companies - 1 do
+    company.(i) <-
+      Property_graph.Builder.add_node b (Const.str (Printf.sprintf "c%d" i)) ~label:(Const.str "company")
+  done;
+  Array.iter
+    (fun bus_node ->
+      ignore
+        (Property_graph.Builder.add_edge b (fresh_edge ())
+           ~src:(Splitmix.choose rng company)
+           ~dst:bus_node ~label:(Const.str "owns")))
+    bus;
+  let address = Array.make params.addresses 0 in
+  for i = 0 to params.addresses - 1 do
+    let n =
+      Property_graph.Builder.add_node b (Const.str (Printf.sprintf "a%d" i)) ~label:(Const.str "address")
+    in
+    Property_graph.Builder.set_node_property b n ~prop:(Const.str "zip")
+      ~value:(Const.int (10000 + Splitmix.int rng 90000));
+    address.(i) <- n
+  done;
+  (* Households: chunk people into addresses. *)
+  Array.iteri
+    (fun i p ->
+      let home = address.((i / max 1 params.household) mod params.addresses) in
+      ignore (Property_graph.Builder.add_edge b (fresh_edge ()) ~src:p ~dst:home ~label:(Const.str "lives")))
+    person;
+  Array.iter
+    (fun p ->
+      for _ = 1 to params.rides_per_person do
+        let e =
+          Property_graph.Builder.add_edge b (fresh_edge ()) ~src:p ~dst:(Splitmix.choose rng bus)
+            ~label:(Const.str "rides")
+        in
+        Property_graph.Builder.set_edge_property b e ~prop:(Const.str "date") ~value:(random_date rng)
+      done)
+    person;
+  for _ = 1 to params.contacts do
+    let x = Splitmix.choose rng person and y = Splitmix.choose rng person in
+    if x <> y then begin
+      let e = Property_graph.Builder.add_edge b (fresh_edge ()) ~src:x ~dst:y ~label:(Const.str "contact") in
+      Property_graph.Builder.set_edge_property b e ~prop:(Const.str "date") ~value:(random_date rng)
+    end
+  done;
+  Property_graph.Builder.freeze b
+
+(* A family of instances scaled by a factor, for parameter sweeps. *)
+let scaled rng ~scale =
+  let p =
+    {
+      people = 50 * scale;
+      infected = 0.15;
+      buses = 5 * scale;
+      companies = max 2 scale;
+      addresses = 20 * scale;
+      household = 3;
+      rides_per_person = 2;
+      contacts = 40 * scale;
+    }
+  in
+  generate ~params:p rng
+
+(* The worked queries of the paper, as parse-ready strings. *)
+let query_contact_infected = "?person/contact/?infected"
+let query_contact_dated = "?person/(contact & date=3/4/21)/?infected"
+let query_shared_bus = "?person/rides/?bus/rides^-/?infected"
+let query_infection_spread = "?infected/rides/?bus/rides^-/(?person/(lives + contact))*/?person"
+let query_bus_transport = "?person/rides/?bus/rides^-/?person"

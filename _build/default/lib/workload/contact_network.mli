@@ -1,0 +1,31 @@
+(** Scaled generator for the paper's running example: contact-tracing
+    networks of people, buses, addresses and companies (Figure 2 writ
+    large), on which every worked query of Section 4 is meaningful. *)
+
+open Gqkg_graph
+open Gqkg_util
+
+type params = {
+  people : int;
+  infected : float;  (** fraction labeled "infected" *)
+  buses : int;
+  companies : int;
+  addresses : int;
+  household : int;  (** max people per address *)
+  rides_per_person : int;
+  contacts : int;
+}
+
+val default : params
+val generate : ?params:params -> Splitmix.t -> Property_graph.t
+
+(** [default] with every population multiplied. *)
+val scaled : Splitmix.t -> scale:int -> Property_graph.t
+
+(** The paper's queries, parse-ready. *)
+val query_contact_infected : string
+
+val query_contact_dated : string
+val query_shared_bus : string
+val query_infection_spread : string
+val query_bus_transport : string

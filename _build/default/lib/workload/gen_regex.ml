@@ -1,0 +1,49 @@
+(* Random regular-expression generator over a label vocabulary: the
+   input distribution for the property tests that cross-check the
+   product-based engine against the naive denotational evaluator. *)
+
+open Gqkg_graph
+open Gqkg_automata
+open Gqkg_util
+
+type params = {
+  node_labels : string list;
+  edge_labels : string list;
+  max_depth : int;
+  star_probability : float;
+}
+
+let default =
+  { node_labels = [ "a"; "b"; "c" ]; edge_labels = [ "x"; "y"; "z" ]; max_depth = 4; star_probability = 0.2 }
+
+let random_test rng labels ~depth =
+  let labels = Array.of_list labels in
+  let rec go depth =
+    if depth = 0 || Splitmix.bernoulli rng 0.6 then
+      Regex.Atom (Atom.Label (Const.str (Splitmix.choose rng labels)))
+    else begin
+      match Splitmix.int rng 3 with
+      | 0 -> Regex.Not (go (depth - 1))
+      | 1 -> Regex.Or (go (depth - 1), go (depth - 1))
+      | _ -> Regex.And (go (depth - 1), go (depth - 1))
+    end
+  in
+  go depth
+
+let generate ?(params = default) rng =
+  let rec go depth =
+    if depth = 0 then leaf ()
+    else begin
+      match Splitmix.int rng 10 with
+      | 0 | 1 | 2 -> Regex.Seq (go (depth - 1), go (depth - 1))
+      | 3 | 4 -> Regex.Alt (go (depth - 1), go (depth - 1))
+      | 5 when Splitmix.bernoulli rng params.star_probability -> Regex.Star (go (depth - 1))
+      | _ -> leaf ()
+    end
+  and leaf () =
+    match Splitmix.int rng 4 with
+    | 0 -> Regex.Node_test (random_test rng params.node_labels ~depth:2)
+    | 1 -> Regex.Bwd (random_test rng params.edge_labels ~depth:2)
+    | _ -> Regex.Fwd (random_test rng params.edge_labels ~depth:2)
+  in
+  go params.max_depth

@@ -1,0 +1,19 @@
+(** Random regular-expression generator over a label vocabulary: the
+    input distribution of the engine-vs-oracle property tests. *)
+
+open Gqkg_automata
+open Gqkg_util
+
+type params = {
+  node_labels : string list;
+  edge_labels : string list;
+  max_depth : int;
+  star_probability : float;
+}
+
+val default : params
+
+(** Random boolean test over the labels. *)
+val random_test : Splitmix.t -> string list -> depth:int -> Regex.test
+
+val generate : ?params:params -> Splitmix.t -> Regex.t

@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Array Atom Const Gqkg_automata Gqkg_core Gqkg_graph Gqkg_util Gqkg_workload List Nfa QCheck2 QCheck_alcotest Regex Regex_parser String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Alias Array Dynarray Float Fun Gqkg_util Heap Interner List QCheck2 QCheck_alcotest Splitmix Stats String Table Union_find Vec
