@@ -758,6 +758,95 @@ let completion () =
   print_endline " 'produces' plausible missing knowledge, Section 2.3's learning route)"
 
 (* ------------------------------------------------------------------ *)
+(* E15: RPQ kernel throughput (machine-readable)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The product-automaton kernel is the engine under every Section 4
+   algorithm; this experiment times it on fixed workloads and emits
+   BENCH_rpq.json so successive PRs can track the perf trajectory.
+   Metrics: paths counted per second through the Count dynamic program
+   (drives product construction + expansion + DP), product states
+   interned, pair-query latency, speedup vs the naive denotational
+   evaluator, and bc_r sequential vs parallel wall time. *)
+
+let best_of n f =
+  let best = ref infinity and result = ref None in
+  for _ = 1 to n do
+    let r, t = wall f in
+    if t < !best then best := t;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let rpq_kernel () =
+  Table.section "E15: RPQ kernel throughput (emits BENCH_rpq.json)";
+  let people = 1000 and k = 8 in
+  let inst = Property_graph.to_instance (contact ~people ~seed:1500) in
+  let r1 = parse Gqkg_workload.Contact_network.query_infection_spread in
+  (* Workload A: counting DP over the lazy product, all lengths 0..k. *)
+  let (paths, states), t_kernel =
+    best_of 5 (fun () ->
+        let product = Product.create inst r1 in
+        let table = Count.build product ~depth:k in
+        let total = ref 0.0 in
+        for j = 0 to k do
+          total := !total +. Count.count_at table ~length:j
+        done;
+        (!total, Product.num_states product))
+  in
+  let paths_per_sec = paths /. Float.max 1e-9 t_kernel in
+  Printf.printf "count kernel: %d people, k=%d -> %.4g paths, %d states, %.1f ms (%.3g paths/s)\n"
+    people k paths states (1000.0 *. t_kernel) paths_per_sec;
+  (* Workload B: endpoint pairs of a bounded RPQ. *)
+  let r_bus = parse Gqkg_workload.Contact_network.query_shared_bus in
+  let pairs, t_pairs = best_of 3 (fun () -> List.length (Rpq.eval_pairs inst ~max_length:8 r_bus)) in
+  Printf.printf "pairs kernel: %d pairs in %.1f ms\n" pairs (1000.0 *. t_pairs);
+  (* Workload C: agreement with + speedup over the naive evaluator. *)
+  let small = Property_graph.to_instance (contact ~people:40 ~seed:41) in
+  let k_small = 4 in
+  let naive_count, t_naive =
+    best_of 2 (fun () -> float_of_int (Naive.count small r1 ~length:k_small))
+  in
+  let kernel_count, t_small = best_of 3 (fun () -> Count.count small r1 ~length:k_small) in
+  let agree = naive_count = kernel_count in
+  let speedup_vs_naive = t_naive /. Float.max 1e-9 t_small in
+  Printf.printf "naive vs kernel (40 people, k=%d): naive %.1f ms, kernel %.2f ms, agree %b (%.0fx)\n"
+    k_small (1000.0 *. t_naive) (1000.0 *. t_small) agree speedup_vs_naive;
+  (* Workload D: regex-constrained betweenness, sequential vs parallel. *)
+  let bcr_inst = Property_graph.to_instance (contact ~people:100 ~seed:1501) in
+  let transport = parse Gqkg_workload.Contact_network.query_bus_transport in
+  let bcr_seq, t_bcr_seq =
+    best_of 2 (fun () -> Gqkg_analytics.Regex_centrality.exact bcr_inst transport)
+  in
+  let bcr_domains = Gqkg_util.Parallel.default_domains () in
+  let bcr_par, t_bcr_par =
+    best_of 2 (fun () ->
+        Gqkg_analytics.Regex_centrality.exact ~domains:bcr_domains bcr_inst transport)
+  in
+  let bcr_diff = ref 0.0 in
+  Array.iteri (fun v x -> bcr_diff := Float.max !bcr_diff (Float.abs (x -. bcr_par.(v)))) bcr_seq;
+  Printf.printf "bc_r (100 people): sequential %.1f ms, parallel(%d domains) %.1f ms, max diff %.2g\n"
+    (1000.0 *. t_bcr_seq) bcr_domains (1000.0 *. t_bcr_par) !bcr_diff;
+  (* Machine-readable trajectory record. *)
+  let oc = open_out "BENCH_rpq.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"rpq_kernel\",\n\
+    \  \"count_workload\": { \"people\": %d, \"k\": %d, \"paths\": %.6g,\n\
+    \    \"kernel_ms\": %.3f, \"paths_per_sec\": %.6g, \"states_interned\": %d },\n\
+    \  \"pairs_workload\": { \"pairs\": %d, \"ms\": %.3f },\n\
+    \  \"naive_workload\": { \"people\": 40, \"k\": %d, \"naive_ms\": %.3f,\n\
+    \    \"kernel_ms\": %.3f, \"agree\": %b, \"speedup_vs_naive\": %.2f },\n\
+    \  \"bc_r_workload\": { \"people\": 100, \"sequential_ms\": %.3f,\n\
+    \    \"parallel_ms\": %.3f, \"domains\": %d, \"max_abs_diff\": %.3g }\n\
+     }\n"
+    people k paths (1000.0 *. t_kernel) paths_per_sec states pairs (1000.0 *. t_pairs) k_small
+    (1000.0 *. t_naive) (1000.0 *. t_small) agree speedup_vs_naive (1000.0 *. t_bcr_seq)
+    (1000.0 *. t_bcr_par) bcr_domains !bcr_diff;
+  close_out oc;
+  print_endline "wrote BENCH_rpq.json"
+
+(* ------------------------------------------------------------------ *)
 (* E12: substrate timings via Bechamel                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -960,6 +1049,11 @@ let ablations () =
 
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  if Array.exists (fun a -> a = "rpq") Sys.argv then begin
+    (* Kernel-only mode: just the E15 throughput record. *)
+    rpq_kernel ();
+    exit 0
+  end;
   figure1 ();
   figure2 ();
   worked_queries ();
@@ -973,6 +1067,7 @@ let () =
   models ();
   ablations ();
   completion ();
+  rpq_kernel ();
   if not quick then bechamel_timings ();
   print_newline ();
   print_endline "done: all experiment sections completed."

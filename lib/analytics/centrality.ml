@@ -9,18 +9,22 @@ open Gqkg_graph
    path counts σ and the shortest-path DAG; a reverse sweep accumulates
    the pair dependencies δ onto intermediate nodes.  With [directed:false]
    edges are treated as symmetric and, following convention, each
-   unordered pair is counted once (the directed sum is halved). *)
-let betweenness ?(directed = true) inst =
+   unordered pair is counted once (the directed sum is halved).
+
+   [brandes_range] runs the passes for sources in [first, last) with
+   private scratch state, returning the partial scores — the unit of
+   work both the sequential driver and the domain pool slice over. *)
+let brandes_range ~directed inst first last =
   let n = inst.Instance.num_nodes in
+  let neighbors v =
+    if directed then Traversal.out_neighbors inst v else Traversal.all_neighbors inst v
+  in
   let bc = Array.make n 0.0 in
   let dist = Array.make n (-1) in
   let sigma = Array.make n 0.0 in
   let delta = Array.make n 0.0 in
   let preds = Array.make n [] in
-  let neighbors v =
-    if directed then Traversal.out_neighbors inst v else Traversal.all_neighbors inst v
-  in
-  for s = 0 to n - 1 do
+  for s = first to last - 1 do
     Array.fill dist 0 n (-1);
     Array.fill sigma 0 n 0.0;
     Array.fill delta 0 n 0.0;
@@ -54,6 +58,11 @@ let betweenness ?(directed = true) inst =
         if w <> s then bc.(w) <- bc.(w) +. delta.(w))
       !order
   done;
+  bc
+
+let betweenness ?(directed = true) inst =
+  let n = inst.Instance.num_nodes in
+  let bc = brandes_range ~directed inst 0 n in
   if not directed then Array.map (fun x -> x /. 2.0) bc else bc
 
 (* Naive betweenness straight from Freeman's formula, by enumerating all
@@ -243,71 +252,20 @@ let katz ?(alpha = 0.05) ?(beta = 1.0) ?(iterations = 200) ?(tolerance = 1e-10) 
   end
 
 (* Multicore Brandes: per-source passes are independent, so sources are
-   sliced across OCaml 5 domains and the per-domain partial scores are
-   summed.  The instance must be safe for concurrent reads (all builtin
-   models are immutable once frozen). *)
+   sliced across the {!Gqkg_util.Parallel} domain pool and the per-slice
+   partial scores are summed in slice order (deterministic float
+   reduction).  The instance must be safe for concurrent reads (all
+   builtin models are immutable once frozen). *)
 let betweenness_parallel ?(domains = 0) ?(directed = true) inst =
   let n = inst.Instance.num_nodes in
-  let domains =
-    if domains > 0 then domains else min 8 (max 1 (Domain.recommended_domain_count () - 1))
-  in
+  let domains = if domains > 0 then domains else Gqkg_util.Parallel.default_domains () in
   if domains <= 1 || n < 64 then betweenness ~directed inst
   else begin
-    let neighbors v =
-      if directed then Traversal.out_neighbors inst v else Traversal.all_neighbors inst v
+    let partials = Gqkg_util.Parallel.map_slices ~domains n (brandes_range ~directed inst) in
+    let total =
+      List.fold_left
+        (fun into partial -> Gqkg_util.Parallel.sum_float_arrays ~into partial)
+        (Array.make n 0.0) partials
     in
-    let worker first last () =
-      let bc = Array.make n 0.0 in
-      let dist = Array.make n (-1) in
-      let sigma = Array.make n 0.0 in
-      let delta = Array.make n 0.0 in
-      let preds = Array.make n [] in
-      for s = first to last - 1 do
-        Array.fill dist 0 n (-1);
-        Array.fill sigma 0 n 0.0;
-        Array.fill delta 0 n 0.0;
-        Array.fill preds 0 n [];
-        dist.(s) <- 0;
-        sigma.(s) <- 1.0;
-        let order = ref [] in
-        let queue = Queue.create () in
-        Queue.push s queue;
-        while not (Queue.is_empty queue) do
-          let v = Queue.pop queue in
-          order := v :: !order;
-          Array.iter
-            (fun w ->
-              if dist.(w) < 0 then begin
-                dist.(w) <- dist.(v) + 1;
-                Queue.push w queue
-              end;
-              if dist.(w) = dist.(v) + 1 then begin
-                sigma.(w) <- sigma.(w) +. sigma.(v);
-                preds.(w) <- v :: preds.(w)
-              end)
-            (neighbors v)
-        done;
-        List.iter
-          (fun w ->
-            List.iter
-              (fun v -> delta.(v) <- delta.(v) +. (sigma.(v) /. sigma.(w) *. (1.0 +. delta.(w))))
-              preds.(w);
-            if w <> s then bc.(w) <- bc.(w) +. delta.(w))
-          !order
-      done;
-      bc
-    in
-    let chunk = (n + domains - 1) / domains in
-    let handles =
-      List.init domains (fun i ->
-          let first = i * chunk and last = min n ((i + 1) * chunk) in
-          Domain.spawn (worker first (max first last)))
-    in
-    let total = Array.make n 0.0 in
-    List.iter
-      (fun h ->
-        let partial = Domain.join h in
-        Array.iteri (fun v x -> total.(v) <- total.(v) +. x) partial)
-      handles;
     if not directed then Array.map (fun x -> x /. 2.0) total else total
   end

@@ -36,16 +36,31 @@ type source_dag = {
   preds : (int, int list) Hashtbl.t; (* DAG edges backwards *)
   (* Per target node: best distance and accepting states at it. *)
   targets : (int, int * int list) Hashtbl.t;
+  (* Target nodes in ascending order.  Consumers iterate this list, not
+     the hash table: the iteration order is then a function of the graph
+     and query alone (product state ids depend on exploration history,
+     which differs between the shared sequential product and per-domain
+     copies), keeping accumulation and sampling order reproducible. *)
+  target_nodes : int list;
 }
 
 let build_dag product ~source ~max_length =
   let dist = Hashtbl.create 64 and sigma = Hashtbl.create 64 in
   let preds = Hashtbl.create 64 in
   let targets = Hashtbl.create 16 in
+  (* Accepting states in discovery order — a structural (id-independent)
+     order because BFS follows the deterministic successor lists. *)
+  let accepting_in_order = ref [] in
+  let discover state d =
+    Hashtbl.replace dist state d;
+    Hashtbl.replace sigma state 0.0;
+    if Product.is_accepting product state then
+      accepting_in_order := (state, Product.node_of product state, d) :: !accepting_in_order
+  in
   (match Product.start_state product source with
   | None -> ()
   | Some s0 ->
-      Hashtbl.replace dist s0 0;
+      discover s0 0;
       Hashtbl.replace sigma s0 1.0;
       let queue = Queue.create () in
       Queue.push s0 queue;
@@ -54,33 +69,31 @@ let build_dag product ~source ~max_length =
         let dv = Hashtbl.find dist v in
         let expand = match max_length with Some m -> dv < m | None -> true in
         if expand then
-          Array.iter
-            (fun (_e, w) ->
+          Product.iter_successors product v (fun _e w ->
               (match Hashtbl.find_opt dist w with
               | None ->
-                  Hashtbl.replace dist w (dv + 1);
-                  Hashtbl.replace sigma w 0.0;
+                  discover w (dv + 1);
                   Queue.push w queue
               | Some _ -> ());
               if Hashtbl.find dist w = dv + 1 then begin
                 Hashtbl.replace sigma w (Hashtbl.find sigma w +. Hashtbl.find sigma v);
                 Hashtbl.replace preds w (v :: Option.value (Hashtbl.find_opt preds w) ~default:[])
               end)
-            (Product.successors product v)
       done;
-      (* Collect, per graph node, the closest accepting states. *)
-      Hashtbl.iter
-        (fun state d ->
-          if Product.is_accepting product state then begin
-            let node = Product.node_of product state in
-            match Hashtbl.find_opt targets node with
-            | Some (best, states) ->
-                if d < best then Hashtbl.replace targets node (d, [ state ])
-                else if d = best then Hashtbl.replace targets node (best, state :: states)
-            | None -> Hashtbl.replace targets node (d, [ state ])
-          end)
-        dist);
-  { dist; sigma; preds; targets }
+      (* Per graph node, keep the closest accepting states (discovery
+         order within each node). *)
+      List.iter
+        (fun (state, node, d) ->
+          match Hashtbl.find_opt targets node with
+          | Some (best, states) ->
+              if d < best then Hashtbl.replace targets node (d, [ state ])
+              else if d = best then Hashtbl.replace targets node (best, state :: states)
+          | None -> Hashtbl.replace targets node (d, [ state ]))
+        (List.rev !accepting_in_order));
+  let target_nodes =
+    Hashtbl.fold (fun node _ acc -> node :: acc) targets [] |> List.sort Int.compare
+  in
+  { dist; sigma; preds; targets; target_nodes }
 
 (* All shortest matching paths from the source to [target], as node
    sequences (graph nodes), by backward DFS through the DAG.  [limit]
@@ -114,34 +127,60 @@ let materialize_paths product dag ~target ~limit =
        with Done -> ());
       !out
 
+(* Per-source exact contribution, accumulated into [bc]. *)
+let exact_source product ~max_length ~pair_limit bc a =
+  let dag = build_dag product ~source:a ~max_length in
+  List.iter
+    (fun b ->
+      if b <> a then begin
+        let paths = materialize_paths product dag ~target:b ~limit:pair_limit in
+        let total = List.length paths in
+        if total > 0 then begin
+          let weight = 1.0 /. float_of_int total in
+          List.iter
+            (fun nodes ->
+              let distinct = List.sort_uniq Int.compare nodes in
+              List.iter (fun x -> if x <> a && x <> b then bc.(x) <- bc.(x) +. weight) distinct)
+            paths
+        end
+      end)
+    dag.target_nodes
+
 (* The exact bc_r of every node.  [max_length] bounds the product search
    for star-heavy expressions; [pair_limit] caps per-pair materialization
-   (when hit, the pair contributes its sampled prefix — the log warns). *)
-let exact ?max_length ?pair_limit inst regex =
+   (when hit, the pair contributes its sampled prefix — the log warns).
+
+   Per-source passes are independent, so with [domains > 1] the sources
+   are sliced across OCaml 5 domains.  The lazy product memoizes state
+   expansions and is not safe for concurrent interning, so each domain
+   explores its own product copy; the per-domain partial scores are
+   summed in slice order, keeping the result deterministic for a fixed
+   domain count. *)
+let exact ?max_length ?pair_limit ?(domains = 0) inst regex =
   let n = inst.Instance.num_nodes in
-  let product = Product.create inst regex in
-  let bc = Array.make n 0.0 in
-  for a = 0 to n - 1 do
-    let dag = build_dag product ~source:a ~max_length in
-    Hashtbl.iter
-      (fun b (_d, _states) ->
-        if b <> a then begin
-          let paths = materialize_paths product dag ~target:b ~limit:pair_limit in
-          let total = List.length paths in
-          if total > 0 then begin
-            let weight = 1.0 /. float_of_int total in
-            List.iter
-              (fun nodes ->
-                let distinct = List.sort_uniq compare nodes in
-                List.iter
-                  (fun x -> if x <> a && x <> b then bc.(x) <- bc.(x) +. weight)
-                  distinct)
-              paths
-          end
-        end)
-      dag.targets
-  done;
-  bc
+  let domains = if domains > 0 then domains else Parallel.default_domains () in
+  if domains <= 1 || n < 8 then begin
+    let product = Product.create inst regex in
+    let bc = Array.make n 0.0 in
+    for a = 0 to n - 1 do
+      exact_source product ~max_length ~pair_limit bc a
+    done;
+    bc
+  end
+  else begin
+    let partials =
+      Parallel.map_slices ~domains n (fun first last ->
+          let product = Product.create inst regex in
+          let bc = Array.make n 0.0 in
+          for a = first to last - 1 do
+            exact_source product ~max_length ~pair_limit bc a
+          done;
+          bc)
+    in
+    match partials with
+    | [] -> Array.make n 0.0
+    | first :: rest -> List.fold_left (fun into p -> Parallel.sum_float_arrays ~into p) first rest
+  end
 
 (* Uniform draw of one shortest matching path to [target] (as the list of
    its graph nodes): pick the accepting state proportionally to σ, then
@@ -164,26 +203,50 @@ let sample_path product dag rng ~target =
       in
       Some (back final [])
 
-(* Randomized approximation of bc_r: per reachable pair, [samples] uniform
-   members of S_{a,b,r} estimate the inclusion fractions. *)
-let approximate ?max_length ?(samples = 16) ?(seed = 7) inst regex =
-  let n = inst.Instance.num_nodes in
-  let product = Product.create inst regex in
-  let rng = Splitmix.create seed in
-  let bc = Array.make n 0.0 in
+(* Per-source sampled contribution.  The RNG is derived from (seed,
+   source), so the estimate is a pure function of the inputs no matter
+   how sources are sliced across domains. *)
+let approximate_source product ~max_length ~samples ~seed bc a =
+  let rng = Splitmix.create (seed + (0x9e3779b9 * (a + 1))) in
   let share = 1.0 /. float_of_int samples in
-  for a = 0 to n - 1 do
-    let dag = build_dag product ~source:a ~max_length in
-    Hashtbl.iter
-      (fun b (_d, _states) ->
-        if b <> a then
-          for _ = 1 to samples do
-            match sample_path product dag rng ~target:b with
-            | None -> ()
-            | Some nodes ->
-                let distinct = List.sort_uniq compare nodes in
-                List.iter (fun x -> if x <> a && x <> b then bc.(x) <- bc.(x) +. share) distinct
-          done)
-      dag.targets
-  done;
-  bc
+  let dag = build_dag product ~source:a ~max_length in
+  List.iter
+    (fun b ->
+      if b <> a then
+        for _ = 1 to samples do
+          match sample_path product dag rng ~target:b with
+          | None -> ()
+          | Some nodes ->
+              let distinct = List.sort_uniq Int.compare nodes in
+              List.iter (fun x -> if x <> a && x <> b then bc.(x) <- bc.(x) +. share) distinct
+        done)
+    dag.target_nodes
+
+(* Randomized approximation of bc_r: per reachable pair, [samples] uniform
+   members of S_{a,b,r} estimate the inclusion fractions.  Sources are
+   sliced across domains exactly as in {!exact}. *)
+let approximate ?max_length ?(samples = 16) ?(seed = 7) ?(domains = 0) inst regex =
+  let n = inst.Instance.num_nodes in
+  let domains = if domains > 0 then domains else Parallel.default_domains () in
+  if domains <= 1 || n < 8 then begin
+    let product = Product.create inst regex in
+    let bc = Array.make n 0.0 in
+    for a = 0 to n - 1 do
+      approximate_source product ~max_length ~samples ~seed bc a
+    done;
+    bc
+  end
+  else begin
+    let partials =
+      Parallel.map_slices ~domains n (fun first last ->
+          let product = Product.create inst regex in
+          let bc = Array.make n 0.0 in
+          for a = first to last - 1 do
+            approximate_source product ~max_length ~samples ~seed bc a
+          done;
+          bc)
+    in
+    match partials with
+    | [] -> Array.make n 0.0
+    | first :: rest -> List.fold_left (fun into p -> Parallel.sum_float_arrays ~into p) first rest
+  end

@@ -10,13 +10,28 @@ open Gqkg_graph
 (** Exact bc_r by materializing every shortest matching path per pair
     (|S| can be exponential — that is the paper's point). [max_length]
     bounds the product search; [pair_limit] caps per-pair
-    materialization as a safety valve. *)
+    materialization as a safety valve. [domains] slices the independent
+    per-source passes across OCaml domains (each with its own product
+    copy); 0 or absent means {!Gqkg_util.Parallel.default_domains}. *)
 val exact :
-  ?max_length:int -> ?pair_limit:int -> Instance.t -> Gqkg_automata.Regex.t -> float array
+  ?max_length:int ->
+  ?pair_limit:int ->
+  ?domains:int ->
+  Instance.t ->
+  Gqkg_automata.Regex.t ->
+  float array
 
 (** The randomized approximation the paper builds from the Section 4.1
     toolbox: [samples] uniform members of each S_{a,b,r} (backward
     sampling weighted by shortest-path counts) estimate the inclusion
-    fractions. *)
+    fractions. The RNG is derived per source from [seed], so the
+    estimate does not depend on [domains] (up to float summation
+    order). *)
 val approximate :
-  ?max_length:int -> ?samples:int -> ?seed:int -> Instance.t -> Gqkg_automata.Regex.t -> float array
+  ?max_length:int ->
+  ?samples:int ->
+  ?seed:int ->
+  ?domains:int ->
+  Instance.t ->
+  Gqkg_automata.Regex.t ->
+  float array

@@ -28,12 +28,26 @@ type t = {
   start : int;
   accept : int;
   transitions : (move * int) list array; (* state -> out-transitions *)
+  (* Kernel tables, precomputed once per automaton so the product's hot
+     loops index arrays instead of walking the transition lists: *)
+  eps : int array array; (* state -> ε targets *)
+  (* state -> node-check moves; the int is the check occurrence's global
+     index in [0, num_checks), so results can be cached per node. *)
+  checks : (int * Regex.test * int) array array;
+  num_checks : int;
+  fwd : (Regex.test * int) array array; (* state -> forward edge moves *)
+  bwd : (Regex.test * int) array array; (* state -> backward edge moves *)
+  words : int; (* Bitset words per state set *)
 }
 
 let num_states a = a.num_states
 let start a = a.start
 let accept a = a.accept
 let transitions a q = a.transitions.(q)
+let words a = a.words
+let num_checks a = a.num_checks
+let fwd_moves a q = a.fwd.(q)
+let bwd_moves a q = a.bwd.(q)
 
 (* Thompson construction with one fresh start/accept pair per node of the
    regex; linear in the size of the expression. *)
@@ -83,7 +97,36 @@ let of_regex regex =
   let start, accept = build regex in
   let table = Array.make !count [] in
   List.iter (fun (q, move, q') -> table.(q) <- (move, q') :: table.(q)) !transitions;
-  { num_states = !count; start; accept; transitions = table }
+  let select f =
+    Array.map (fun moves -> Array.of_list (List.filter_map f moves)) table
+  in
+  let check_counter = ref 0 in
+  let checks =
+    Array.map
+      (fun moves ->
+        Array.of_list
+          (List.filter_map
+             (function
+               | Node_check t, q' ->
+                   let idx = !check_counter in
+                   incr check_counter;
+                   Some (idx, t, q')
+               | _ -> None)
+             moves))
+      table
+  in
+  {
+    num_states = !count;
+    start;
+    accept;
+    transitions = table;
+    eps = select (function Eps, q' -> Some q' | _ -> None);
+    checks;
+    num_checks = !check_counter;
+    fwd = select (function Forward t, q' -> Some (t, q') | _ -> None);
+    bwd = select (function Backward t, q' -> Some (t, q') | _ -> None);
+    words = Gqkg_util.Bitset.words_for !count;
+  }
 
 (* Closure of a set of states under Eps and under Node_check moves whose
    test the given node passes.  [node_sat] answers atomic tests for that
@@ -114,6 +157,36 @@ let closure a ~node_sat states =
     if seen.(q) then out := q :: !out
   done;
   Array.of_list !out
+
+(* In-place closure on raw bitset words (length [words a]): extend the
+   set under ε moves and node-checks the node passes.  [check_sat idx t]
+   answers check occurrence [idx] (whose test is [t]) for the node being
+   closed at — indexing lets callers cache answers per (node, check).
+   The kernel's counterpart of {!closure} — O(words) bookkeeping, no
+   sorting, and the result array doubles as the product interning key. *)
+let close_raw_idx a ~check_sat set =
+  let module B = Gqkg_util.Bitset in
+  let stack = Array.make a.num_states 0 in
+  let top = ref 0 in
+  let push q =
+    if not (B.raw_mem set q) then begin
+      B.raw_add set q;
+      stack.(!top) <- q;
+      incr top
+    end
+  in
+  B.raw_iter set (fun q ->
+      stack.(!top) <- q;
+      incr top);
+  while !top > 0 do
+    decr top;
+    let q = stack.(!top) in
+    Array.iter push a.eps.(q);
+    Array.iter (fun (idx, t, q') -> if check_sat idx t then push q') a.checks.(q)
+  done
+
+let close_raw a ~node_sat set =
+  close_raw_idx a ~check_sat:(fun _ t -> Regex.eval_test node_sat t) set
 
 let is_accepting a states = Array.exists (fun q -> q = a.accept) states
 

@@ -18,10 +18,33 @@ val start : t -> int
 val accept : t -> int
 val transitions : t -> int -> (move * int) list
 
+(** [Bitset] words per state set ([Bitset.words_for (num_states a)]). *)
+val words : t -> int
+
+(** Number of node-check move occurrences in the automaton; each has a
+    stable index in [0, num_checks), usable to cache check outcomes per
+    graph node. *)
+val num_checks : t -> int
+
+(** Forward edge moves out of one state, as a precomputed array. *)
+val fwd_moves : t -> int -> (Regex.test * int) array
+
+(** Backward edge moves out of one state. *)
+val bwd_moves : t -> int -> (Regex.test * int) array
+
 (** Closure of a state set under ε and satisfied node-checks; [node_sat]
     answers atomic tests for the current node. Sorted and duplicate-free
     (the canonical key of the subset construction). *)
 val closure : t -> node_sat:(Gqkg_graph.Atom.t -> bool) -> int array -> int array
+
+(** In-place closure on raw {!Gqkg_util.Bitset} words of width
+    [words a] — the kernel path: O(words) bookkeeping, no sorting. *)
+val close_raw : t -> node_sat:(Gqkg_graph.Atom.t -> bool) -> int array -> unit
+
+(** Like {!close_raw}, but node-checks are answered by
+    [check_sat idx test] where [idx] is the check occurrence's index —
+    the hook the product uses to cache check outcomes per node. *)
+val close_raw_idx : t -> check_sat:(int -> Regex.test -> bool) -> int array -> unit
 
 (** Does the (closed) set contain the accept state? *)
 val is_accepting : t -> int array -> bool

@@ -47,6 +47,15 @@ let rec eval_test sat = function
   | Or (t1, t2) -> eval_test sat t1 || eval_test sat t2
   | And (t1, t2) -> eval_test sat t1 && eval_test sat t2
 
+(* Does the test only mention [Label] atoms?  Such a test is a pure
+   function of an edge's label, so the product kernel can evaluate it
+   once per interned label instead of once per edge. *)
+let rec label_pure = function
+  | Atom (Atom.Label _) -> true
+  | Atom (Atom.Prop _ | Atom.Feature _) -> false
+  | Not t -> label_pure t
+  | Or (t1, t2) | And (t1, t2) -> label_pure t1 && label_pure t2
+
 let rec test_size = function
   | Atom _ -> 1
   | Not t -> 1 + test_size t

@@ -48,6 +48,10 @@ val alt_of_list : t list -> t
 (** Evaluate a test given an oracle for its atoms. *)
 val eval_test : (Atom.t -> bool) -> test -> bool
 
+(** Does the test only mention [Label] atoms (so its value on an edge is
+    a pure function of the edge's label)? *)
+val label_pure : test -> bool
+
 val test_size : test -> int
 val size : t -> int
 

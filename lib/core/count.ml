@@ -12,7 +12,7 @@ type table = {
   product : Product.t;
   depth : int;
   state_ids : int array; (* all states reachable within depth *)
-  index_of : (int, int) Hashtbl.t; (* state id -> dense index *)
+  index_of : int array; (* state id -> dense index, -1 = beyond horizon *)
   suffix : float array array; (* suffix.(j).(i): # accepting suffixes of length j from state i *)
 }
 
@@ -24,44 +24,63 @@ type table = {
 let build product ~depth =
   (* Materialize every state reachable within [depth] steps from any start. *)
   let levels = Product.levels product ~depth in
-  let index_of = Hashtbl.create 256 in
-  let ids = ref [] in
+  let seen = Gqkg_util.Bitset.create () in
+  let ids = ref [] and count = ref 0 in
   Array.iter
-    (fun level ->
-      List.iter
-        (fun id ->
-          if not (Hashtbl.mem index_of id) then begin
-            Hashtbl.add index_of id (Hashtbl.length index_of);
-            ids := id :: !ids
-          end)
-        level)
+    (List.iter (fun id ->
+         if not (Gqkg_util.Bitset.mem seen id) then begin
+           Gqkg_util.Bitset.add seen id;
+           ids := id :: !ids;
+           incr count
+         end))
     levels;
   let state_ids = Array.of_list (List.rev !ids) in
-  let n = Array.length state_ids in
+  let n = !count in
+  (* Expand every table state up front so all successor ids — including
+     those just beyond the materialized horizon — are interned before the
+     dense index is sized; out-of-horizon successors keep index -1. *)
+  Array.iter (fun id -> ignore (Product.degree product id)) state_ids;
+  let index_of = Array.make (max 1 (Product.num_states product)) (-1) in
+  Array.iteri (fun i id -> index_of.(id) <- i) state_ids;
+  (* Flatten each state's successors to dense indices once, so the DP
+     inner loop is a plain array walk (-1 = beyond the horizon). *)
+  let deg = Array.map (fun id -> Product.degree product id) state_ids in
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + deg.(i)
+  done;
+  let dense_succ = Array.make (max 1 off.(n)) (-1) in
+  Array.iteri
+    (fun i id ->
+      for m = 0 to deg.(i) - 1 do
+        dense_succ.(off.(i) + m) <- index_of.(Product.move_succ product id m)
+      done)
+    state_ids;
   let suffix = Array.init (depth + 1) (fun _ -> Array.make n 0.0) in
   Array.iteri
     (fun i id -> if Product.is_accepting product id then suffix.(0).(i) <- 1.0)
     state_ids;
   for j = 1 to depth do
-    Array.iteri
-      (fun i id ->
-        let total = ref 0.0 in
-        Array.iter
-          (fun (_e, succ) ->
-            match Hashtbl.find_opt index_of succ with
-            | Some si -> total := !total +. suffix.(j - 1).(si)
-            | None -> () (* beyond materialized horizon; counted as 0 at this depth *))
-          (Product.successors product id);
-        suffix.(j).(i) <- !total)
-      state_ids
+    let prev = suffix.(j - 1) and cur = suffix.(j) in
+    for i = 0 to n - 1 do
+      let total = ref 0.0 in
+      for m = off.(i) to off.(i + 1) - 1 do
+        let si = dense_succ.(m) in
+        (* si < 0: beyond the materialized horizon; counted as 0. *)
+        if si >= 0 then total := !total +. prev.(si)
+      done;
+      cur.(i) <- !total
+    done
   done;
   { product; depth; state_ids; index_of; suffix }
 
 let suffix_count t ~state ~length =
   if length < 0 || length > t.depth then invalid_arg "Count.suffix_count: length out of range";
-  match Hashtbl.find_opt t.index_of state with
-  | Some i -> t.suffix.(length).(i)
-  | None -> 0.0
+  if state < 0 || state >= Array.length t.index_of then 0.0
+  else begin
+    let i = t.index_of.(state) in
+    if i < 0 then 0.0 else t.suffix.(length).(i)
+  end
 
 (* Count(G, r, k): total over all start nodes. *)
 let count_at t ~length =
@@ -109,11 +128,9 @@ let count_between inst regex ~source ~target ~length =
         let next = Hashtbl.create 16 in
         Hashtbl.iter
           (fun state weight ->
-            Array.iter
-              (fun (_e, succ) ->
+            Product.iter_successors product state (fun _e succ ->
                 Hashtbl.replace next succ
-                  (weight +. Option.value (Hashtbl.find_opt next succ) ~default:0.0))
-              (Product.successors product state))
+                  (weight +. Option.value (Hashtbl.find_opt next succ) ~default:0.0)))
           !current;
         current := next
       done;

@@ -12,7 +12,7 @@
 
 open Gqkg_graph
 
-type frame = { state : int; succs : (int * int) array; mutable cursor : int }
+type frame = { state : int; degree : int; mutable cursor : int }
 
 type t = {
   table : Count.table;
@@ -54,8 +54,8 @@ let create ?sources inst regex ~length =
   }
 
 let push t state =
-  let succs = if t.depth + 1 = t.length then [||] else Product.successors t.product state in
-  t.stack <- { state; succs; cursor = 0 } :: t.stack;
+  let degree = if t.depth + 1 = t.length then 0 else Product.degree t.product state in
+  t.stack <- { state; degree; cursor = 0 } :: t.stack;
   t.depth <- t.depth + 1;
   t.nodes.(t.depth) <- Product.node_of t.product state
 
@@ -101,14 +101,14 @@ let rec next t =
       end
       else begin
         let remaining = t.length - t.depth - 1 in
-        let n = Array.length top.succs in
         let rec scan () =
-          if top.cursor >= n then begin
+          if top.cursor >= top.degree then begin
             pop t;
             next t
           end
           else begin
-            let edge, succ = top.succs.(top.cursor) in
+            let edge = Product.move_edge t.product top.state top.cursor
+            and succ = Product.move_succ t.product top.state top.cursor in
             top.cursor <- top.cursor + 1;
             if Count.suffix_count t.table ~state:succ ~length:remaining > 0.0 then begin
               t.edges.(t.depth) <- edge;

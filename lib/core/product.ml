@@ -9,70 +9,292 @@
    counting paths, sampling runs uniformly samples paths uniformly, and
    depth-first enumeration emits each path once.
 
-   States are discovered on demand and given dense ids; successor lists
-   are memoized.  A move of the product is "(edge e, destination node w)":
-   for an edge that can be traversed both ways between the same pair of
-   incident nodes (a self-loop), forward and backward NFA transitions feed
-   the same move, so the path is still counted once. *)
+   States are discovered on demand and given dense ids.  The kernel is
+   built for throughput:
+
+   - NFA state sets are packed [Bitset] words, and the distinct sets are
+     themselves interned: a product state is a (node, set id) pair of
+     ints, so state lookup hashes two ints instead of a word array, and
+     everything that depends only on the set — directional move flags,
+     acceptance, per-label seed sets — is computed once per distinct set
+     rather than once per state.
+   - Successor moves live in one flat CSR buffer ([succ_data], pairs of
+     (edge, successor id) ints) addressed by per-state offset/length —
+     no per-state arrays, no per-expansion hash tables.
+   - When the instance carries a label index, tests that only mention
+     Label atoms are pre-evaluated per interned label at [create] time.
+     For such label-pure moves the whole edge step is memoized: the
+     successor of a state over an edge is a function of (source set,
+     edge label, direction, destination node) only, so each set keeps an
+     int-keyed memo from packed (node, label, direction) to successor
+     id.  A memo hit skips seed construction, the ε/node-check closure
+     and interning; even "no move" outcomes are memoized.  Tests with
+     Prop/Feature atoms stay on the generic per-edge path.
+
+   A move of the product is "(edge e, destination node w)": for an edge
+   that can be traversed both ways between the same pair of incident
+   nodes (a self-loop), forward and backward NFA transitions feed the
+   same move, so the path is still counted once. *)
 
 open Gqkg_graph
 open Gqkg_automata
+module B = Gqkg_util.Bitset
+module Dyn = Gqkg_util.Dynarray
 
 type state = { node : int; nfa_states : int array (* sorted, closed *) }
 
-module Key = struct
-  type t = int * int array
+module Set_table = Hashtbl.Make (struct
+  type t = int array (* packed NFA state set *)
+
+  let equal = B.raw_equal
+  let hash ws = B.raw_hash ws land max_int
+end)
+
+module Pair_table = Hashtbl.Make (struct
+  type t = int * int (* node, set id *)
 
   let equal (n1, s1) (n2, s2) = n1 = n2 && s1 = s2
-  let hash = Hashtbl.hash
+  let hash (n, s) = ((n * 0x01000193) lxor s) land max_int
+end)
+
+(* Flat linear-probing int -> int map for the per-set step memo: lookups
+   allocate nothing and touch one slot in the common case, which matters
+   because every label-pure edge consideration goes through here. Keys
+   and values are non-negative; -1 marks an empty slot / a miss. *)
+module Imap = struct
+  type t = { mutable keys : int array; mutable vals : int array; mutable size : int }
+
+  let create () = { keys = Array.make 8 (-1); vals = Array.make 8 0; size = 0 }
+
+  (* Multiplicative spread of the packed (node, label, dir) keys; the
+     wrap-around of the multiply is harmless for hashing. *)
+  let slot keys key = (key * 0x2545F4914F6CDD1D) land (Array.length keys - 1)
+
+  let find m key =
+    let keys = m.keys in
+    let mask = Array.length keys - 1 in
+    let i = ref (slot keys key) in
+    while keys.(!i) <> key && keys.(!i) <> -1 do
+      i := (!i + 1) land mask
+    done;
+    if keys.(!i) = key then m.vals.(!i) else -1
+
+  (* First write wins (matching Hashtbl.add semantics for fresh keys;
+     concurrent phases only ever insert the same value for a key). *)
+  let rec add m key v =
+    let cap = Array.length m.keys in
+    if 4 * (m.size + 1) > 3 * cap then begin
+      let old_keys = m.keys and old_vals = m.vals in
+      m.keys <- Array.make (2 * cap) (-1);
+      m.vals <- Array.make (2 * cap) 0;
+      m.size <- 0;
+      for i = 0 to cap - 1 do
+        if old_keys.(i) >= 0 then add m old_keys.(i) old_vals.(i)
+      done;
+      add m key v
+    end
+    else begin
+      let keys = m.keys in
+      let mask = Array.length keys - 1 in
+      let i = ref (slot keys key) in
+      while keys.(!i) <> key && keys.(!i) <> -1 do
+        i := (!i + 1) land mask
+      done;
+      if keys.(!i) = -1 then begin
+        keys.(!i) <- key;
+        m.vals.(!i) <- v;
+        m.size <- m.size + 1
+      end
+    end
 end
 
-module Key_table = Hashtbl.Make (Key)
+(* Per-label move tables: [pure_*.(q * num_labels + l)] are the NFA
+   targets reachable from state [q] over an edge with interned label [l]
+   via label-pure tests. *)
+type dispatch = {
+  num_labels : int;
+  label_of : int -> int;
+  pure_fwd : int array array;
+  pure_bwd : int array array;
+}
+
+(* Bits of [set_flags]: what the members of a set can do. *)
+let f_fwd = 1 (* some member has a forward edge move *)
+
+let f_bwd = 2 (* some member has a backward edge move *)
+let f_genf = 4 (* ... a generic (not label-pure) forward move *)
+let f_genb = 8 (* ... a generic backward move *)
+let f_accept = 16 (* the set contains the accept state *)
 
 type t = {
   inst : Instance.t;
   nfa : Nfa.t;
-  ids : int Key_table.t;
-  states : state Gqkg_util.Dynarray.t;
-  mutable successors : (int * int) array option array; (* id -> [(edge, succ id)] *)
-  accepting : bool Gqkg_util.Dynarray.t;
-  start_cache : int option array; (* node -> start state id, -1 = unknown *)
-  mutable start_known : bool array;
+  words : int; (* Bitset words per NFA state set *)
+  (* Interned distinct NFA state sets and their per-set data. *)
+  sets : int Set_table.t;
+  set_members : int array Dyn.t; (* set id -> sorted members *)
+  set_flags : int Dyn.t; (* set id -> f_* bits *)
+  (* set id -> per-label seed sets (fwd at [l], bwd at [num_labels + l]),
+     filled on first use. *)
+  set_seed_cache : int array option array Dyn.t;
+  (* set id -> packed (node, label, direction) -> successor state id, or
+     -1 when that step provably yields no move. *)
+  set_memo : Imap.t Dyn.t;
+  (* Product states: dense id -> (node, set id). *)
+  ids : int Pair_table.t;
+  state_node : int Dyn.t;
+  state_set : int Dyn.t;
+  (* CSR successor storage: state id -> (offset, length) into the flat
+     (edge, succ) pair buffer; offset -1 marks an unexpanded state. *)
+  mutable succ_off : int array;
+  mutable succ_len : int array;
+  mutable succ_data : int array;
+  mutable data_len : int;
+  (* Transition dispatch: label-pure moves per interned label (when the
+     instance carries a label index) and the generic leftovers. *)
+  labels : dispatch option;
+  gen_fwd : (Regex.test * int) array array; (* state -> generic fwd moves *)
+  gen_bwd : (Regex.test * int) array array;
+  (* Node-check memo: byte per (node, check occurrence) — 0 unknown,
+     1 satisfied, 2 not.  Closures at a node re-ask the same checks for
+     every distinct seed set reaching it; the answers are pure functions
+     of the node.  Empty when the automaton has no checks or the graph
+     is too large to afford the table. *)
+  check_cache : Bytes.t;
+  start_cache : int option array; (* node -> start state id *)
+  start_known : bool array;
 }
+
+(* Split each NFA state's edge moves into the label-pure part (tabulated
+   per interned label) and the generic rest. *)
+let build_dispatch nfa = function
+  | None ->
+      let all f = Array.init (Nfa.num_states nfa) f in
+      (None, all (Nfa.fwd_moves nfa), all (Nfa.bwd_moves nfa))
+  | Some { Instance.num_labels; edge_label_id; label_sat } ->
+      let ns = Nfa.num_states nfa in
+      let tabulate moves_of =
+        let pure_tbl = Array.make (max 1 (ns * num_labels)) [||] in
+        let gen = Array.make ns [||] in
+        for q = 0 to ns - 1 do
+          let pure, generic =
+            List.partition (fun (t, _) -> Regex.label_pure t) (Array.to_list (moves_of q))
+          in
+          gen.(q) <- Array.of_list generic;
+          if pure <> [] then
+            for l = 0 to num_labels - 1 do
+              pure_tbl.((q * num_labels) + l) <-
+                List.filter_map
+                  (fun (t, q') -> if Regex.eval_test (label_sat l) t then Some q' else None)
+                  pure
+                |> Array.of_list
+            done
+        done;
+        (pure_tbl, gen)
+      in
+      let pure_fwd, gen_fwd = tabulate (Nfa.fwd_moves nfa) in
+      let pure_bwd, gen_bwd = tabulate (Nfa.bwd_moves nfa) in
+      (Some { num_labels; label_of = edge_label_id; pure_fwd; pure_bwd }, gen_fwd, gen_bwd)
 
 let create inst regex =
   let nfa = Nfa.of_regex regex in
+  let labels, gen_fwd, gen_bwd = build_dispatch nfa inst.Instance.labels in
   {
     inst;
     nfa;
-    ids = Key_table.create 256;
-    states = Gqkg_util.Dynarray.create { node = -1; nfa_states = [||] };
-    successors = Array.make 16 None;
-    accepting = Gqkg_util.Dynarray.create false;
+    words = Nfa.words nfa;
+    sets = Set_table.create 64;
+    set_members = Dyn.create [||];
+    set_flags = Dyn.create 0;
+    set_seed_cache = Dyn.create [||];
+    set_memo = Dyn.create (Imap.create ());
+    ids = Pair_table.create 256;
+    state_node = Dyn.create (-1);
+    state_set = Dyn.create (-1);
+    succ_off = Array.make 16 (-1);
+    succ_len = Array.make 16 0;
+    succ_data = Array.make 64 0;
+    data_len = 0;
+    labels;
+    gen_fwd;
+    gen_bwd;
+    check_cache =
+      (let cells = inst.Instance.num_nodes * Nfa.num_checks nfa in
+       if cells > 0 && cells <= 1 lsl 24 then Bytes.make cells '\000' else Bytes.empty);
     start_cache = Array.make (max inst.Instance.num_nodes 1) None;
     start_known = Array.make (max inst.Instance.num_nodes 1) false;
   }
 
 let instance p = p.inst
 let nfa p = p.nfa
-let num_states p = Gqkg_util.Dynarray.length p.states
-let state p id = Gqkg_util.Dynarray.get p.states id
-let node_of p id = (state p id).node
-let is_accepting p id = Gqkg_util.Dynarray.get p.accepting id
 
-(* Intern a (node, closed state set) pair. *)
-let intern p node nfa_states =
-  let key = (node, nfa_states) in
-  match Key_table.find_opt p.ids key with
+(* Close [seeds] in place at node [w], caching node-check outcomes. *)
+let close_at p w seeds =
+  if Bytes.length p.check_cache = 0 then
+    Nfa.close_raw p.nfa ~node_sat:(p.inst.Instance.node_atom w) seeds
+  else begin
+    let base = w * Nfa.num_checks p.nfa in
+    Nfa.close_raw_idx p.nfa seeds ~check_sat:(fun idx t ->
+        match Bytes.unsafe_get p.check_cache (base + idx) with
+        | '\001' -> true
+        | '\002' -> false
+        | _ ->
+            let r = Regex.eval_test (p.inst.Instance.node_atom w) t in
+            (* Concurrent expanders may race here, but they write the
+               same (deterministic) byte, so a lost update only costs a
+               recomputation. *)
+            Bytes.unsafe_set p.check_cache (base + idx) (if r then '\001' else '\002');
+            r)
+  end
+let num_states p = Dyn.length p.state_node
+let node_of p id = Dyn.get p.state_node id
+
+(* The exposed view shares the interned members array; callers must not
+   mutate it. *)
+let state p id = { node = Dyn.get p.state_node id; nfa_states = Dyn.get p.set_members (Dyn.get p.state_set id) }
+
+let is_accepting p id = Dyn.get p.set_flags (Dyn.get p.state_set id) land f_accept <> 0
+
+(* Intern a packed closed state set.  The words array must not be mutated
+   by the caller afterwards — it becomes the hash key. *)
+let intern_set p ws =
+  match Set_table.find_opt p.sets ws with
+  | Some sid -> sid
+  | None ->
+      let members = B.raw_to_array ws in
+      let exists f = Array.exists f members in
+      let bit b mask = if b then mask else 0 in
+      let flags =
+        bit (exists (fun q -> Array.length (Nfa.fwd_moves p.nfa q) > 0)) f_fwd
+        lor bit (exists (fun q -> Array.length (Nfa.bwd_moves p.nfa q) > 0)) f_bwd
+        lor bit (exists (fun q -> Array.length p.gen_fwd.(q) > 0)) f_genf
+        lor bit (exists (fun q -> Array.length p.gen_bwd.(q) > 0)) f_genb
+        lor bit (B.raw_mem ws (Nfa.accept p.nfa)) f_accept
+      in
+      let sid = Dyn.push p.set_members members in
+      let _ = Dyn.push p.set_flags flags in
+      let cache_size = match p.labels with Some d -> 2 * d.num_labels | None -> 0 in
+      let _ = Dyn.push p.set_seed_cache (Array.make cache_size None) in
+      let _ = Dyn.push p.set_memo (Imap.create ()) in
+      Set_table.add p.sets ws sid;
+      sid
+
+(* Intern a (node, set id) product state. *)
+let intern_state p node sid =
+  let key = (node, sid) in
+  match Pair_table.find_opt p.ids key with
   | Some id -> id
   | None ->
-      let id = Gqkg_util.Dynarray.push p.states { node; nfa_states } in
-      let _ = Gqkg_util.Dynarray.push p.accepting (Nfa.is_accepting p.nfa nfa_states) in
-      Key_table.add p.ids key id;
-      if id >= Array.length p.successors then begin
-        let bigger = Array.make (2 * (id + 1)) None in
-        Array.blit p.successors 0 bigger 0 (Array.length p.successors);
-        p.successors <- bigger
+      let id = Dyn.push p.state_node node in
+      let _ = Dyn.push p.state_set sid in
+      Pair_table.add p.ids key id;
+      if id >= Array.length p.succ_off then begin
+        let n = 2 * (id + 1) in
+        let off = Array.make n (-1) and len = Array.make n 0 in
+        Array.blit p.succ_off 0 off 0 (Array.length p.succ_off);
+        Array.blit p.succ_len 0 len 0 (Array.length p.succ_len);
+        p.succ_off <- off;
+        p.succ_len <- len
       end;
       id
 
@@ -83,73 +305,444 @@ let intern p node nfa_states =
 let start_state p node =
   if p.start_known.(node) then p.start_cache.(node)
   else begin
-    let node_sat = p.inst.Instance.node_atom node in
-    let closed = Nfa.closure p.nfa ~node_sat [| Nfa.start p.nfa |] in
-    let result = if Array.length closed = 0 then None else Some (intern p node closed) in
+    let ws = Array.make p.words 0 in
+    B.raw_add ws (Nfa.start p.nfa);
+    close_at p node ws;
+    let result =
+      if B.raw_is_empty ws then None else Some (intern_state p node (intern_set p ws))
+    in
     p.start_cache.(node) <- result;
     p.start_known.(node) <- true;
     result
   end
 
-let successors p id =
-  match p.successors.(id) with
-  | Some s -> s
-  | None ->
-      let { node = v; nfa_states } = state p id in
-      let fwd_moves, bwd_moves = Nfa.edge_moves p.nfa nfa_states in
-      (* Collect NFA targets per product move (edge, destination). *)
-      let by_move : (int * int, int list ref) Hashtbl.t = Hashtbl.create 8 in
-      let add_targets e w tests edge_sat =
-        List.iter
-          (fun (test, q') ->
-            if Regex.eval_test edge_sat test then begin
-              match Hashtbl.find_opt by_move (e, w) with
-              | Some acc -> if not (List.mem q' !acc) then acc := q' :: !acc
-              | None -> Hashtbl.add by_move (e, w) (ref [ q' ])
-            end)
-          tests
+(* Result of considering one edge during expansion: either the memo
+   already knows the successor id, or a freshly closed target set that
+   [commit_moves] will intern (with the memo key to record, when the
+   step was label-pure). *)
+type computed_move =
+  | Hit of int * int (* edge, successor state id *)
+  | Fresh of int * int * int * int array (* edge, node, memo key, closed set *)
+  | Fresh_raw of int * int * int array (* edge, node, closed set *)
+
+let move_edge_id = function Hit (e, _) | Fresh (e, _, _, _) | Fresh_raw (e, _, _) -> e
+
+(* Direction codes packed into memo keys; self-loops merge both
+   directions into one move, hence the third code. *)
+let c_fwd = 0
+
+let c_bwd = 1
+let c_both = 2
+
+(* Compute the moves of a state without writing any shared mutable
+   kernel structure (memos and seed caches are written only with
+   [cache_write], which the concurrent phase of [levels] turns off), so
+   frontier states can be expanded concurrently.  Returns the moves
+   sorted by edge id — the deterministic move order — plus the memo keys
+   of steps that provably yield no move. *)
+let compute_moves ?(cache_write = true) p id =
+  let v = Dyn.get p.state_node id in
+  let sid = Dyn.get p.state_set id in
+  let flags = Dyn.get p.set_flags sid in
+  let has_fwd = flags land f_fwd <> 0 and has_bwd = flags land f_bwd <> 0 in
+  if not (has_fwd || has_bwd) then []
+  else begin
+    let has_genf = flags land f_genf <> 0 and has_genb = flags land f_genb <> 0 in
+    let members = Dyn.get p.set_members sid in
+    let seed_cache = Dyn.get p.set_seed_cache sid in
+    let memo = Dyn.get p.set_memo sid in
+    let moves = ref [] in
+    let null_seed = Array.make p.words 0 in
+    (* Union of the label-pure targets of all members over label [l];
+       the result is shared (cached per set) — do not mutate. *)
+    let pure_seed d l ~fwd =
+      let idx = if fwd then l else d.num_labels + l in
+      match seed_cache.(idx) with
+      | Some ws -> ws
+      | None ->
+          let tbl = if fwd then d.pure_fwd else d.pure_bwd in
+          let ws = Array.make p.words 0 in
+          Array.iter
+            (fun q -> Array.iter (fun q' -> B.raw_add ws q') tbl.((q * d.num_labels) + l))
+            members;
+          if cache_write then seed_cache.(idx) <- Some ws;
+          ws
+    in
+    let add_generic seeds tbl edge_sat =
+      Array.iter
+        (fun q ->
+          Array.iter (fun (t, q') -> if Regex.eval_test edge_sat t then B.raw_add seeds q') tbl.(q))
+        members
+    in
+    (* Generic fallback for steps that depend on more than the edge
+       label: build the seed set per edge and close it. *)
+    let consider_generic e w ~fwd ~both =
+      let seeds = Array.make p.words 0 in
+      let add ~fwd =
+        if if fwd then has_fwd else has_bwd then begin
+          (match p.labels with
+          | Some d when d.num_labels > 0 ->
+              B.raw_union_into ~into:seeds (pure_seed d (d.label_of e) ~fwd)
+          | _ -> ());
+          if if fwd then has_genf else has_genb then
+            add_generic seeds (if fwd then p.gen_fwd else p.gen_bwd) (p.inst.Instance.edge_atom e)
+        end
       in
-      if fwd_moves <> [] then
+      add ~fwd;
+      if both then add ~fwd:(not fwd);
+      if not (B.raw_is_empty seeds) then begin
+        close_at p w seeds;
+        moves := Fresh_raw (e, w, seeds) :: !moves
+      end
+    in
+    (* Label-pure step: the successor is a function of (set, label,
+       direction, destination) — consult / feed the per-set memo.  The
+       cached seed sets are checked first: an empty seed set means no
+       edge with this label moves anywhere, whatever the destination. *)
+    let consider_pure d e w ~code =
+      let l = d.label_of e in
+      let sf = if has_fwd && code <> c_bwd then pure_seed d l ~fwd:true else null_seed in
+      let sb = if has_bwd && code <> c_fwd then pure_seed d l ~fwd:false else null_seed in
+      let ef = B.raw_is_empty sf and eb = B.raw_is_empty sb in
+      if not (ef && eb) then begin
+        let key = (((w * d.num_labels) + l) * 3) + code in
+        let hit = Imap.find memo key in
+        if hit >= 0 then moves := Hit (e, hit) :: !moves
+        else begin
+            let seeds =
+              if eb then Array.copy sf
+              else if ef then Array.copy sb
+              else begin
+                let s = Array.copy sf in
+                B.raw_union_into ~into:s sb;
+                s
+              end
+            in
+            close_at p w seeds;
+            moves := Fresh (e, w, key, seeds) :: !moves
+        end
+      end
+    in
+    (* A self-loop appears in both adjacency lists; it is handled once,
+       in the out pass, with both directions merged into the single move
+       — hence out_edges must be scanned even when only backward moves
+       exist. *)
+    (match p.labels with
+    | Some d when d.num_labels > 0 ->
+        let pure_out = not has_genf and pure_in = not has_genb in
         Array.iter
-          (fun (e, w) -> add_targets e w fwd_moves (p.inst.Instance.edge_atom e))
+          (fun (e, w) ->
+            if w = v then
+              if pure_out && pure_in then consider_pure d e w ~code:c_both
+              else consider_generic e w ~fwd:true ~both:true
+            else if has_fwd || has_genf then
+              if pure_out then consider_pure d e w ~code:c_fwd
+              else consider_generic e w ~fwd:true ~both:false)
           (p.inst.Instance.out_edges v);
-      if bwd_moves <> [] then
+        if has_bwd then
+          Array.iter
+            (fun (e, u) ->
+              if u <> v then
+                if pure_in then consider_pure d e u ~code:c_bwd
+                else consider_generic e u ~fwd:false ~both:false)
+            (p.inst.Instance.in_edges v)
+    | _ ->
         Array.iter
-          (fun (e, u) -> add_targets e u bwd_moves (p.inst.Instance.edge_atom e))
-          (p.inst.Instance.in_edges v);
-      let out = ref [] in
-      Hashtbl.iter
-        (fun (e, w) targets ->
-          let arr = Array.of_list !targets in
-          Array.sort compare arr;
-          let closed = Nfa.closure p.nfa ~node_sat:(p.inst.Instance.node_atom w) arr in
-          if Array.length closed > 0 then out := (e, intern p w closed) :: !out)
-        by_move;
-      (* Deterministic order: sort by (edge, successor). *)
-      let arr = Array.of_list !out in
-      Array.sort compare arr;
-      p.successors.(id) <- Some arr;
-      arr
+          (fun (e, w) -> consider_generic e w ~fwd:true ~both:(w = v))
+          (p.inst.Instance.out_edges v);
+        if has_bwd then
+          Array.iter
+            (fun (e, u) -> if u <> v then consider_generic e u ~fwd:false ~both:false)
+            (p.inst.Instance.in_edges v));
+    (* Deterministic order: sort by edge id (unique per move). *)
+    List.sort (fun m1 m2 -> Int.compare (move_edge_id m1) (move_edge_id m2)) !moves
+  end
+
+(* Intern the computed moves, record memo outcomes, and append the moves
+   to the CSR buffer. *)
+let commit_moves p id moves =
+  let memo = Dyn.get p.set_memo (Dyn.get p.state_set id) in
+  let n = List.length moves in
+  let off = p.data_len in
+  if off + (2 * n) > Array.length p.succ_data then begin
+    let bigger = Array.make (max (2 * Array.length p.succ_data) (off + (2 * n))) 0 in
+    Array.blit p.succ_data 0 bigger 0 p.data_len;
+    p.succ_data <- bigger
+  end;
+  List.iter
+    (fun m ->
+      let e, succ =
+        match m with
+        | Hit (e, succ) -> (e, succ)
+        | Fresh (e, w, key, closed) ->
+            let succ = intern_state p w (intern_set p closed) in
+            if Imap.find memo key < 0 then Imap.add memo key succ;
+            (e, succ)
+        | Fresh_raw (e, w, closed) -> (e, intern_state p w (intern_set p closed))
+      in
+      p.succ_data.(p.data_len) <- e;
+      p.succ_data.(p.data_len + 1) <- succ;
+      p.data_len <- p.data_len + 2)
+    moves;
+  p.succ_off.(id) <- off;
+  p.succ_len.(id) <- n
+
+(* --- Sequential expansion fast path ------------------------------------
+
+   Resolve each edge and append the move straight into the CSR buffer —
+   no intermediate move list, and memo entries become visible to later
+   edges of the same expansion.  Helpers are top-level functions taking
+   explicit arguments (not closures) to keep the per-expansion
+   allocation near zero.  Must stay semantically in line with
+   [compute_moves] + [commit_moves] (the two-phase pair used by the
+   concurrent [levels] expansion): both produce the same successors in
+   the same ascending-edge order. *)
+
+let emit p e succ =
+  if p.data_len + 2 > Array.length p.succ_data then begin
+    let bigger = Array.make (max (2 * Array.length p.succ_data) (p.data_len + 2)) 0 in
+    Array.blit p.succ_data 0 bigger 0 p.data_len;
+    p.succ_data <- bigger
+  end;
+  p.succ_data.(p.data_len) <- e;
+  p.succ_data.(p.data_len + 1) <- succ;
+  p.data_len <- p.data_len + 2
+
+(* Cached union of the label-pure targets of [members] over label [l];
+   the result is shared — callers must not mutate it. *)
+let seed_of p d seed_cache members l ~fwd =
+  let idx = if fwd then l else d.num_labels + l in
+  match seed_cache.(idx) with
+  | Some ws -> ws
+  | None ->
+      let tbl = if fwd then d.pure_fwd else d.pure_bwd in
+      let ws = Array.make p.words 0 in
+      Array.iter
+        (fun q -> Array.iter (fun q' -> B.raw_add ws q') tbl.((q * d.num_labels) + l))
+        members;
+      seed_cache.(idx) <- Some ws;
+      ws
+
+(* Label-pure step, CSR-direct: memo hit emits immediately; a miss
+   closes, interns, memoizes, then emits. *)
+let step_pure p d memo seed_cache members ~has_fwd ~has_bwd e w code =
+  let l = d.label_of e in
+  let sf =
+    if has_fwd && code <> c_bwd then seed_of p d seed_cache members l ~fwd:true else [||]
+  in
+  let sb =
+    if has_bwd && code <> c_fwd then seed_of p d seed_cache members l ~fwd:false else [||]
+  in
+  let ef = Array.length sf = 0 || B.raw_is_empty sf in
+  let eb = Array.length sb = 0 || B.raw_is_empty sb in
+  if not (ef && eb) then begin
+    let key = (((w * d.num_labels) + l) * 3) + code in
+    let hit = Imap.find memo key in
+    if hit >= 0 then emit p e hit
+    else begin
+        let seeds =
+          if eb then Array.copy sf
+          else if ef then Array.copy sb
+          else begin
+            let s = Array.copy sf in
+            B.raw_union_into ~into:s sb;
+            s
+          end
+        in
+        close_at p w seeds;
+        let succ = intern_state p w (intern_set p seeds) in
+        Imap.add memo key succ;
+        emit p e succ
+    end
+  end
+
+(* Generic step (tests beyond the edge label): per-edge evaluation, no
+   memo. *)
+let step_generic p seed_cache members ~has_fwd ~has_bwd ~has_genf ~has_genb e w ~fwd ~both =
+  let seeds = Array.make p.words 0 in
+  let add ~fwd =
+    if if fwd then has_fwd else has_bwd then begin
+      (match p.labels with
+      | Some d when d.num_labels > 0 ->
+          B.raw_union_into ~into:seeds (seed_of p d seed_cache members (d.label_of e) ~fwd)
+      | _ -> ());
+      if if fwd then has_genf else has_genb then
+        Array.iter
+          (fun q ->
+            Array.iter
+              (fun (t, q') ->
+                if Regex.eval_test (p.inst.Instance.edge_atom e) t then B.raw_add seeds q')
+              (if fwd then p.gen_fwd else p.gen_bwd).(q))
+          members
+    end
+  in
+  add ~fwd;
+  if both then add ~fwd:(not fwd);
+  if not (B.raw_is_empty seeds) then begin
+    close_at p w seeds;
+    emit p e (intern_state p w (intern_set p seeds))
+  end
+
+let expand_direct p id =
+  let start_len = p.data_len in
+  let v = Dyn.get p.state_node id in
+  let sid = Dyn.get p.state_set id in
+  let flags = Dyn.get p.set_flags sid in
+  let has_fwd = flags land f_fwd <> 0 and has_bwd = flags land f_bwd <> 0 in
+  if has_fwd || has_bwd then begin
+    let has_genf = flags land f_genf <> 0 and has_genb = flags land f_genb <> 0 in
+    let members = Dyn.get p.set_members sid in
+    let seed_cache = Dyn.get p.set_seed_cache sid in
+    let memo = Dyn.get p.set_memo sid in
+    match p.labels with
+    | Some d when d.num_labels > 0 ->
+        let pure_out = not has_genf and pure_in = not has_genb in
+        let oe = p.inst.Instance.out_edges v in
+        for i = 0 to Array.length oe - 1 do
+          let e, w = oe.(i) in
+          if w = v then
+            if pure_out && pure_in then
+              step_pure p d memo seed_cache members ~has_fwd ~has_bwd e w c_both
+            else
+              step_generic p seed_cache members ~has_fwd ~has_bwd ~has_genf ~has_genb e w
+                ~fwd:true ~both:true
+          else if has_fwd then
+            if pure_out then step_pure p d memo seed_cache members ~has_fwd ~has_bwd e w c_fwd
+            else
+              step_generic p seed_cache members ~has_fwd ~has_bwd ~has_genf ~has_genb e w
+                ~fwd:true ~both:false
+        done;
+        if has_bwd then begin
+          let ie = p.inst.Instance.in_edges v in
+          for i = 0 to Array.length ie - 1 do
+            let e, u = ie.(i) in
+            if u <> v then
+              if pure_in then step_pure p d memo seed_cache members ~has_fwd ~has_bwd e u c_bwd
+              else
+                step_generic p seed_cache members ~has_fwd ~has_bwd ~has_genf ~has_genb e u
+                  ~fwd:false ~both:false
+          done
+        end
+    | _ ->
+        let oe = p.inst.Instance.out_edges v in
+        for i = 0 to Array.length oe - 1 do
+          let e, w = oe.(i) in
+          step_generic p seed_cache members ~has_fwd ~has_bwd ~has_genf ~has_genb e w ~fwd:true
+            ~both:(w = v)
+        done;
+        if has_bwd then begin
+          let ie = p.inst.Instance.in_edges v in
+          for i = 0 to Array.length ie - 1 do
+            let e, u = ie.(i) in
+            if u <> v then
+              step_generic p seed_cache members ~has_fwd ~has_bwd ~has_genf ~has_genb e u
+                ~fwd:false ~both:false
+          done
+        end
+  end;
+  (* Ascending-edge contract: the out and in adjacency scans each emit in
+     list order — already ascending for graphs built by the standard
+     builders.  Restore the order for the rare instance that is not. *)
+  let n = (p.data_len - start_len) / 2 in
+  let sorted = ref true in
+  for m = 1 to n - 1 do
+    if p.succ_data.(start_len + (2 * m)) < p.succ_data.(start_len + (2 * (m - 1))) then
+      sorted := false
+  done;
+  if not !sorted then begin
+    let pairs =
+      Array.init n (fun m ->
+          (p.succ_data.(start_len + (2 * m)), p.succ_data.(start_len + (2 * m) + 1)))
+    in
+    Array.sort (fun (e1, _) (e2, _) -> Int.compare e1 e2) pairs;
+    Array.iteri
+      (fun m (e, s) ->
+        p.succ_data.(start_len + (2 * m)) <- e;
+        p.succ_data.(start_len + (2 * m) + 1) <- s)
+      pairs
+  end;
+  p.succ_off.(id) <- start_len;
+  p.succ_len.(id) <- n
+
+let ensure_expanded p id = if p.succ_off.(id) < 0 then expand_direct p id
+
+let degree p id =
+  ensure_expanded p id;
+  p.succ_len.(id)
+
+let move_edge p id i = p.succ_data.(p.succ_off.(id) + (2 * i))
+let move_succ p id i = p.succ_data.(p.succ_off.(id) + (2 * i) + 1)
+
+let iter_successors p id f =
+  ensure_expanded p id;
+  let off = p.succ_off.(id) and len = p.succ_len.(id) in
+  for i = 0 to len - 1 do
+    f p.succ_data.(off + (2 * i)) p.succ_data.(off + (2 * i) + 1)
+  done
+
+(* Compatibility view: materializes a fresh array per call; hot paths
+   should use {!iter_successors} / {!degree} / {!move_succ} instead. *)
+let successors p id =
+  ensure_expanded p id;
+  let off = p.succ_off.(id) in
+  Array.init p.succ_len.(id) (fun i ->
+      (p.succ_data.(off + (2 * i)), p.succ_data.(off + (2 * i) + 1)))
 
 (* Breadth-first materialization of the states reachable within [depth]
    steps from every node's start state.  Returns the per-level state-id
    sets (level.(i) = ids reachable by paths of length exactly i; a state
-   can appear in several levels). *)
-let levels p ~depth =
+   can appear in several levels).
+
+   With [domains > 1], each level's unexpanded frontier states are
+   expanded concurrently in two phases: phase A computes every state's
+   moves with [compute_moves ~cache_write:false] (shared structures are
+   only read), then phase B interns them sequentially in frontier order,
+   so ids and levels are identical to a sequential run. *)
+let levels ?domains p ~depth =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Gqkg_util.Parallel.default_domains ()
+  in
   let all_starts =
     List.filter_map (start_state p) (List.init p.inst.Instance.num_nodes Fun.id)
   in
-  let first = List.sort_uniq compare all_starts in
+  let first = List.sort_uniq Int.compare all_starts in
   let levels = Array.make (depth + 1) [] in
   levels.(0) <- first;
-  for i = 1 to depth do
-    let seen = Hashtbl.create 64 in
+  let i = ref 1 in
+  let fixed = ref false in
+  while (not !fixed) && !i <= depth do
+    let frontier = levels.(!i - 1) in
+    (if domains > 1 then begin
+       let unexpanded = Array.of_list (List.filter (fun id -> p.succ_off.(id) < 0) frontier) in
+       if Array.length unexpanded >= 2 * domains then begin
+         let computed =
+           Gqkg_util.Parallel.map_slices ~domains (Array.length unexpanded) (fun first last ->
+               List.init (last - first) (fun k ->
+                   let id = unexpanded.(first + k) in
+                   (id, compute_moves ~cache_write:false p id)))
+         in
+         List.iter (List.iter (fun (id, moves) -> commit_moves p id moves)) computed
+       end
+     end);
+    let seen = B.create ~capacity:(num_states p) () in
     List.iter
       (fun id ->
-        Array.iter
-          (fun (_edge, succ) -> if not (Hashtbl.mem seen succ) then Hashtbl.add seen succ ())
-          (successors p id))
-      levels.(i - 1);
-    levels.(i) <- Hashtbl.fold (fun id () acc -> id :: acc) seen [] |> List.sort compare
+        ensure_expanded p id;
+        let off = p.succ_off.(id) and len = p.succ_len.(id) in
+        for m = 0 to len - 1 do
+          B.add seen p.succ_data.(off + (2 * m) + 1)
+        done)
+      frontier;
+    let level = Array.to_list (B.to_sorted_array seen) in
+    levels.(!i) <- level;
+    (* Once a level equals its own frontier the successor map has hit a
+       fixpoint and every later level is the same set — stop walking. *)
+    if List.equal Int.equal level frontier then begin
+      fixed := true;
+      for j = !i + 1 to depth do
+        levels.(j) <- level
+      done
+    end;
+    incr i
   done;
   levels

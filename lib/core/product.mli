@@ -31,12 +31,34 @@ val is_accepting : t -> int -> bool
     [None] only for degenerate automata with an empty closure. *)
 val start_state : t -> int -> int option
 
-(** Memoized successor moves [(edge, successor-id)] of a state, in a
-    deterministic order. One entry per (edge, destination) move — a
-    self-loop matched in both directions yields a single move. *)
+(** Successor moves [(edge, successor-id)] of a state, in a
+    deterministic order (ascending edge id). One entry per
+    (edge, destination) move — a self-loop matched in both directions
+    yields a single move. Materializes a fresh array per call; hot paths
+    should use {!iter_successors} / {!degree} / {!move_succ}, which read
+    the flat CSR buffer directly. *)
 val successors : t -> int -> (int * int) array
+
+(** [iter_successors p id f] calls [f edge succ] for every successor
+    move, in the same deterministic order as {!successors}, without
+    materializing an intermediate array. *)
+val iter_successors : t -> int -> (int -> int -> unit) -> unit
+
+(** Number of successor moves of a state (expanding it if needed). *)
+val degree : t -> int -> int
+
+(** [move_edge p id i] / [move_succ p id i]: the [i]-th move's edge and
+    successor id, [0 <= i < degree p id]. The state must already be
+    expanded (any of {!degree}, {!successors}, {!iter_successors}
+    expands it). *)
+val move_edge : t -> int -> int -> int
+
+val move_succ : t -> int -> int -> int
 
 (** [levels p ~depth] materializes every state reachable from any node's
     start state within [depth] moves; [result.(i)] lists (sorted) the ids
-    reachable by paths of length exactly [i]. *)
-val levels : t -> depth:int -> int list array
+    reachable by paths of length exactly [i]. [domains] (default
+    {!Gqkg_util.Parallel.default_domains}) expands each level's frontier
+    concurrently — move computation is pure, interning stays sequential
+    in frontier order, so the result is identical to a sequential run. *)
+val levels : ?domains:int -> t -> depth:int -> int list array

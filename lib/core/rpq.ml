@@ -34,7 +34,7 @@ let matches_path inst regex path =
       if s = v && d = w then add fwd_moves;
       if s = w && d = v then add bwd_moves;
       let arr = Array.of_list !targets in
-      Array.sort compare arr;
+      Array.sort Int.compare arr;
       let closed = Nfa.closure nfa ~node_sat:(inst.Instance.node_atom w) arr in
       if Array.length closed = 0 then alive := false else current := closed
     end
@@ -56,13 +56,11 @@ let bfs_product product ~source ~max_length =
         let d = Hashtbl.find dist id in
         let expand = match max_length with Some m -> d < m | None -> true in
         if expand then
-          Array.iter
-            (fun (_e, succ) ->
+          Product.iter_successors product id (fun _e succ ->
               if not (Hashtbl.mem dist succ) then begin
                 Hashtbl.replace dist succ (d + 1);
                 Queue.push succ queue
               end)
-            (Product.successors product id)
       done;
       dist
 
@@ -157,8 +155,7 @@ let shortest_witness ?max_length inst regex ~source ~target =
           let d = Hashtbl.find dist v in
           let expand = match max_length with Some m -> d < m | None -> true in
           if expand then
-            Array.iter
-              (fun (e, succ) ->
+            Product.iter_successors product v (fun e succ ->
                 if !found = None && not (Hashtbl.mem dist succ) then begin
                   Hashtbl.replace dist succ (d + 1);
                   Hashtbl.replace parent succ (v, e);
@@ -166,7 +163,6 @@ let shortest_witness ?max_length inst regex ~source ~target =
                     found := Some (reconstruct succ)
                   else Queue.push succ queue
                 end)
-              (Product.successors product v)
         done
       end;
       !found

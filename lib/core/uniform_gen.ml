@@ -55,13 +55,17 @@ let sample t rng =
       let state = ref t.start_states.(Alias.sample picker rng) in
       nodes.(0) <- Product.node_of t.product !state;
       for depth = 0 to k - 1 do
-        let succs = Product.successors t.product !state in
+        let s = !state in
+        let d = Product.degree t.product s in
         let remaining = k - depth - 1 in
         let weights =
-          Array.map (fun (_e, s) -> Count.suffix_count t.table ~state:s ~length:remaining) succs
+          Array.init d (fun m ->
+              Count.suffix_count t.table ~state:(Product.move_succ t.product s m)
+                ~length:remaining)
         in
         let choice = Alias.sample_weights weights rng in
-        let edge, succ = succs.(choice) in
+        let edge = Product.move_edge t.product s choice
+        and succ = Product.move_succ t.product s choice in
         edges.(depth) <- edge;
         nodes.(depth + 1) <- Product.node_of t.product succ;
         state := succ

@@ -107,6 +107,7 @@ let isomorphism_test ?(init1 = fun _ -> 0) ?(init2 = fun _ -> 0) inst1 inst2 =
         node_name = (fun v -> if v < n1 then inst1.node_name v else inst2.node_name (v - n1));
         edge_name =
           (fun e -> if e < inst1.num_edges then inst1.edge_name e else inst2.edge_name (e - inst1.num_edges));
+        labels = None;
       }
     in
     let coloring = refine union ~init:(fun v -> if v < n1 then init1 v else init2 (v - n1)) in

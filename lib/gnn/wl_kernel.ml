@@ -42,6 +42,7 @@ let joint_histograms ?(rounds = 3) ?(init1 = fun _ -> 0) ?(init2 = fun _ -> 0) i
       edge_name =
         (fun e ->
           if e < inst1.num_edges then inst1.edge_name e else inst2.edge_name (e - inst1.num_edges));
+      labels = None;
     }
   in
   let init v = if v < n1 then init1 v else init2 (v - n1) in

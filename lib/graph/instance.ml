@@ -8,6 +8,21 @@
    written once against this record — this is the "unified and simple
    view" the tutorial advocates. *)
 
+(* Optional label-interning fast path.  When a model can map each edge to
+   a dense label id such that every [Atom.Label] test on the edge is a
+   pure function of that id, the product kernel evaluates label-only
+   tests once per label instead of once per edge.  The contract:
+
+     edge_atom e (Label c)  =  label_sat (edge_label_id e) (Label c)
+
+   for every edge [e].  Atoms that are not label-determined (Prop,
+   Feature) keep going through [edge_atom]. *)
+type label_index = {
+  num_labels : int; (* label ids are 0 .. num_labels-1 *)
+  edge_label_id : int -> int;
+  label_sat : int -> Atom.t -> bool;
+}
+
 type t = {
   num_nodes : int;
   num_edges : int;
@@ -18,7 +33,33 @@ type t = {
   edge_atom : int -> Atom.t -> bool;
   node_name : int -> string;
   edge_name : int -> string;
+  labels : label_index option;
 }
 
 let src t e = fst (t.endpoints e)
 let dst t e = snd (t.endpoints e)
+
+(* Build a label index by interning the labels of [edge_label] over the
+   dense edge range; [Atom.Label] satisfaction per id is then equality
+   against the interned label (the common case for the concrete
+   models — RDF overrides [label_sat] for its IRI/local-name rule). *)
+let index_edge_labels ~num_edges ~edge_label ~label_sat =
+  let ids = Hashtbl.create 16 in
+  let distinct = ref [] in
+  let table =
+    Array.init num_edges (fun e ->
+        let l = edge_label e in
+        match Hashtbl.find_opt ids l with
+        | Some id -> id
+        | None ->
+            let id = Hashtbl.length ids in
+            Hashtbl.add ids l id;
+            distinct := l :: !distinct;
+            id)
+  in
+  let distinct = Array.of_list (List.rev !distinct) in
+  {
+    num_labels = Array.length distinct;
+    edge_label_id = (fun e -> table.(e));
+    label_sat = (fun id atom -> label_sat distinct.(id) atom);
+  }

@@ -5,6 +5,17 @@
     both directions, and an oracle answering atomic tests. The entire
     Section 4 machinery is written once against it. *)
 
+(** Optional label-interning fast path: maps each edge to a dense label
+    id such that [Atom.Label] satisfaction is a pure function of the id
+    ([edge_atom e (Label c) = label_sat (edge_label_id e) (Label c)]).
+    The product kernel uses it to evaluate label-only tests once per
+    label instead of once per edge. *)
+type label_index = {
+  num_labels : int;  (** label ids are [0 .. num_labels-1] *)
+  edge_label_id : int -> int;
+  label_sat : int -> Atom.t -> bool;
+}
+
 type t = {
   num_nodes : int;
   num_edges : int;
@@ -15,7 +26,16 @@ type t = {
   edge_atom : int -> Atom.t -> bool;
   node_name : int -> string;  (** display name *)
   edge_name : int -> string;
+  labels : label_index option;
 }
 
 val src : t -> int -> int
 val dst : t -> int -> int
+
+(** Intern the labels of [edge_label] over the dense edge range;
+    [label_sat] receives the interned label and the atom. *)
+val index_edge_labels :
+  num_edges:int ->
+  edge_label:(int -> 'l) ->
+  label_sat:('l -> Atom.t -> bool) ->
+  label_index

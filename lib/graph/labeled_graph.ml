@@ -2,7 +2,33 @@
    node and every edge carries one label from Const ("heterogeneous
    graphs").  Figure 2(a) is an instance. *)
 
-type t = { base : Multigraph.t; node_labels : Const.t array; edge_labels : Const.t array }
+type t = {
+  base : Multigraph.t;
+  node_labels : Const.t array;
+  edge_labels : Const.t array;
+  (* label -> ascending member ids, built on first use so that
+     [nodes_with_label] / [edges_with_label] answer in O(|answer|)
+     instead of scanning every node/edge. *)
+  node_index : (Const.t, int list) Hashtbl.t Lazy.t;
+  edge_index : (Const.t, int list) Hashtbl.t Lazy.t;
+}
+
+let index_of_labels labels =
+  let tbl = Hashtbl.create 16 in
+  for i = Array.length labels - 1 downto 0 do
+    let l = labels.(i) in
+    Hashtbl.replace tbl l (i :: Option.value (Hashtbl.find_opt tbl l) ~default:[])
+  done;
+  tbl
+
+let v ~base ~node_labels ~edge_labels =
+  {
+    base;
+    node_labels;
+    edge_labels;
+    node_index = lazy (index_of_labels node_labels);
+    edge_index = lazy (index_of_labels edge_labels);
+  }
 
 let base g = g.base
 let num_nodes g = Multigraph.num_nodes g.base
@@ -18,18 +44,10 @@ let find_node g id = Multigraph.find_node g.base id
 let node_of_exn g id = Multigraph.node_of_exn g.base id
 
 let nodes_with_label g l =
-  let out = ref [] in
-  for n = num_nodes g - 1 downto 0 do
-    if Const.equal g.node_labels.(n) l then out := n :: !out
-  done;
-  !out
+  Option.value (Hashtbl.find_opt (Lazy.force g.node_index) l) ~default:[]
 
 let edges_with_label g l =
-  let out = ref [] in
-  for e = num_edges g - 1 downto 0 do
-    if Const.equal g.edge_labels.(e) l then out := e :: !out
-  done;
-  !out
+  Option.value (Hashtbl.find_opt (Lazy.force g.edge_index) l) ~default:[]
 
 (* Distinct labels in use, each with its multiplicity. *)
 let label_histogram labels =
@@ -89,11 +107,9 @@ module Builder = struct
     let fetch tbl i =
       match Hashtbl.find_opt tbl i with Some l -> l | None -> Const.bottom
     in
-    ({
-       base;
-       node_labels = Array.init (Multigraph.num_nodes base) (fetch b.node_labels);
-       edge_labels = Array.init (Multigraph.num_edges base) (fetch b.edge_labels);
-     }
+    (v ~base
+       ~node_labels:(Array.init (Multigraph.num_nodes base) (fetch b.node_labels))
+       ~edge_labels:(Array.init (Multigraph.num_edges base) (fetch b.edge_labels))
       : graph)
 end
 
@@ -115,7 +131,7 @@ let make ~base ~node_labels ~edge_labels =
     invalid_arg "Labeled_graph.make: node label count";
   if Array.length edge_labels <> Multigraph.num_edges base then
     invalid_arg "Labeled_graph.make: edge label count";
-  { base; node_labels; edge_labels }
+  v ~base ~node_labels ~edge_labels
 
 let to_instance g =
   {
@@ -128,4 +144,10 @@ let to_instance g =
     edge_atom = edge_satisfies_atom g;
     node_name = (fun n -> Const.to_string (node_id g n));
     edge_name = (fun e -> Const.to_string (edge_id g e));
+    labels =
+      Some
+        (Instance.index_edge_labels ~num_edges:(num_edges g) ~edge_label:(edge_label g)
+           ~label_sat:(fun l -> function
+             | Atom.Label c -> Const.equal l c
+             | Atom.Prop _ | Atom.Feature _ -> false));
   }

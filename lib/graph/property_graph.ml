@@ -130,4 +130,12 @@ let to_instance g =
     edge_atom = edge_satisfies_atom g;
     node_name = (fun n -> Const.to_string (node_id g n));
     edge_name = (fun e -> Const.to_string (edge_id g e));
+    (* λ(e) comes from the underlying labeled graph, so Label atoms are
+       label-determined even though Prop atoms are not. *)
+    labels =
+      Some
+        (Instance.index_edge_labels ~num_edges:(num_edges g) ~edge_label:(edge_label g)
+           ~label_sat:(fun l -> function
+             | Atom.Label c -> Const.equal l c
+             | Atom.Prop _ | Atom.Feature _ -> false));
   }

@@ -158,4 +158,15 @@ let to_instance g =
     edge_atom = edge_satisfies_atom g;
     node_name = (fun n -> Const.to_string (node_id g n));
     edge_name = (fun e -> Const.to_string (edge_id g e));
+    (* The label survives flattening as feature 1 (index 0), so Label
+       atoms are determined by that feature alone. *)
+    labels =
+      (if g.dimension >= 1 then
+         Some
+           (Instance.index_edge_labels ~num_edges:(num_edges g)
+              ~edge_label:(fun e -> g.edge_features.(e).(0))
+              ~label_sat:(fun l -> function
+                | Atom.Label c -> Const.equal l c
+                | Atom.Prop _ | Atom.Feature _ -> false))
+       else None);
   }

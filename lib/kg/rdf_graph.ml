@@ -126,4 +126,15 @@ let to_instance g =
       (fun e ->
         let _, _, pred = g.edges.(e) in
         Term.local_name pred);
+    (* A Label atom is a pure function of the predicate (full IRI or
+       local name), so interning predicates preserves the RDF reading. *)
+    labels =
+      Some
+        (Instance.index_edge_labels ~num_edges:(num_edges g)
+           ~edge_label:(fun e ->
+             let _, _, pred = g.edges.(e) in
+             pred)
+           ~label_sat:(fun pred -> function
+             | Atom.Label l -> names_iri (Const.to_string l) pred
+             | Atom.Prop _ | Atom.Feature _ -> false));
   }

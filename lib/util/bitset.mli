@@ -1,0 +1,53 @@
+(** Packed bitsets over small int universes.
+
+    The "raw" layer operates on caller-allocated [int array] words of a
+    fixed width — the representation the RPQ product kernel interns NFA
+    state sets under (O(words) equality/hash, and the array doubles as
+    the hash key). [t] wraps a growable word array for seen-sets whose
+    universe grows on the fly. *)
+
+val bits_per_word : int
+
+(** Words needed to cover [n] bits; at least 1. *)
+val words_for : int -> int
+
+(** Fresh all-zero raw words for an [n]-bit universe. *)
+val raw_create : int -> int array
+
+val raw_mem : int array -> int -> bool
+val raw_add : int array -> int -> unit
+val raw_clear : int array -> unit
+
+(** [raw_union_into ~into ws] ors [ws] into [into] (widths must match). *)
+val raw_union_into : into:int array -> int array -> unit
+
+val raw_is_empty : int array -> bool
+
+(** Monomorphic word-wise equality. *)
+val raw_equal : int array -> int array -> bool
+
+(** FNV-1a-style hash of the words, in immediate-int range. *)
+val raw_hash : int array -> int
+
+(** Iterate set members in ascending order. *)
+val raw_iter : int array -> (int -> unit) -> unit
+
+val raw_cardinal : int array -> int
+
+(** Members in ascending order. *)
+val raw_to_array : int array -> int array
+
+(** [raw_of_array n members] packs [members] (all < [n]) into raw words. *)
+val raw_of_array : int -> int array -> int array
+
+(** Growable bitset. *)
+type t
+
+val create : ?capacity:int -> unit -> t
+val add : t -> int -> unit
+val mem : t -> int -> bool
+val clear : t -> unit
+val is_empty : t -> bool
+val cardinal : t -> int
+val iter : t -> (int -> unit) -> unit
+val to_sorted_array : t -> int array

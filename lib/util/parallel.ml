@@ -1,0 +1,76 @@
+(* Fork-join domain pool for the embarrassingly-parallel source loops
+   (per-source Brandes passes, per-source bc_r DAGs, product frontier
+   expansion).  OCaml 5 domains are heavyweight (one system thread plus a
+   minor heap each), so the pool spawns at most [default_domains ()] of
+   them per join, runs the first slice on the calling domain, and falls
+   back to plain sequential execution when the machine reports a single
+   core or when a nested join is already saturating it.
+
+   The API is deliberately deterministic: [map_slices] always splits
+   [0, n) into the same contiguous slices for a given (n, domains) pair
+   and returns the per-slice results in slice order, so floating-point
+   reductions merge in a fixed order and results are reproducible for a
+   fixed domain count. *)
+
+(* Leave one core for the rest of the process; cap at 8 — the source
+   loops saturate memory bandwidth long before they run out of cores. *)
+let default_domains () = min 8 (max 1 (Domain.recommended_domain_count () - 1))
+
+(* Contiguous half-open slices [first, last) covering [0, n), at most
+   [domains] of them, never empty. *)
+let slices ~domains ~n =
+  if n <= 0 then []
+  else begin
+    let domains = max 1 (min domains n) in
+    let chunk = (n + domains - 1) / domains in
+    List.init domains (fun i -> (i * chunk, min n ((i + 1) * chunk)))
+    |> List.filter (fun (first, last) -> first < last)
+  end
+
+(* [map_slices ?domains n f] evaluates [f first last] on every slice and
+   returns the results in slice order.  Slice 0 runs on the calling
+   domain while the others run on freshly spawned domains, so a join
+   never deadlocks even when nested.  [f] must not mutate state shared
+   between slices. *)
+let map_slices ?domains n f =
+  let domains = match domains with Some d when d > 0 -> d | Some _ | None -> default_domains () in
+  match slices ~domains ~n with
+  | [] -> []
+  | [ (first, last) ] -> [ f first last ]
+  | (first0, last0) :: rest ->
+      let spawned = List.map (fun (first, last) -> Domain.spawn (fun () -> f first last)) rest in
+      let head = f first0 last0 in
+      head :: List.map Domain.join spawned
+
+(* Parallel for over [0, n): each index handled exactly once, no result.
+   Per-index closures must be independent. *)
+let iter ?domains n f =
+  ignore
+    (map_slices ?domains n (fun first last ->
+         for i = first to last - 1 do
+           f i
+         done))
+
+(* Map-reduce over per-slice accumulators: [init ()] makes a private
+   accumulator per slice, [body acc i] folds index [i] into it, [merge]
+   combines the per-slice accumulators left to right (slice order, so
+   the reduction order is deterministic). *)
+let map_reduce ?domains n ~init ~body ~merge =
+  let partials =
+    map_slices ?domains n (fun first last ->
+        let acc = init () in
+        let acc = ref acc in
+        for i = first to last - 1 do
+          acc := body !acc i
+        done;
+        !acc)
+  in
+  match partials with
+  | [] -> init ()
+  | first :: rest -> List.fold_left merge first rest
+
+(* Sum float arrays produced per slice into the first one — the common
+   merge for per-source centrality accumulators. *)
+let sum_float_arrays ~into partial =
+  Array.iteri (fun i x -> into.(i) <- into.(i) +. x) partial;
+  into

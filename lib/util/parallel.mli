@@ -1,0 +1,31 @@
+(** Fork-join domain pool for embarrassingly-parallel index loops.
+
+    Deterministic by construction: for a fixed (n, domains) pair the
+    slices and the merge order are always the same, so floating-point
+    reductions reproduce exactly. Sequential fallback when the machine
+    reports a single core. *)
+
+(** Domains worth using on this machine: [recommended_domain_count () - 1]
+    clamped to [1, 8]. Returns 1 on single-core machines (sequential
+    fallback). *)
+val default_domains : unit -> int
+
+(** Contiguous half-open slices covering [0, n), at most [domains], all
+    non-empty. *)
+val slices : domains:int -> n:int -> (int * int) list
+
+(** [map_slices ?domains n f] runs [f first last] per slice (slice 0 on
+    the calling domain, the rest on spawned domains) and returns results
+    in slice order. [f] must not mutate shared state. *)
+val map_slices : ?domains:int -> int -> (int -> int -> 'a) -> 'a list
+
+(** Parallel for over [0, n); per-index work must be independent. *)
+val iter : ?domains:int -> int -> (int -> unit) -> unit
+
+(** Per-slice accumulators folded with [body], merged left-to-right in
+    slice order with [merge]. *)
+val map_reduce :
+  ?domains:int -> int -> init:(unit -> 'a) -> body:('a -> int -> 'a) -> merge:('a -> 'a -> 'a) -> 'a
+
+(** Element-wise sum of [partial] into [into]; returns [into]. *)
+val sum_float_arrays : into:float array -> float array -> float array

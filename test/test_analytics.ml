@@ -193,6 +193,19 @@ let test_bcr_exact_unconstrained_matches_brandes () =
       constrained
   done
 
+let test_bcr_exact_domain_independent () =
+  (* Slicing sources across domains must not change bc_r beyond float
+     summation noise. *)
+  let rng = Gqkg_util.Splitmix.create 47 in
+  let pg = Gqkg_workload.Contact_network.generate rng in
+  let inst = Property_graph.to_instance pg in
+  let r = parse "?person/rides/?bus/rides^-/?person" in
+  let seq = Regex_centrality.exact ~domains:1 inst r in
+  let par = Regex_centrality.exact ~domains:4 inst r in
+  Array.iteri
+    (fun v x -> checkb (Printf.sprintf "node %d" v) true (Float.abs (x -. par.(v)) < 1e-6))
+    seq
+
 let test_bcr_approximate_close_to_exact () =
   let rng = Gqkg_util.Splitmix.create 31 in
   let pg = Gqkg_workload.Contact_network.generate rng in
@@ -606,6 +619,7 @@ let () =
         [
           Alcotest.test_case "figure2 bus" `Quick test_bcr_figure2_bus;
           Alcotest.test_case "bc vs bc_r" `Quick test_bcr_vs_plain_bc_differ;
+          Alcotest.test_case "bc_r domains=4 = domains=1" `Quick test_bcr_exact_domain_independent;
           Alcotest.test_case "unconstrained = brandes" `Quick test_bcr_exact_unconstrained_matches_brandes;
           Alcotest.test_case "approximate close" `Quick test_bcr_approximate_close_to_exact;
         ] );

@@ -480,6 +480,21 @@ let prop_matches_path_iff_enumerated =
       let enumerated = Enumerate.paths inst r ~length:k in
       List.for_all (fun p -> Rpq.matches_path inst r p) enumerated)
 
+(* The concurrent frontier expansion of [Product.levels] must be
+   invisible: same levels, same state count, as a sequential walk over
+   two independently built products. *)
+let prop_levels_domain_independent =
+  QCheck2.Test.make ~name:"Product.levels domains=4 = domains=1" ~count:100 regex_and_graph_gen
+    (fun (g, rseed) ->
+      let r = make_regex rseed in
+      let k = 4 in
+      let p1 = Product.create (make_instance g) r in
+      let p4 = Product.create (make_instance g) r in
+      let l1 = Product.levels ~domains:1 p1 ~depth:k in
+      let l4 = Product.levels ~domains:4 p4 ~depth:k in
+      Product.num_states p1 = Product.num_states p4
+      && Array.for_all2 (List.equal Int.equal) l1 l4)
+
 
 (* ---------- Derivative backend agrees with the NFA engine ---------- *)
 
@@ -647,6 +662,7 @@ let () =
             prop_enumerate_agrees;
             prop_samples_match;
             prop_matches_path_iff_enumerated;
+            prop_levels_domain_independent;
             prop_count_between_matches_naive;
             prop_derivative_equals_nfa;
             prop_uniform_distribution_random_graphs;

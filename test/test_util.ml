@@ -347,6 +347,111 @@ let prop_heap_min =
       | Some (k, _) -> List.for_all (fun x -> k <= x) xs
       | None -> false)
 
+(* ---------- Bitset ---------- *)
+
+let test_bitset_words_for () =
+  checki "one bit" 1 (Bitset.words_for 1);
+  checki "zero bits still one word" 1 (Bitset.words_for 0);
+  checki "exactly one word" 1 (Bitset.words_for Bitset.bits_per_word);
+  checki "one past a word" 2 (Bitset.words_for (Bitset.bits_per_word + 1))
+
+let test_bitset_raw_roundtrip () =
+  let n = (2 * Bitset.bits_per_word) + 3 in
+  let members = [| 0; 1; Bitset.bits_per_word - 1; Bitset.bits_per_word; n - 1 |] in
+  let ws = Bitset.raw_of_array n members in
+  checkb "is_empty" false (Bitset.raw_is_empty ws);
+  checki "cardinal" (Array.length members) (Bitset.raw_cardinal ws);
+  Array.iter (fun m -> checkb (Printf.sprintf "mem %d" m) true (Bitset.raw_mem ws m)) members;
+  checkb "non-member" false (Bitset.raw_mem ws 2);
+  check Alcotest.(array int) "to_array is sorted members" members (Bitset.raw_to_array ws);
+  Bitset.raw_clear ws;
+  checkb "cleared" true (Bitset.raw_is_empty ws)
+
+let test_bitset_raw_union_equal_hash () =
+  let n = Bitset.bits_per_word + 7 in
+  let a = Bitset.raw_of_array n [| 1; 5; Bitset.bits_per_word |] in
+  let b = Bitset.raw_of_array n [| 5; n - 1 |] in
+  let u = Array.copy a in
+  Bitset.raw_union_into ~into:u b;
+  check Alcotest.(array int) "union members"
+    [| 1; 5; Bitset.bits_per_word; n - 1 |]
+    (Bitset.raw_to_array u);
+  let u' = Bitset.raw_of_array n [| 1; 5; Bitset.bits_per_word; n - 1 |] in
+  checkb "equal" true (Bitset.raw_equal u u');
+  checki "equal sets hash alike" (Bitset.raw_hash u) (Bitset.raw_hash u');
+  checkb "distinct sets differ" false (Bitset.raw_equal a b)
+
+let test_bitset_growable () =
+  let s = Bitset.create () in
+  checkb "fresh empty" true (Bitset.is_empty s);
+  let members = [ 0; 3; 64; 65; 1000 ] in
+  List.iter (Bitset.add s) members;
+  Bitset.add s 3;
+  checki "cardinal ignores duplicate add" (List.length members) (Bitset.cardinal s);
+  List.iter (fun m -> checkb (Printf.sprintf "mem %d" m) true (Bitset.mem s m)) members;
+  checkb "absent far out" false (Bitset.mem s 4096);
+  check Alcotest.(array int) "sorted members" [| 0; 3; 64; 65; 1000 |] (Bitset.to_sorted_array s);
+  Bitset.clear s;
+  checkb "cleared" true (Bitset.is_empty s)
+
+(* ---------- Parallel ---------- *)
+
+let test_parallel_slices_cover () =
+  List.iter
+    (fun (domains, n) ->
+      let slices = Parallel.slices ~domains ~n in
+      let covered = Array.make (max 1 n) 0 in
+      List.iter
+        (fun (first, last) ->
+          checkb "non-empty slice" true (first < last);
+          for i = first to last - 1 do
+            covered.(i) <- covered.(i) + 1
+          done)
+        slices;
+      if n > 0 then
+        Array.iteri (fun i c -> checki (Printf.sprintf "index %d covered once" i) 1 c) covered
+      else checki "no slices for empty range" 0 (List.length slices))
+    [ (1, 10); (4, 10); (8, 3); (3, 0); (2, 1) ]
+
+let test_parallel_map_slices_domain_independent () =
+  let sum_range first last =
+    let acc = ref 0 in
+    for i = first to last - 1 do
+      acc := !acc + (i * i)
+    done;
+    !acc
+  in
+  let total domains =
+    List.fold_left ( + ) 0 (Parallel.map_slices ~domains 100 sum_range)
+  in
+  let expected = total 1 in
+  List.iter
+    (fun d -> checki (Printf.sprintf "domains=%d" d) expected (total d))
+    [ 2; 3; 4; 8 ]
+
+let test_parallel_iter_touches_each_once () =
+  let n = 257 in
+  let hits = Array.make n 0 in
+  (* Distinct indices, so concurrent writes never collide. *)
+  Parallel.iter ~domains:4 n (fun i -> hits.(i) <- hits.(i) + 1);
+  Array.iteri (fun i c -> checki (Printf.sprintf "index %d" i) 1 c) hits
+
+let test_parallel_map_reduce_sum () =
+  let sum domains =
+    Parallel.map_reduce ~domains 1000
+      ~init:(fun () -> 0)
+      ~body:(fun acc i -> acc + i)
+      ~merge:( + )
+  in
+  checki "triangular number" (1000 * 999 / 2) (sum 1);
+  checki "same at 4 domains" (sum 1) (sum 4)
+
+let test_parallel_sum_float_arrays () =
+  let into = [| 1.0; 2.0; 3.0 |] in
+  let result = Parallel.sum_float_arrays ~into [| 0.5; 0.0; -3.0 |] in
+  checkb "in-place" true (result == into);
+  check Alcotest.(array (float 1e-9)) "elementwise sum" [| 1.5; 2.0; 0.0 |] into
+
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "gqkg_util"
@@ -365,6 +470,22 @@ let () =
           Alcotest.test_case "poisson mean" `Quick test_splitmix_poisson_mean;
           Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
           Alcotest.test_case "sample w/o replacement" `Quick test_sample_without_replacement;
+        ] );
+      ( "bitset",
+        [
+          Alcotest.test_case "words_for" `Quick test_bitset_words_for;
+          Alcotest.test_case "raw roundtrip" `Quick test_bitset_raw_roundtrip;
+          Alcotest.test_case "raw union/equal/hash" `Quick test_bitset_raw_union_equal_hash;
+          Alcotest.test_case "growable" `Quick test_bitset_growable;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "slices cover" `Quick test_parallel_slices_cover;
+          Alcotest.test_case "map_slices domain-independent" `Quick
+            test_parallel_map_slices_domain_independent;
+          Alcotest.test_case "iter each index once" `Quick test_parallel_iter_touches_each_once;
+          Alcotest.test_case "map_reduce sum" `Quick test_parallel_map_reduce_sum;
+          Alcotest.test_case "sum_float_arrays" `Quick test_parallel_sum_float_arrays;
         ] );
       ( "stats",
         [
