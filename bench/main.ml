@@ -844,7 +844,37 @@ let rpq_kernel () =
     (1000.0 *. t_naive) (1000.0 *. t_small) agree speedup_vs_naive (1000.0 *. t_bcr_seq)
     (1000.0 *. t_bcr_par) bcr_domains !bcr_diff;
   close_out oc;
-  print_endline "wrote BENCH_rpq.json"
+  print_endline "wrote BENCH_rpq.json";
+  (* Analyzer overhead, measured interleaved (same process, alternating
+     on/off) so machine noise cancels: the acceptance bar is < 5%
+     regression on the pair workload with the analyzer enabled. *)
+  let module Analyze = Gqkg_analysis.Analyze in
+  let with_analysis flag f =
+    let old = !Analyze.enabled in
+    Analyze.enabled := flag;
+    Fun.protect ~finally:(fun () -> Analyze.enabled := old) f
+  in
+  let reps = 7 in
+  let t_on = ref infinity and t_off = ref infinity in
+  for _ = 1 to reps do
+    let _, t = wall (fun () -> with_analysis true (fun () -> Rpq.eval_pairs inst ~max_length:8 r_bus)) in
+    if t < !t_on then t_on := t;
+    let _, t = wall (fun () -> with_analysis false (fun () -> Rpq.eval_pairs inst ~max_length:8 r_bus)) in
+    if t < !t_off then t_off := t
+  done;
+  let overhead = 100.0 *. ((!t_on /. Float.max 1e-9 !t_off) -. 1.0) in
+  let _, t_plan = best_of 7 (fun () -> Analyze.plan inst r_bus) in
+  Printf.printf "plan-only: %.3f ms\n" (1000.0 *. t_plan);
+  Printf.printf "analysis overhead (pairs, on vs off, best of %d each): %.1f ms vs %.1f ms (%+.1f%%)\n"
+    reps (1000.0 *. !t_on) (1000.0 *. !t_off) overhead;
+  (* Statically-empty short-circuit: answered with zero product states. *)
+  let ghost = parse "?person/ghost/?infected" in
+  let before = Product.states_interned_total () in
+  let empty_answer, t_empty = best_of 5 (fun () -> Rpq.eval_pairs inst ~max_length:8 ghost) in
+  Printf.printf "statically-empty query: %d pairs, %d product states, %.3f ms\n"
+    (List.length empty_answer)
+    (Product.states_interned_total () - before)
+    (1000.0 *. t_empty)
 
 (* ------------------------------------------------------------------ *)
 (* E12: substrate timings via Bechamel                                 *)

@@ -344,15 +344,31 @@ let explain_cmd =
     Printf.printf "\n%s" (Gqkg_automata.Nfa.to_string nfa);
     match graph with
     | None -> ()
-    | Some path ->
+    | Some path -> (
         let inst = load_instance path in
-        let product = Product.create inst simplified in
-        ignore (Product.levels product ~depth:8);
-        let pairs = Rpq.eval_pairs inst ~max_length:8 simplified in
-        Printf.printf "\non %s: %d nodes x %d NFA states -> %d product states materialized, %d answer pairs (paths up to 8)\n"
-          path inst.Instance.num_nodes
-          (Gqkg_automata.Nfa.num_states nfa)
-          (Product.num_states product) (List.length pairs)
+        let report = Gqkg_analysis.Analyze.plan inst simplified in
+        (match report.Gqkg_analysis.Analyze.nfa with
+        | None -> Printf.printf "\nanalysis: statically empty on %s\n" path
+        | Some trimmed ->
+            Printf.printf "\nanalysis: %d -> %d states after trimming; seed cost fwd %.0f / bwd %.0f\n"
+              report.Gqkg_analysis.Analyze.states_before
+              report.Gqkg_analysis.Analyze.states_after
+              report.Gqkg_analysis.Analyze.fwd_cost report.Gqkg_analysis.Analyze.bwd_cost;
+            ignore trimmed);
+        List.iter
+          (fun d -> print_endline (Gqkg_analysis.Diagnostic.to_string d))
+          report.Gqkg_analysis.Analyze.diagnostics;
+        match Planner.prepare inst simplified with
+        | Planner.Empty ->
+            Printf.printf "on %s: 0 product states materialized, 0 answer pairs\n" path
+        | Planner.Ready product ->
+            ignore (Product.levels product ~depth:8);
+            let pairs = Rpq.eval_pairs inst ~max_length:8 simplified in
+            Printf.printf
+              "on %s: %d nodes x %d NFA states -> %d product states materialized, %d answer pairs (paths up to 8)\n"
+              path inst.Instance.num_nodes
+              (Gqkg_automata.Nfa.num_states nfa)
+              (Product.num_states product) (List.length pairs))
   in
   let regex = Arg.(required & pos 0 (some string) None & info [] ~docv:"REGEX" ~doc:"Expression.") in
   let graph =
@@ -361,6 +377,68 @@ let explain_cmd =
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the compilation pipeline of a path expression")
     Term.(const run $ verbose_flag $ regex $ graph)
+
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let run () path regex model json =
+    let r = parse_regex regex in
+    let pg = Graph_io.load_property_graph path in
+    let schema =
+      match model with
+      | "property" -> Gqkg_analysis.Schema.of_property pg
+      | "labeled" -> Gqkg_analysis.Schema.of_labeled (Property_graph.to_labeled pg)
+      | "vector" -> Gqkg_analysis.Schema.of_vector (fst (Vector_graph.of_property pg))
+      | "multigraph" -> Gqkg_analysis.Schema.of_multigraph (Property_graph.base pg)
+      | other ->
+          Printf.eprintf "unknown model %S (try property, labeled, vector, multigraph)\n" other;
+          exit 2
+    in
+    let report = Gqkg_analysis.Analyze.run ~schema r in
+    let verdict =
+      if Gqkg_analysis.Analyze.is_empty report then "empty" else "possibly-nonempty"
+    in
+    if json then begin
+      let diags =
+        String.concat ","
+          (List.map Gqkg_analysis.Diagnostic.to_json report.Gqkg_analysis.Analyze.diagnostics)
+      in
+      Printf.printf
+        "{\"verdict\":\"%s\",\"expression\":\"%s\",\"states_before\":%d,\"states_after\":%d,\
+         \"fwd_cost\":%g,\"bwd_cost\":%g,\"diagnostics\":[%s]}\n"
+        verdict
+        (Gqkg_analysis.Diagnostic.json_escape
+           (Gqkg_automata.Regex.to_string ~top:true report.Gqkg_analysis.Analyze.regex))
+        report.Gqkg_analysis.Analyze.states_before report.Gqkg_analysis.Analyze.states_after
+        report.Gqkg_analysis.Analyze.fwd_cost report.Gqkg_analysis.Analyze.bwd_cost diags
+    end
+    else begin
+      Printf.printf "verdict    : %s\n" verdict;
+      Printf.printf "expression : %s\n"
+        (Gqkg_automata.Regex.to_string ~top:true report.Gqkg_analysis.Analyze.regex);
+      if not (Gqkg_analysis.Analyze.is_empty report) then begin
+        Printf.printf "automaton  : %d states (trimmed from %d)\n"
+          report.Gqkg_analysis.Analyze.states_after report.Gqkg_analysis.Analyze.states_before;
+        Printf.printf "seed cost  : forward %.0f, backward %.0f\n"
+          report.Gqkg_analysis.Analyze.fwd_cost report.Gqkg_analysis.Analyze.bwd_cost
+      end;
+      List.iter
+        (fun d -> print_endline (Gqkg_analysis.Diagnostic.to_string d))
+        report.Gqkg_analysis.Analyze.diagnostics;
+      Logs.info (fun m -> m "schema:@.%s" (Gqkg_analysis.Schema.to_string schema))
+    end;
+    if Gqkg_analysis.Analyze.is_empty report then exit 1
+  in
+  let model =
+    Arg.(
+      value
+      & opt string "property"
+      & info [ "model" ] ~docv:"MODEL" ~doc:"property | labeled | vector | multigraph")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.") in
+  Cmd.v
+    (Cmd.info "lint" ~doc:"Statically analyze a path query against a graph's vocabulary")
+    Term.(const run $ verbose_flag $ graph_arg $ regex_arg 1 $ model $ json)
 
 (* ---- stats ---- *)
 
@@ -404,7 +482,30 @@ let wl_cmd =
   in
   Cmd.v (Cmd.info "wl" ~doc:"Weisfeiler-Lehman refinement summary") Term.(const run $ verbose_flag $ graph_arg)
 
+let known_subcommands =
+  [
+    "generate"; "query"; "match"; "count"; "sample"; "enumerate"; "centrality"; "convert";
+    "materialize"; "sparql"; "explain"; "lint"; "stats"; "wl";
+  ]
+
 let () =
+  (* Friendlier failure than the parser's default on an unknown
+     subcommand: name the offending token, print usage, exit 2.  Valid
+     unambiguous prefixes (e.g. "enum") still go through. *)
+  (match Array.to_list Sys.argv with
+  | _ :: first :: _
+    when String.length first > 0
+         && first.[0] <> '-'
+         && not
+              (List.exists
+                 (fun c ->
+                   String.length first <= String.length c
+                   && String.sub c 0 (String.length first) = first)
+                 known_subcommands) ->
+      Printf.eprintf "gqkg: unknown subcommand %S\nusage: gqkg <%s> ...\n" first
+        (String.concat "|" known_subcommands);
+      exit 2
+  | _ -> ());
   let default = Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ())) in
   let info = Cmd.info "gqkg" ~version:"1.0.0" ~doc:"Graph databases and knowledge graphs toolbox" in
   exit
@@ -422,6 +523,7 @@ let () =
             materialize_cmd;
             sparql_cmd;
             explain_cmd;
+            lint_cmd;
             stats_cmd;
             wl_cmd;
           ]))

@@ -1,0 +1,27 @@
+(** Structured findings of the static query analyzer: a stable code, a
+    severity, the concrete-syntax subterm the finding is anchored to,
+    and a message. Codes are documented in DESIGN.md §"Static analysis". *)
+
+type severity = Error | Warning | Info
+
+type t = { code : string; severity : severity; subterm : string; message : string }
+
+val make : code:string -> severity:severity -> subterm:string -> message:string -> t
+val severity_to_string : severity -> string
+
+(** One-line human rendering: [severity CODE at `subterm`: message]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Minimal JSON string escaping (quotes, backslashes, control bytes);
+    shared by the CLI's JSON emitters. *)
+val json_escape : string -> string
+
+(** One JSON object with code/severity/subterm/message fields. *)
+val to_json : t -> string
+
+(** Errors first, then warnings, then infos (stable). *)
+val sort : t list -> t list
+
+val has_errors : t list -> bool

@@ -1,0 +1,117 @@
+(* Vocabulary summary of a graph: which labels, property names and
+   feature positions can possibly hold on nodes and edges.  This is the
+   static counterpart of the Instance.t oracle — extracted once from any
+   of the four Section 3 data models and consumed by the lint pass
+   (Warren & Mulholland identify vocabulary mismatch as the dominant
+   user error across edge-labelled and property graphs).
+
+   Every field is an option: [None] means "this model gives no static
+   information", so the analyzer must answer Unknown; [Some] is a closed
+   summary — an atom outside it is statically false.  For example a
+   labeled graph has [node_props = Some []] (no property can ever hold),
+   while a model without label bookkeeping would have [node_labels =
+   None]. *)
+
+open Gqkg_graph
+
+type t = {
+  num_nodes : int;
+  num_edges : int;
+  node_labels : (Const.t * int) list option;  (** distinct labels with multiplicities *)
+  edge_labels : (Const.t * int) list option;
+  node_props : Const.t list option;  (** property names occurring on some node *)
+  edge_props : Const.t list option;
+  feature_dim : int option;  (** vector width; 0 = feature atoms never hold *)
+}
+
+let histogram consts =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c -> Hashtbl.replace tbl c (1 + Option.value (Hashtbl.find_opt tbl c) ~default:0))
+    consts;
+  Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Const.compare a b)
+
+(* A bare multigraph carries no labels, properties or features: every
+   atom is statically false on it. *)
+let of_multigraph g =
+  {
+    num_nodes = Multigraph.num_nodes g;
+    num_edges = Multigraph.num_edges g;
+    node_labels = Some [];
+    edge_labels = Some [];
+    node_props = Some [];
+    edge_props = Some [];
+    feature_dim = Some 0;
+  }
+
+let of_labeled g =
+  {
+    num_nodes = Labeled_graph.num_nodes g;
+    num_edges = Labeled_graph.num_edges g;
+    node_labels = Some (Labeled_graph.node_label_histogram g);
+    edge_labels = Some (Labeled_graph.edge_label_histogram g);
+    node_props = Some [];
+    edge_props = Some [];
+    feature_dim = Some 0;
+  }
+
+let of_property g =
+  let node_props, edge_props = Property_graph.property_schema g in
+  let labeled = Property_graph.to_labeled g in
+  {
+    num_nodes = Property_graph.num_nodes g;
+    num_edges = Property_graph.num_edges g;
+    node_labels = Some (Labeled_graph.node_label_histogram labeled);
+    edge_labels = Some (Labeled_graph.edge_label_histogram labeled);
+    node_props = Some node_props;
+    edge_props = Some edge_props;
+    feature_dim = Some 0;
+  }
+
+(* Vector-labeled graphs answer [Label] atoms through feature 1 (the
+   flattening convention of Section 3), so the label vocabulary is the
+   set of distinct first-feature values. *)
+let of_vector g =
+  let dim = Vector_graph.dimension g in
+  let feature1 num vec =
+    if dim = 0 then []
+    else List.init num (fun i -> (vec i).(0))
+  in
+  {
+    num_nodes = Vector_graph.num_nodes g;
+    num_edges = Vector_graph.num_edges g;
+    node_labels = Some (histogram (feature1 (Vector_graph.num_nodes g) (Vector_graph.node_vector g)));
+    edge_labels = Some (histogram (feature1 (Vector_graph.num_edges g) (Vector_graph.edge_vector g)));
+    node_props = Some [];
+    edge_props = Some [];
+    feature_dim = Some dim;
+  }
+
+let find_label hist l = List.find_opt (fun (c, _) -> Const.equal c l) hist
+
+let to_string s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%d nodes, %d edges\n" s.num_nodes s.num_edges);
+  let labels name = function
+    | None -> Buffer.add_string buf (Printf.sprintf "%s: unknown\n" name)
+    | Some hist ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s: %s\n" name
+             (String.concat ", "
+                (List.map (fun (l, n) -> Printf.sprintf "%s (%d)" (Const.to_string l) n) hist)))
+  in
+  labels "node labels" s.node_labels;
+  labels "edge labels" s.edge_labels;
+  let props name = function
+    | None -> Buffer.add_string buf (Printf.sprintf "%s: unknown\n" name)
+    | Some ps ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s: %s\n" name (String.concat ", " (List.map Const.to_string ps)))
+  in
+  props "node properties" s.node_props;
+  props "edge properties" s.edge_props;
+  (match s.feature_dim with
+  | None -> Buffer.add_string buf "feature dimension: unknown\n"
+  | Some d -> Buffer.add_string buf (Printf.sprintf "feature dimension: %d\n" d));
+  Buffer.contents buf

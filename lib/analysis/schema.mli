@@ -1,0 +1,32 @@
+(** Static vocabulary summary of a graph, extracted from any of the four
+    Section 3 data models and consumed by the analyzer's lint pass.
+
+    Every field is an option: [None] means the model gives no static
+    information (the analyzer answers Unknown); [Some] is a closed
+    summary — an atom outside it is statically false. *)
+
+open Gqkg_graph
+
+type t = {
+  num_nodes : int;
+  num_edges : int;
+  node_labels : (Const.t * int) list option;  (** distinct labels with multiplicities *)
+  edge_labels : (Const.t * int) list option;
+  node_props : Const.t list option;  (** property names occurring on some node *)
+  edge_props : Const.t list option;
+  feature_dim : int option;  (** vector width; 0 = feature atoms never hold *)
+}
+
+val of_multigraph : Multigraph.t -> t
+val of_labeled : Labeled_graph.t -> t
+val of_property : Property_graph.t -> t
+
+(** [Label] atoms go through feature 1 on vector-labeled graphs, so the
+    label vocabulary is the set of distinct first-feature values. *)
+val of_vector : Vector_graph.t -> t
+
+(** Lookup in a label histogram. *)
+val find_label : (Const.t * int) list -> Const.t -> (Const.t * int) option
+
+(** Human-readable multi-line summary. *)
+val to_string : t -> string

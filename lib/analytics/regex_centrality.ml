@@ -127,6 +127,23 @@ let materialize_paths product dag ~target ~limit =
        with Done -> ());
       !out
 
+(* Plan the query once, before sources are sliced across domains: [None]
+   when statically empty (bc_r is all zeros — no matching path exists),
+   otherwise a product factory the per-domain workers call.  The trimmed
+   NFA is immutable and shared read-only across the copies. *)
+let plan_products inst regex =
+  let module Analyze = Gqkg_analysis.Analyze in
+  match Analyze.plan_if_enabled inst regex with
+  | None -> Some (fun () -> Product.create inst regex)
+  | Some r -> (
+      match r.Analyze.nfa with
+      | None -> None
+      | Some nfa ->
+          let hints =
+            { Product.fwd_seed_cost = r.Analyze.fwd_cost; bwd_seed_cost = r.Analyze.bwd_cost }
+          in
+          Some (fun () -> Product.create ~nfa ~hints inst r.Analyze.regex))
+
 (* Per-source exact contribution, accumulated into [bc]. *)
 let exact_source product ~max_length ~pair_limit bc a =
   let dag = build_dag product ~source:a ~max_length in
@@ -159,28 +176,32 @@ let exact_source product ~max_length ~pair_limit bc a =
 let exact ?max_length ?pair_limit ?(domains = 0) inst regex =
   let n = inst.Instance.num_nodes in
   let domains = if domains > 0 then domains else Parallel.default_domains () in
-  if domains <= 1 || n < 8 then begin
-    let product = Product.create inst regex in
-    let bc = Array.make n 0.0 in
-    for a = 0 to n - 1 do
-      exact_source product ~max_length ~pair_limit bc a
-    done;
-    bc
-  end
-  else begin
-    let partials =
-      Parallel.map_slices ~domains n (fun first last ->
-          let product = Product.create inst regex in
-          let bc = Array.make n 0.0 in
-          for a = first to last - 1 do
-            exact_source product ~max_length ~pair_limit bc a
-          done;
-          bc)
-    in
-    match partials with
-    | [] -> Array.make n 0.0
-    | first :: rest -> List.fold_left (fun into p -> Parallel.sum_float_arrays ~into p) first rest
-  end
+  match plan_products inst regex with
+  | None -> Array.make n 0.0
+  | Some mk_product ->
+      if domains <= 1 || n < 8 then begin
+        let product = mk_product () in
+        let bc = Array.make n 0.0 in
+        for a = 0 to n - 1 do
+          exact_source product ~max_length ~pair_limit bc a
+        done;
+        bc
+      end
+      else begin
+        let partials =
+          Parallel.map_slices ~domains n (fun first last ->
+              let product = mk_product () in
+              let bc = Array.make n 0.0 in
+              for a = first to last - 1 do
+                exact_source product ~max_length ~pair_limit bc a
+              done;
+              bc)
+        in
+        match partials with
+        | [] -> Array.make n 0.0
+        | first :: rest ->
+            List.fold_left (fun into p -> Parallel.sum_float_arrays ~into p) first rest
+      end
 
 (* Uniform draw of one shortest matching path to [target] (as the list of
    its graph nodes): pick the accepting state proportionally to σ, then
@@ -228,25 +249,29 @@ let approximate_source product ~max_length ~samples ~seed bc a =
 let approximate ?max_length ?(samples = 16) ?(seed = 7) ?(domains = 0) inst regex =
   let n = inst.Instance.num_nodes in
   let domains = if domains > 0 then domains else Parallel.default_domains () in
-  if domains <= 1 || n < 8 then begin
-    let product = Product.create inst regex in
-    let bc = Array.make n 0.0 in
-    for a = 0 to n - 1 do
-      approximate_source product ~max_length ~samples ~seed bc a
-    done;
-    bc
-  end
-  else begin
-    let partials =
-      Parallel.map_slices ~domains n (fun first last ->
-          let product = Product.create inst regex in
-          let bc = Array.make n 0.0 in
-          for a = first to last - 1 do
-            approximate_source product ~max_length ~samples ~seed bc a
-          done;
-          bc)
-    in
-    match partials with
-    | [] -> Array.make n 0.0
-    | first :: rest -> List.fold_left (fun into p -> Parallel.sum_float_arrays ~into p) first rest
-  end
+  match plan_products inst regex with
+  | None -> Array.make n 0.0
+  | Some mk_product ->
+      if domains <= 1 || n < 8 then begin
+        let product = mk_product () in
+        let bc = Array.make n 0.0 in
+        for a = 0 to n - 1 do
+          approximate_source product ~max_length ~samples ~seed bc a
+        done;
+        bc
+      end
+      else begin
+        let partials =
+          Parallel.map_slices ~domains n (fun first last ->
+              let product = mk_product () in
+              let bc = Array.make n 0.0 in
+              for a = first to last - 1 do
+                approximate_source product ~max_length ~samples ~seed bc a
+              done;
+              bc)
+        in
+        match partials with
+        | [] -> Array.make n 0.0
+        | first :: rest ->
+            List.fold_left (fun into p -> Parallel.sum_float_arrays ~into p) first rest
+      end

@@ -49,6 +49,55 @@ let num_checks a = a.num_checks
 let fwd_moves a q = a.fwd.(q)
 let bwd_moves a q = a.bwd.(q)
 
+(* Assemble an automaton from an explicit transition list, precomputing
+   the kernel tables.  This is the single constructor: Thompson's
+   construction below and the analyzer's trimming pass both go through
+   it, so every [t] carries consistent tables. *)
+let make ~num_states ~start ~accept ~transitions =
+  if num_states <= 0 then invalid_arg "Nfa.make: num_states must be positive";
+  let check q =
+    if q < 0 || q >= num_states then invalid_arg "Nfa.make: state out of range"
+  in
+  check start;
+  check accept;
+  let table = Array.make num_states [] in
+  List.iter
+    (fun (q, move, q') ->
+      check q;
+      check q';
+      table.(q) <- (move, q') :: table.(q))
+    transitions;
+  let select f =
+    Array.map (fun moves -> Array.of_list (List.filter_map f moves)) table
+  in
+  let check_counter = ref 0 in
+  let checks =
+    Array.map
+      (fun moves ->
+        Array.of_list
+          (List.filter_map
+             (function
+               | Node_check t, q' ->
+                   let idx = !check_counter in
+                   incr check_counter;
+                   Some (idx, t, q')
+               | _ -> None)
+             moves))
+      table
+  in
+  {
+    num_states;
+    start;
+    accept;
+    transitions = table;
+    eps = select (function Eps, q' -> Some q' | _ -> None);
+    checks;
+    num_checks = !check_counter;
+    fwd = select (function Forward t, q' -> Some (t, q') | _ -> None);
+    bwd = select (function Backward t, q' -> Some (t, q') | _ -> None);
+    words = Gqkg_util.Bitset.words_for num_states;
+  }
+
 (* Thompson construction with one fresh start/accept pair per node of the
    regex; linear in the size of the expression. *)
 let of_regex regex =
@@ -95,38 +144,25 @@ let of_regex regex =
         (s, a)
   in
   let start, accept = build regex in
-  let table = Array.make !count [] in
-  List.iter (fun (q, move, q') -> table.(q) <- (move, q') :: table.(q)) !transitions;
-  let select f =
-    Array.map (fun moves -> Array.of_list (List.filter_map f moves)) table
+  make ~num_states:!count ~start ~accept ~transitions:!transitions
+
+(* Recognizer of the reversed language: every transition arrow flips,
+   edge moves swap direction (a path read back to front traverses each
+   edge the other way), spontaneous moves keep their tests (they still
+   fire at the same node of the mirrored run), start and accept swap.
+   [reverse (reverse a)] recognizes the same language as [a]. *)
+let reverse a =
+  let rev_move = function
+    | Eps -> Eps
+    | Node_check t -> Node_check t
+    | Forward t -> Backward t
+    | Backward t -> Forward t
   in
-  let check_counter = ref 0 in
-  let checks =
-    Array.map
-      (fun moves ->
-        Array.of_list
-          (List.filter_map
-             (function
-               | Node_check t, q' ->
-                   let idx = !check_counter in
-                   incr check_counter;
-                   Some (idx, t, q')
-               | _ -> None)
-             moves))
-      table
-  in
-  {
-    num_states = !count;
-    start;
-    accept;
-    transitions = table;
-    eps = select (function Eps, q' -> Some q' | _ -> None);
-    checks;
-    num_checks = !check_counter;
-    fwd = select (function Forward t, q' -> Some (t, q') | _ -> None);
-    bwd = select (function Backward t, q' -> Some (t, q') | _ -> None);
-    words = Gqkg_util.Bitset.words_for !count;
-  }
+  let transitions = ref [] in
+  for q = a.num_states - 1 downto 0 do
+    List.iter (fun (m, q') -> transitions := (q', rev_move m, q) :: !transitions) a.transitions.(q)
+  done;
+  make ~num_states:a.num_states ~start:a.accept ~accept:a.start ~transitions:!transitions
 
 (* Closure of a set of states under Eps and under Node_check moves whose
    test the given node passes.  [node_sat] answers atomic tests for that

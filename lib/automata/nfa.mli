@@ -13,6 +13,18 @@ type t
 (** Linear-size Thompson construction: single start, single accept. *)
 val of_regex : Regex.t -> t
 
+(** Assemble an automaton from an explicit transition list (used by the
+    static analyzer to rebuild a trimmed automaton). States must lie in
+    [0, num_states); raises [Invalid_argument] otherwise. The kernel
+    tables are precomputed exactly as for {!of_regex}. *)
+val make :
+  num_states:int -> start:int -> accept:int -> transitions:(int * move * int) list -> t
+
+(** Recognizer of the reversed language: transitions flip, edge moves
+    swap direction, start and accept swap. Used by the planner to
+    evaluate a query backwards when backward seeding is cheaper. *)
+val reverse : t -> t
+
 val num_states : t -> int
 val start : t -> int
 val accept : t -> int

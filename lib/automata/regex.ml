@@ -100,11 +100,24 @@ let max_path_length r =
   in
   go r
 
+(* Reversal: [[reverse r]] is [[r]] with every path read back to front.
+   Edge steps swap direction, concatenations swap order, node tests stay
+   (a zero-length path is its own reverse).  Used by the evaluator to run
+   a query from its targets when the analyzer's seed-cost hints say the
+   backward frontier is cheaper. *)
+let rec reverse = function
+  | Node_test t -> Node_test t
+  | Fwd t -> Bwd t
+  | Bwd t -> Fwd t
+  | Alt (r1, r2) -> Alt (reverse r1, reverse r2)
+  | Seq (r1, r2) -> Seq (reverse r2, reverse r1)
+  | Star r -> Star (reverse r)
+
 (* Concrete syntax, matching what the parser accepts (ASCII for ¬ ∨ ∧). *)
 let rec test_to_string ?(top = false) t =
   let wrap s = if top then s else "(" ^ s ^ ")" in
   match t with
-  | Atom a -> Atom.to_string a
+  | Atom a -> Atom.to_query_string a
   | Not t -> "!" ^ test_to_string t
   | Or (t1, t2) -> wrap (test_to_string t1 ^ " | " ^ test_to_string t2)
   | And (t1, t2) -> wrap (test_to_string t1 ^ " & " ^ test_to_string t2)

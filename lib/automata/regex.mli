@@ -64,8 +64,14 @@ val unbounded : t -> bool
 (** Longest matching-path length, when bounded. *)
 val max_path_length : t -> int option
 
+(** [[reverse r]] is [[r]] with every path read back to front: edge
+    steps swap direction, concatenations swap order. An involution. *)
+val reverse : t -> t
+
 (** Concrete syntax accepted by {!Regex_parser}. [top] omits the
-    outermost parentheses. *)
+    outermost parentheses; values that would not re-lex (spaces,
+    operator characters, numeric-looking strings) are quoted so the
+    output round-trips through {!Regex_parser.parse}. *)
 val test_to_string : ?top:bool -> test -> string
 
 val to_string : ?top:bool -> t -> string

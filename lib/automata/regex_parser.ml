@@ -17,6 +17,7 @@
 
 type token =
   | Word of string (* label / property-name / value piece *)
+  | Quoted of string (* 'quoted' word: kept verbatim, never re-interpreted *)
   | Equals
   | Bang
   | Amp
@@ -65,8 +66,19 @@ let tokenize input =
             | Some j -> j
             | None -> fail !i "unterminated quoted value"
           in
-          emit !i (Word (String.sub input (!i + 1) (close - !i - 1)));
+          emit !i (Quoted (String.sub input (!i + 1) (close - !i - 1)));
           i := close + 1
+        end
+        else if
+          (* ⊥ as a value: [_|_] would otherwise stop at the '|'. *)
+          !i + 2 < n
+          && input.[!i] = '_'
+          && input.[!i + 1] = '|'
+          && input.[!i + 2] = '_'
+          && not (!i + 3 < n && is_word_char input.[!i + 3])
+        then begin
+          emit !i (Word "_|_");
+          i := !i + 3
         end
         else begin
           let value_start = !i in
@@ -109,7 +121,7 @@ let tokenize input =
           | Some j -> j
           | None -> fail start "unterminated quoted word"
         in
-        emit start (Word (String.sub input (start + 1) (close - start - 1)));
+        emit start (Quoted (String.sub input (start + 1) (close - start - 1)));
         i := close + 1
     | c when is_word_char c ->
         while !i < n && is_word_char input.[!i] do
@@ -150,7 +162,7 @@ let group_is_test st =
         decr depth;
         if !depth = 0 then verdict := Some true (* only test tokens seen *)
     | Slash | Star | Question | Caret_minus | Plus -> verdict := Some false
-    | Amp | Pipe | Bang | Word _ | Equals -> ());
+    | Amp | Pipe | Bang | Word _ | Quoted _ | Equals -> ());
     incr i
   done;
   match !verdict with Some v -> v | None -> fail (position st) "unbalanced parentheses"
@@ -167,23 +179,35 @@ let feature_index word =
 
 open Gqkg_graph
 
+(* A quoted word is always a verbatim [Str]: never a feature test, never
+   re-interpreted as a number or date — the escape hatch the printer uses
+   for values that would not re-lex as themselves. *)
 let parse_atom st =
   match peek st with
-  | Some (Word w) -> begin
+  | Some (Word _ | Quoted _) -> begin
+      let quoted_name, w =
+        match peek st with
+        | Some (Word w) -> (false, w)
+        | Some (Quoted w) -> (true, w)
+        | _ -> assert false
+      in
       advance st;
       match peek st with
       | Some Equals -> begin
           advance st;
           match peek st with
-          | Some (Word v) ->
+          | Some (Word v | Quoted v) ->
+              let value =
+                match peek st with Some (Quoted _) -> Const.str v | _ -> Const.of_string v
+              in
               advance st;
-              let value = Const.of_string v in
-              (match feature_index w with
+              (match (if quoted_name then None else feature_index w) with
               | Some i -> Atom.Feature (i, value)
-              | None -> Atom.Prop (Const.of_string w, value))
+              | None ->
+                  Atom.Prop ((if quoted_name then Const.str w else Const.of_string w), value))
           | _ -> fail (position st) "expected a value after '='"
         end
-      | _ -> Atom.Label (Const.of_string w)
+      | _ -> Atom.Label (if quoted_name then Const.str w else Const.of_string w)
     end
   | _ -> fail (position st) "expected a label, property or feature test"
 
@@ -263,7 +287,7 @@ and parse_primary st =
         expect st Rparen "')'";
         r
       end
-  | Some (Word _) ->
+  | Some (Word _ | Quoted _) ->
       let atom = parse_atom st in
       parse_direction st (Regex.Atom atom)
   | Some Bang ->

@@ -199,5 +199,9 @@ let estimate t ~length =
 
 (* One-shot estimation of Count(G, r, k) within relative error ~epsilon. *)
 let count ?(seed = 0x5eed) inst regex ~length ~epsilon =
-  let t = create ~seed inst regex ~epsilon in
-  estimate t ~length
+  (* Statically-empty queries need no estimator run: the exact answer is 0. *)
+  match Gqkg_analysis.Analyze.plan_if_enabled inst regex with
+  | Some report when Gqkg_analysis.Analyze.is_empty report -> 0.0
+  | Some _ | None ->
+      let t = create ~seed inst regex ~epsilon in
+      estimate t ~length

@@ -101,23 +101,25 @@ let count_from t ~source ~length =
 
 (* One-shot: Count(G, r, k). *)
 let count inst regex ~length =
-  let product = Product.create inst regex in
-  let t = build product ~depth:length in
-  count_at t ~length
+  match Planner.prepare inst regex with
+  | Planner.Empty -> 0.0
+  | Planner.Ready product ->
+      let t = build product ~depth:length in
+      count_at t ~length
 
 (* Counts for every length 0..k in one preprocessing pass. *)
 let count_all inst regex ~max_length =
-  let product = Product.create inst regex in
-  let t = build product ~depth:max_length in
-  Array.init (max_length + 1) (fun k -> count_at t ~length:k)
+  match Planner.prepare inst regex with
+  | Planner.Empty -> Array.make (max_length + 1) 0.0
+  | Planner.Ready product ->
+      let t = build product ~depth:max_length in
+      Array.init (max_length + 1) (fun k -> count_at t ~length:k)
 
 (* Count of paths from [source] to [target] of exactly [length] — the
    pairwise form the paper contrasts with plain walk counting in
    Section 4.2.  Forward DP over the product from the source's start
    state, accepting only at the target node. *)
-let count_between inst regex ~source ~target ~length =
-  if length < 0 then invalid_arg "Count.count_between: negative length";
-  let product = Product.create inst regex in
+let count_between_in product ~source ~target ~length =
   match Product.start_state product source with
   | None -> 0.0
   | Some s0 ->
@@ -140,3 +142,9 @@ let count_between inst regex ~source ~target ~length =
             acc +. weight
           else acc)
         !current 0.0
+
+let count_between inst regex ~source ~target ~length =
+  if length < 0 then invalid_arg "Count.count_between: negative length";
+  match Planner.prepare inst regex with
+  | Planner.Empty -> 0.0
+  | Planner.Ready product -> count_between_in product ~source ~target ~length

@@ -14,9 +14,12 @@ open Gqkg_graph
 
 type frame = { state : int; degree : int; mutable cursor : int }
 
+(* The preprocessed machinery; absent when the planner proved the query
+   statically empty (no product is ever built then). *)
+type engine = { table : Count.table; product : Product.t }
+
 type t = {
-  table : Count.table;
-  product : Product.t;
+  engine : engine option;
   length : int;
   sources : int array;
   mutable source_cursor : int;
@@ -31,16 +34,18 @@ type t = {
 
 let create ?sources inst regex ~length =
   if length < 0 then invalid_arg "Enumerate.create: negative length";
-  let product = Product.create inst regex in
-  let table = Count.build product ~depth:length in
+  let engine =
+    match Planner.prepare inst regex with
+    | Planner.Empty -> None
+    | Planner.Ready product -> Some { table = Count.build product ~depth:length; product }
+  in
   let sources =
     match sources with
     | Some s -> Array.of_list s
     | None -> Array.init inst.Instance.num_nodes Fun.id
   in
   {
-    table;
-    product;
+    engine;
     length;
     sources;
     source_cursor = 0;
@@ -53,11 +58,11 @@ let create ?sources inst regex ~length =
     emitted = 0;
   }
 
-let push t state =
-  let degree = if t.depth + 1 = t.length then 0 else Product.degree t.product state in
+let push t eng state =
+  let degree = if t.depth + 1 = t.length then 0 else Product.degree eng.product state in
   t.stack <- { state; degree; cursor = 0 } :: t.stack;
   t.depth <- t.depth + 1;
-  t.nodes.(t.depth) <- Product.node_of t.product state
+  t.nodes.(t.depth) <- Product.node_of eng.product state
 
 let pop t =
   match t.stack with
@@ -72,7 +77,7 @@ let emit t =
   t.steps_since_last <- 0;
   Path.make ~nodes:(Array.sub t.nodes 0 (t.length + 1)) ~edges:(Array.sub t.edges 0 t.length)
 
-let rec next t =
+let rec step t eng =
   t.steps_since_last <- t.steps_since_last + 1;
   match t.stack with
   | [] ->
@@ -81,16 +86,16 @@ let rec next t =
       else begin
         let source = t.sources.(t.source_cursor) in
         t.source_cursor <- t.source_cursor + 1;
-        (match Product.start_state t.product source with
-        | Some s0 when Count.suffix_count t.table ~state:s0 ~length:t.length > 0.0 ->
-            push t s0;
+        (match Product.start_state eng.product source with
+        | Some s0 when Count.suffix_count eng.table ~state:s0 ~length:t.length > 0.0 ->
+            push t eng s0;
             if t.length = 0 then begin
               let p = emit t in
               pop t;
               Some p
             end
-            else next t
-        | Some _ | None -> next t)
+            else step t eng
+        | Some _ | None -> step t eng)
       end
   | top :: _ ->
       if t.depth = t.length then begin
@@ -104,21 +109,21 @@ let rec next t =
         let rec scan () =
           if top.cursor >= top.degree then begin
             pop t;
-            next t
+            step t eng
           end
           else begin
-            let edge = Product.move_edge t.product top.state top.cursor
-            and succ = Product.move_succ t.product top.state top.cursor in
+            let edge = Product.move_edge eng.product top.state top.cursor
+            and succ = Product.move_succ eng.product top.state top.cursor in
             top.cursor <- top.cursor + 1;
-            if Count.suffix_count t.table ~state:succ ~length:remaining > 0.0 then begin
+            if Count.suffix_count eng.table ~state:succ ~length:remaining > 0.0 then begin
               t.edges.(t.depth) <- edge;
-              push t succ;
+              push t eng succ;
               if t.depth = t.length then begin
                 let p = emit t in
                 pop t;
                 Some p
               end
-              else next t
+              else step t eng
             end
             else begin
               t.steps_since_last <- t.steps_since_last + 1;
@@ -128,6 +133,9 @@ let rec next t =
         in
         scan ()
       end
+
+(* Statically-empty queries have no engine and no answers. *)
+let next t = match t.engine with None -> None | Some eng -> step t eng
 
 let iter t f =
   let rec loop () =

@@ -1,0 +1,59 @@
+(* The bridge between the static analyzer and the product kernel: every
+   core entry point plans its query here instead of calling
+   [Product.create] directly.
+
+   With analysis enabled (the default), the query is pruned, its NFA
+   trimmed, and seed costs estimated; a statically-empty query yields
+   [Empty] and the caller answers without constructing any product state
+   at all.  With analysis disabled, [prepare] reproduces the
+   pre-analyzer path bit for bit: the untrimmed Thompson automaton of
+   the original expression, no hints. *)
+
+module Analyze = Gqkg_analysis.Analyze
+
+type prep = Empty | Ready of Product.t
+
+let product_of_report inst (r : Analyze.report) =
+  match r.Analyze.nfa with
+  | None -> Empty
+  | Some nfa ->
+      let hints =
+        { Product.fwd_seed_cost = r.Analyze.fwd_cost; bwd_seed_cost = r.Analyze.bwd_cost }
+      in
+      Ready (Product.create ~nfa ~hints inst r.Analyze.regex)
+
+let prepare inst regex =
+  match Analyze.plan_if_enabled inst regex with
+  | None -> Ready (Product.create inst regex)
+  | Some report -> product_of_report inst report
+
+(* Like [prepare], but also exposes the report (for direction choice and
+   diagnostics); [None] when analysis is disabled. *)
+let prepare_with_report inst regex =
+  match Analyze.plan_if_enabled inst regex with
+  | None -> (Ready (Product.create inst regex), None)
+  | Some report -> (product_of_report inst report, Some report)
+
+(* Planning for all-pairs evaluation, where direction is free: when the
+   analyzer estimates the backward frontier to be decisively cheaper
+   (2x hysteresis — the estimates are coarse), the product is built over
+   the reversed automaton and the caller swaps each result pair.  Second
+   component: did we reverse? *)
+let prepare_pairs inst regex =
+  match Analyze.plan_if_enabled inst regex with
+  | None -> (Ready (Product.create inst regex), false)
+  | Some r -> (
+      match r.Analyze.nfa with
+      | None -> (Empty, false)
+      | Some nfa ->
+          let swap = r.Analyze.bwd_cost *. 2.0 < r.Analyze.fwd_cost in
+          let nfa = if swap then Gqkg_automata.Nfa.reverse nfa else nfa in
+          let fwd, bwd =
+            if swap then (r.Analyze.bwd_cost, r.Analyze.fwd_cost)
+            else (r.Analyze.fwd_cost, r.Analyze.bwd_cost)
+          in
+          let regex =
+            if swap then Gqkg_automata.Regex.reverse r.Analyze.regex else r.Analyze.regex
+          in
+          let hints = { Product.fwd_seed_cost = fwd; bwd_seed_cost = bwd } in
+          (Ready (Product.create ~nfa ~hints inst regex), swap))

@@ -1,0 +1,22 @@
+(** Bridge between the static analyzer and the product kernel: plans a
+    query (prune, trim, estimate seed costs) before building the
+    product. With {!Gqkg_analysis.Analyze.enabled} off, reproduces the
+    pre-analyzer path exactly. *)
+
+open Gqkg_graph
+open Gqkg_automata
+
+type prep =
+  | Empty  (** statically empty: answer without building any product state *)
+  | Ready of Product.t
+
+val prepare : Instance.t -> Regex.t -> prep
+
+(** Also expose the analyzer report ([None] when analysis is off). *)
+val prepare_with_report : Instance.t -> Regex.t -> prep * Gqkg_analysis.Analyze.report option
+
+(** Planning for all-pairs evaluation, where direction is free: when
+    backward seeding is estimated decisively cheaper, builds the product
+    over the reversed automaton; the boolean says whether the caller
+    must swap each result pair. *)
+val prepare_pairs : Instance.t -> Regex.t -> prep * bool

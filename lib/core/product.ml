@@ -118,6 +118,16 @@ type dispatch = {
   pure_bwd : int array array;
 }
 
+(* Seeding hints computed by the static analyzer: estimated edges
+   scanned by the first forward vs backward expansion. *)
+type hints = { fwd_seed_cost : float; bwd_seed_cost : float }
+
+(* Process-wide count of product states ever interned, across all
+   products.  Lets tests assert that a statically-empty query was
+   answered without materializing any product state. *)
+let interned_counter = Atomic.make 0
+let states_interned_total () = Atomic.get interned_counter
+
 (* Bits of [set_flags]: what the members of a set can do. *)
 let f_fwd = 1 (* some member has a forward edge move *)
 
@@ -163,6 +173,7 @@ type t = {
   check_cache : Bytes.t;
   start_cache : int option array; (* node -> start state id *)
   start_known : bool array;
+  hints : hints option; (* analyzer seeding hints, if planned *)
 }
 
 (* Split each NFA state's edge moves into the label-pure part (tabulated
@@ -196,8 +207,11 @@ let build_dispatch nfa = function
       let pure_bwd, gen_bwd = tabulate (Nfa.bwd_moves nfa) in
       (Some { num_labels; label_of = edge_label_id; pure_fwd; pure_bwd }, gen_fwd, gen_bwd)
 
-let create inst regex =
-  let nfa = Nfa.of_regex regex in
+(* [nfa] lets the analyzer substitute a trimmed automaton for the
+   Thompson construction of [regex]; both must recognize the same
+   language on this instance. *)
+let create ?nfa ?hints inst regex =
+  let nfa = match nfa with Some n -> n | None -> Nfa.of_regex regex in
   let labels, gen_fwd, gen_bwd = build_dispatch nfa inst.Instance.labels in
   {
     inst;
@@ -223,10 +237,12 @@ let create inst regex =
        if cells > 0 && cells <= 1 lsl 24 then Bytes.make cells '\000' else Bytes.empty);
     start_cache = Array.make (max inst.Instance.num_nodes 1) None;
     start_known = Array.make (max inst.Instance.num_nodes 1) false;
+    hints;
   }
 
 let instance p = p.inst
 let nfa p = p.nfa
+let hints p = p.hints
 
 (* Close [seeds] in place at node [w], caching node-check outcomes. *)
 let close_at p w seeds =
@@ -285,6 +301,7 @@ let intern_state p node sid =
   match Pair_table.find_opt p.ids key with
   | Some id -> id
   | None ->
+      Atomic.incr interned_counter;
       let id = Dyn.push p.state_node node in
       let _ = Dyn.push p.state_set sid in
       Pair_table.add p.ids key id;

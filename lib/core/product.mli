@@ -11,9 +11,24 @@ type t
     state set. *)
 type state = { node : int; nfa_states : int array }
 
-val create : Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> t
+(** Seeding hints computed by the static analyzer: estimated edges
+    scanned by the first forward vs backward expansion. *)
+type hints = { fwd_seed_cost : float; bwd_seed_cost : float }
+
+(** [create ?nfa ?hints inst regex] — [nfa] substitutes a (trimmed)
+    automaton for the Thompson construction of [regex]; it must
+    recognize the same language on this instance. *)
+val create :
+  ?nfa:Gqkg_automata.Nfa.t -> ?hints:hints -> Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> t
+
 val instance : t -> Gqkg_graph.Instance.t
 val nfa : t -> Gqkg_automata.Nfa.t
+val hints : t -> hints option
+
+(** Process-wide count of product states ever interned (across all
+    products); lets tests assert that statically-empty queries build no
+    product state. *)
+val states_interned_total : unit -> int
 
 (** Number of states materialized so far (grows as the product is
     explored). *)

@@ -79,30 +79,40 @@ let reachable_from_product product ~source ~max_length =
   Hashtbl.fold (fun n () acc -> n :: acc) seen [] |> List.sort compare
 
 let reachable_from ?max_length inst regex ~source =
-  let product = Product.create inst regex in
-  reachable_from_product product ~source ~max_length
+  match Planner.prepare inst regex with
+  | Planner.Empty -> []
+  | Planner.Ready product -> reachable_from_product product ~source ~max_length
 
-(* All pairs (a, b) such that some path in [[r]] goes from a to b. *)
+(* All pairs (a, b) such that some path in [[r]] goes from a to b.  The
+   planner may hand back the reversed automaton when backward seeding is
+   cheaper; pairs are then swapped back and re-sorted, so the output is
+   identical either way (ascending lexicographic). *)
 let eval_pairs ?max_length inst regex =
-  let product = Product.create inst regex in
-  let out = ref [] in
-  for source = inst.Instance.num_nodes - 1 downto 0 do
-    let targets = reachable_from_product product ~source ~max_length in
-    List.iter (fun b -> out := (source, b) :: !out) (List.rev targets)
-  done;
-  !out
+  match Planner.prepare_pairs inst regex with
+  | Planner.Empty, _ -> []
+  | Planner.Ready product, swapped ->
+      let out = ref [] in
+      for source = inst.Instance.num_nodes - 1 downto 0 do
+        let targets = reachable_from_product product ~source ~max_length in
+        List.iter
+          (fun b -> out := (if swapped then (b, source) else (source, b)) :: !out)
+          (List.rev targets)
+      done;
+      if swapped then List.sort compare !out else !out
 
 (* Node extraction (Section 4.3): nodes a with at least one matching path
    starting at a (existentially quantified endpoint). *)
 let source_nodes ?max_length inst regex =
-  let product = Product.create inst regex in
-  let out = ref [] in
-  for source = inst.Instance.num_nodes - 1 downto 0 do
-    match reachable_from_product product ~source ~max_length with
-    | [] -> ()
-    | _ :: _ -> out := source :: !out
-  done;
-  !out
+  match Planner.prepare inst regex with
+  | Planner.Empty -> []
+  | Planner.Ready product ->
+      let out = ref [] in
+      for source = inst.Instance.num_nodes - 1 downto 0 do
+        match reachable_from_product product ~source ~max_length with
+        | [] -> ()
+        | _ :: _ -> out := source :: !out
+      done;
+      !out
 
 (* Length of the shortest path in [[r]] from a to b, if any: the distance
    d_r(a, b) used by the regex-constrained centrality of Section 4.2. *)
@@ -119,14 +129,14 @@ let shortest_in_product product ~source ~target ~max_length =
 (* Length of the shortest path in [[r]] from a to b, if any: the distance
    d_r(a, b) used by the regex-constrained centrality of Section 4.2. *)
 let shortest_path_length ?max_length inst regex ~source ~target =
-  let product = Product.create inst regex in
-  shortest_in_product product ~source ~target ~max_length
+  match Planner.prepare inst regex with
+  | Planner.Empty -> None
+  | Planner.Ready product -> shortest_in_product product ~source ~target ~max_length
 
 (* A concrete shortest matching path from a to b (a witness, in the
    G-CORE sense of paths as first-class results): BFS over the product
    with parent pointers, reconstructing the first accepting arrival. *)
-let shortest_witness ?max_length inst regex ~source ~target =
-  let product = Product.create inst regex in
+let shortest_witness_in product ~source ~target ~max_length =
   match Product.start_state product source with
   | None -> None
   | Some s0 ->
@@ -166,3 +176,8 @@ let shortest_witness ?max_length inst regex ~source ~target =
         done
       end;
       !found
+
+let shortest_witness ?max_length inst regex ~source ~target =
+  match Planner.prepare inst regex with
+  | Planner.Empty -> None
+  | Planner.Ready product -> shortest_witness_in product ~source ~target ~max_length

@@ -14,32 +14,38 @@
 open Gqkg_graph
 open Gqkg_util
 
-type t = {
+(* The preprocessed machinery; absent when the planner proved the query
+   statically empty or no start roots an answer of this length. *)
+type engine = {
   table : Count.table;
   product : Product.t;
-  length : int;
-  total : float;
   start_states : int array; (* start product states with answers *)
-  start_picker : Alias.t option; (* proportional to per-start counts *)
+  picker : Alias.t; (* proportional to per-start counts *)
 }
+
+type t = { engine : engine option; length : int; total : float }
 
 let create inst regex ~length =
   if length < 0 then invalid_arg "Uniform_gen.create: negative length";
-  let product = Product.create inst regex in
-  let table = Count.build product ~depth:length in
-  let starts = ref [] in
-  for node = inst.Instance.num_nodes - 1 downto 0 do
-    match Product.start_state product node with
-    | Some s0 ->
-        let c = Count.suffix_count table ~state:s0 ~length in
-        if c > 0.0 then starts := (s0, c) :: !starts
-    | None -> ()
-  done;
-  let start_states = Array.of_list (List.map fst !starts) in
-  let weights = Array.of_list (List.map snd !starts) in
-  let total = Array.fold_left ( +. ) 0.0 weights in
-  let start_picker = if Array.length weights = 0 then None else Some (Alias.create weights) in
-  { table; product; length; total; start_states; start_picker }
+  match Planner.prepare inst regex with
+  | Planner.Empty -> { engine = None; length; total = 0.0 }
+  | Planner.Ready product ->
+      let table = Count.build product ~depth:length in
+      let starts = ref [] in
+      for node = inst.Instance.num_nodes - 1 downto 0 do
+        match Product.start_state product node with
+        | Some s0 ->
+            let c = Count.suffix_count table ~state:s0 ~length in
+            if c > 0.0 then starts := (s0, c) :: !starts
+        | None -> ()
+      done;
+      let start_states = Array.of_list (List.map fst !starts) in
+      let weights = Array.of_list (List.map snd !starts) in
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      if Array.length weights = 0 then { engine = None; length; total = 0.0 }
+      else
+        { engine = Some { table; product; start_states; picker = Alias.create weights };
+          length; total }
 
 (* Count(G, r, k) as seen by this sampler. *)
 let total_count t = t.total
@@ -47,27 +53,27 @@ let total_count t = t.total
 (* One exactly-uniform draw from the answers of length k; [None] when the
    answer set is empty. *)
 let sample t rng =
-  match t.start_picker with
+  match t.engine with
   | None -> None
-  | Some picker ->
+  | Some eng ->
       let k = t.length in
       let nodes = Array.make (k + 1) (-1) and edges = Array.make (max k 1) (-1) in
-      let state = ref t.start_states.(Alias.sample picker rng) in
-      nodes.(0) <- Product.node_of t.product !state;
+      let state = ref eng.start_states.(Alias.sample eng.picker rng) in
+      nodes.(0) <- Product.node_of eng.product !state;
       for depth = 0 to k - 1 do
         let s = !state in
-        let d = Product.degree t.product s in
+        let d = Product.degree eng.product s in
         let remaining = k - depth - 1 in
         let weights =
           Array.init d (fun m ->
-              Count.suffix_count t.table ~state:(Product.move_succ t.product s m)
+              Count.suffix_count eng.table ~state:(Product.move_succ eng.product s m)
                 ~length:remaining)
         in
         let choice = Alias.sample_weights weights rng in
-        let edge = Product.move_edge t.product s choice
-        and succ = Product.move_succ t.product s choice in
+        let edge = Product.move_edge eng.product s choice
+        and succ = Product.move_succ eng.product s choice in
         edges.(depth) <- edge;
-        nodes.(depth + 1) <- Product.node_of t.product succ;
+        nodes.(depth + 1) <- Product.node_of eng.product succ;
         state := succ
       done;
       Some (Path.make ~nodes ~edges:(Array.sub edges 0 k))

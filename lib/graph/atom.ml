@@ -43,3 +43,45 @@ let to_string = function
   | Feature (i, v) -> Printf.sprintf "f%d=%s" i (Const.to_string v)
 
 let pp ppf a = Fmt.string ppf (to_string a)
+
+(* Concrete regex syntax with quoting, so printed atoms re-lex: a string
+   constant is emitted bare only when it lexes as a single word AND
+   [Const.of_string] maps it back to the same string (e.g. "30" or "3.5"
+   would re-parse as numbers); everything else is single-quoted, which
+   the parser reads back as a verbatim [Str].  Non-string constants use
+   the plain rendering, which the parser's value lexer already accepts.
+   A property name that looks like a feature test ("f2") is quoted so it
+   is not re-parsed as one. *)
+let is_word_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '-' || c = ':'
+
+let looks_like_feature s =
+  String.length s >= 2
+  && s.[0] = 'f'
+  && (match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+     | Some i -> i >= 1
+     | None -> false)
+
+let quote_str s =
+  if String.contains s '\'' then s (* unrepresentable; stay readable *)
+  else "'" ^ s ^ "'"
+
+let query_const ?(name_position = false) c =
+  match c with
+  | Const.Str s ->
+      let bare =
+        s <> ""
+        && String.for_all is_word_char s
+        && (match Const.of_string s with Const.Str s' -> String.equal s s' | _ -> false)
+        && not (name_position && looks_like_feature s)
+      in
+      if bare then s else quote_str s
+  | _ -> Const.to_string c
+
+let to_query_string = function
+  | Label l -> query_const l
+  | Prop (p, v) -> Printf.sprintf "%s=%s" (query_const ~name_position:true p) (query_const v)
+  | Feature (i, v) -> Printf.sprintf "f%d=%s" i (query_const v)

@@ -17,4 +17,11 @@ val feature : int -> Const.t -> t
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val to_string : t -> string
+
+(** Like {!to_string} but in the concrete regex syntax: string constants
+    that would not re-lex as themselves (spaces, operator characters,
+    numeric-looking strings, feature-shaped property names) are
+    single-quoted so the output round-trips through the regex parser. *)
+val to_query_string : t -> string
+
 val pp : Format.formatter -> t -> unit

@@ -7,6 +7,11 @@ open Gqkg_util
 type params = {
   node_labels : string list;
   edge_labels : string list;
+  properties : (string * string list) list;
+      (** property name -> candidate values; values are emitted half
+          naturally typed, half as forced strings (exercising the
+          printer's quoting) *)
+  features : (int * string list) list;  (** feature index -> candidate values *)
   max_depth : int;
   star_probability : float;
 }

@@ -200,14 +200,33 @@ let test_bibliometrics_counts_via_bgp_match_direct () =
 
 (* ---------- Regex generator ---------- *)
 
+(* Vocabulary chosen to stress the printer's quoting: labels that look
+   like numbers or feature names, values with spaces and '/', property
+   names that collide with the f<digits> feature syntax. *)
+let adversarial_params =
+  {
+    Gen_regex.default with
+    node_labels = [ "a"; "42"; "f2"; "person name" ];
+    edge_labels = [ "x"; "0.5"; "rides^-"; "an edge" ];
+    properties =
+      [ ("date", [ "3/4/21"; "busy day"; "42" ]); ("f7", [ "_|_"; "0" ]); ("p q", [ "v" ]) ];
+    features = [ (1, [ "a"; "two words" ]); (3, [ "0.25"; "!" ]) ];
+  }
+
+let roundtrip_once name r params =
+  let regex = Gen_regex.generate ~params r in
+  let printed = Gqkg_automata.Regex.to_string ~top:true regex in
+  match Regex_parser.parse printed with
+  | regex' -> checkb (name ^ " roundtrip") true (Gqkg_automata.Regex.equal regex regex')
+  | exception Regex_parser.Error _ -> Alcotest.fail ("unparseable: " ^ printed)
+
 let test_gen_regex_parses_back () =
   let r = rng 41 in
   for _ = 1 to 200 do
-    let regex = Gen_regex.generate r in
-    let printed = Gqkg_automata.Regex.to_string ~top:true regex in
-    match Regex_parser.parse printed with
-    | regex' -> checkb "roundtrip" true (Gqkg_automata.Regex.equal regex regex')
-    | exception Regex_parser.Error _ -> Alcotest.fail ("unparseable: " ^ printed)
+    roundtrip_once "default" r Gen_regex.default
+  done;
+  for _ = 1 to 500 do
+    roundtrip_once "adversarial" r adversarial_params
   done
 
 let () =
