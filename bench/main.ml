@@ -152,11 +152,11 @@ let worked_queries () =
   let date_i = Option.get (Vector_graph.schema_feature_index schema (Const.str "date")) in
   let instances =
     [
-      ("labeled", Labeled_graph.to_instance (Figure2.labeled ()));
-      ("property", Property_graph.to_instance pg);
-      ("vector", Vector_graph.to_instance vg);
+      ("labeled", Snapshot.of_labeled (Figure2.labeled ()));
+      ("property", Snapshot.of_property pg);
+      ("vector", Snapshot.of_vector vg);
       ( "rdf",
-        Gqkg_kg.Rdf_graph.to_instance
+        Gqkg_kg.Rdf_graph.to_snapshot
           (Gqkg_kg.Rdf_graph.of_store (Gqkg_kg.Pg_rdf.of_property_graph pg)) );
     ]
   in
@@ -205,7 +205,7 @@ let counting () =
   in
   List.iter
     (fun people ->
-      let inst = Property_graph.to_instance (contact ~people ~seed:(400 + people)) in
+      let inst = Snapshot.of_property (contact ~people ~seed:(400 + people)) in
       List.iter
         (fun k ->
           let exact, t_exact = wall (fun () -> Count.count inst r ~length:k) in
@@ -234,7 +234,7 @@ let counting () =
   (* An ambiguous expression: several NFA runs per path force the
      Karp-Luby multiplicity machinery to work. *)
   let amb = parse "(contact + !lives + contact^- + !lives^-)*" in
-  let inst = Property_graph.to_instance (contact ~people:60 ~seed:61) in
+  let inst = Snapshot.of_property (contact ~people:60 ~seed:61) in
   print_endline "\nambiguous pattern (contact + !lives + contact^- + !lives^-)*";
   print_endline "(contact edges match two branches, rides only one: the union estimator's";
   print_endline " multiplicity correction is exercised and the estimate becomes stochastic):";
@@ -258,7 +258,7 @@ let uniform_generation () =
   let table = Table.create [ "people"; "k"; "answers"; "preprocess(ms)"; "per-sample(us)" ] in
   List.iter
     (fun people ->
-      let inst = Property_graph.to_instance (contact ~people ~seed:(500 + people)) in
+      let inst = Snapshot.of_property (contact ~people ~seed:(500 + people)) in
       List.iter
         (fun k ->
           let gen, t_pre = wall (fun () -> Uniform_gen.create inst r ~length:k) in
@@ -277,7 +277,7 @@ let uniform_generation () =
     [ 50; 100; 200 ];
   Table.print table;
   (* Chi-square uniformity on an exhaustively enumerable instance. *)
-  let inst = Property_graph.to_instance (contact ~people:30 ~seed:531) in
+  let inst = Snapshot.of_property (contact ~people:30 ~seed:531) in
   let k = 4 in
   let answers = Enumerate.paths inst r ~length:k in
   let m = List.length answers in
@@ -312,7 +312,7 @@ let enumeration () =
   in
   List.iter
     (fun people ->
-      let inst = Property_graph.to_instance (contact ~people ~seed:(600 + people)) in
+      let inst = Snapshot.of_property (contact ~people ~seed:(600 + people)) in
       let k = 4 in
       let e, t_first =
         wall (fun () ->
@@ -379,7 +379,7 @@ let variety () =
   let table = Table.create [ "people"; "k"; "N"; "enum variety"; "sampled variety" ] in
   List.iter
     (fun people ->
-      let inst = Property_graph.to_instance (contact ~people ~seed:(650 + people)) in
+      let inst = Snapshot.of_property (contact ~people ~seed:(650 + people)) in
       let k = 4 and n = 50 in
       let e = Enumerate.create inst r ~length:k in
       let first = ref [] in
@@ -412,7 +412,7 @@ let variety () =
 let centrality () =
   Table.section "E7: betweenness centrality vs its regex-constrained refinement";
   (* The exact worked example first. *)
-  let fig2 = Property_graph.to_instance (Figure2.property ()) in
+  let fig2 = Snapshot.of_property (Figure2.property ()) in
   let r_fig = parse "?person/rides/?bus/rides^-/?infected" in
   let bc_plain = Gqkg_analytics.Centrality.betweenness ~directed:false fig2 in
   let bc_r = Gqkg_analytics.Regex_centrality.exact fig2 r_fig in
@@ -421,7 +421,7 @@ let centrality () =
   Printf.printf "  plain bc(n3)  = %.1f   (ownership and household paths count)\n" bc_plain.(n3);
   Printf.printf "  bc_r(n3)      = %.1f   (only person-bus-infected transport paths)\n\n" bc_r.(n3);
   (* At scale: ranking divergence. *)
-  let inst = Property_graph.to_instance (contact ~people:120 ~seed:777) in
+  let inst = Snapshot.of_property (contact ~people:120 ~seed:777) in
   let transport = parse Gqkg_workload.Contact_network.query_bus_transport in
   let plain = Gqkg_analytics.Centrality.betweenness ~directed:false inst in
   let constrained = Gqkg_analytics.Regex_centrality.exact inst transport in
@@ -434,7 +434,7 @@ let centrality () =
       if rank < 8 then
         Table.add_row table
           [
-            inst.Instance.node_name v;
+            inst.Snapshot.node_name v;
             Printf.sprintf "%.1f" constrained.(v);
             Printf.sprintf "%.1f" plain.(v);
           ])
@@ -442,8 +442,8 @@ let centrality () =
   Table.print table;
   let positive_non_bus =
     Array.exists
-      (fun v -> constrained.(v) > 0.0 && not (inst.Instance.node_atom v (Atom.label "bus")))
-      (Array.init inst.Instance.num_nodes Fun.id)
+      (fun v -> constrained.(v) > 0.0 && not (inst.Snapshot.node_atom v (Atom.label "bus")))
+      (Array.init inst.Snapshot.num_nodes Fun.id)
   in
   Printf.printf "\nnon-bus node with positive bc_r: %b (transport centrality isolates the fleet)\n"
     positive_non_bus;
@@ -454,7 +454,7 @@ let centrality () =
   in
   List.iter
     (fun people ->
-      let inst = Property_graph.to_instance (contact ~people ~seed:(800 + people)) in
+      let inst = Snapshot.of_property (contact ~people ~seed:(800 + people)) in
       let exact, t_exact = wall (fun () -> Gqkg_analytics.Regex_centrality.exact inst transport) in
       List.iter
         (fun samples ->
@@ -487,7 +487,7 @@ let centrality () =
   let table = Table.create [ "grid"; "exact(ms)"; "approx s=16 (ms)"; "top within 2%" ] in
   List.iter
     (fun n ->
-      let inst = Labeled_graph.to_instance (Gqkg_workload.Gen_graph.grid ~rows:n ~cols:n) in
+      let inst = Snapshot.of_labeled (Gqkg_workload.Gen_graph.grid ~rows:n ~cols:n) in
       let exact, t_exact =
         wall (fun () -> Gqkg_analytics.Regex_centrality.exact ~max_length:(2 * n) inst any_path)
       in
@@ -524,7 +524,7 @@ let logic () =
   let table = Table.create [ "people"; "answers"; "naive phi(ms)"; "bounded psi(ms)"; "speedup" ] in
   List.iter
     (fun people ->
-      let inst = Property_graph.to_instance (contact ~people ~seed:(900 + people)) in
+      let inst = Snapshot.of_property (contact ~people ~seed:(900 + people)) in
       let a, t_naive = wall (fun () -> Gqkg_logic.Fo.eval_naive inst Gqkg_logic.Fo.phi ~free:"x") in
       let b, t_bounded =
         wall (fun () -> Gqkg_logic.Fo.eval_bounded inst Gqkg_logic.Fo.psi ~free:"x")
@@ -559,7 +559,7 @@ let gnn () =
       Gml.Or (Gml.diamond ~at_least:3 (Gml.label "person"), Gml.Not (Gml.diamond (Gml.label "address")));
     ]
   in
-  let inst = Property_graph.to_instance (contact ~people:150 ~seed:1010) in
+  let inst = Snapshot.of_property (contact ~people:150 ~seed:1010) in
   let table =
     Table.create
       ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Left ]
@@ -585,11 +585,11 @@ let gnn () =
     Gqkg_gnn.Wl.refine inst ~init:(fun v ->
         Hashtbl.hash
           (List.map
-             (fun l -> inst.Instance.node_atom v (Atom.label l))
+             (fun l -> inst.Snapshot.node_atom v (Atom.label l))
              [ "person"; "infected"; "bus"; "address"; "company" ]))
   in
   Printf.printf "\nWL refinement: %d classes after %d rounds over %d nodes\n"
-    coloring.Gqkg_gnn.Wl.num_colors coloring.Gqkg_gnn.Wl.rounds inst.Instance.num_nodes;
+    coloring.Gqkg_gnn.Wl.num_colors coloring.Gqkg_gnn.Wl.rounds inst.Snapshot.num_nodes;
   let violations = ref 0 in
   List.iter
     (fun f ->
@@ -621,7 +621,7 @@ let gnn () =
           ignore (Labeled_graph.Builder.fresh_edge b ~src:u ~dst:v ~label:(Const.str "contact"))
       done
     done;
-    Labeled_graph.to_instance (Labeled_graph.Builder.freeze b)
+    Snapshot.of_labeled (Labeled_graph.Builder.freeze b)
   in
   let agree = ref true in
   List.iter
@@ -680,9 +680,9 @@ let models () =
   (* What the mapping costs: the same query over the property graph and
      over its reified RDF translation (more nodes and edges to walk). *)
   let pg = contact ~people:150 ~seed:1105 in
-  let pg_inst = Property_graph.to_instance pg in
+  let pg_inst = Snapshot.of_property pg in
   let rdf_inst =
-    Gqkg_kg.Rdf_graph.to_instance
+    Gqkg_kg.Rdf_graph.to_snapshot
       (Gqkg_kg.Rdf_graph.of_store (Gqkg_kg.Pg_rdf.of_property_graph pg))
   in
   let r = parse Gqkg_workload.Contact_network.query_shared_bus in
@@ -690,7 +690,7 @@ let models () =
   let pairs_rdf, t_rdf = wall (fun () -> Rpq.eval_pairs rdf_inst r) in
   Printf.printf
     "\nquery r over the property graph (%d nodes): %d pairs in %.1f ms;\n  over its RDF reification (%d nodes): %d pairs in %.1f ms (x%.1f)\n"
-    pg_inst.Instance.num_nodes (List.length pairs_pg) (1000.0 *. t_pg) rdf_inst.Instance.num_nodes
+    pg_inst.Snapshot.num_nodes (List.length pairs_pg) (1000.0 *. t_pg) rdf_inst.Snapshot.num_nodes
     (List.length pairs_rdf) (1000.0 *. t_rdf)
     (t_rdf /. Float.max 1e-9 t_pg)
 
@@ -778,14 +778,21 @@ let best_of n f =
   done;
   (Option.get !result, !best)
 
-let rpq_kernel () =
-  Table.section "E15: RPQ kernel throughput (emits BENCH_rpq.json)";
-  let people = 1000 and k = 8 in
-  let inst = Property_graph.to_instance (contact ~people ~seed:1500) in
+(* [small] is the CI smoke configuration: same workloads, tiny sizes
+   and single repetitions, so the whole experiment finishes in a couple
+   of seconds while still exercising every code path and the JSON
+   emission. *)
+let rpq_kernel ?(small = false) () =
+  Table.section
+    (if small then "E15: RPQ kernel throughput (small smoke workload, emits BENCH_rpq.json)"
+     else "E15: RPQ kernel throughput (emits BENCH_rpq.json)");
+  let rep n = if small then 1 else n in
+  let people = if small then 120 else 1000 and k = if small then 4 else 8 in
+  let inst = Snapshot.of_property (contact ~people ~seed:1500) in
   let r1 = parse Gqkg_workload.Contact_network.query_infection_spread in
   (* Workload A: counting DP over the lazy product, all lengths 0..k. *)
   let (paths, states), t_kernel =
-    best_of 5 (fun () ->
+    best_of (rep 5) (fun () ->
         let product = Product.create inst r1 in
         let table = Count.build product ~depth:k in
         let total = ref 0.0 in
@@ -799,34 +806,37 @@ let rpq_kernel () =
     people k paths states (1000.0 *. t_kernel) paths_per_sec;
   (* Workload B: endpoint pairs of a bounded RPQ. *)
   let r_bus = parse Gqkg_workload.Contact_network.query_shared_bus in
-  let pairs, t_pairs = best_of 3 (fun () -> List.length (Rpq.eval_pairs inst ~max_length:8 r_bus)) in
+  let pairs, t_pairs =
+    best_of (rep 3) (fun () -> List.length (Rpq.eval_pairs inst ~max_length:8 r_bus))
+  in
   Printf.printf "pairs kernel: %d pairs in %.1f ms\n" pairs (1000.0 *. t_pairs);
   (* Workload C: agreement with + speedup over the naive evaluator. *)
-  let small = Property_graph.to_instance (contact ~people:40 ~seed:41) in
+  let tiny = Snapshot.of_property (contact ~people:40 ~seed:41) in
   let k_small = 4 in
   let naive_count, t_naive =
-    best_of 2 (fun () -> float_of_int (Naive.count small r1 ~length:k_small))
+    best_of (rep 2) (fun () -> float_of_int (Naive.count tiny r1 ~length:k_small))
   in
-  let kernel_count, t_small = best_of 3 (fun () -> Count.count small r1 ~length:k_small) in
+  let kernel_count, t_small = best_of (rep 3) (fun () -> Count.count tiny r1 ~length:k_small) in
   let agree = naive_count = kernel_count in
   let speedup_vs_naive = t_naive /. Float.max 1e-9 t_small in
   Printf.printf "naive vs kernel (40 people, k=%d): naive %.1f ms, kernel %.2f ms, agree %b (%.0fx)\n"
     k_small (1000.0 *. t_naive) (1000.0 *. t_small) agree speedup_vs_naive;
   (* Workload D: regex-constrained betweenness, sequential vs parallel. *)
-  let bcr_inst = Property_graph.to_instance (contact ~people:100 ~seed:1501) in
+  let bcr_people = if small then 30 else 100 in
+  let bcr_inst = Snapshot.of_property (contact ~people:bcr_people ~seed:1501) in
   let transport = parse Gqkg_workload.Contact_network.query_bus_transport in
   let bcr_seq, t_bcr_seq =
-    best_of 2 (fun () -> Gqkg_analytics.Regex_centrality.exact bcr_inst transport)
+    best_of (rep 2) (fun () -> Gqkg_analytics.Regex_centrality.exact bcr_inst transport)
   in
   let bcr_domains = Gqkg_util.Parallel.default_domains () in
   let bcr_par, t_bcr_par =
-    best_of 2 (fun () ->
+    best_of (rep 2) (fun () ->
         Gqkg_analytics.Regex_centrality.exact ~domains:bcr_domains bcr_inst transport)
   in
   let bcr_diff = ref 0.0 in
   Array.iteri (fun v x -> bcr_diff := Float.max !bcr_diff (Float.abs (x -. bcr_par.(v)))) bcr_seq;
-  Printf.printf "bc_r (100 people): sequential %.1f ms, parallel(%d domains) %.1f ms, max diff %.2g\n"
-    (1000.0 *. t_bcr_seq) bcr_domains (1000.0 *. t_bcr_par) !bcr_diff;
+  Printf.printf "bc_r (%d people): sequential %.1f ms, parallel(%d domains) %.1f ms, max diff %.2g\n"
+    bcr_people (1000.0 *. t_bcr_seq) bcr_domains (1000.0 *. t_bcr_par) !bcr_diff;
   (* Machine-readable trajectory record. *)
   let oc = open_out "BENCH_rpq.json" in
   Printf.fprintf oc
@@ -837,12 +847,12 @@ let rpq_kernel () =
     \  \"pairs_workload\": { \"pairs\": %d, \"ms\": %.3f },\n\
     \  \"naive_workload\": { \"people\": 40, \"k\": %d, \"naive_ms\": %.3f,\n\
     \    \"kernel_ms\": %.3f, \"agree\": %b, \"speedup_vs_naive\": %.2f },\n\
-    \  \"bc_r_workload\": { \"people\": 100, \"sequential_ms\": %.3f,\n\
+    \  \"bc_r_workload\": { \"people\": %d, \"sequential_ms\": %.3f,\n\
     \    \"parallel_ms\": %.3f, \"domains\": %d, \"max_abs_diff\": %.3g }\n\
      }\n"
     people k paths (1000.0 *. t_kernel) paths_per_sec states pairs (1000.0 *. t_pairs) k_small
-    (1000.0 *. t_naive) (1000.0 *. t_small) agree speedup_vs_naive (1000.0 *. t_bcr_seq)
-    (1000.0 *. t_bcr_par) bcr_domains !bcr_diff;
+    (1000.0 *. t_naive) (1000.0 *. t_small) agree speedup_vs_naive bcr_people
+    (1000.0 *. t_bcr_seq) (1000.0 *. t_bcr_par) bcr_domains !bcr_diff;
   close_out oc;
   print_endline "wrote BENCH_rpq.json";
   (* Analyzer overhead, measured interleaved (same process, alternating
@@ -854,7 +864,7 @@ let rpq_kernel () =
     Analyze.enabled := flag;
     Fun.protect ~finally:(fun () -> Analyze.enabled := old) f
   in
-  let reps = 7 in
+  let reps = rep 7 in
   let t_on = ref infinity and t_off = ref infinity in
   for _ = 1 to reps do
     let _, t = wall (fun () -> with_analysis true (fun () -> Rpq.eval_pairs inst ~max_length:8 r_bus)) in
@@ -863,14 +873,14 @@ let rpq_kernel () =
     if t < !t_off then t_off := t
   done;
   let overhead = 100.0 *. ((!t_on /. Float.max 1e-9 !t_off) -. 1.0) in
-  let _, t_plan = best_of 7 (fun () -> Analyze.plan inst r_bus) in
+  let _, t_plan = best_of (rep 7) (fun () -> Analyze.plan inst r_bus) in
   Printf.printf "plan-only: %.3f ms\n" (1000.0 *. t_plan);
   Printf.printf "analysis overhead (pairs, on vs off, best of %d each): %.1f ms vs %.1f ms (%+.1f%%)\n"
     reps (1000.0 *. !t_on) (1000.0 *. !t_off) overhead;
   (* Statically-empty short-circuit: answered with zero product states. *)
   let ghost = parse "?person/ghost/?infected" in
   let before = Product.states_interned_total () in
-  let empty_answer, t_empty = best_of 5 (fun () -> Rpq.eval_pairs inst ~max_length:8 ghost) in
+  let empty_answer, t_empty = best_of (rep 5) (fun () -> Rpq.eval_pairs inst ~max_length:8 ghost) in
   Printf.printf "statically-empty query: %d pairs, %d product states, %.3f ms\n"
     (List.length empty_answer)
     (Product.states_interned_total () - before)
@@ -883,7 +893,7 @@ let rpq_kernel () =
 let bechamel_timings () =
   Table.section "E12: substrate timings (Bechamel, one Test.make per experiment kernel)";
   let open Bechamel in
-  let inst = Property_graph.to_instance (contact ~people:100 ~seed:1200) in
+  let inst = Snapshot.of_property (contact ~people:100 ~seed:1200) in
   let r = parse "?person/rides/?bus/rides^-/?infected" in
   let r1 = parse Gqkg_workload.Contact_network.query_infection_spread in
   let tests =
@@ -931,7 +941,7 @@ let bechamel_timings () =
                      (Gqkg_logic.C2.And
                         (Gqkg_logic.C2.Adjacent ("x", "y"), Gqkg_logic.C2.node_pred "person" "y")))
                   ~free:"x")));
-      (let other = Property_graph.to_instance (contact ~people:100 ~seed:1201) in
+      (let other = Snapshot.of_property (contact ~people:100 ~seed:1201) in
        Test.make ~name:"gnn:wl-kernel(100v100)"
          (Staged.stage (fun () -> ignore (Gqkg_gnn.Wl_kernel.similarity inst other))));
       (let store = Gqkg_kg.Pg_rdf.of_property_graph (contact ~people:40 ~seed:1202) in
@@ -976,14 +986,14 @@ let ablations () =
      ambiguous: the determinized (subset) product is what makes Count
      well-defined. *)
   print_endline "(a) counting NFA runs instead of paths (ambiguous expression):";
-  let inst = Property_graph.to_instance (contact ~people:40 ~seed:1301) in
+  let inst = Snapshot.of_property (contact ~people:40 ~seed:1301) in
   let amb = parse "(contact + !lives + contact^- + !lives^-)*" in
   let count_runs k =
     (* DP over per-state configurations: each NFA run counted once. *)
     let t = Approx_count.create ~seed:0 inst amb ~epsilon:0.5 in
     let nfa = Nfa.of_regex amb in
     let level = Hashtbl.create 256 in
-    for v = 0 to inst.Instance.num_nodes - 1 do
+    for v = 0 to inst.Snapshot.num_nodes - 1 do
       Array.iter
         (fun q -> Hashtbl.replace level (Approx_count.config t ~node:v ~state:q) 1.0)
         (Approx_count.state_closure t ~node:v (Nfa.start nfa))
@@ -1025,7 +1035,7 @@ let ablations () =
   let table = Table.create [ "people"; "answers"; "greedy(ms)"; "naive(ms)" ] in
   List.iter
     (fun people ->
-      let inst = Property_graph.to_instance (contact ~people ~seed:(1300 + people)) in
+      let inst = Snapshot.of_property (contact ~people ~seed:(1300 + people)) in
       let q =
         Gqkg_logic.Crpq_parser.parse
           "SELECT x, z WHERE (x:person)-[rides]->(y:bus), (z:infected)-[rides]->(y)"
@@ -1056,7 +1066,7 @@ let ablations () =
     (1e9 *. t_cdf /. float_of_int draws);
   (* (d) Regex simplification: smaller expressions, smaller automata. *)
   print_endline "\n(d) algebraic regex simplification before compilation:";
-  let inst = Property_graph.to_instance (contact ~people:80 ~seed:1304) in
+  let inst = Snapshot.of_property (contact ~people:80 ~seed:1304) in
   let messy =
     (* The kind of expression mechanical query rewriting produces. *)
     parse
@@ -1080,8 +1090,9 @@ let ablations () =
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   if Array.exists (fun a -> a = "rpq") Sys.argv then begin
-    (* Kernel-only mode: just the E15 throughput record. *)
-    rpq_kernel ();
+    (* Kernel-only mode: just the E15 throughput record.  "small" is
+       the seconds-long smoke configuration CI runs on every push. *)
+    rpq_kernel ~small:(Array.exists (fun a -> a = "small") Sys.argv) ();
     exit 0
   end;
   figure1 ();

@@ -31,7 +31,7 @@ let regex_arg position =
   let doc = "Regular path query, e.g. '?person/rides/?bus'." in
   Arg.(required & pos position (some string) None & info [] ~docv:"REGEX" ~doc)
 
-let load_instance path = Property_graph.to_instance (Graph_io.load_property_graph path)
+let load_instance path = Snapshot.of_property (Graph_io.load_property_graph path)
 
 let parse_regex text =
   match Gqkg_automata.Regex_parser.parse text with
@@ -81,7 +81,7 @@ let query_cmd =
     let r = parse_regex regex in
     let pairs = Rpq.eval_pairs inst ?max_length r in
     List.iter
-      (fun (a, b) -> Printf.printf "%s\t%s\n" (inst.Instance.node_name a) (inst.Instance.node_name b))
+      (fun (a, b) -> Printf.printf "%s\t%s\n" (inst.Snapshot.node_name a) (inst.Snapshot.node_name b))
       pairs;
     Logs.info (fun m -> m "%d pairs" (List.length pairs))
   in
@@ -100,11 +100,11 @@ let count_cmd =
     let r = parse_regex regex in
     let resolve name =
       let rec find v =
-        if v >= inst.Instance.num_nodes then begin
+        if v >= inst.Snapshot.num_nodes then begin
           Printf.eprintf "unknown node %S\n" name;
           exit 2
         end
-        else if inst.Instance.node_name v = name then v
+        else if inst.Snapshot.node_name v = name then v
         else find (v + 1)
       in
       find 0
@@ -206,7 +206,7 @@ let centrality_cmd =
     let order = Gqkg_analytics.Centrality.ranking scores in
     Array.iteri
       (fun rank v ->
-        if rank < top then Printf.printf "%2d. %-12s %.4f\n" (rank + 1) (inst.Instance.node_name v) scores.(v))
+        if rank < top then Printf.printf "%2d. %-12s %.4f\n" (rank + 1) (inst.Snapshot.node_name v) scores.(v))
       order
   in
   let measure =
@@ -234,7 +234,7 @@ let match_cmd =
     else
       List.iter
         (fun row ->
-          print_endline (String.concat "\t" (List.map (fun v -> inst.Instance.node_name v) row)))
+          print_endline (String.concat "\t" (List.map (fun v -> inst.Snapshot.node_name v) row)))
         (Gqkg_logic.Crpq.answers ?max_length inst q)
   in
   let query =
@@ -346,6 +346,7 @@ let explain_cmd =
     | None -> ()
     | Some path -> (
         let inst = load_instance path in
+        Printf.printf "\nsnapshot: %s" (Snapshot.describe inst);
         let report = Gqkg_analysis.Analyze.plan inst simplified in
         (match report.Gqkg_analysis.Analyze.nfa with
         | None -> Printf.printf "\nanalysis: statically empty on %s\n" path
@@ -366,7 +367,7 @@ let explain_cmd =
             let pairs = Rpq.eval_pairs inst ~max_length:8 simplified in
             Printf.printf
               "on %s: %d nodes x %d NFA states -> %d product states materialized, %d answer pairs (paths up to 8)\n"
-              path inst.Instance.num_nodes
+              path inst.Snapshot.num_nodes
               (Gqkg_automata.Nfa.num_states nfa)
               (Product.num_states product) (List.length pairs))
   in
@@ -445,10 +446,9 @@ let lint_cmd =
 let stats_cmd =
   let run () path =
     let pg = Graph_io.load_property_graph path in
-    let inst = Property_graph.to_instance pg in
+    let inst = Snapshot.of_property pg in
+    print_string (Snapshot.describe inst);
     Fmt.pr "%a@." Gqkg_analytics.Graph_stats.pp_summary (Gqkg_analytics.Graph_stats.summarize inst);
-    let labels = Labeled_graph.node_label_histogram (Property_graph.to_labeled pg) in
-    List.iter (fun (l, c) -> Printf.printf "  label %-12s %d\n" (Const.to_string l) c) labels;
     let _, scc = Gqkg_analytics.Traversal.strongly_connected_components inst in
     Printf.printf "strongly connected components: %d\n" scc;
     (match Gqkg_analytics.Shortest_paths.diameter_double_sweep ~directed:false inst with
@@ -466,9 +466,9 @@ let stats_cmd =
 let wl_cmd =
   let run () path =
     let pg = Graph_io.load_property_graph path in
-    let inst = Property_graph.to_instance pg in
+    let inst = Snapshot.of_property pg in
     let coloring =
-      Gqkg_gnn.Wl.refine inst ~init:(fun v -> Hashtbl.hash (inst.Instance.node_name v = "" (* uniform *)))
+      Gqkg_gnn.Wl.refine inst ~init:(fun v -> Hashtbl.hash (inst.Snapshot.node_name v = "" (* uniform *)))
     in
     ignore coloring;
     let labeled =
@@ -476,7 +476,7 @@ let wl_cmd =
           Const.hash (Property_graph.node_label pg v))
     in
     Printf.printf "WL refinement (label-aware init): %d classes after %d rounds over %d nodes\n"
-      labeled.Gqkg_gnn.Wl.num_colors labeled.Gqkg_gnn.Wl.rounds inst.Instance.num_nodes;
+      labeled.Gqkg_gnn.Wl.num_colors labeled.Gqkg_gnn.Wl.rounds inst.Snapshot.num_nodes;
     let hist = Gqkg_gnn.Wl.color_histogram labeled in
     List.iter (fun (c, n) -> Printf.printf "  class %d: %d nodes\n" c n) hist
   in

@@ -17,8 +17,8 @@ open Gqkg_workload
 let () =
   let rng = Gqkg_util.Splitmix.create 42 in
   let pg = Contact_network.generate ~params:{ Contact_network.default with people = 120; buses = 8; contacts = 90 } rng in
-  let inst = Property_graph.to_instance pg in
-  Printf.printf "Contact network: %d nodes, %d edges\n" inst.Instance.num_nodes inst.Instance.num_edges;
+  let inst = Snapshot.of_property pg in
+  Printf.printf "Contact network: %d nodes, %d edges\n" inst.Snapshot.num_nodes inst.Snapshot.num_edges;
 
   (* 1. Who is at risk? r1 finds people linked to an infected person by a
      shared bus followed by a household/contact chain. *)
@@ -58,7 +58,7 @@ let () =
   Array.iter
     (fun v ->
       if exact_bc.(v) > 0.0 then
-        Printf.printf "  %-8s %12.1f %12.1f %12.1f\n" (inst.Instance.node_name v) exact_bc.(v)
+        Printf.printf "  %-8s %12.1f %12.1f %12.1f\n" (inst.Snapshot.node_name v) exact_bc.(v)
           approx_bc.(v) plain_bc.(v))
     order;
   print_endline "\n(plain betweenness mixes in household and ownership paths; bc_r does not)"

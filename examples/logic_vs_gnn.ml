@@ -17,13 +17,13 @@ open Gqkg_gnn
 let print_nodes inst nodes =
   if nodes = [] then print_endline "    (none)"
   else
-    List.iter (fun v -> Printf.printf "    %s\n" (inst.Instance.node_name v)) nodes
+    List.iter (fun v -> Printf.printf "    %s\n" (inst.Snapshot.node_name v)) nodes
 
 let () =
   let rng = Gqkg_util.Splitmix.create 11 in
   let pg = Gqkg_workload.Contact_network.generate rng in
-  let inst = Property_graph.to_instance pg in
-  Printf.printf "network: %d nodes, %d edges\n\n" inst.Instance.num_nodes inst.Instance.num_edges;
+  let inst = Snapshot.of_property pg in
+  Printf.printf "network: %d nodes, %d edges\n\n" inst.Snapshot.num_nodes inst.Snapshot.num_edges;
 
   (* 1. φ(x) and ψ(x). *)
   Printf.printf "phi(x) = %s   (%d variables)\n" (Fo.to_string Fo.phi) (Fo.width Fo.phi);
@@ -59,7 +59,7 @@ let () =
     (List.length via_logic) (List.length via_gnn) (via_logic = via_gnn);
 
   (* 4. On Figure 2 the answers are small enough to look at. *)
-  let small = Property_graph.to_instance (Figure2.property ()) in
+  let small = Snapshot.of_property (Figure2.property ()) in
   print_endline "on the Figure 2 graph, nodes near a bus with an infected rider:";
   print_nodes small (Logic_gnn.classified_nodes compiled small);
 
@@ -70,7 +70,7 @@ let () =
     let nodes = Array.init n (fun i -> Multigraph.Builder.add_node b (Const.str (Printf.sprintf "c%d_%d" off i))) in
     Array.iteri (fun i v -> ignore (Multigraph.Builder.fresh_edge b ~src:v ~dst:nodes.((i + 1) mod n))) nodes;
     let g = Multigraph.Builder.freeze b in
-    Labeled_graph.to_instance
+    Snapshot.of_labeled
       (Labeled_graph.make ~base:g ~node_labels:(Array.make n (Const.str "v"))
          ~edge_labels:(Array.make n (Const.str "e")))
   in
@@ -81,7 +81,7 @@ let () =
       (fun (s, d) -> ignore (Multigraph.Builder.fresh_edge b ~src:nodes.(s) ~dst:nodes.(d)))
       [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3) ];
     let g = Multigraph.Builder.freeze b in
-    Labeled_graph.to_instance
+    Snapshot.of_labeled
       (Labeled_graph.make ~base:g ~node_labels:(Array.make 6 (Const.str "v"))
          ~edge_labels:(Array.make 6 (Const.str "e")))
   in

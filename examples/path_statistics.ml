@@ -28,7 +28,7 @@ let () =
           ~params:{ Gqkg_workload.Contact_network.default with people; contacts = people }
           rng
       in
-      let inst = Property_graph.to_instance pg in
+      let inst = Snapshot.of_property pg in
       List.iter
         (fun k ->
           let exact = Count.count inst r ~length:k in
@@ -54,7 +54,7 @@ let () =
   print_endline "\nuniformity check (small instance):";
   let rng = Splitmix.create 9 in
   let pg = Gqkg_workload.Contact_network.generate rng in
-  let inst = Property_graph.to_instance pg in
+  let inst = Snapshot.of_property pg in
   let k = 3 in
   let answers = Enumerate.paths inst r ~length:k in
   let m = List.length answers in

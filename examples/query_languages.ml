@@ -16,8 +16,8 @@ let () =
       ~params:{ Gqkg_workload.Contact_network.default with people = 60; contacts = 50 }
       rng
   in
-  let inst = Property_graph.to_instance pg in
-  Printf.printf "network: %d nodes, %d edges\n\n" inst.Instance.num_nodes inst.Instance.num_edges;
+  let inst = Snapshot.of_property pg in
+  Printf.printf "network: %d nodes, %d edges\n\n" inst.Snapshot.num_nodes inst.Snapshot.num_edges;
 
   (* 1. A CRPQ: infected people sharing a bus with someone who lives with
      a person the company's bus also serves — a join of path atoms. *)
@@ -29,7 +29,7 @@ let () =
   List.iteri
     (fun i row ->
       if i < 3 then
-        Printf.printf "    %s\n" (String.concat ", " (List.map inst.Instance.node_name row)))
+        Printf.printf "    %s\n" (String.concat ", " (List.map inst.Snapshot.node_name row)))
     rows;
 
   (* 2. The same data as RDF, queried with a BGP mixing a triple pattern
@@ -68,18 +68,18 @@ let () =
 
   (* 4. WL-kernel similarity between two generated cities. *)
   let other =
-    Property_graph.to_instance
+    Snapshot.of_property
       (Gqkg_workload.Contact_network.generate
          ~params:{ Gqkg_workload.Contact_network.default with people = 60; contacts = 50 }
          (Gqkg_util.Splitmix.create 78))
   in
   let random_graph =
-    Labeled_graph.to_instance
+    Snapshot.of_labeled
       (Gqkg_workload.Gen_graph.erdos_renyi_gnm (Gqkg_util.Splitmix.create 79) ~nodes:200 ~edges:400)
   in
   (* Label-aware initial colors: structure AND vocabulary count. *)
   let labels = [ "person"; "infected"; "bus"; "address"; "company" ] in
-  let init_of g v = Hashtbl.hash (List.map (fun l -> g.Instance.node_atom v (Atom.label l)) labels) in
+  let init_of g v = Hashtbl.hash (List.map (fun l -> g.Snapshot.node_atom v (Atom.label l)) labels) in
   let similarity a b =
     Gqkg_gnn.Wl_kernel.similarity ~init1:(init_of a) ~init2:(init_of b) a b
   in

@@ -15,7 +15,7 @@ let show_pairs inst pairs =
   else
     List.iter
       (fun (a, b) ->
-        Printf.printf "    %s -> %s\n" (inst.Instance.node_name a) (inst.Instance.node_name b))
+        Printf.printf "    %s -> %s\n" (inst.Snapshot.node_name a) (inst.Snapshot.node_name b))
       pairs
 
 let run_query inst label query =
@@ -30,7 +30,7 @@ let () =
   print_string (Graph_io.property_graph_to_string pg);
 
   (* 2. Queries (2) and (3) of the paper. *)
-  let inst = Property_graph.to_instance pg in
+  let inst = Snapshot.of_property pg in
   print_endline "\n== Worked queries over the property graph ==";
   run_query inst "query (2): contacts of infected people" "?person/contact/?infected";
   run_query inst "query (3): ... on March 4th 2021" "?person/(contact & date=3/4/21)/?infected";
@@ -47,7 +47,7 @@ let () =
   let rewritten =
     Printf.sprintf "?(f1=person)/(f1=contact & f%d=3/4/21)/?(f1=infected)" date_i
   in
-  run_query (Vector_graph.to_instance vg) "query (3), rewritten over features" rewritten;
+  run_query (Snapshot.of_vector vg) "query (3), rewritten over features" rewritten;
 
   (* 4. Path statistics: Count / Gen on the contact closure. *)
   print_endline "\n== Section 4.1 in one breath ==";

@@ -9,9 +9,9 @@ open Gqkg_graph
 open Gqkg_core
 
 let query store text =
-  let inst = Property_graph.to_instance (Journal.graph store) in
+  let inst = Snapshot.of_property (Journal.graph store) in
   Rpq.eval_pairs inst (Gqkg_automata.Regex_parser.parse text)
-  |> List.map (fun (a, b) -> (inst.Instance.node_name a, inst.Instance.node_name b))
+  |> List.map (fun (a, b) -> (inst.Snapshot.node_name a, inst.Snapshot.node_name b))
 
 let () =
   let path = Filename.temp_file "gqkg_example" ".log" in

@@ -348,35 +348,25 @@ let of_schema = function
         default_edge_cost = float_of_int (max s.num_edges 1);
       }
 
-(* Instance-backed oracle (the execution path): per-atom exists/forall
-   answers from the data itself.  Label atoms on edges use the interned
-   label index when the instance carries one (O(labels) instead of
-   O(edges)); other atoms fall back to a single scan, memoized per
+(* Snapshot-backed oracle (the execution path): per-atom exists/forall
+   answers from the data itself.  Label atoms on edges read the
+   snapshot's precomputed label-frequency stats (O(labels), no edge
+   scan at all); other atoms fall back to a single scan, memoized per
    distinct atom. *)
-let of_instance (inst : Instance.t) =
-  let label_counts =
-    lazy
-      (match inst.Instance.labels with
-      | None -> None
-      | Some { Instance.num_labels; edge_label_id; _ } ->
-          let counts = Array.make (max num_labels 1) 0 in
-          for e = 0 to inst.Instance.num_edges - 1 do
-            let id = edge_label_id e in
-            if id >= 0 && id < num_labels then counts.(id) <- counts.(id) + 1
-          done;
-          Some counts)
-  in
+let of_snapshot (inst : Snapshot.t) =
   let edge_universe =
     lazy
-      (match (inst.Instance.labels, Lazy.force label_counts) with
-      | Some { Instance.num_labels; label_sat; _ }, Some counts ->
-          let out = ref [] in
-          for id = num_labels - 1 downto 0 do
-            if counts.(id) > 0 then
-              out := ((fun t -> Regex.eval_test (label_sat id) t), counts.(id)) :: !out
-          done;
-          Some !out
-      | _ -> None)
+      (if inst.Snapshot.num_labels = 0 then None
+       else begin
+         let counts = inst.Snapshot.stats.Snapshot.edge_label_counts in
+         let label_sat = inst.Snapshot.label_sat in
+         let out = ref [] in
+         for id = inst.Snapshot.num_labels - 1 downto 0 do
+           if counts.(id) > 0 then
+             out := ((fun t -> Regex.eval_test (label_sat id) t), counts.(id)) :: !out
+         done;
+         Some !out
+       end)
   in
   let scan n sat =
     let exists = ref false and forall = ref true in
@@ -400,8 +390,8 @@ let of_instance (inst : Instance.t) =
               let exists = List.exists (fun (ev, _) -> ev t) u in
               let forall = u <> [] && List.for_all (fun (ev, _) -> ev t) u in
               (exists, forall)
-          | Cnode, _, _ -> scan inst.Instance.num_nodes (fun v -> inst.Instance.node_atom v a)
-          | Cedge, _, _ -> scan inst.Instance.num_edges (fun e -> inst.Instance.edge_atom e a)
+          | Cnode, _, _ -> scan inst.Snapshot.num_nodes (fun v -> inst.Snapshot.node_atom v a)
+          | Cedge, _, _ -> scan inst.Snapshot.num_edges (fun e -> inst.Snapshot.edge_atom e a)
         in
         Hashtbl.add memo key v;
         v
@@ -427,7 +417,7 @@ let of_instance (inst : Instance.t) =
     atom;
     node_universe = None;
     edge_universe = Lazy.force edge_universe;
-    default_edge_cost = float_of_int (max inst.Instance.num_edges 1);
+    default_edge_cost = float_of_int (max inst.Snapshot.num_edges 1);
   }
 
 (* ---- The pipeline ----------------------------------------------------- *)
@@ -604,6 +594,6 @@ let analyze_with (o : oracle) regex =
 let run ?schema regex = analyze_with (of_schema schema) regex
 
 (* Execution path: against the instance the query is about to run on. *)
-let plan inst regex = analyze_with (of_instance inst) regex
+let plan inst regex = analyze_with (of_snapshot inst) regex
 
 let plan_if_enabled inst regex = if !enabled then Some (plan inst regex) else None

@@ -42,10 +42,10 @@ val run : ?schema:Schema.t -> Regex.t -> report
     run on. Atom verdicts come from the data itself (exists/forall
     scans, memoized per distinct atom; label atoms use the interned
     label index when present). *)
-val plan : Instance.t -> Regex.t -> report
+val plan : Snapshot.t -> Regex.t -> report
 
 (** [plan] when {!enabled}, [None] otherwise. *)
-val plan_if_enabled : Instance.t -> Regex.t -> report option
+val plan_if_enabled : Snapshot.t -> Regex.t -> report option
 
 (** Boolean-only test simplification (no vocabulary): three-valued
     constant folding plus an exhaustive truth table over up to 12

@@ -1,6 +1,6 @@
 (* Vocabulary summary of a graph: which labels, property names and
    feature positions can possibly hold on nodes and edges.  This is the
-   static counterpart of the Instance.t oracle — extracted once from any
+   static counterpart of the Snapshot.t oracle — extracted once from any
    of the four Section 3 data models and consumed by the lint pass
    (Warren & Mulholland identify vocabulary mismatch as the dominant
    user error across edge-labelled and property graphs).
@@ -86,6 +86,30 @@ let of_vector g =
     node_props = Some [];
     edge_props = Some [];
     feature_dim = Some dim;
+  }
+
+(* A frozen snapshot's vocabulary straight from its freeze-time stats:
+   the interned label universes with their multiplicities, no graph
+   scan.  Label names are stored as rendered strings, so constants are
+   recovered with [Const.of_string] (the inverse of the rendering);
+   property names and the feature width are not recorded in the
+   snapshot, so those answer Unknown. *)
+let of_snapshot (s : Snapshot.t) =
+  let universe names counts =
+    List.init (Array.length names) (fun i -> (Const.of_string names.(i), counts.(i)))
+    |> List.filter (fun (_, c) -> c > 0)
+    |> List.sort (fun (a, _) (b, _) -> Const.compare a b)
+  in
+  {
+    num_nodes = s.Snapshot.num_nodes;
+    num_edges = s.Snapshot.num_edges;
+    node_labels =
+      Some (universe s.Snapshot.node_label_names s.Snapshot.stats.Snapshot.node_label_counts);
+    edge_labels =
+      Some (universe s.Snapshot.label_names s.Snapshot.stats.Snapshot.edge_label_counts);
+    node_props = None;
+    edge_props = None;
+    feature_dim = None;
   }
 
 let find_label hist l = List.find_opt (fun (c, _) -> Const.equal c l) hist

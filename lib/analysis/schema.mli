@@ -25,6 +25,11 @@ val of_property : Property_graph.t -> t
     label vocabulary is the set of distinct first-feature values. *)
 val of_vector : Vector_graph.t -> t
 
+(** Vocabulary straight from a snapshot's freeze-time label stats — no
+    graph scan. Property names and the feature width are not recorded
+    in the snapshot, so those fields are [None] (Unknown). *)
+val of_snapshot : Snapshot.t -> t
+
 (** Lookup in a label histogram. *)
 val find_label : (Const.t * int) list -> Const.t -> (Const.t * int) option
 

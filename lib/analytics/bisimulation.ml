@@ -112,6 +112,6 @@ let source_nodes_via_quotient ?max_length index regex =
   if not (forward_fragment regex) then
     invalid_arg "Bisimulation: regex outside the forward label fragment";
   let source_blocks =
-    Gqkg_core.Rpq.source_nodes ?max_length (Labeled_graph.to_instance index.quotient) regex
+    Gqkg_core.Rpq.source_nodes ?max_length (Snapshot.of_labeled index.quotient) regex
   in
   List.concat_map (fun b -> index.members.(b)) source_blocks |> List.sort_uniq compare

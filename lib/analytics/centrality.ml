@@ -15,10 +15,9 @@ open Gqkg_graph
    private scratch state, returning the partial scores — the unit of
    work both the sequential driver and the domain pool slice over. *)
 let brandes_range ~directed inst first last =
-  let n = inst.Instance.num_nodes in
-  let neighbors v =
-    if directed then Traversal.out_neighbors inst v else Traversal.all_neighbors inst v
-  in
+  let n = inst.Snapshot.num_nodes in
+  let out_off = inst.Snapshot.out_off and out_nbr = inst.Snapshot.out_nbr in
+  let in_off = inst.Snapshot.in_off and in_nbr = inst.Snapshot.in_nbr in
   let bc = Array.make n 0.0 in
   let dist = Array.make n (-1) in
   let sigma = Array.make n 0.0 in
@@ -37,17 +36,32 @@ let brandes_range ~directed inst first last =
     while not (Queue.is_empty queue) do
       let v = Queue.pop queue in
       order := v :: !order;
-      Array.iter
-        (fun w ->
+      (* The per-edge relaxation indexes the CSR arrays directly — no
+         closure call and no neighbor-array allocation on this path. *)
+      let dv1 = dist.(v) + 1 and sv = sigma.(v) in
+      for i = out_off.(v) to out_off.(v + 1) - 1 do
+        let w = out_nbr.(i) in
+        if dist.(w) < 0 then begin
+          dist.(w) <- dv1;
+          Queue.push w queue
+        end;
+        if dist.(w) = dv1 then begin
+          sigma.(w) <- sigma.(w) +. sv;
+          preds.(w) <- v :: preds.(w)
+        end
+      done;
+      if not directed then
+        for i = in_off.(v) to in_off.(v + 1) - 1 do
+          let w = in_nbr.(i) in
           if dist.(w) < 0 then begin
-            dist.(w) <- dist.(v) + 1;
+            dist.(w) <- dv1;
             Queue.push w queue
           end;
-          if dist.(w) = dist.(v) + 1 then begin
-            sigma.(w) <- sigma.(w) +. sigma.(v);
+          if dist.(w) = dv1 then begin
+            sigma.(w) <- sigma.(w) +. sv;
             preds.(w) <- v :: preds.(w)
-          end)
-        (neighbors v)
+          end
+        done
     done;
     (* Reverse BFS order: accumulate dependencies. *)
     List.iter
@@ -61,7 +75,7 @@ let brandes_range ~directed inst first last =
   bc
 
 let betweenness ?(directed = true) inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let bc = brandes_range ~directed inst 0 n in
   if not directed then Array.map (fun x -> x /. 2.0) bc else bc
 
@@ -69,7 +83,7 @@ let betweenness ?(directed = true) inst =
    shortest paths pair by pair; exponential in the worst case, used as
    the test oracle for Brandes. *)
 let betweenness_naive ?(directed = true) inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let neighbors v =
     if directed then Traversal.out_neighbors inst v else Traversal.all_neighbors inst v
   in
@@ -107,21 +121,25 @@ let betweenness_naive ?(directed = true) inst =
    is redistributed uniformly.  Converges when the L1 change drops below
    [tolerance]. *)
 let pagerank ?(damping = 0.85) ?(tolerance = 1e-10) ?(max_iterations = 200) inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   if n = 0 then [||]
   else begin
     let rank = Array.make n (1.0 /. float_of_int n) in
-    let out_degree = Array.init n (fun v -> Array.length (inst.Instance.out_edges v)) in
+    let out_off = inst.Snapshot.out_off and out_nbr = inst.Snapshot.out_nbr in
     let next = Array.make n 0.0 in
     let iteration = ref 0 and converged = ref false in
     while (not !converged) && !iteration < max_iterations do
       Array.fill next 0 n 0.0;
       let dangling = ref 0.0 in
       for v = 0 to n - 1 do
-        if out_degree.(v) = 0 then dangling := !dangling +. rank.(v)
+        let deg = out_off.(v + 1) - out_off.(v) in
+        if deg = 0 then dangling := !dangling +. rank.(v)
         else begin
-          let share = rank.(v) /. float_of_int out_degree.(v) in
-          Array.iter (fun (_e, w) -> next.(w) <- next.(w) +. share) (inst.Instance.out_edges v)
+          let share = rank.(v) /. float_of_int deg in
+          for i = out_off.(v) to out_off.(v + 1) - 1 do
+            let w = out_nbr.(i) in
+            next.(w) <- next.(w) +. share
+          done
         end
       done;
       let teleport = ((1.0 -. damping) +. (damping *. !dangling)) /. float_of_int n in
@@ -140,33 +158,43 @@ let pagerank ?(damping = 0.85) ?(tolerance = 1e-10) ?(max_iterations = 200) inst
 (* HITS hubs and authorities [Kleinberg 1999], power iteration with L2
    normalization. *)
 let hits ?(iterations = 50) inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let hubs = Array.make n 1.0 and auth = Array.make n 1.0 in
   let normalize a =
     let norm = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 a) in
     if norm > 0.0 then Array.iteri (fun i x -> a.(i) <- x /. norm) a
   in
+  let out_off = inst.Snapshot.out_off and out_nbr = inst.Snapshot.out_nbr in
+  let in_off = inst.Snapshot.in_off and in_nbr = inst.Snapshot.in_nbr in
   for _ = 1 to iterations do
     for v = 0 to n - 1 do
-      auth.(v) <- Array.fold_left (fun acc (_e, u) -> acc +. hubs.(u)) 0.0 (inst.Instance.in_edges v)
+      let acc = ref 0.0 in
+      for i = in_off.(v) to in_off.(v + 1) - 1 do
+        acc := !acc +. hubs.(in_nbr.(i))
+      done;
+      auth.(v) <- !acc
     done;
     normalize auth;
     for v = 0 to n - 1 do
-      hubs.(v) <- Array.fold_left (fun acc (_e, w) -> acc +. auth.(w)) 0.0 (inst.Instance.out_edges v)
+      let acc = ref 0.0 in
+      for i = out_off.(v) to out_off.(v + 1) - 1 do
+        acc := !acc +. auth.(out_nbr.(i))
+      done;
+      hubs.(v) <- !acc
     done;
     normalize hubs
   done;
   (hubs, auth)
 
 let degree ?(directed = true) inst =
-  Array.init inst.Instance.num_nodes (fun v ->
-      let out = Array.length (inst.Instance.out_edges v) in
-      if directed then out else out + Array.length (inst.Instance.in_edges v))
+  Array.init inst.Snapshot.num_nodes (fun v ->
+      let out = Snapshot.out_degree inst v in
+      if directed then out else out + Snapshot.in_degree inst v)
 
 (* Closeness centrality: (reachable count - 1)² / (n-1) / total distance,
    the Wasserman–Faust generalization that handles disconnected graphs. *)
 let closeness ?(directed = false) inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   Array.init n (fun v ->
       let dist = Traversal.bfs_distances ~directed inst ~source:v in
       let reachable = ref 0 and total = ref 0 in
@@ -196,17 +224,19 @@ let ranking scores =
 (* Eigenvector centrality: the dominant eigenvector of the (undirected)
    adjacency operator, by power iteration with L2 normalization. *)
 let eigenvector ?(iterations = 100) ?(tolerance = 1e-10) inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   if n = 0 then [||]
   else begin
     let x = Array.make n (1.0 /. sqrt (float_of_int n)) in
+    let esrc = inst.Snapshot.esrc and edst = inst.Snapshot.edst in
     let next = Array.make n 0.0 in
     let i = ref 0 and converged = ref false in
     while (not !converged) && !i < iterations do
       Array.fill next 0 n 0.0;
-      for v = 0 to n - 1 do
-        Array.iter (fun (_e, w) -> next.(w) <- next.(w) +. x.(v)) (inst.Instance.out_edges v);
-        Array.iter (fun (_e, u) -> next.(u) <- next.(u) +. x.(v)) (inst.Instance.in_edges v)
+      for e = 0 to inst.Snapshot.num_edges - 1 do
+        let s = esrc.(e) and d = edst.(e) in
+        next.(d) <- next.(d) +. x.(s);
+        next.(s) <- next.(s) +. x.(d)
       done;
       let norm = sqrt (Array.fold_left (fun acc y -> acc +. (y *. y)) 0.0 next) in
       if norm = 0.0 then converged := true
@@ -228,17 +258,20 @@ let eigenvector ?(iterations = 100) ?(tolerance = 1e-10) inst =
    Converges when alpha is below 1 / (spectral radius); the default is
    conservative for our sparse workloads. *)
 let katz ?(alpha = 0.05) ?(beta = 1.0) ?(iterations = 200) ?(tolerance = 1e-10) inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   if n = 0 then [||]
   else begin
     let x = Array.make n beta in
+    let in_off = inst.Snapshot.in_off and in_nbr = inst.Snapshot.in_nbr in
     let next = Array.make n 0.0 in
     let i = ref 0 and converged = ref false in
     while (not !converged) && !i < iterations do
       Array.fill next 0 n beta;
       for v = 0 to n - 1 do
         (* Katz credits a node for its in-neighbors' scores. *)
-        Array.iter (fun (_e, u) -> next.(v) <- next.(v) +. (alpha *. x.(u))) (inst.Instance.in_edges v)
+        for i = in_off.(v) to in_off.(v + 1) - 1 do
+          next.(v) <- next.(v) +. (alpha *. x.(in_nbr.(i)))
+        done
       done;
       let change = ref 0.0 in
       for v = 0 to n - 1 do
@@ -257,7 +290,7 @@ let katz ?(alpha = 0.05) ?(beta = 1.0) ?(iterations = 200) ?(tolerance = 1e-10) 
    reduction).  The instance must be safe for concurrent reads (all
    builtin models are immutable once frozen). *)
 let betweenness_parallel ?(domains = 0) ?(directed = true) inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let domains = if domains > 0 then domains else Gqkg_util.Parallel.default_domains () in
   if domains <= 1 || n < 64 then betweenness ~directed inst
   else begin

@@ -6,37 +6,37 @@ open Gqkg_graph
 
 (** Brandes' betweenness. With [directed:false] edges are symmetric and
     each unordered pair is counted once. *)
-val betweenness : ?directed:bool -> Instance.t -> float array
+val betweenness : ?directed:bool -> Snapshot.t -> float array
 
 (** Freeman's formula by brute-force shortest-path enumeration: the test
     oracle for {!betweenness}. *)
-val betweenness_naive : ?directed:bool -> Instance.t -> float array
+val betweenness_naive : ?directed:bool -> Snapshot.t -> float array
 
 (** Power iteration with uniform teleportation; dangling mass
     redistributed uniformly. Sums to 1. *)
-val pagerank : ?damping:float -> ?tolerance:float -> ?max_iterations:int -> Instance.t -> float array
+val pagerank : ?damping:float -> ?tolerance:float -> ?max_iterations:int -> Snapshot.t -> float array
 
 (** Kleinberg's (hubs, authorities), L2-normalized. *)
-val hits : ?iterations:int -> Instance.t -> float array * float array
+val hits : ?iterations:int -> Snapshot.t -> float array * float array
 
 (** Out-degree, or total degree with [directed:false]. *)
-val degree : ?directed:bool -> Instance.t -> int array
+val degree : ?directed:bool -> Snapshot.t -> int array
 
 (** Wasserman–Faust closeness (handles disconnected graphs). *)
-val closeness : ?directed:bool -> Instance.t -> float array
+val closeness : ?directed:bool -> Snapshot.t -> float array
 
 (** Node indexes sorted by score descending, ties by index. *)
 val ranking : float array -> int array
 
 (** Dominant eigenvector of the undirected adjacency operator. *)
-val eigenvector : ?iterations:int -> ?tolerance:float -> Instance.t -> float array
+val eigenvector : ?iterations:int -> ?tolerance:float -> Snapshot.t -> float array
 
 (** Katz centrality x = α·Aᵀx + β; converges for α below the inverse
     spectral radius. *)
-val katz : ?alpha:float -> ?beta:float -> ?iterations:int -> ?tolerance:float -> Instance.t -> float array
+val katz : ?alpha:float -> ?beta:float -> ?iterations:int -> ?tolerance:float -> Snapshot.t -> float array
 
 (** {!betweenness} with sources sliced across OCaml 5 domains
     ([domains] 0 = auto). The instance must tolerate concurrent reads
     (all builtin models do — they are immutable once frozen). Falls back
     to the sequential pass on small graphs. *)
-val betweenness_parallel : ?domains:int -> ?directed:bool -> Instance.t -> float array
+val betweenness_parallel : ?domains:int -> ?directed:bool -> Snapshot.t -> float array

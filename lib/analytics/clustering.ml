@@ -9,10 +9,10 @@ open Gqkg_util
 (* Undirected simple adjacency sets (self-loops and parallel edges
    collapsed), the standard setting for clustering coefficients. *)
 let simple_adjacency inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let sets = Array.init n (fun _ -> Hashtbl.create 4) in
-  for e = 0 to inst.Instance.num_edges - 1 do
-    let s, d = inst.Instance.endpoints e in
+  for e = 0 to inst.Snapshot.num_edges - 1 do
+    let s, d = (Snapshot.endpoints inst) e in
     if s <> d then begin
       Hashtbl.replace sets.(s) d ();
       Hashtbl.replace sets.(d) s ()
@@ -66,7 +66,7 @@ let transitivity inst =
    majority label among its neighbors until a fixpoint (or the round
    limit).  Deterministic given the seed. *)
 let label_propagation ?(seed = 1) ?(max_rounds = 100) inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let adj = simple_adjacency inst in
   let labels = Array.init n Fun.id in
   let rng = Splitmix.create seed in
@@ -188,19 +188,19 @@ let edge_betweenness_on ~num_nodes ~num_edges adj =
    modularity seen along the dendrogram.  O(m² n) — the classic
    divisive algorithm, for small and medium graphs. *)
 let girvan_newman ?(max_removals = max_int) inst =
-  let n = inst.Instance.num_nodes in
-  let m = inst.Instance.num_edges in
+  let n = inst.Snapshot.num_nodes in
+  let m = inst.Snapshot.num_edges in
   let removed = Array.make m false in
   (* Self-loops never separate anything; ignore them. *)
   for e = 0 to m - 1 do
-    let s, d = inst.Instance.endpoints e in
+    let s, d = (Snapshot.endpoints inst) e in
     if s = d then removed.(e) <- true
   done;
   let active_adjacency () =
     let adj = Array.make n [] in
     for e = 0 to m - 1 do
       if not removed.(e) then begin
-        let s, d = inst.Instance.endpoints e in
+        let s, d = (Snapshot.endpoints inst) e in
         adj.(s) <- (e, d) :: adj.(s);
         adj.(d) <- (e, s) :: adj.(d)
       end
@@ -211,7 +211,7 @@ let girvan_newman ?(max_removals = max_int) inst =
     let uf = Gqkg_util.Union_find.create n in
     for e = 0 to m - 1 do
       if not removed.(e) then begin
-        let s, d = inst.Instance.endpoints e in
+        let s, d = (Snapshot.endpoints inst) e in
         ignore (Gqkg_util.Union_find.union uf s d)
       end
     done;

@@ -5,22 +5,22 @@
 open Gqkg_graph
 
 (** Fraction of each node's neighbor pairs that are adjacent. *)
-val local_clustering : Instance.t -> float array
+val local_clustering : Snapshot.t -> float array
 
-val average_clustering : Instance.t -> float
+val average_clustering : Snapshot.t -> float
 
 (** Global transitivity: 3 × triangles / connected triples. *)
-val transitivity : Instance.t -> float
+val transitivity : Snapshot.t -> float
 
 (** Asynchronous label propagation; deterministic given the seed.
     Returns dense community labels. *)
-val label_propagation : ?seed:int -> ?max_rounds:int -> Instance.t -> int array
+val label_propagation : ?seed:int -> ?max_rounds:int -> Snapshot.t -> int array
 
 (** Newman's modularity of a community assignment. *)
-val modularity : Instance.t -> int array -> float
+val modularity : Snapshot.t -> int array -> float
 
 (** Girvan–Newman divisive community detection: remove highest
     edge-betweenness edges, keep the dendrogram level with the best
     modularity. Returns (labels, modularity). O(m²n); small/medium
     graphs. *)
-val girvan_newman : ?max_removals:int -> Instance.t -> int array * float
+val girvan_newman : ?max_removals:int -> Snapshot.t -> int array * float

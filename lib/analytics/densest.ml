@@ -18,11 +18,11 @@ let density ~edges ~nodes = if nodes = 0 then 0.0 else float_of_int edges /. flo
 (* Undirected simple view: for each node the multiset of neighbors
    (self-loops dropped, as they do not affect |E(S)|/|S| conventions). *)
 let neighbor_lists inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let adj = Array.make n [] in
   let m = ref 0 in
-  for e = 0 to inst.Instance.num_edges - 1 do
-    let s, d = inst.Instance.endpoints e in
+  for e = 0 to inst.Snapshot.num_edges - 1 do
+    let s, d = (Snapshot.endpoints inst) e in
     if s <> d then begin
       adj.(s) <- d :: adj.(s);
       adj.(d) <- s :: adj.(d);
@@ -32,7 +32,7 @@ let neighbor_lists inst =
   (adj, !m)
 
 let charikar inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   if n = 0 then ([], 0.0)
   else begin
     let adj, m = neighbor_lists inst in
@@ -89,10 +89,10 @@ let charikar inst =
    with capacity ∞, each node → sink with capacity g.  The min cut equals
    m - max_S (|E(S)| - g·|S|); S recovers from the source side. *)
 let goldberg_test inst ~g =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let edges = ref [] in
-  for e = 0 to inst.Instance.num_edges - 1 do
-    let s, d = inst.Instance.endpoints e in
+  for e = 0 to inst.Snapshot.num_edges - 1 do
+    let s, d = (Snapshot.endpoints inst) e in
     if s <> d then edges := (s, d) :: !edges
   done;
   let edges = Array.of_list !edges in
@@ -123,17 +123,17 @@ let goldberg_test inst ~g =
   end
 
 let exact_density inst members =
-  let in_set = Array.make inst.Instance.num_nodes false in
+  let in_set = Array.make inst.Snapshot.num_nodes false in
   List.iter (fun v -> in_set.(v) <- true) members;
   let edges = ref 0 in
-  for e = 0 to inst.Instance.num_edges - 1 do
-    let s, d = inst.Instance.endpoints e in
+  for e = 0 to inst.Snapshot.num_edges - 1 do
+    let s, d = (Snapshot.endpoints inst) e in
     if s <> d && in_set.(s) && in_set.(d) then incr edges
   done;
   density ~edges:!edges ~nodes:(List.length members)
 
 let goldberg inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   if n = 0 then ([], 0.0)
   else begin
     (* Binary search on g; stop when the interval is below the minimal

@@ -5,11 +5,11 @@
 open Gqkg_graph
 
 (** |E(S)| / |S| for explicit members. *)
-val exact_density : Instance.t -> int list -> float
+val exact_density : Snapshot.t -> int list -> float
 
 (** Charikar's greedy peeling 2-approximation: (members, density). *)
-val charikar : Instance.t -> int list * float
+val charikar : Snapshot.t -> int list * float
 
 (** Goldberg's exact algorithm (binary search over min-cuts via
     {!Maxflow}): (members, density). *)
-val goldberg : Instance.t -> int list * float
+val goldberg : Snapshot.t -> int list * float

@@ -16,8 +16,8 @@ let degree_histogram ?(directed = false) inst =
 let reciprocity inst =
   let pairs = Hashtbl.create 256 in
   let m = ref 0 in
-  for e = 0 to inst.Instance.num_edges - 1 do
-    let s, d = inst.Instance.endpoints e in
+  for e = 0 to inst.Snapshot.num_edges - 1 do
+    let s, d = (Snapshot.endpoints inst) e in
     if s <> d then begin
       Hashtbl.replace pairs (s, d) ();
       incr m
@@ -35,8 +35,8 @@ let reciprocity inst =
 let degree_assortativity inst =
   let degrees = Centrality.degree ~directed:false inst in
   let xs = ref [] and ys = ref [] in
-  for e = 0 to inst.Instance.num_edges - 1 do
-    let s, d = inst.Instance.endpoints e in
+  for e = 0 to inst.Snapshot.num_edges - 1 do
+    let s, d = (Snapshot.endpoints inst) e in
     if s <> d then begin
       (* Each undirected edge contributes both orientations, making the
          correlation symmetric. *)
@@ -74,10 +74,10 @@ type summary = {
 }
 
 let summarize inst =
-  let n = inst.Instance.num_nodes and m = inst.Instance.num_edges in
+  let n = inst.Snapshot.num_nodes and m = inst.Snapshot.num_edges in
   let self_loops = ref 0 in
   for e = 0 to m - 1 do
-    let s, d = inst.Instance.endpoints e in
+    let s, d = (Snapshot.endpoints inst) e in
     if s = d then incr self_loops
   done;
   let degrees = Centrality.degree ~directed:false inst in

@@ -3,14 +3,14 @@
 open Gqkg_graph
 
 (** (degree, node count) pairs, ascending. *)
-val degree_histogram : ?directed:bool -> Instance.t -> (int * int) list
+val degree_histogram : ?directed:bool -> Snapshot.t -> (int * int) list
 
 (** Fraction of directed edges whose reverse exists (self-loops
     ignored). *)
-val reciprocity : Instance.t -> float
+val reciprocity : Snapshot.t -> float
 
 (** Pearson degree assortativity over undirected edges [Newman 2002]. *)
-val degree_assortativity : Instance.t -> float
+val degree_assortativity : Snapshot.t -> float
 
 type summary = {
   nodes : int;
@@ -25,5 +25,5 @@ type summary = {
   transitivity : float;
 }
 
-val summarize : Instance.t -> summary
+val summarize : Snapshot.t -> summary
 val pp_summary : Format.formatter -> summary -> unit

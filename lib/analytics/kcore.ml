@@ -10,14 +10,14 @@ open Gqkg_graph
 
 (* Core number of every node. *)
 let core_numbers inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   if n = 0 then [||]
   else begin
     (* Undirected degrees; self-loops dropped (a loop cannot keep a node
        in a core by itself). *)
     let adj = Array.make n [] in
-    for e = 0 to inst.Instance.num_edges - 1 do
-      let s, d = inst.Instance.endpoints e in
+    for e = 0 to inst.Snapshot.num_edges - 1 do
+      let s, d = (Snapshot.endpoints inst) e in
       if s <> d then begin
         adj.(s) <- d :: adj.(s);
         adj.(d) <- s :: adj.(d)

@@ -4,10 +4,10 @@
 open Gqkg_graph
 
 (** Core number of every node: the largest k whose k-core contains it. *)
-val core_numbers : Instance.t -> int array
+val core_numbers : Snapshot.t -> int array
 
 (** Members of the k-core (possibly empty), ascending. *)
-val core : Instance.t -> k:int -> int list
+val core : Snapshot.t -> k:int -> int list
 
 (** The largest k with a non-empty k-core. *)
-val degeneracy : Instance.t -> int
+val degeneracy : Snapshot.t -> int

@@ -174,7 +174,7 @@ let exact_source product ~max_length ~pair_limit bc a =
    summed in slice order, keeping the result deterministic for a fixed
    domain count. *)
 let exact ?max_length ?pair_limit ?(domains = 0) inst regex =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let domains = if domains > 0 then domains else Parallel.default_domains () in
   match plan_products inst regex with
   | None -> Array.make n 0.0
@@ -247,7 +247,7 @@ let approximate_source product ~max_length ~samples ~seed bc a =
    members of S_{a,b,r} estimate the inclusion fractions.  Sources are
    sliced across domains exactly as in {!exact}. *)
 let approximate ?max_length ?(samples = 16) ?(seed = 7) ?(domains = 0) inst regex =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let domains = if domains > 0 then domains else Parallel.default_domains () in
   match plan_products inst regex with
   | None -> Array.make n 0.0

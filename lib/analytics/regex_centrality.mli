@@ -17,7 +17,7 @@ val exact :
   ?max_length:int ->
   ?pair_limit:int ->
   ?domains:int ->
-  Instance.t ->
+  Snapshot.t ->
   Gqkg_automata.Regex.t ->
   float array
 
@@ -32,6 +32,6 @@ val approximate :
   ?samples:int ->
   ?seed:int ->
   ?domains:int ->
-  Instance.t ->
+  Snapshot.t ->
   Gqkg_automata.Regex.t ->
   float array

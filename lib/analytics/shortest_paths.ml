@@ -9,7 +9,7 @@ let single_source ?(directed = true) inst ~source = Traversal.bfs_distances ~dir
 
 (* Dijkstra with a caller-supplied non-negative edge weight. *)
 let dijkstra ?(directed = true) inst ~source ~weight =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let dist = Array.make n infinity in
   let heap = Heap.create (-1) in
   dist.(source) <- 0.0;
@@ -28,20 +28,20 @@ let dijkstra ?(directed = true) inst ~source ~weight =
               Heap.add heap ~key:candidate w
             end
           in
-          Array.iter (fun (e, w) -> relax e w) (inst.Instance.out_edges v);
-          if not directed then Array.iter (fun (e, w) -> relax e w) (inst.Instance.in_edges v)
+          Array.iter (fun (e, w) -> relax e w) ((Snapshot.out_pairs inst) v);
+          if not directed then Array.iter (fun (e, w) -> relax e w) ((Snapshot.in_pairs inst) v)
         end
   done;
   dist
 
 (* All-pairs BFS; O(n·(n+m)), the right tool at our graph scales. *)
 let all_pairs ?(directed = true) inst =
-  Array.init inst.Instance.num_nodes (fun source -> single_source ~directed inst ~source)
+  Array.init inst.Snapshot.num_nodes (fun source -> single_source ~directed inst ~source)
 
 (* Exact diameter: the maximum finite eccentricity (ignoring unreachable
    pairs); [None] for the empty graph. *)
 let diameter ?(directed = false) inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   if n = 0 then None
   else begin
     let best = ref 0 in
@@ -56,7 +56,7 @@ let diameter ?(directed = false) inst =
    from the farthest node found.  Classic, cheap and usually tight on
    real-world graphs. *)
 let diameter_double_sweep ?(directed = false) ?(seed = 0) inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   if n = 0 then None
   else begin
     let farthest dist =
@@ -79,7 +79,7 @@ let diameter_double_sweep ?(directed = false) ?(seed = 0) inst =
 
 (* Average distance over reachable ordered pairs. *)
 let average_distance ?(directed = false) inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let total = ref 0 and pairs = ref 0 in
   for source = 0 to n - 1 do
     let dist = single_source ~directed inst ~source in

@@ -3,20 +3,20 @@
 open Gqkg_graph
 
 (** Unweighted single-source distances (BFS); -1 = unreachable. *)
-val single_source : ?directed:bool -> Instance.t -> source:int -> int array
+val single_source : ?directed:bool -> Snapshot.t -> source:int -> int array
 
 (** Dijkstra with a caller-supplied non-negative edge weight;
     [infinity] = unreachable. Raises on negative weights. *)
-val dijkstra : ?directed:bool -> Instance.t -> source:int -> weight:(int -> float) -> float array
+val dijkstra : ?directed:bool -> Snapshot.t -> source:int -> weight:(int -> float) -> float array
 
 (** All-pairs BFS distances. *)
-val all_pairs : ?directed:bool -> Instance.t -> int array array
+val all_pairs : ?directed:bool -> Snapshot.t -> int array array
 
 (** Exact diameter over reachable pairs; [None] on the empty graph. *)
-val diameter : ?directed:bool -> Instance.t -> int option
+val diameter : ?directed:bool -> Snapshot.t -> int option
 
 (** Double-sweep lower bound (exact on trees, usually tight). *)
-val diameter_double_sweep : ?directed:bool -> ?seed:int -> Instance.t -> int option
+val diameter_double_sweep : ?directed:bool -> ?seed:int -> Snapshot.t -> int option
 
 (** Mean distance over reachable ordered pairs. *)
-val average_distance : ?directed:bool -> Instance.t -> float option
+val average_distance : ?directed:bool -> Snapshot.t -> float option

@@ -1,20 +1,28 @@
-(* Basic graph traversals over the uniform Instance view: breadth-first
-   and depth-first orders, weakly connected components, and Tarjan's
-   strongly connected components.  These are the "global properties"
-   substrate of Section 2.1(iii) on which the analytics of Section 4.2
-   build. *)
+(* Basic graph traversals over the frozen columnar snapshot: breadth-
+   first and depth-first orders, weakly connected components, and
+   Tarjan's strongly connected components.  These are the "global
+   properties" substrate of Section 2.1(iii) on which the analytics of
+   Section 4.2 build.  Inner loops index the snapshot's CSR arrays
+   directly — no per-node array materialization. *)
 
 open Gqkg_graph
 
-let out_neighbors inst v = Array.map snd (inst.Instance.out_edges v)
-let in_neighbors inst v = Array.map snd (inst.Instance.in_edges v)
+let out_neighbors inst v =
+  let off = inst.Snapshot.out_off in
+  Array.sub inst.Snapshot.out_nbr off.(v) (off.(v + 1) - off.(v))
+
+let in_neighbors inst v =
+  let off = inst.Snapshot.in_off in
+  Array.sub inst.Snapshot.in_nbr off.(v) (off.(v + 1) - off.(v))
 
 let all_neighbors inst v = Array.append (out_neighbors inst v) (in_neighbors inst v)
 
 (* BFS order and distances from [source]; [directed] chooses whether to
    respect edge direction (default) or treat edges as symmetric. *)
 let bfs ?(directed = true) inst ~source =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
+  let out_off = inst.Snapshot.out_off and out_nbr = inst.Snapshot.out_nbr in
+  let in_off = inst.Snapshot.in_off and in_nbr = inst.Snapshot.in_nbr in
   let dist = Array.make n (-1) in
   let order = ref [] in
   let queue = Queue.create () in
@@ -23,23 +31,45 @@ let bfs ?(directed = true) inst ~source =
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
     order := v :: !order;
-    let push w =
+    let d = dist.(v) + 1 in
+    for i = out_off.(v) to out_off.(v + 1) - 1 do
+      let w = out_nbr.(i) in
       if dist.(w) < 0 then begin
-        dist.(w) <- dist.(v) + 1;
+        dist.(w) <- d;
         Queue.push w queue
       end
-    in
-    Array.iter push (out_neighbors inst v);
-    if not directed then Array.iter push (in_neighbors inst v)
+    done;
+    if not directed then
+      for i = in_off.(v) to in_off.(v + 1) - 1 do
+        let w = in_nbr.(i) in
+        if dist.(w) < 0 then begin
+          dist.(w) <- d;
+          Queue.push w queue
+        end
+      done
   done;
   (dist, List.rev !order)
 
 let bfs_distances ?directed inst ~source = fst (bfs ?directed inst ~source)
 
+(* The [i]-th neighbor of [v] in the directed (out) or symmetric
+   (out-then-in) neighborhood, or -1 past the end — lets the iterative
+   DFS walk adjacency without materializing neighbor arrays. *)
+let nth_neighbor inst ~directed v i =
+  let out_off = inst.Snapshot.out_off in
+  let odeg = out_off.(v + 1) - out_off.(v) in
+  if i < odeg then inst.Snapshot.out_nbr.(out_off.(v) + i)
+  else if directed then -1
+  else begin
+    let in_off = inst.Snapshot.in_off in
+    let j = i - odeg in
+    if j < in_off.(v + 1) - in_off.(v) then inst.Snapshot.in_nbr.(in_off.(v) + j) else -1
+  end
+
 (* Depth-first finishing order (used by SCC variants and as a generic
    traversal); iterative to survive deep graphs. *)
 let dfs_finish_order ?(directed = true) inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let visited = Array.make n false in
   let order = ref [] in
   for root = 0 to n - 1 do
@@ -49,12 +79,9 @@ let dfs_finish_order ?(directed = true) inst =
       visited.(root) <- true;
       while not (Stack.is_empty stack) do
         let v, i = Stack.pop stack in
-        let neighbors =
-          if directed then out_neighbors inst v else all_neighbors inst v
-        in
-        if i < Array.length neighbors then begin
+        let w = nth_neighbor inst ~directed v i in
+        if w >= 0 then begin
           Stack.push (v, i + 1) stack;
-          let w = neighbors.(i) in
           if not visited.(w) then begin
             visited.(w) <- true;
             Stack.push (w, 0) stack
@@ -68,18 +95,19 @@ let dfs_finish_order ?(directed = true) inst =
 
 (* Weakly connected components: labels in [0, count). *)
 let weakly_connected_components inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let uf = Gqkg_util.Union_find.create n in
-  for e = 0 to inst.Instance.num_edges - 1 do
-    let s, d = inst.Instance.endpoints e in
-    ignore (Gqkg_util.Union_find.union uf s d)
+  let esrc = inst.Snapshot.esrc and edst = inst.Snapshot.edst in
+  for e = 0 to inst.Snapshot.num_edges - 1 do
+    ignore (Gqkg_util.Union_find.union uf esrc.(e) edst.(e))
   done;
   (Gqkg_util.Union_find.labeling uf, Gqkg_util.Union_find.components uf)
 
 (* Tarjan's strongly connected components, iterative.  Returns component
    labels (in reverse topological order of the condensation) and count. *)
 let strongly_connected_components inst =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
+  let out_off = inst.Snapshot.out_off and out_nbr = inst.Snapshot.out_nbr in
   let index = Array.make n (-1) in
   let lowlink = Array.make n 0 in
   let on_stack = Array.make n false in
@@ -101,10 +129,9 @@ let strongly_connected_components inst =
       start root;
       while not (Stack.is_empty call_stack) do
         let v, i = Stack.pop call_stack in
-        let neighbors = out_neighbors inst v in
-        if i < Array.length neighbors then begin
+        if i < out_off.(v + 1) - out_off.(v) then begin
           Stack.push (v, i + 1) call_stack;
-          let w = neighbors.(i) in
+          let w = out_nbr.(out_off.(v) + i) in
           if index.(w) < 0 then start w
           else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
         end

@@ -3,24 +3,24 @@
 
 open Gqkg_graph
 
-val out_neighbors : Instance.t -> int -> int array
-val in_neighbors : Instance.t -> int -> int array
+val out_neighbors : Snapshot.t -> int -> int array
+val in_neighbors : Snapshot.t -> int -> int array
 
 (** Out- and in-neighbors concatenated (undirected view). *)
-val all_neighbors : Instance.t -> int -> int array
+val all_neighbors : Snapshot.t -> int -> int array
 
 (** Distances (-1 = unreachable) and visit order from a source.
     [directed] (default true) selects whether edge direction matters. *)
-val bfs : ?directed:bool -> Instance.t -> source:int -> int array * int list
+val bfs : ?directed:bool -> Snapshot.t -> source:int -> int array * int list
 
-val bfs_distances : ?directed:bool -> Instance.t -> source:int -> int array
+val bfs_distances : ?directed:bool -> Snapshot.t -> source:int -> int array
 
 (** Reverse finishing order of a full DFS (last finished first). *)
-val dfs_finish_order : ?directed:bool -> Instance.t -> int list
+val dfs_finish_order : ?directed:bool -> Snapshot.t -> int list
 
 (** Component labels in [\[0, count)] and the component count. *)
-val weakly_connected_components : Instance.t -> int array * int
+val weakly_connected_components : Snapshot.t -> int array * int
 
 (** Tarjan; labels are in reverse topological order of the
     condensation. *)
-val strongly_connected_components : Instance.t -> int array * int
+val strongly_connected_components : Snapshot.t -> int array * int

@@ -10,7 +10,7 @@ open Gqkg_graph
 (* walks.(v) after the call = number of directed walks of length k from
    [source] ending at v.  Floats, as counts grow exponentially. *)
 let counts_from ?(directed = true) inst ~source ~length =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let current = Array.make n 0.0 in
   current.(source) <- 1.0;
   let next = Array.make n 0.0 in
@@ -18,9 +18,9 @@ let counts_from ?(directed = true) inst ~source ~length =
     Array.fill next 0 n 0.0;
     for v = 0 to n - 1 do
       if current.(v) > 0.0 then begin
-        Array.iter (fun (_e, w) -> next.(w) <- next.(w) +. current.(v)) (inst.Instance.out_edges v);
+        Array.iter (fun (_e, w) -> next.(w) <- next.(w) +. current.(v)) ((Snapshot.out_pairs inst) v);
         if not directed then
-          Array.iter (fun (_e, u) -> next.(u) <- next.(u) +. current.(v)) (inst.Instance.in_edges v)
+          Array.iter (fun (_e, u) -> next.(u) <- next.(u) +. current.(v)) ((Snapshot.in_pairs inst) v)
       end
     done;
     Array.blit next 0 current 0 n
@@ -34,7 +34,7 @@ let count ?directed inst ~source ~target ~length =
 (* Total number of length-k walks in the graph. *)
 let total ?directed inst ~length =
   let acc = ref 0.0 in
-  for source = 0 to inst.Instance.num_nodes - 1 do
+  for source = 0 to inst.Snapshot.num_nodes - 1 do
     Array.iter (fun c -> acc := !acc +. c) (counts_from ?directed inst ~source ~length)
   done;
   !acc

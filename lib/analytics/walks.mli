@@ -6,10 +6,10 @@
 open Gqkg_graph
 
 (** Walks of exactly [length] steps from [source], per end node. *)
-val counts_from : ?directed:bool -> Instance.t -> source:int -> length:int -> float array
+val counts_from : ?directed:bool -> Snapshot.t -> source:int -> length:int -> float array
 
 (** Number of length-k walks from a to b. *)
-val count : ?directed:bool -> Instance.t -> source:int -> target:int -> length:int -> float
+val count : ?directed:bool -> Snapshot.t -> source:int -> target:int -> length:int -> float
 
 (** Total number of length-k walks. *)
-val total : ?directed:bool -> Instance.t -> length:int -> float
+val total : ?directed:bool -> Snapshot.t -> length:int -> float

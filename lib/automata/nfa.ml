@@ -2,7 +2,7 @@
    regular expressions (Thompson's construction).
 
    The alphabet is not a fixed set of letters: transitions are *guarded
-   moves* evaluated against a data-model oracle (Instance.t):
+   moves* evaluated against a data-model oracle (Snapshot.t):
 
      - [Eps]           : spontaneous;
      - [Node_check t]  : spontaneous, allowed only when the current node
@@ -37,6 +37,7 @@ type t = {
   num_checks : int;
   fwd : (Regex.test * int) array array; (* state -> forward edge moves *)
   bwd : (Regex.test * int) array array; (* state -> backward edge moves *)
+  check_tests : Regex.test array; (* check occurrence index -> its test *)
   words : int; (* Bitset words per state set *)
 }
 
@@ -46,6 +47,7 @@ let accept a = a.accept
 let transitions a q = a.transitions.(q)
 let words a = a.words
 let num_checks a = a.num_checks
+let check_tests a = a.check_tests
 let fwd_moves a q = a.fwd.(q)
 let bwd_moves a q = a.bwd.(q)
 
@@ -85,6 +87,11 @@ let make ~num_states ~start ~accept ~transitions =
              moves))
       table
   in
+  let check_tests =
+    let out = Array.make !check_counter None in
+    Array.iter (Array.iter (fun (idx, t, _) -> out.(idx) <- Some t)) checks;
+    Array.map Option.get out
+  in
   {
     num_states;
     start;
@@ -95,6 +102,7 @@ let make ~num_states ~start ~accept ~transitions =
     num_checks = !check_counter;
     fwd = select (function Forward t, q' -> Some (t, q') | _ -> None);
     bwd = select (function Backward t, q' -> Some (t, q') | _ -> None);
+    check_tests;
     words = Gqkg_util.Bitset.words_for num_states;
   }
 

@@ -38,6 +38,12 @@ val words : t -> int
     graph node. *)
 val num_checks : t -> int
 
+(** The test of each check occurrence, indexed by its stable index.
+    Evaluating all of them at a node yields the node's complete
+    check-answer vector — everything a closure's outcome can depend on
+    beyond the seed set. *)
+val check_tests : t -> Regex.test array
+
 (** Forward edge moves out of one state, as a precomputed array. *)
 val fwd_moves : t -> int -> (Regex.test * int) array
 

@@ -5,7 +5,7 @@
      r    ::= ?test | test | test⁻ | (r + r) | (r / r) | (r)*
 
    A test is a boolean combination of atomic tests (Atom.t); which atoms a
-   given data model supports is the model's business (Instance.t oracle). *)
+   given data model supports is the model's business (Snapshot.t oracle). *)
 
 open Gqkg_graph
 

@@ -32,7 +32,7 @@ type config = int (* node * num_states + nfa_state *)
 type level_entry = { estimate : float; pool : Path.t array }
 
 type t = {
-  inst : Instance.t;
+  inst : Snapshot.t;
   nfa : Nfa.t;
   pool_size : int;
   rng : Splitmix.t;
@@ -50,7 +50,7 @@ let config_state t c = c mod Nfa.num_states t.nfa
 
 (* Single-state closure at a node: all NFA states reachable from [q] via
    ε and node-checks the node satisfies. *)
-let state_closure t ~node q = Nfa.closure t.nfa ~node_sat:(t.inst.Instance.node_atom node) [| q |]
+let state_closure t ~node q = Nfa.closure t.nfa ~node_sat:(t.inst.Snapshot.node_atom node) [| q |]
 
 (* Transitions of a single configuration: consume one edge (either
    direction) and close at the destination. Returns (edge, dest-config)
@@ -60,7 +60,7 @@ let config_transitions t c =
   let fwd, bwd = Nfa.edge_moves t.nfa [| q |] in
   let out = Hashtbl.create 8 in
   let step moves e w =
-    let edge_sat = t.inst.Instance.edge_atom e in
+    let edge_sat = t.inst.Snapshot.edge_atom e in
     List.iter
       (fun (test, q') ->
         if Regex.eval_test edge_sat test then
@@ -69,8 +69,8 @@ let config_transitions t c =
             (state_closure t ~node:w q'))
       moves
   in
-  if fwd <> [] then Array.iter (fun (e, w) -> step fwd e w) (t.inst.Instance.out_edges v);
-  if bwd <> [] then Array.iter (fun (e, u) -> step bwd e u) (t.inst.Instance.in_edges v);
+  if fwd <> [] then Array.iter (fun (e, w) -> step fwd e w) ((Snapshot.out_pairs t.inst) v);
+  if bwd <> [] then Array.iter (fun (e, u) -> step bwd e u) ((Snapshot.in_pairs t.inst) v);
   Hashtbl.fold (fun key () acc -> key :: acc) out [] |> List.sort compare
 
 (* Subset simulation of a concrete path: the closed set of NFA states
@@ -81,8 +81,8 @@ let simulate t path =
   for i = 0 to k - 1 do
     let e = Path.edge path i in
     let v = Path.node path i and w = Path.node path (i + 1) in
-    let s, d = t.inst.Instance.endpoints e in
-    let edge_sat = t.inst.Instance.edge_atom e in
+    let s, d = (Snapshot.endpoints t.inst) e in
+    let edge_sat = t.inst.Snapshot.edge_atom e in
     let fwd, bwd = Nfa.edge_moves t.nfa !current in
     let targets = Hashtbl.create 8 in
     let add moves =
@@ -93,7 +93,7 @@ let simulate t path =
     if s = v && d = w then add fwd;
     if s = w && d = v then add bwd;
     let raw = Hashtbl.fold (fun q () acc -> q :: acc) targets [] |> List.sort compare in
-    current := Nfa.closure t.nfa ~node_sat:(t.inst.Instance.node_atom w) (Array.of_list raw)
+    current := Nfa.closure t.nfa ~node_sat:(t.inst.Snapshot.node_atom w) (Array.of_list raw)
   done;
   !current
 
@@ -101,8 +101,8 @@ let simulate t path =
    [q'] when consuming [e] towards [w] (closure included)? *)
 let step_reaches t ~q ~e ~v ~w ~q' =
   let fwd, bwd = Nfa.edge_moves t.nfa [| q |] in
-  let s, d = t.inst.Instance.endpoints e in
-  let edge_sat = t.inst.Instance.edge_atom e in
+  let s, d = (Snapshot.endpoints t.inst) e in
+  let edge_sat = t.inst.Snapshot.edge_atom e in
   let check moves =
     List.exists
       (fun (test, q'') ->
@@ -119,14 +119,14 @@ let multiplicity t ~prefix ~e ~q' =
   let v = Path.end_node prefix in
   let sim = simulate t prefix in
   let _, w =
-    let s, d = t.inst.Instance.endpoints e in
+    let s, d = (Snapshot.endpoints t.inst) e in
     if s = v then (s, d) else (d, s)
   in
   (* For a self-loop both orientations coincide; count states once. *)
   Array.fold_left (fun acc q -> if step_reaches t ~q ~e ~v ~w ~q' then acc + 1 else acc) 0 sim
 
 let estimate t ~length =
-  let num_nodes = t.inst.Instance.num_nodes in
+  let num_nodes = t.inst.Snapshot.num_nodes in
   (* Level 0: one trivial path per start configuration. *)
   let level = Hashtbl.create 256 in
   for v = 0 to num_nodes - 1 do
@@ -175,7 +175,7 @@ let estimate t ~length =
                over the union rather than over the multiset of branches. *)
             if Splitmix.int t.rng mult = 0 then begin
               let w =
-                let s, d = t.inst.Instance.endpoints e in
+                let s, d = (Snapshot.endpoints t.inst) e in
                 let v = Path.end_node prefix in
                 if s = v then d else s
               in

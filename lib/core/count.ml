@@ -86,7 +86,7 @@ let suffix_count t ~state ~length =
 let count_at t ~length =
   if length < 0 || length > t.depth then invalid_arg "Count.count_at: length out of range";
   let total = ref 0.0 in
-  for node = 0 to (Product.instance t.product).Gqkg_graph.Instance.num_nodes - 1 do
+  for node = 0 to (Product.instance t.product).Gqkg_graph.Snapshot.num_nodes - 1 do
     match Product.start_state t.product node with
     | Some s0 -> total := !total +. suffix_count t ~state:s0 ~length
     | None -> ()

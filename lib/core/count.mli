@@ -31,15 +31,15 @@ val count_at : table -> length:int -> float
 val count_from : table -> source:int -> length:int -> float
 
 (** One-shot Count(G, r, k). *)
-val count : Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> length:int -> float
+val count : Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> length:int -> float
 
 (** Counts for every length 0..max_length with one preprocessing pass. *)
-val count_all : Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> max_length:int -> float array
+val count_all : Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> max_length:int -> float array
 
 (** Paths from [source] to [target] of exactly [length] — the pairwise
     count the regex-constrained centrality of Section 4.2 builds on. *)
 val count_between :
-  Gqkg_graph.Instance.t ->
+  Gqkg_graph.Snapshot.t ->
   Gqkg_automata.Regex.t ->
   source:int ->
   target:int ->

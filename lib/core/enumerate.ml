@@ -42,7 +42,7 @@ let create ?sources inst regex ~length =
   let sources =
     match sources with
     | Some s -> Array.of_list s
-    | None -> Array.init inst.Instance.num_nodes Fun.id
+    | None -> Array.init inst.Snapshot.num_nodes Fun.id
   in
   {
     engine;

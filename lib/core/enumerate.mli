@@ -12,7 +12,7 @@ type t
 (** [create inst r ~length] preprocesses; [sources] restricts the start
     nodes (default: all). *)
 val create :
-  ?sources:int list -> Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> length:int -> t
+  ?sources:int list -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> length:int -> t
 
 (** Next answer, or [None] when exhausted. *)
 val next : t -> Path.t option
@@ -29,8 +29,8 @@ val emitted : t -> int
 
 (** All answers of exactly the given length. *)
 val paths :
-  ?sources:int list -> Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> length:int -> Path.t list
+  ?sources:int list -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> length:int -> Path.t list
 
 (** All answers of length ≤ the bound, by increasing length. *)
 val paths_up_to :
-  ?sources:int list -> Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> max_length:int -> Path.t list
+  ?sources:int list -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> max_length:int -> Path.t list

@@ -17,7 +17,7 @@ end)
 let eval inst regex ~max_length =
   let all_nodes () =
     let acc = ref Path_set.empty in
-    for n = 0 to inst.Instance.num_nodes - 1 do
+    for n = 0 to inst.Snapshot.num_nodes - 1 do
       acc := Path_set.add (Path.trivial n) !acc
     done;
     !acc
@@ -25,25 +25,25 @@ let eval inst regex ~max_length =
   let rec go = function
     | Regex.Node_test t ->
         let acc = ref Path_set.empty in
-        for n = 0 to inst.Instance.num_nodes - 1 do
-          if Regex.eval_test (inst.Instance.node_atom n) t then
+        for n = 0 to inst.Snapshot.num_nodes - 1 do
+          if Regex.eval_test (inst.Snapshot.node_atom n) t then
             acc := Path_set.add (Path.trivial n) !acc
         done;
         !acc
     | Regex.Fwd t ->
         let acc = ref Path_set.empty in
-        for e = 0 to inst.Instance.num_edges - 1 do
-          if Regex.eval_test (inst.Instance.edge_atom e) t then begin
-            let s, d = inst.Instance.endpoints e in
+        for e = 0 to inst.Snapshot.num_edges - 1 do
+          if Regex.eval_test (inst.Snapshot.edge_atom e) t then begin
+            let s, d = (Snapshot.endpoints inst) e in
             acc := Path_set.add (Path.make ~nodes:[| s; d |] ~edges:[| e |]) !acc
           end
         done;
         !acc
     | Regex.Bwd t ->
         let acc = ref Path_set.empty in
-        for e = 0 to inst.Instance.num_edges - 1 do
-          if Regex.eval_test (inst.Instance.edge_atom e) t then begin
-            let s, d = inst.Instance.endpoints e in
+        for e = 0 to inst.Snapshot.num_edges - 1 do
+          if Regex.eval_test (inst.Snapshot.edge_atom e) t then begin
+            let s, d = (Snapshot.endpoints inst) e in
             acc := Path_set.add (Path.make ~nodes:[| d; s |] ~edges:[| e |]) !acc
           end
         done;

@@ -5,11 +5,11 @@
     baseline of the enumeration experiment. *)
 
 (** All paths in [[r]] of length ≤ the bound, sorted by {!Path.compare}. *)
-val paths : Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> max_length:int -> Path.t list
+val paths : Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> max_length:int -> Path.t list
 
 (** Count(G, r, k) by brute force. *)
-val count : Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> length:int -> int
+val count : Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> length:int -> int
 
 (** Distinct (start, end) pairs of matching paths up to the bound,
     sorted. *)
-val pairs : Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> max_length:int -> (int * int) list
+val pairs : Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> max_length:int -> (int * int) list

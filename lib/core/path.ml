@@ -54,12 +54,12 @@ let hash p = Hashtbl.hash (p.nodes, p.edges)
    edge incident the right way (in either direction, as regexes may
    traverse backwards). *)
 let well_formed inst p =
-  let ok = ref (p.nodes.(0) >= 0 && p.nodes.(0) < inst.Instance.num_nodes) in
+  let ok = ref (p.nodes.(0) >= 0 && p.nodes.(0) < inst.Snapshot.num_nodes) in
   for i = 0 to length p - 1 do
     let e = p.edges.(i) and a = p.nodes.(i) and b = p.nodes.(i + 1) in
-    if e < 0 || e >= inst.Instance.num_edges then ok := false
+    if e < 0 || e >= inst.Snapshot.num_edges then ok := false
     else begin
-      let s, d = inst.Instance.endpoints e in
+      let s, d = (Snapshot.endpoints inst) e in
       if not ((s = a && d = b) || (s = b && d = a)) then ok := false
     end
   done;
@@ -67,10 +67,10 @@ let well_formed inst p =
 
 let to_string inst p =
   let buf = Buffer.create 64 in
-  Buffer.add_string buf (inst.Instance.node_name p.nodes.(0));
+  Buffer.add_string buf (inst.Snapshot.node_name p.nodes.(0));
   for i = 0 to length p - 1 do
-    Buffer.add_string buf (Printf.sprintf " -%s-> %s" (inst.Instance.edge_name p.edges.(i))
-                             (inst.Instance.node_name p.nodes.(i + 1)))
+    Buffer.add_string buf (Printf.sprintf " -%s-> %s" (inst.Snapshot.edge_name p.edges.(i))
+                             (inst.Snapshot.node_name p.nodes.(i + 1)))
   done;
   Buffer.contents buf
 

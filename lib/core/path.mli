@@ -42,9 +42,9 @@ val compare : t -> t -> int
 val hash : t -> int
 
 (** Every step uses an edge incident the right way (either direction). *)
-val well_formed : Gqkg_graph.Instance.t -> t -> bool
+val well_formed : Gqkg_graph.Snapshot.t -> t -> bool
 
 (** Human-readable rendering using the instance's node/edge names. *)
-val to_string : Gqkg_graph.Instance.t -> t -> string
+val to_string : Gqkg_graph.Snapshot.t -> t -> string
 
-val pp : Gqkg_graph.Instance.t -> Format.formatter -> t -> unit
+val pp : Gqkg_graph.Snapshot.t -> Format.formatter -> t -> unit

@@ -10,13 +10,13 @@ type prep =
   | Empty  (** statically empty: answer without building any product state *)
   | Ready of Product.t
 
-val prepare : Instance.t -> Regex.t -> prep
+val prepare : Snapshot.t -> Regex.t -> prep
 
 (** Also expose the analyzer report ([None] when analysis is off). *)
-val prepare_with_report : Instance.t -> Regex.t -> prep * Gqkg_analysis.Analyze.report option
+val prepare_with_report : Snapshot.t -> Regex.t -> prep * Gqkg_analysis.Analyze.report option
 
 (** Planning for all-pairs evaluation, where direction is free: when
     backward seeding is estimated decisively cheaper, builds the product
     over the reversed automaton; the boolean says whether the caller
     must swap each result pair. *)
-val prepare_pairs : Instance.t -> Regex.t -> prep * bool
+val prepare_pairs : Snapshot.t -> Regex.t -> prep * bool

@@ -21,7 +21,7 @@
    - Successor moves live in one flat CSR buffer ([succ_data], pairs of
      (edge, successor id) ints) addressed by per-state offset/length —
      no per-state arrays, no per-expansion hash tables.
-   - When the instance carries a label index, tests that only mention
+   - The snapshot interns edge labels, so tests that only mention
      Label atoms are pre-evaluated per interned label at [create] time.
      For such label-pure moves the whole edge step is memoized: the
      successor of a state over an edge is a function of (source set,
@@ -110,10 +110,10 @@ end
 
 (* Per-label move tables: [pure_*.(q * num_labels + l)] are the NFA
    targets reachable from state [q] over an edge with interned label [l]
-   via label-pure tests. *)
+   via label-pure tests.  The label of edge [e] is read straight from
+   the snapshot's [elabel] column — no closure on the per-edge path. *)
 type dispatch = {
   num_labels : int;
-  label_of : int -> int;
   pure_fwd : int array array;
   pure_bwd : int array array;
 }
@@ -137,7 +137,7 @@ let f_genb = 8 (* ... a generic backward move *)
 let f_accept = 16 (* the set contains the accept state *)
 
 type t = {
-  inst : Instance.t;
+  inst : Snapshot.t;
   nfa : Nfa.t;
   words : int; (* Bitset words per NFA state set *)
   (* Interned distinct NFA state sets and their per-set data. *)
@@ -150,6 +150,13 @@ type t = {
   (* set id -> packed (node, label, direction) -> successor state id, or
      -1 when that step provably yields no move. *)
   set_memo : Imap.t Dyn.t;
+  (* set id -> packed (check signature, label, direction) -> interned
+     target *set* id.  A closure's outcome depends on the destination
+     node only through its check-answer vector, so once a (signature,
+     label, direction) combination has been closed the successor at any
+     further node [w] with the same signature is just the product state
+     (w, target set) — no closure, no set hashing. *)
+  set_sig_memo : Imap.t Dyn.t;
   (* Product states: dense id -> (node, set id). *)
   ids : int Pair_table.t;
   state_node : int Dyn.t;
@@ -171,48 +178,59 @@ type t = {
      of the node.  Empty when the automaton has no checks or the graph
      is too large to afford the table. *)
   check_cache : Bytes.t;
+  (* node -> packed vector of its check answers (bit [idx] = check
+     occurrence [idx] holds), -1 = not yet computed.  Empty when the
+     automaton has too many checks for one word. *)
+  node_sig : int array;
+  check_tests : Regex.test array;
   start_cache : int option array; (* node -> start state id *)
   start_known : bool array;
   hints : hints option; (* analyzer seeding hints, if planned *)
 }
 
 (* Split each NFA state's edge moves into the label-pure part (tabulated
-   per interned label) and the generic rest. *)
-let build_dispatch nfa = function
-  | None ->
-      let all f = Array.init (Nfa.num_states nfa) f in
-      (None, all (Nfa.fwd_moves nfa), all (Nfa.bwd_moves nfa))
-  | Some { Instance.num_labels; edge_label_id; label_sat } ->
-      let ns = Nfa.num_states nfa in
-      let tabulate moves_of =
-        let pure_tbl = Array.make (max 1 (ns * num_labels)) [||] in
-        let gen = Array.make ns [||] in
-        for q = 0 to ns - 1 do
-          let pure, generic =
-            List.partition (fun (t, _) -> Regex.label_pure t) (Array.to_list (moves_of q))
-          in
-          gen.(q) <- Array.of_list generic;
-          if pure <> [] then
-            for l = 0 to num_labels - 1 do
-              pure_tbl.((q * num_labels) + l) <-
-                List.filter_map
-                  (fun (t, q') -> if Regex.eval_test (label_sat l) t then Some q' else None)
-                  pure
-                |> Array.of_list
-            done
-        done;
-        (pure_tbl, gen)
-      in
-      let pure_fwd, gen_fwd = tabulate (Nfa.fwd_moves nfa) in
-      let pure_bwd, gen_bwd = tabulate (Nfa.bwd_moves nfa) in
-      (Some { num_labels; label_of = edge_label_id; pure_fwd; pure_bwd }, gen_fwd, gen_bwd)
+   per interned label) and the generic rest.  An empty label universe
+   routes every move through the generic tables — there is no per-label
+   slot to park a label-pure move in. *)
+let build_dispatch nfa (inst : Snapshot.t) =
+  let num_labels = inst.Snapshot.num_labels in
+  if num_labels = 0 then begin
+    let all f = Array.init (Nfa.num_states nfa) f in
+    (None, all (Nfa.fwd_moves nfa), all (Nfa.bwd_moves nfa))
+  end
+  else begin
+    let label_sat = inst.Snapshot.label_sat in
+    let ns = Nfa.num_states nfa in
+    let tabulate moves_of =
+      let pure_tbl = Array.make (max 1 (ns * num_labels)) [||] in
+      let gen = Array.make ns [||] in
+      for q = 0 to ns - 1 do
+        let pure, generic =
+          List.partition (fun (t, _) -> Regex.label_pure t) (Array.to_list (moves_of q))
+        in
+        gen.(q) <- Array.of_list generic;
+        if pure <> [] then
+          for l = 0 to num_labels - 1 do
+            pure_tbl.((q * num_labels) + l) <-
+              List.filter_map
+                (fun (t, q') -> if Regex.eval_test (label_sat l) t then Some q' else None)
+                pure
+              |> Array.of_list
+          done
+      done;
+      (pure_tbl, gen)
+    in
+    let pure_fwd, gen_fwd = tabulate (Nfa.fwd_moves nfa) in
+    let pure_bwd, gen_bwd = tabulate (Nfa.bwd_moves nfa) in
+    (Some { num_labels; pure_fwd; pure_bwd }, gen_fwd, gen_bwd)
+  end
 
 (* [nfa] lets the analyzer substitute a trimmed automaton for the
    Thompson construction of [regex]; both must recognize the same
    language on this instance. *)
 let create ?nfa ?hints inst regex =
   let nfa = match nfa with Some n -> n | None -> Nfa.of_regex regex in
-  let labels, gen_fwd, gen_bwd = build_dispatch nfa inst.Instance.labels in
+  let labels, gen_fwd, gen_bwd = build_dispatch nfa inst in
   {
     inst;
     nfa;
@@ -222,6 +240,7 @@ let create ?nfa ?hints inst regex =
     set_flags = Dyn.create 0;
     set_seed_cache = Dyn.create [||];
     set_memo = Dyn.create (Imap.create ());
+    set_sig_memo = Dyn.create (Imap.create ());
     ids = Pair_table.create 256;
     state_node = Dyn.create (-1);
     state_set = Dyn.create (-1);
@@ -233,10 +252,14 @@ let create ?nfa ?hints inst regex =
     gen_fwd;
     gen_bwd;
     check_cache =
-      (let cells = inst.Instance.num_nodes * Nfa.num_checks nfa in
+      (let cells = inst.Snapshot.num_nodes * Nfa.num_checks nfa in
        if cells > 0 && cells <= 1 lsl 24 then Bytes.make cells '\000' else Bytes.empty);
-    start_cache = Array.make (max inst.Instance.num_nodes 1) None;
-    start_known = Array.make (max inst.Instance.num_nodes 1) false;
+    node_sig =
+      (if Nfa.num_checks nfa <= 30 then Array.make (max inst.Snapshot.num_nodes 1) (-1)
+       else [||]);
+    check_tests = Nfa.check_tests nfa;
+    start_cache = Array.make (max inst.Snapshot.num_nodes 1) None;
+    start_known = Array.make (max inst.Snapshot.num_nodes 1) false;
     hints;
   }
 
@@ -247,7 +270,7 @@ let hints p = p.hints
 (* Close [seeds] in place at node [w], caching node-check outcomes. *)
 let close_at p w seeds =
   if Bytes.length p.check_cache = 0 then
-    Nfa.close_raw p.nfa ~node_sat:(p.inst.Instance.node_atom w) seeds
+    Nfa.close_raw p.nfa ~node_sat:(p.inst.Snapshot.node_atom w) seeds
   else begin
     let base = w * Nfa.num_checks p.nfa in
     Nfa.close_raw_idx p.nfa seeds ~check_sat:(fun idx t ->
@@ -255,7 +278,7 @@ let close_at p w seeds =
         | '\001' -> true
         | '\002' -> false
         | _ ->
-            let r = Regex.eval_test (p.inst.Instance.node_atom w) t in
+            let r = Regex.eval_test (p.inst.Snapshot.node_atom w) t in
             (* Concurrent expanders may race here, but they write the
                same (deterministic) byte, so a lost update only costs a
                recomputation. *)
@@ -292,6 +315,7 @@ let intern_set p ws =
       let cache_size = match p.labels with Some d -> 2 * d.num_labels | None -> 0 in
       let _ = Dyn.push p.set_seed_cache (Array.make cache_size None) in
       let _ = Dyn.push p.set_memo (Imap.create ()) in
+      let _ = Dyn.push p.set_sig_memo (Imap.create ()) in
       Set_table.add p.sets ws sid;
       sid
 
@@ -398,11 +422,10 @@ let compute_moves ?(cache_write = true) p id =
       let add ~fwd =
         if if fwd then has_fwd else has_bwd then begin
           (match p.labels with
-          | Some d when d.num_labels > 0 ->
-              B.raw_union_into ~into:seeds (pure_seed d (d.label_of e) ~fwd)
-          | _ -> ());
+          | Some d -> B.raw_union_into ~into:seeds (pure_seed d p.inst.Snapshot.elabel.(e) ~fwd)
+          | None -> ());
           if if fwd then has_genf else has_genb then
-            add_generic seeds (if fwd then p.gen_fwd else p.gen_bwd) (p.inst.Instance.edge_atom e)
+            add_generic seeds (if fwd then p.gen_fwd else p.gen_bwd) (p.inst.Snapshot.edge_atom e)
         end
       in
       add ~fwd;
@@ -417,7 +440,7 @@ let compute_moves ?(cache_write = true) p id =
        cached seed sets are checked first: an empty seed set means no
        edge with this label moves anywhere, whatever the destination. *)
     let consider_pure d e w ~code =
-      let l = d.label_of e in
+      let l = p.inst.Snapshot.elabel.(e) in
       let sf = if has_fwd && code <> c_bwd then pure_seed d l ~fwd:true else null_seed in
       let sb = if has_bwd && code <> c_fwd then pure_seed d l ~fwd:false else null_seed in
       let ef = B.raw_is_empty sf and eb = B.raw_is_empty sb in
@@ -444,33 +467,40 @@ let compute_moves ?(cache_write = true) p id =
        in the out pass, with both directions merged into the single move
        — hence out_edges must be scanned even when only backward moves
        exist. *)
+    let g = p.inst in
+    let out_off = g.Snapshot.out_off and out_eid = g.Snapshot.out_eid in
+    let out_nbr = g.Snapshot.out_nbr in
+    let in_off = g.Snapshot.in_off and in_eid = g.Snapshot.in_eid in
+    let in_nbr = g.Snapshot.in_nbr in
     (match p.labels with
-    | Some d when d.num_labels > 0 ->
+    | Some d ->
         let pure_out = not has_genf and pure_in = not has_genb in
-        Array.iter
-          (fun (e, w) ->
-            if w = v then
-              if pure_out && pure_in then consider_pure d e w ~code:c_both
-              else consider_generic e w ~fwd:true ~both:true
-            else if has_fwd || has_genf then
-              if pure_out then consider_pure d e w ~code:c_fwd
-              else consider_generic e w ~fwd:true ~both:false)
-          (p.inst.Instance.out_edges v);
+        for i = out_off.(v) to out_off.(v + 1) - 1 do
+          let e = out_eid.(i) and w = out_nbr.(i) in
+          if w = v then
+            if pure_out && pure_in then consider_pure d e w ~code:c_both
+            else consider_generic e w ~fwd:true ~both:true
+          else if has_fwd || has_genf then
+            if pure_out then consider_pure d e w ~code:c_fwd
+            else consider_generic e w ~fwd:true ~both:false
+        done;
         if has_bwd then
-          Array.iter
-            (fun (e, u) ->
-              if u <> v then
-                if pure_in then consider_pure d e u ~code:c_bwd
-                else consider_generic e u ~fwd:false ~both:false)
-            (p.inst.Instance.in_edges v)
-    | _ ->
-        Array.iter
-          (fun (e, w) -> consider_generic e w ~fwd:true ~both:(w = v))
-          (p.inst.Instance.out_edges v);
+          for i = in_off.(v) to in_off.(v + 1) - 1 do
+            let e = in_eid.(i) and u = in_nbr.(i) in
+            if u <> v then
+              if pure_in then consider_pure d e u ~code:c_bwd
+              else consider_generic e u ~fwd:false ~both:false
+          done
+    | None ->
+        for i = out_off.(v) to out_off.(v + 1) - 1 do
+          let e = out_eid.(i) and w = out_nbr.(i) in
+          consider_generic e w ~fwd:true ~both:(w = v)
+        done;
         if has_bwd then
-          Array.iter
-            (fun (e, u) -> if u <> v then consider_generic e u ~fwd:false ~both:false)
-            (p.inst.Instance.in_edges v));
+          for i = in_off.(v) to in_off.(v + 1) - 1 do
+            let e = in_eid.(i) and u = in_nbr.(i) in
+            if u <> v then consider_generic e u ~fwd:false ~both:false
+          done);
     (* Deterministic order: sort by edge id (unique per move). *)
     List.sort (fun m1 m2 -> Int.compare (move_edge_id m1) (move_edge_id m2)) !moves
   end
@@ -540,10 +570,24 @@ let seed_of p d seed_cache members l ~fwd =
       seed_cache.(idx) <- Some ws;
       ws
 
+(* Packed vector of the node's check answers, computed once per node.
+   Only called when the automaton has at most 30 checks (the signature
+   must fit an immediate int with headroom for the memo-key packing). *)
+let node_sig_of p w =
+  let s = p.node_sig.(w) in
+  if s >= 0 then s
+  else begin
+    let sat = p.inst.Snapshot.node_atom w in
+    let s = ref 0 in
+    Array.iteri (fun idx t -> if Regex.eval_test sat t then s := !s lor (1 lsl idx)) p.check_tests;
+    p.node_sig.(w) <- !s;
+    !s
+  end
+
 (* Label-pure step, CSR-direct: memo hit emits immediately; a miss
    closes, interns, memoizes, then emits. *)
-let step_pure p d memo seed_cache members ~has_fwd ~has_bwd e w code =
-  let l = d.label_of e in
+let step_pure p d memo memo2 seed_cache members ~has_fwd ~has_bwd e w code =
+  let l = p.inst.Snapshot.elabel.(e) in
   let sf =
     if has_fwd && code <> c_bwd then seed_of p d seed_cache members l ~fwd:true else [||]
   in
@@ -557,19 +601,43 @@ let step_pure p d memo seed_cache members ~has_fwd ~has_bwd e w code =
     let hit = Imap.find memo key in
     if hit >= 0 then emit p e hit
     else begin
-        let seeds =
-          if eb then Array.copy sf
-          else if ef then Array.copy sb
-          else begin
-            let s = Array.copy sf in
-            B.raw_union_into ~into:s sb;
-            s
-          end
-        in
-        close_at p w seeds;
-        let succ = intern_state p w (intern_set p seeds) in
-        Imap.add memo key succ;
-        emit p e succ
+      let seeds () =
+        if eb then Array.copy sf
+        else if ef then Array.copy sb
+        else begin
+          let s = Array.copy sf in
+          B.raw_union_into ~into:s sb;
+          s
+        end
+      in
+      let succ =
+        if Array.length p.node_sig > 0 then begin
+          (* The closure at [w] is a function of (seeds, check answers
+             at [w]): resolve the target set through the signature memo
+             and only close on a genuinely new signature. *)
+          let sg = node_sig_of p w in
+          let key2 = (((sg * d.num_labels) + l) * 3) + code in
+          let tsid = Imap.find memo2 key2 in
+          let tsid =
+            if tsid >= 0 then tsid
+            else begin
+              let s = seeds () in
+              Nfa.close_raw_idx p.nfa s ~check_sat:(fun idx _ -> sg land (1 lsl idx) <> 0);
+              let tsid = intern_set p s in
+              Imap.add memo2 key2 tsid;
+              tsid
+            end
+          in
+          intern_state p w tsid
+        end
+        else begin
+          let s = seeds () in
+          close_at p w s;
+          intern_state p w (intern_set p s)
+        end
+      in
+      Imap.add memo key succ;
+      emit p e succ
     end
   end
 
@@ -580,15 +648,16 @@ let step_generic p seed_cache members ~has_fwd ~has_bwd ~has_genf ~has_genb e w 
   let add ~fwd =
     if if fwd then has_fwd else has_bwd then begin
       (match p.labels with
-      | Some d when d.num_labels > 0 ->
-          B.raw_union_into ~into:seeds (seed_of p d seed_cache members (d.label_of e) ~fwd)
-      | _ -> ());
+      | Some d ->
+          B.raw_union_into ~into:seeds
+            (seed_of p d seed_cache members p.inst.Snapshot.elabel.(e) ~fwd)
+      | None -> ());
       if if fwd then has_genf else has_genb then
         Array.iter
           (fun q ->
             Array.iter
               (fun (t, q') ->
-                if Regex.eval_test (p.inst.Instance.edge_atom e) t then B.raw_add seeds q')
+                if Regex.eval_test (p.inst.Snapshot.edge_atom e) t then B.raw_add seeds q')
               (if fwd then p.gen_fwd else p.gen_bwd).(q))
           members
     end
@@ -611,51 +680,51 @@ let expand_direct p id =
     let members = Dyn.get p.set_members sid in
     let seed_cache = Dyn.get p.set_seed_cache sid in
     let memo = Dyn.get p.set_memo sid in
+    let memo2 = Dyn.get p.set_sig_memo sid in
+    let g = p.inst in
+    let out_off = g.Snapshot.out_off and out_eid = g.Snapshot.out_eid in
+    let out_nbr = g.Snapshot.out_nbr in
+    let in_off = g.Snapshot.in_off and in_eid = g.Snapshot.in_eid in
+    let in_nbr = g.Snapshot.in_nbr in
     match p.labels with
-    | Some d when d.num_labels > 0 ->
+    | Some d ->
         let pure_out = not has_genf and pure_in = not has_genb in
-        let oe = p.inst.Instance.out_edges v in
-        for i = 0 to Array.length oe - 1 do
-          let e, w = oe.(i) in
+        for i = out_off.(v) to out_off.(v + 1) - 1 do
+          let e = out_eid.(i) and w = out_nbr.(i) in
           if w = v then
             if pure_out && pure_in then
-              step_pure p d memo seed_cache members ~has_fwd ~has_bwd e w c_both
+              step_pure p d memo memo2 seed_cache members ~has_fwd ~has_bwd e w c_both
             else
               step_generic p seed_cache members ~has_fwd ~has_bwd ~has_genf ~has_genb e w
                 ~fwd:true ~both:true
           else if has_fwd then
-            if pure_out then step_pure p d memo seed_cache members ~has_fwd ~has_bwd e w c_fwd
+            if pure_out then step_pure p d memo memo2 seed_cache members ~has_fwd ~has_bwd e w c_fwd
             else
               step_generic p seed_cache members ~has_fwd ~has_bwd ~has_genf ~has_genb e w
                 ~fwd:true ~both:false
         done;
-        if has_bwd then begin
-          let ie = p.inst.Instance.in_edges v in
-          for i = 0 to Array.length ie - 1 do
-            let e, u = ie.(i) in
+        if has_bwd then
+          for i = in_off.(v) to in_off.(v + 1) - 1 do
+            let e = in_eid.(i) and u = in_nbr.(i) in
             if u <> v then
-              if pure_in then step_pure p d memo seed_cache members ~has_fwd ~has_bwd e u c_bwd
+              if pure_in then step_pure p d memo memo2 seed_cache members ~has_fwd ~has_bwd e u c_bwd
               else
                 step_generic p seed_cache members ~has_fwd ~has_bwd ~has_genf ~has_genb e u
                   ~fwd:false ~both:false
           done
-        end
-    | _ ->
-        let oe = p.inst.Instance.out_edges v in
-        for i = 0 to Array.length oe - 1 do
-          let e, w = oe.(i) in
+    | None ->
+        for i = out_off.(v) to out_off.(v + 1) - 1 do
+          let e = out_eid.(i) and w = out_nbr.(i) in
           step_generic p seed_cache members ~has_fwd ~has_bwd ~has_genf ~has_genb e w ~fwd:true
             ~both:(w = v)
         done;
-        if has_bwd then begin
-          let ie = p.inst.Instance.in_edges v in
-          for i = 0 to Array.length ie - 1 do
-            let e, u = ie.(i) in
+        if has_bwd then
+          for i = in_off.(v) to in_off.(v + 1) - 1 do
+            let e = in_eid.(i) and u = in_nbr.(i) in
             if u <> v then
               step_generic p seed_cache members ~has_fwd ~has_bwd ~has_genf ~has_genb e u
                 ~fwd:false ~both:false
           done
-        end
   end;
   (* Ascending-edge contract: the out and in adjacency scans each emit in
      list order — already ascending for graphs built by the standard
@@ -720,7 +789,7 @@ let levels ?domains p ~depth =
     match domains with Some d -> max 1 d | None -> Gqkg_util.Parallel.default_domains ()
   in
   let all_starts =
-    List.filter_map (start_state p) (List.init p.inst.Instance.num_nodes Fun.id)
+    List.filter_map (start_state p) (List.init p.inst.Snapshot.num_nodes Fun.id)
   in
   let first = List.sort_uniq Int.compare all_starts in
   let levels = Array.make (depth + 1) [] in

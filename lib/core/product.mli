@@ -19,9 +19,9 @@ type hints = { fwd_seed_cost : float; bwd_seed_cost : float }
     automaton for the Thompson construction of [regex]; it must
     recognize the same language on this instance. *)
 val create :
-  ?nfa:Gqkg_automata.Nfa.t -> ?hints:hints -> Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> t
+  ?nfa:Gqkg_automata.Nfa.t -> ?hints:hints -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> t
 
-val instance : t -> Gqkg_graph.Instance.t
+val instance : t -> Gqkg_graph.Snapshot.t
 val nfa : t -> Gqkg_automata.Nfa.t
 val hints : t -> hints option
 
@@ -49,10 +49,12 @@ val start_state : t -> int -> int option
 (** Successor moves [(edge, successor-id)] of a state, in a
     deterministic order (ascending edge id). One entry per
     (edge, destination) move — a self-loop matched in both directions
-    yields a single move. Materializes a fresh array per call; hot paths
-    should use {!iter_successors} / {!degree} / {!move_succ}, which read
-    the flat CSR buffer directly. *)
+    yields a single move. Materializes a fresh array per call.
+
+    @deprecated Use {!iter_successors} / {!degree} / {!move_succ}, which
+    read the flat CSR buffer directly without allocating. *)
 val successors : t -> int -> (int * int) array
+  [@@ocaml.deprecated "use Product.iter_successors / degree / move_succ instead"]
 
 (** [iter_successors p id f] calls [f edge succ] for every successor
     move, in the same deterministic order as {!successors}, without

@@ -15,14 +15,14 @@ open Gqkg_automata
 let matches_path inst regex path =
   let nfa = Nfa.of_regex regex in
   let k = Path.length path in
-  let current = ref (Nfa.closure nfa ~node_sat:(inst.Instance.node_atom (Path.node path 0)) [| Nfa.start nfa |]) in
+  let current = ref (Nfa.closure nfa ~node_sat:(inst.Snapshot.node_atom (Path.node path 0)) [| Nfa.start nfa |]) in
   let alive = ref true in
   for i = 0 to k - 1 do
     if !alive then begin
       let e = Path.edge path i in
       let v = Path.node path i and w = Path.node path (i + 1) in
-      let s, d = inst.Instance.endpoints e in
-      let edge_sat = inst.Instance.edge_atom e in
+      let s, d = (Snapshot.endpoints inst) e in
+      let edge_sat = inst.Snapshot.edge_atom e in
       let fwd_moves, bwd_moves = Nfa.edge_moves nfa !current in
       let targets = ref [] in
       let add tests =
@@ -35,7 +35,7 @@ let matches_path inst regex path =
       if s = w && d = v then add bwd_moves;
       let arr = Array.of_list !targets in
       Array.sort Int.compare arr;
-      let closed = Nfa.closure nfa ~node_sat:(inst.Instance.node_atom w) arr in
+      let closed = Nfa.closure nfa ~node_sat:(inst.Snapshot.node_atom w) arr in
       if Array.length closed = 0 then alive := false else current := closed
     end
   done;
@@ -92,7 +92,7 @@ let eval_pairs ?max_length inst regex =
   | Planner.Empty, _ -> []
   | Planner.Ready product, swapped ->
       let out = ref [] in
-      for source = inst.Instance.num_nodes - 1 downto 0 do
+      for source = inst.Snapshot.num_nodes - 1 downto 0 do
         let targets = reachable_from_product product ~source ~max_length in
         List.iter
           (fun b -> out := (if swapped then (b, source) else (source, b)) :: !out)
@@ -107,7 +107,7 @@ let source_nodes ?max_length inst regex =
   | Planner.Empty -> []
   | Planner.Ready product ->
       let out = ref [] in
-      for source = inst.Instance.num_nodes - 1 downto 0 do
+      for source = inst.Snapshot.num_nodes - 1 downto 0 do
         match reachable_from_product product ~source ~max_length with
         | [] -> ()
         | _ :: _ -> out := source :: !out

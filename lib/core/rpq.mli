@@ -3,27 +3,27 @@
 
 (** Reference semantics: does the concrete path conform to the
     expression? Used as the oracle by tests and by the FPRAS. *)
-val matches_path : Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> Path.t -> bool
+val matches_path : Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> Path.t -> bool
 
 (** Nodes b reachable from [source] by a path in [[r]]; [max_length]
     bounds the search depth (reachability itself is complete without it,
     products being finite). Sorted. *)
 val reachable_from :
-  ?max_length:int -> Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> source:int -> int list
+  ?max_length:int -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> source:int -> int list
 
 (** All pairs (a, b) joined by a matching path, sorted. *)
 val eval_pairs :
-  ?max_length:int -> Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> (int * int) list
+  ?max_length:int -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> (int * int) list
 
 (** Nodes with at least one matching path starting at them (the node
     extraction of Section 4.3). Sorted. *)
-val source_nodes : ?max_length:int -> Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> int list
+val source_nodes : ?max_length:int -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> int list
 
 (** d_r(a, b): length of the shortest matching path, if any — the metric
     of the regex-constrained centrality of Section 4.2. *)
 val shortest_path_length :
   ?max_length:int ->
-  Gqkg_graph.Instance.t ->
+  Gqkg_graph.Snapshot.t ->
   Gqkg_automata.Regex.t ->
   source:int ->
   target:int ->
@@ -34,7 +34,7 @@ val shortest_path_length :
     when no matching path exists. *)
 val shortest_witness :
   ?max_length:int ->
-  Gqkg_graph.Instance.t ->
+  Gqkg_graph.Snapshot.t ->
   Gqkg_automata.Regex.t ->
   source:int ->
   target:int ->

@@ -32,7 +32,7 @@ let create inst regex ~length =
   | Planner.Ready product ->
       let table = Count.build product ~depth:length in
       let starts = ref [] in
-      for node = inst.Instance.num_nodes - 1 downto 0 do
+      for node = inst.Snapshot.num_nodes - 1 downto 0 do
         match Product.start_state product node with
         | Some s0 ->
             let c = Count.suffix_count table ~state:s0 ~length in

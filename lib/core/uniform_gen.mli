@@ -7,7 +7,7 @@
 
 type t
 
-val create : Gqkg_graph.Instance.t -> Gqkg_automata.Regex.t -> length:int -> t
+val create : Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> length:int -> t
 
 (** Count(G, r, k) as seen by this sampler. *)
 val total_count : t -> float

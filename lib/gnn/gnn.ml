@@ -47,7 +47,7 @@ let num_layers t = List.length t.layers
 (* Forward pass: final embeddings of every node. [features v] must have
    [input_dim] entries. *)
 let embeddings t inst ~features =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let current =
     ref
       (Array.init n (fun v ->
@@ -62,8 +62,8 @@ let embeddings t inst ~features =
         Array.init n (fun v ->
             (* Sum of neighbor embeddings (undirected, with multiplicity). *)
             let agg = Array.make (Array.length prev.(v)) 0.0 in
-            Array.iter (fun (_e, w) -> Vec.vec_add_in_place ~into:agg prev.(w)) (inst.Instance.out_edges v);
-            Array.iter (fun (_e, u) -> Vec.vec_add_in_place ~into:agg prev.(u)) (inst.Instance.in_edges v);
+            Array.iter (fun (_e, w) -> Vec.vec_add_in_place ~into:agg prev.(w)) ((Snapshot.out_pairs inst) v);
+            Array.iter (fun (_e, u) -> Vec.vec_add_in_place ~into:agg prev.(u)) ((Snapshot.in_pairs inst) v);
             let own = Vec.vec_mat prev.(v) combine in
             let nbr = Vec.vec_mat agg aggregate in
             Array.mapi (fun i x -> Vec.truncated_relu (x +. nbr.(i) +. bias.(i))) own)

@@ -16,12 +16,12 @@ val num_layers : t -> int
 
 (** Forward pass: final embedding of every node. [features v] must have
     [input_dim] entries. *)
-val embeddings : t -> Instance.t -> features:(int -> float array) -> float array array
+val embeddings : t -> Snapshot.t -> features:(int -> float array) -> float array array
 
 (** The network as a boolean unary query. *)
-val classify : t -> Instance.t -> features:(int -> float array) -> bool array
+val classify : t -> Snapshot.t -> features:(int -> float array) -> bool array
 
-val classified_nodes : t -> Instance.t -> features:(int -> float array) -> int list
+val classified_nodes : t -> Snapshot.t -> features:(int -> float array) -> int list
 
 (** Random AC-GNN with Gaussian weights (benchmark workloads). *)
 val random : Splitmix.t -> input_dim:int -> widths:int list -> scale:float -> t

@@ -25,7 +25,7 @@ open Gqkg_graph
 open Gqkg_logic
 open Gqkg_util
 
-type compiled = { gnn : Gnn.t; features : Instance.t -> int -> float array; formula : Gml.t }
+type compiled = { gnn : Gnn.t; features : Snapshot.t -> int -> float array; formula : Gml.t }
 
 let rec operator_depth = function
   | Gml.Atom _ | Gml.True -> 0
@@ -75,7 +75,7 @@ let compile formula =
     Array.iteri
       (fun i f ->
         match f with
-        | Gml.Atom a -> if inst.Instance.node_atom v a then x.(i) <- 1.0
+        | Gml.Atom a -> if inst.Snapshot.node_atom v a then x.(i) <- 1.0
         | Gml.True -> x.(i) <- 1.0
         | Gml.Not _ | Gml.And _ | Gml.Or _ | Gml.Diamond _ -> ())
       subs;

@@ -9,7 +9,7 @@ open Gqkg_logic
 
 type compiled = {
   gnn : Gnn.t;
-  features : Instance.t -> int -> float array;  (** atomic truth values *)
+  features : Snapshot.t -> int -> float array;  (** atomic truth values *)
   formula : Gml.t;
 }
 
@@ -18,6 +18,6 @@ val compile : Gml.t -> compiled
 
 (** The compiled network as a unary query — provably equal to
     {!Gqkg_logic.Gml.eval} (checked by the E10 property tests). *)
-val classify : compiled -> Instance.t -> bool array
+val classify : compiled -> Snapshot.t -> bool array
 
-val classified_nodes : compiled -> Instance.t -> int list
+val classified_nodes : compiled -> Snapshot.t -> int list

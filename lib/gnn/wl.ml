@@ -16,7 +16,7 @@ type coloring = { colors : int array; rounds : int; num_colors : int }
 (* Refine until stable (the partition stops splitting) or [max_rounds].
    [init] gives initial colors, e.g. from labels or feature vectors. *)
 let refine ?(max_rounds = max_int) inst ~init =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let colors = Array.init n init in
   (* Normalize initial colors to a dense palette. *)
   let normalize colors =
@@ -41,8 +41,8 @@ let refine ?(max_rounds = max_int) inst ~init =
     let signatures =
       Array.init n (fun v ->
           let neigh = ref [] in
-          Array.iter (fun (_e, w) -> neigh := !current.(w) :: !neigh) (inst.Instance.out_edges v);
-          Array.iter (fun (_e, u) -> neigh := !current.(u) :: !neigh) (inst.Instance.in_edges v);
+          Array.iter (fun (_e, w) -> neigh := !current.(w) :: !neigh) ((Snapshot.out_pairs inst) v);
+          Array.iter (fun (_e, u) -> neigh := !current.(u) :: !neigh) ((Snapshot.in_pairs inst) v);
           (!current.(v), List.sort compare !neigh))
     in
     let next, next_count = normalize signatures in
@@ -61,7 +61,7 @@ let refine_unlabeled ?max_rounds inst = refine ?max_rounds inst ~init:(fun _ -> 
 (* Initial colors from the node's full feature vector (vector-labeled
    graphs): the setting of the GNN correspondence. *)
 let refine_vector ?max_rounds vg =
-  let inst = Vector_graph.to_instance vg in
+  let inst = Snapshot.of_vector vg in
   refine ?max_rounds inst ~init:(fun v -> Hashtbl.hash (Vector_graph.node_vector vg v))
 
 let color_histogram coloring =
@@ -76,40 +76,11 @@ let color_histogram coloring =
    non-isomorphism; [`Possibly_isomorphic] is WL's "maybe" (famously
    wrong on e.g. pairs of regular graphs — covered in tests). *)
 let isomorphism_test ?(init1 = fun _ -> 0) ?(init2 = fun _ -> 0) inst1 inst2 =
-  let open Instance in
+  let open Snapshot in
   if inst1.num_nodes <> inst2.num_nodes || inst1.num_edges <> inst2.num_edges then `Distinguished
   else begin
     let n1 = inst1.num_nodes in
-    let union =
-      {
-        num_nodes = n1 + inst2.num_nodes;
-        num_edges = inst1.num_edges + inst2.num_edges;
-        endpoints =
-          (fun e ->
-            if e < inst1.num_edges then inst1.endpoints e
-            else begin
-              let s, d = inst2.endpoints (e - inst1.num_edges) in
-              (s + n1, d + n1)
-            end);
-        out_edges =
-          (fun v ->
-            if v < n1 then inst1.out_edges v
-            else
-              Array.map (fun (e, w) -> (e + inst1.num_edges, w + n1)) (inst2.out_edges (v - n1)));
-        in_edges =
-          (fun v ->
-            if v < n1 then inst1.in_edges v
-            else Array.map (fun (e, w) -> (e + inst1.num_edges, w + n1)) (inst2.in_edges (v - n1)));
-        node_atom = (fun v a -> if v < n1 then inst1.node_atom v a else inst2.node_atom (v - n1) a);
-        edge_atom =
-          (fun e a ->
-            if e < inst1.num_edges then inst1.edge_atom e a else inst2.edge_atom (e - inst1.num_edges) a);
-        node_name = (fun v -> if v < n1 then inst1.node_name v else inst2.node_name (v - n1));
-        edge_name =
-          (fun e -> if e < inst1.num_edges then inst1.edge_name e else inst2.edge_name (e - inst1.num_edges));
-        labels = None;
-      }
-    in
+    let union = Snapshot.disjoint_union inst1 inst2 in
     let coloring = refine union ~init:(fun v -> if v < n1 then init1 v else init2 (v - n1)) in
     let hist side =
       let tbl = Hashtbl.create 16 in

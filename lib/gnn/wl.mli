@@ -13,10 +13,10 @@ type coloring = {
 
 (** Refine to stability (or [max_rounds]); [init] gives initial colors
     (labels, feature hashes, ...). *)
-val refine : ?max_rounds:int -> Instance.t -> init:(int -> int) -> coloring
+val refine : ?max_rounds:int -> Snapshot.t -> init:(int -> int) -> coloring
 
 (** Uniform initial coloring: pure structure. *)
-val refine_unlabeled : ?max_rounds:int -> Instance.t -> coloring
+val refine_unlabeled : ?max_rounds:int -> Snapshot.t -> coloring
 
 (** Initial colors from the node's full feature vector. *)
 val refine_vector : ?max_rounds:int -> Vector_graph.t -> coloring
@@ -30,6 +30,6 @@ val color_histogram : coloring -> (int * int) list
 val isomorphism_test :
   ?init1:(int -> int) ->
   ?init2:(int -> int) ->
-  Instance.t ->
-  Instance.t ->
+  Snapshot.t ->
+  Snapshot.t ->
   [ `Distinguished | `Possibly_isomorphic ]

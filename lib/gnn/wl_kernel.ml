@@ -13,38 +13,9 @@ open Gqkg_graph
 (* Per-round color histograms of a pair of graphs under joint
    refinement. *)
 let joint_histograms ?(rounds = 3) ?(init1 = fun _ -> 0) ?(init2 = fun _ -> 0) inst1 inst2 =
-  let open Instance in
+  let open Snapshot in
   let n1 = inst1.num_nodes in
-  let union =
-    {
-      num_nodes = n1 + inst2.num_nodes;
-      num_edges = inst1.num_edges + inst2.num_edges;
-      endpoints =
-        (fun e ->
-          if e < inst1.num_edges then inst1.endpoints e
-          else begin
-            let s, d = inst2.endpoints (e - inst1.num_edges) in
-            (s + n1, d + n1)
-          end);
-      out_edges =
-        (fun v ->
-          if v < n1 then inst1.out_edges v
-          else Array.map (fun (e, w) -> (e + inst1.num_edges, w + n1)) (inst2.out_edges (v - n1)));
-      in_edges =
-        (fun v ->
-          if v < n1 then inst1.in_edges v
-          else Array.map (fun (e, w) -> (e + inst1.num_edges, w + n1)) (inst2.in_edges (v - n1)));
-      node_atom = (fun v a -> if v < n1 then inst1.node_atom v a else inst2.node_atom (v - n1) a);
-      edge_atom =
-        (fun e a ->
-          if e < inst1.num_edges then inst1.edge_atom e a else inst2.edge_atom (e - inst1.num_edges) a);
-      node_name = (fun v -> if v < n1 then inst1.node_name v else inst2.node_name (v - n1));
-      edge_name =
-        (fun e ->
-          if e < inst1.num_edges then inst1.edge_name e else inst2.edge_name (e - inst1.num_edges));
-      labels = None;
-    }
-  in
+  let union = Snapshot.disjoint_union inst1 inst2 in
   let init v = if v < n1 then init1 v else init2 (v - n1) in
   (* Round-by-round refinement capped at [rounds], keeping every round's
      coloring (Wl.refine only returns the fixpoint, so redo the loop
@@ -78,8 +49,8 @@ let joint_histograms ?(rounds = 3) ?(init1 = fun _ -> 0) ?(init2 = fun _ -> 0) i
     let signatures =
       Array.init union.num_nodes (fun v ->
           let neigh = ref [] in
-          Array.iter (fun (_e, w) -> neigh := !current.(w) :: !neigh) (union.out_edges v);
-          Array.iter (fun (_e, u) -> neigh := !current.(u) :: !neigh) (union.in_edges v);
+          Snapshot.iter_out union v (fun _e w -> neigh := !current.(w) :: !neigh);
+          Snapshot.iter_in union v (fun _e u -> neigh := !current.(u) :: !neigh);
           (!current.(v), List.sort compare !neigh))
     in
     current := normalize signatures;

@@ -10,14 +10,14 @@ val joint_histograms :
   ?rounds:int ->
   ?init1:(int -> int) ->
   ?init2:(int -> int) ->
-  Instance.t ->
-  Instance.t ->
+  Snapshot.t ->
+  Snapshot.t ->
   ((int, int) Hashtbl.t * (int, int) Hashtbl.t) list
 
 (** The raw kernel value. *)
-val kernel : ?rounds:int -> ?init1:(int -> int) -> ?init2:(int -> int) -> Instance.t -> Instance.t -> float
+val kernel : ?rounds:int -> ?init1:(int -> int) -> ?init2:(int -> int) -> Snapshot.t -> Snapshot.t -> float
 
 (** Normalized to [0, 1]; exactly 1.0 when WL cannot tell the graphs
     apart. *)
 val similarity :
-  ?rounds:int -> ?init1:(int -> int) -> ?init2:(int -> int) -> Instance.t -> Instance.t -> float
+  ?rounds:int -> ?init1:(int -> int) -> ?init2:(int -> int) -> Snapshot.t -> Snapshot.t -> float

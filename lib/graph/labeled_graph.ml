@@ -133,21 +133,4 @@ let make ~base ~node_labels ~edge_labels =
     invalid_arg "Labeled_graph.make: edge label count";
   v ~base ~node_labels ~edge_labels
 
-let to_instance g =
-  {
-    Instance.num_nodes = num_nodes g;
-    num_edges = num_edges g;
-    endpoints = Multigraph.endpoints g.base;
-    out_edges = Multigraph.out_edges g.base;
-    in_edges = Multigraph.in_edges g.base;
-    node_atom = node_satisfies_atom g;
-    edge_atom = edge_satisfies_atom g;
-    node_name = (fun n -> Const.to_string (node_id g n));
-    edge_name = (fun e -> Const.to_string (edge_id g e));
-    labels =
-      Some
-        (Instance.index_edge_labels ~num_edges:(num_edges g) ~edge_label:(edge_label g)
-           ~label_sat:(fun l -> function
-             | Atom.Label c -> Const.equal l c
-             | Atom.Prop _ | Atom.Feature _ -> false));
-  }
+(* The uniform query-engine view is {!Snapshot.of_labeled}. *)

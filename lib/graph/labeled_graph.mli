@@ -61,6 +61,3 @@ val of_lists :
 
 (** Assemble from a multigraph and label arrays (lengths must match). *)
 val make : base:Multigraph.t -> node_labels:Const.t array -> edge_labels:Const.t array -> t
-
-(** The uniform query-engine view. *)
-val to_instance : t -> Instance.t

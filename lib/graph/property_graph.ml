@@ -118,24 +118,4 @@ let of_labeled labeled =
 (* Forgetting σ projects back to the labeled model. *)
 let to_labeled g = g.labeled
 
-let to_instance g =
-  let base = base g in
-  {
-    Instance.num_nodes = num_nodes g;
-    num_edges = num_edges g;
-    endpoints = Multigraph.endpoints base;
-    out_edges = Multigraph.out_edges base;
-    in_edges = Multigraph.in_edges base;
-    node_atom = node_satisfies_atom g;
-    edge_atom = edge_satisfies_atom g;
-    node_name = (fun n -> Const.to_string (node_id g n));
-    edge_name = (fun e -> Const.to_string (edge_id g e));
-    (* λ(e) comes from the underlying labeled graph, so Label atoms are
-       label-determined even though Prop atoms are not. *)
-    labels =
-      Some
-        (Instance.index_edge_labels ~num_edges:(num_edges g) ~edge_label:(edge_label g)
-           ~label_sat:(fun l -> function
-             | Atom.Label c -> Const.equal l c
-             | Atom.Prop _ | Atom.Feature _ -> false));
-  }
+(* The uniform query-engine view is {!Snapshot.of_property}. *)

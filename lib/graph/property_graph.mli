@@ -66,4 +66,3 @@ end
 val of_labeled : Labeled_graph.t -> t
 
 val to_labeled : t -> Labeled_graph.t
-val to_instance : t -> Instance.t

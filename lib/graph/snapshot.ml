@@ -1,0 +1,373 @@
+(* The frozen columnar view shared by all four Section 3 data models.
+
+   Freezing compiles a model to one physical layout — flat endpoint
+   columns, CSR adjacency in both directions, interned edge labels,
+   node-label membership bitmaps and degree/label statistics — so the
+   Section 4 engines touch plain int arrays instead of per-model
+   closures.  The adapters that used to live in each model
+   (Labeled_graph.to_instance and friends) collapse into the [of_*]
+   constructors below plus [Rdf_graph.to_snapshot] in gqkg_kg; the
+   legacy record survives only behind {!to_instance}.
+
+   Everything in the record is immutable after [make] returns, and the
+   hot fields are plain int arrays, so snapshots are shared freely
+   across OCaml 5 domains (Product.levels, betweenness_parallel). *)
+
+module B = Gqkg_util.Bitset
+
+type stats = {
+  out_degree_p50 : int;
+  out_degree_p99 : int;
+  out_degree_max : int;
+  in_degree_p50 : int;
+  in_degree_p99 : int;
+  in_degree_max : int;
+  degree_p50 : int;
+  degree_p99 : int;
+  degree_max : int;
+  edge_label_counts : int array;
+  node_label_counts : int array;
+}
+
+type t = {
+  num_nodes : int;
+  num_edges : int;
+  esrc : int array;
+  edst : int array;
+  out_off : int array;
+  out_eid : int array;
+  out_nbr : int array;
+  in_off : int array;
+  in_eid : int array;
+  in_nbr : int array;
+  num_labels : int;
+  elabel : int array;
+  label_names : string array;
+  label_sat : int -> Atom.t -> bool;
+  num_node_labels : int;
+  node_label_names : string array;
+  node_label_sat : int -> Atom.t -> bool;
+  node_label_bits : int array array;
+  node_atom : int -> Atom.t -> bool;
+  edge_atom : int -> Atom.t -> bool;
+  node_name : int -> string;
+  edge_name : int -> string;
+  stats : stats;
+}
+
+(* Percentile of a degree distribution given as a counting histogram
+   over 0 .. max_degree (nearest-rank on the n node observations). *)
+let percentile_of_hist hist n p =
+  if n = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (p *. float_of_int n))) in
+    let acc = ref 0 and result = ref 0 and d = ref 0 in
+    let len = Array.length hist in
+    while !acc < rank && !d < len do
+      acc := !acc + hist.(!d);
+      if !acc >= rank then result := !d;
+      incr d
+    done;
+    !result
+  end
+
+let degree_stats n off =
+  let maxd = ref 0 in
+  for v = 0 to n - 1 do
+    let d = off.(v + 1) - off.(v) in
+    if d > !maxd then maxd := d
+  done;
+  let hist = Array.make (!maxd + 1) 0 in
+  for v = 0 to n - 1 do
+    let d = off.(v + 1) - off.(v) in
+    hist.(d) <- hist.(d) + 1
+  done;
+  (percentile_of_hist hist n 0.50, percentile_of_hist hist n 0.99, !maxd)
+
+(* CSR from endpoint columns by counting sort; iterating edges in
+   ascending id keeps each node's adjacency in ascending edge order —
+   the deterministic order the product kernel's move contract relies
+   on. *)
+let pack_csr n esrc edst =
+  let m = Array.length esrc in
+  let out_off = Array.make (n + 1) 0 and in_off = Array.make (n + 1) 0 in
+  for e = 0 to m - 1 do
+    out_off.(esrc.(e)) <- out_off.(esrc.(e)) + 1;
+    in_off.(edst.(e)) <- in_off.(edst.(e)) + 1
+  done;
+  let acc_out = ref 0 and acc_in = ref 0 in
+  for v = 0 to n do
+    let o = out_off.(v) and i = in_off.(v) in
+    out_off.(v) <- !acc_out;
+    in_off.(v) <- !acc_in;
+    acc_out := !acc_out + o;
+    acc_in := !acc_in + i
+  done;
+  let out_eid = Array.make m 0 and out_nbr = Array.make m 0 in
+  let in_eid = Array.make m 0 and in_nbr = Array.make m 0 in
+  let out_fill = Array.make (max n 1) 0 and in_fill = Array.make (max n 1) 0 in
+  for e = 0 to m - 1 do
+    let s = esrc.(e) and d = edst.(e) in
+    let oi = out_off.(s) + out_fill.(s) in
+    out_eid.(oi) <- e;
+    out_nbr.(oi) <- d;
+    out_fill.(s) <- out_fill.(s) + 1;
+    let ii = in_off.(d) + in_fill.(d) in
+    in_eid.(ii) <- e;
+    in_nbr.(ii) <- s;
+    in_fill.(d) <- in_fill.(d) + 1
+  done;
+  (out_off, out_eid, out_nbr, in_off, in_eid, in_nbr)
+
+let make ~num_nodes ~esrc ~edst ~num_labels ~elabel ~label_names ~label_sat ~num_node_labels
+    ~node_labels ~node_label_names ~node_label_sat ~node_atom ~edge_atom ~node_name ~edge_name =
+  let num_edges = Array.length esrc in
+  if Array.length edst <> num_edges || Array.length elabel <> num_edges then
+    invalid_arg "Snapshot.make: esrc/edst/elabel lengths differ";
+  if Array.length node_labels <> num_nodes then
+    invalid_arg "Snapshot.make: node_labels length";
+  let out_off, out_eid, out_nbr, in_off, in_eid, in_nbr = pack_csr num_nodes esrc edst in
+  let node_label_bits =
+    Array.init num_node_labels (fun _ -> B.raw_create (max num_nodes 1))
+  in
+  let node_label_counts = Array.make num_node_labels 0 in
+  Array.iteri
+    (fun v ls ->
+      List.iter
+        (fun l ->
+          B.raw_add node_label_bits.(l) v;
+          node_label_counts.(l) <- node_label_counts.(l) + 1)
+        ls)
+    node_labels;
+  let edge_label_counts = Array.make num_labels 0 in
+  if num_labels > 0 then
+    Array.iter (fun l -> edge_label_counts.(l) <- edge_label_counts.(l) + 1) elabel;
+  let out_degree_p50, out_degree_p99, out_degree_max = degree_stats num_nodes out_off in
+  let in_degree_p50, in_degree_p99, in_degree_max = degree_stats num_nodes in_off in
+  let degree_p50, degree_p99, degree_max =
+    let maxd = ref 0 in
+    for v = 0 to num_nodes - 1 do
+      let d = out_off.(v + 1) - out_off.(v) + in_off.(v + 1) - in_off.(v) in
+      if d > !maxd then maxd := d
+    done;
+    let hist = Array.make (!maxd + 1) 0 in
+    for v = 0 to num_nodes - 1 do
+      let d = out_off.(v + 1) - out_off.(v) + in_off.(v + 1) - in_off.(v) in
+      hist.(d) <- hist.(d) + 1
+    done;
+    ( percentile_of_hist hist num_nodes 0.50,
+      percentile_of_hist hist num_nodes 0.99,
+      !maxd )
+  in
+  {
+    num_nodes;
+    num_edges;
+    esrc;
+    edst;
+    out_off;
+    out_eid;
+    out_nbr;
+    in_off;
+    in_eid;
+    in_nbr;
+    num_labels;
+    elabel;
+    label_names;
+    label_sat;
+    num_node_labels;
+    node_label_names;
+    node_label_sat;
+    node_label_bits;
+    node_atom;
+    edge_atom;
+    node_name;
+    edge_name;
+    stats =
+      {
+        out_degree_p50;
+        out_degree_p99;
+        out_degree_max;
+        in_degree_p50;
+        in_degree_p99;
+        in_degree_max;
+        degree_p50;
+        degree_p99;
+        degree_max;
+        edge_label_counts;
+        node_label_counts;
+      };
+  }
+
+let intern ~n ~get =
+  let ids = Hashtbl.create 16 in
+  let distinct = ref [] in
+  let table =
+    Array.init n (fun i ->
+        let x = get i in
+        match Hashtbl.find_opt ids x with
+        | Some id -> id
+        | None ->
+            let id = Hashtbl.length ids in
+            Hashtbl.add ids x id;
+            distinct := x :: !distinct;
+            id)
+  in
+  (table, Array.of_list (List.rev !distinct))
+
+(* ---- The Section 3 models --------------------------------------------- *)
+
+(* Label satisfaction by Const equality against the interned universe —
+   the rule shared by the labeled, property and vector models (RDF
+   substitutes its IRI/local-name rule in Rdf_graph.to_snapshot). *)
+let const_label_sat universe id = function
+  | Atom.Label c -> Const.equal universe.(id) c
+  | Atom.Prop _ | Atom.Feature _ -> false
+
+let endpoint_columns num_edges endpoints =
+  let esrc = Array.make (max num_edges 1) 0 and edst = Array.make (max num_edges 1) 0 in
+  for e = 0 to num_edges - 1 do
+    let s, d = endpoints e in
+    esrc.(e) <- s;
+    edst.(e) <- d
+  done;
+  (Array.sub esrc 0 num_edges, Array.sub edst 0 num_edges)
+
+(* Shared freeze for the three Const-labeled models: one label per node,
+   one per edge, Const-equality label tests. *)
+let of_const_labeled ~num_nodes ~num_edges ~endpoints ~node_label ~edge_label ~node_atom
+    ~edge_atom ~node_name ~edge_name =
+  let esrc, edst = endpoint_columns num_edges endpoints in
+  let elabel, edge_universe = intern ~n:num_edges ~get:edge_label in
+  let nlabel, node_universe = intern ~n:num_nodes ~get:node_label in
+  make ~num_nodes ~esrc ~edst ~num_labels:(Array.length edge_universe) ~elabel
+    ~label_names:(Array.map Const.to_string edge_universe)
+    ~label_sat:(const_label_sat edge_universe)
+    ~num_node_labels:(Array.length node_universe)
+    ~node_labels:(Array.map (fun l -> [ l ]) nlabel)
+    ~node_label_names:(Array.map Const.to_string node_universe)
+    ~node_label_sat:(const_label_sat node_universe)
+    ~node_atom ~edge_atom ~node_name ~edge_name
+
+let of_labeled g =
+  of_const_labeled ~num_nodes:(Labeled_graph.num_nodes g) ~num_edges:(Labeled_graph.num_edges g)
+    ~endpoints:(Labeled_graph.endpoints g) ~node_label:(Labeled_graph.node_label g)
+    ~edge_label:(Labeled_graph.edge_label g)
+    ~node_atom:(Labeled_graph.node_satisfies_atom g)
+    ~edge_atom:(Labeled_graph.edge_satisfies_atom g)
+    ~node_name:(fun n -> Const.to_string (Labeled_graph.node_id g n))
+    ~edge_name:(fun e -> Const.to_string (Labeled_graph.edge_id g e))
+
+(* λ(e) comes from the underlying labeled graph, so Label atoms are
+   label-determined even though Prop atoms are not. *)
+let of_property g =
+  of_const_labeled ~num_nodes:(Property_graph.num_nodes g)
+    ~num_edges:(Property_graph.num_edges g) ~endpoints:(Property_graph.endpoints g)
+    ~node_label:(Property_graph.node_label g) ~edge_label:(Property_graph.edge_label g)
+    ~node_atom:(Property_graph.node_satisfies_atom g)
+    ~edge_atom:(Property_graph.edge_satisfies_atom g)
+    ~node_name:(fun n -> Const.to_string (Property_graph.node_id g n))
+    ~edge_name:(fun e -> Const.to_string (Property_graph.edge_id g e))
+
+(* The label survives flattening as feature 1 (index 0), so Label atoms
+   are determined by that feature alone. *)
+let of_vector g =
+  of_const_labeled ~num_nodes:(Vector_graph.num_nodes g) ~num_edges:(Vector_graph.num_edges g)
+    ~endpoints:(Vector_graph.endpoints g)
+    ~node_label:(fun n -> (Vector_graph.node_vector g n).(0))
+    ~edge_label:(fun e -> (Vector_graph.edge_vector g e).(0))
+    ~node_atom:(Vector_graph.node_satisfies_atom g)
+    ~edge_atom:(Vector_graph.edge_satisfies_atom g)
+    ~node_name:(fun n -> Const.to_string (Vector_graph.node_id g n))
+    ~edge_name:(fun e -> Const.to_string (Vector_graph.edge_id g e))
+
+(* ---- Accessors --------------------------------------------------------- *)
+
+let endpoints s e = (s.esrc.(e), s.edst.(e))
+let src s e = s.esrc.(e)
+let dst s e = s.edst.(e)
+let out_degree s v = s.out_off.(v + 1) - s.out_off.(v)
+let in_degree s v = s.in_off.(v + 1) - s.in_off.(v)
+
+let iter_out s v f =
+  for i = s.out_off.(v) to s.out_off.(v + 1) - 1 do
+    f s.out_eid.(i) s.out_nbr.(i)
+  done
+
+let iter_in s v f =
+  for i = s.in_off.(v) to s.in_off.(v + 1) - 1 do
+    f s.in_eid.(i) s.in_nbr.(i)
+  done
+
+let out_pairs s v =
+  let off = s.out_off.(v) in
+  Array.init (out_degree s v) (fun i -> (s.out_eid.(off + i), s.out_nbr.(off + i)))
+
+let in_pairs s v =
+  let off = s.in_off.(v) in
+  Array.init (in_degree s v) (fun i -> (s.in_eid.(off + i), s.in_nbr.(off + i)))
+
+let nodes_with_label s l = B.raw_to_array s.node_label_bits.(l)
+
+(* Side-by-side disjoint union (nodes and edges of [b] shifted past
+   [a]'s), used by the WL isomorphism test and kernel: joint color
+   refinement needs one graph whose palette spans both sides.  Labels
+   are dropped — refinement only reads structure; atoms and names
+   delegate to the matching side. *)
+let disjoint_union a b =
+  let n1 = a.num_nodes and m1 = a.num_edges in
+  let n = n1 + b.num_nodes and m = m1 + b.num_edges in
+  let shift off arr1 arr2 =
+    Array.init m (fun e -> if e < m1 then arr1.(e) else arr2.(e - m1) + off)
+  in
+  make ~num_nodes:n ~esrc:(shift n1 a.esrc b.esrc) ~edst:(shift n1 a.edst b.edst) ~num_labels:0
+    ~elabel:(Array.make m 0) ~label_names:[||]
+    ~label_sat:(fun _ _ -> false)
+    ~num_node_labels:0 ~node_labels:(Array.make n []) ~node_label_names:[||]
+    ~node_label_sat:(fun _ _ -> false)
+    ~node_atom:(fun v at -> if v < n1 then a.node_atom v at else b.node_atom (v - n1) at)
+    ~edge_atom:(fun e at -> if e < m1 then a.edge_atom e at else b.edge_atom (e - m1) at)
+    ~node_name:(fun v -> if v < n1 then a.node_name v else b.node_name (v - n1))
+    ~edge_name:(fun e -> if e < m1 then a.edge_name e else b.edge_name (e - m1))
+
+let describe s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%d nodes, %d edges\n" s.num_nodes s.num_edges);
+  let universe names counts what =
+    if Array.length names = 0 then Buffer.add_string buf (Printf.sprintf "%s: (none)\n" what)
+    else begin
+      let entries =
+        Array.to_list (Array.mapi (fun i name -> Printf.sprintf "%s (%d)" name counts.(i)) names)
+      in
+      Buffer.add_string buf (Printf.sprintf "%s: %s\n" what (String.concat ", " entries))
+    end
+  in
+  universe s.node_label_names s.stats.node_label_counts "node labels";
+  universe s.label_names s.stats.edge_label_counts "edge labels";
+  Buffer.add_string buf
+    (Printf.sprintf "degree p50/p99/max: %d/%d/%d (out %d/%d/%d, in %d/%d/%d)\n"
+       s.stats.degree_p50 s.stats.degree_p99 s.stats.degree_max s.stats.out_degree_p50
+       s.stats.out_degree_p99 s.stats.out_degree_max s.stats.in_degree_p50 s.stats.in_degree_p99
+       s.stats.in_degree_max);
+  Buffer.contents buf
+
+let to_instance s =
+  {
+    Instance.num_nodes = s.num_nodes;
+    num_edges = s.num_edges;
+    endpoints = endpoints s;
+    out_edges = out_pairs s;
+    in_edges = in_pairs s;
+    node_atom = s.node_atom;
+    edge_atom = s.edge_atom;
+    node_name = s.node_name;
+    edge_name = s.edge_name;
+    labels =
+      (if s.num_labels > 0 then
+         Some
+           {
+             Instance.num_labels = s.num_labels;
+             edge_label_id = (fun e -> s.elabel.(e));
+             label_sat = s.label_sat;
+           }
+       else None);
+  }

@@ -1,0 +1,149 @@
+(** The frozen, columnar query-engine view over all Section 3 data models.
+
+    A snapshot is a fully materialized compressed-sparse-row image of a
+    graph: flat int arrays for edge endpoints, offset-packed adjacency in
+    both directions, interned edge-label ids, per-node-label membership
+    bitmaps, and precomputed statistics. Every model (labeled, property,
+    vector-labeled, and RDF via [Gqkg_kg.Rdf_graph.to_snapshot]) freezes
+    to this one physical layout once; the entire Section 4 machinery runs
+    against it.
+
+    All array fields are plain immutable int arrays — a snapshot can be
+    shared across OCaml 5 domains without synchronization. Hot paths
+    (the product kernel, Brandes) index the arrays directly; the closure
+    fields ([node_atom], [edge_atom], names) serve the cold oracle
+    paths only. *)
+
+(** Degree and label statistics, computed at freeze time. *)
+type stats = {
+  out_degree_p50 : int;
+  out_degree_p99 : int;
+  out_degree_max : int;
+  in_degree_p50 : int;
+  in_degree_p99 : int;
+  in_degree_max : int;
+  degree_p50 : int;  (** total (out + in) degree percentiles *)
+  degree_p99 : int;
+  degree_max : int;
+  edge_label_counts : int array;  (** edge-label id → multiplicity *)
+  node_label_counts : int array;  (** node-label id → member count *)
+}
+
+type t = {
+  num_nodes : int;
+  num_edges : int;
+  (* Columnar ρ: edge e runs esrc.(e) → edst.(e). *)
+  esrc : int array;
+  edst : int array;
+  (* CSR out-adjacency: the moves of node v are entries
+     out_off.(v) .. out_off.(v+1) - 1 of out_eid/out_nbr (edge id and
+     head node), in ascending edge order. out_off has num_nodes + 1
+     entries. Same layout for in-adjacency (neighbor = tail node). *)
+  out_off : int array;
+  out_eid : int array;
+  out_nbr : int array;
+  in_off : int array;
+  in_eid : int array;
+  in_nbr : int array;
+  (* Interned edge labels: elabel.(e) is the dense label id of edge e,
+     satisfying the label_sat contract
+       edge_atom e (Label c) = label_sat elabel.(e) (Label c).
+     num_labels = 0 means the model provides no label index (label tests
+     then go through edge_atom). *)
+  num_labels : int;
+  elabel : int array;
+  label_names : string array;
+  label_sat : int -> Atom.t -> bool;
+  (* Interned node labels as membership bitmaps: node_label_bits.(l) is
+     a raw Bitset over nodes (see Gqkg_util.Bitset raw layer). A node
+     may belong to several label bitmaps (RDF types); in the other
+     models membership is exclusive. Contract:
+       node_atom v (Label c) = ∃ l. raw_mem node_label_bits.(l) v
+                                    ∧ node_label_sat l (Label c). *)
+  num_node_labels : int;
+  node_label_names : string array;
+  node_label_sat : int -> Atom.t -> bool;
+  node_label_bits : int array array;
+  (* Cold oracle paths: full atomic tests and display names. *)
+  node_atom : int -> Atom.t -> bool;
+  edge_atom : int -> Atom.t -> bool;
+  node_name : int -> string;
+  edge_name : int -> string;
+  stats : stats;
+}
+
+(** [make] builds the CSR image, label bitmaps and stats from columnar
+    endpoint arrays and pre-interned labels. [esrc], [edst] and [elabel]
+    must have equal lengths (the edge count); [elabel] entries must lie
+    in [0, num_labels) when [num_labels > 0]. [node_labels.(v)] lists
+    the node-label ids of node [v] (empty, one, or several). *)
+val make :
+  num_nodes:int ->
+  esrc:int array ->
+  edst:int array ->
+  num_labels:int ->
+  elabel:int array ->
+  label_names:string array ->
+  label_sat:(int -> Atom.t -> bool) ->
+  num_node_labels:int ->
+  node_labels:int list array ->
+  node_label_names:string array ->
+  node_label_sat:(int -> Atom.t -> bool) ->
+  node_atom:(int -> Atom.t -> bool) ->
+  edge_atom:(int -> Atom.t -> bool) ->
+  node_name:(int -> string) ->
+  edge_name:(int -> string) ->
+  t
+
+(** Intern the values of [get] over [0 .. n-1] into dense first-occurrence
+    ids; returns the id table and the distinct values in id order. *)
+val intern : n:int -> get:(int -> 'a) -> int array * 'a array
+
+(** {1 Freezing the Section 3 models} *)
+
+val of_labeled : Labeled_graph.t -> t
+val of_property : Property_graph.t -> t
+val of_vector : Vector_graph.t -> t
+
+(** {1 Accessors}
+
+    Thin wrappers over the flat arrays; inner loops should index the
+    arrays directly instead. *)
+
+val endpoints : t -> int -> int * int
+val src : t -> int -> int
+val dst : t -> int -> int
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+(** [iter_out s v f] calls [f edge head] for every out-edge of [v] in
+    ascending edge order; [iter_in] the same over in-edges. *)
+val iter_out : t -> int -> (int -> int -> unit) -> unit
+
+val iter_in : t -> int -> (int -> int -> unit) -> unit
+
+(** Materialized [(edge, neighbor)] views of one node's adjacency, in
+    ascending edge order — compatibility helpers for cold call sites;
+    each call allocates a fresh array. *)
+val out_pairs : t -> int -> (int * int) array
+
+val in_pairs : t -> int -> (int * int) array
+
+(** Nodes carrying node-label id [l], in ascending order. *)
+val nodes_with_label : t -> int -> int array
+
+(** Side-by-side disjoint union (second graph's nodes and edges shifted
+    past the first's), label-free: the joint-refinement substrate of the
+    WL isomorphism test and subtree kernel. Atoms and names delegate to
+    the matching side. *)
+val disjoint_union : t -> t -> t
+
+(** Human-readable snapshot summary: node/edge counts, the label
+    universe with multiplicities, and degree percentiles (p50/p99/max)
+    — what [gqkg explain] and [gqkg stats] print. *)
+val describe : t -> string
+
+(** Thin compatibility shim onto the legacy closure record. The
+    resulting instance shares the snapshot's arrays; adjacency closures
+    materialize fresh pair arrays per call. *)
+val to_instance : t -> Instance.t

@@ -147,26 +147,4 @@ let of_labeled lg =
     edge_features = Array.init (Labeled_graph.num_edges lg) (fun e -> [| Labeled_graph.edge_label lg e |]);
   }
 
-let to_instance g =
-  {
-    Instance.num_nodes = num_nodes g;
-    num_edges = num_edges g;
-    endpoints = Multigraph.endpoints g.base;
-    out_edges = Multigraph.out_edges g.base;
-    in_edges = Multigraph.in_edges g.base;
-    node_atom = node_satisfies_atom g;
-    edge_atom = edge_satisfies_atom g;
-    node_name = (fun n -> Const.to_string (node_id g n));
-    edge_name = (fun e -> Const.to_string (edge_id g e));
-    (* The label survives flattening as feature 1 (index 0), so Label
-       atoms are determined by that feature alone. *)
-    labels =
-      (if g.dimension >= 1 then
-         Some
-           (Instance.index_edge_labels ~num_edges:(num_edges g)
-              ~edge_label:(fun e -> g.edge_features.(e).(0))
-              ~label_sat:(fun l -> function
-                | Atom.Label c -> Const.equal l c
-                | Atom.Prop _ | Atom.Feature _ -> false))
-       else None);
-  }
+(* The uniform query-engine view is {!Snapshot.of_vector}. *)

@@ -57,5 +57,3 @@ val to_property : t -> schema -> Property_graph.t
 
 (** A labeled graph is a 1-dimensional vector-labeled graph. *)
 val of_labeled : Labeled_graph.t -> t
-
-val to_instance : t -> Instance.t

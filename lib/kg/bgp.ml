@@ -74,7 +74,7 @@ let path_relation ctx path =
   | Some rel -> rel
   | None ->
       let g = rdf_view ctx in
-      let inst = Rdf_graph.to_instance g in
+      let inst = Rdf_graph.to_snapshot g in
       let pairs =
         List.map
           (fun (a, b) -> (Rdf_graph.node_term g a, Rdf_graph.node_term g b))

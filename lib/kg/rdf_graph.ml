@@ -112,29 +112,51 @@ let edge_satisfies_atom g e = function
       names_iri (Const.to_string l) pred
   | Atom.Prop _ | Atom.Feature _ -> false
 
-let to_instance g =
-  {
-    Instance.num_nodes = num_nodes g;
-    num_edges = num_edges g;
-    endpoints = (fun e -> let s, d, _ = g.edges.(e) in (s, d));
-    out_edges = (fun v -> g.out_adj.(v));
-    in_edges = (fun v -> g.in_adj.(v));
-    node_atom = node_satisfies_atom g;
-    edge_atom = edge_satisfies_atom g;
-    node_name = (fun n -> Term.to_string g.node_terms.(n));
-    edge_name =
-      (fun e ->
+(* Freeze to the columnar snapshot.  A Label atom on an edge is a pure
+   function of the predicate (full IRI or local name), so interning
+   predicates preserves the RDF reading; node labels intern the rdf:type
+   objects, and a node may carry several (one bitmap membership per
+   type). *)
+let to_snapshot g =
+  let m = num_edges g in
+  let rdf_label_sat universe id = function
+    | Atom.Label l -> names_iri (Const.to_string l) universe.(id)
+    | Atom.Prop _ | Atom.Feature _ -> false
+  in
+  let elabel, predicates =
+    Snapshot.intern ~n:m ~get:(fun e ->
         let _, _, pred = g.edges.(e) in
-        Term.local_name pred);
-    (* A Label atom is a pure function of the predicate (full IRI or
-       local name), so interning predicates preserves the RDF reading. *)
-    labels =
-      Some
-        (Instance.index_edge_labels ~num_edges:(num_edges g)
-           ~edge_label:(fun e ->
-             let _, _, pred = g.edges.(e) in
-             pred)
-           ~label_sat:(fun pred -> function
-             | Atom.Label l -> names_iri (Const.to_string l) pred
-             | Atom.Prop _ | Atom.Feature _ -> false));
-  }
+        pred)
+  in
+  let type_ids = Hashtbl.create 16 in
+  let type_list = ref [] in
+  let type_id term =
+    match Hashtbl.find_opt type_ids term with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length type_ids in
+        Hashtbl.add type_ids term id;
+        type_list := term :: !type_list;
+        id
+  in
+  let node_labels =
+    Array.init (num_nodes g) (fun n ->
+        match Hashtbl.find_opt g.types n with
+        | Some types -> List.sort_uniq Int.compare (List.map type_id types)
+        | None -> [])
+  in
+  let type_universe = Array.of_list (List.rev !type_list) in
+  Snapshot.make ~num_nodes:(num_nodes g)
+    ~esrc:(Array.map (fun (s, _, _) -> s) g.edges)
+    ~edst:(Array.map (fun (_, d, _) -> d) g.edges)
+    ~num_labels:(Array.length predicates) ~elabel
+    ~label_names:(Array.map Term.local_name predicates)
+    ~label_sat:(rdf_label_sat predicates)
+    ~num_node_labels:(Array.length type_universe) ~node_labels
+    ~node_label_names:(Array.map Term.local_name type_universe)
+    ~node_label_sat:(rdf_label_sat type_universe)
+    ~node_atom:(node_satisfies_atom g) ~edge_atom:(edge_satisfies_atom g)
+    ~node_name:(fun n -> Term.to_string g.node_terms.(n))
+    ~edge_name:(fun e ->
+      let _, _, pred = g.edges.(e) in
+      Term.local_name pred)

@@ -17,4 +17,8 @@ val node_term : t -> int -> Term.t
 val find_node : t -> Term.t -> int option
 val node_satisfies_atom : t -> int -> Gqkg_graph.Atom.t -> bool
 val edge_satisfies_atom : t -> int -> Gqkg_graph.Atom.t -> bool
-val to_instance : t -> Gqkg_graph.Instance.t
+
+(** Freeze to the columnar snapshot: predicates become interned edge
+    labels (satisfaction by full IRI or local name), rdf:type objects
+    become node-label bitmaps (a node may carry several). *)
+val to_snapshot : t -> Gqkg_graph.Snapshot.t

@@ -63,15 +63,15 @@ let rec to_string = function
 (* Adjacency set (undirected, deduplicated): the semantics of [adj]. *)
 let adjacency inst =
   let table = Hashtbl.create 256 in
-  for e = 0 to inst.Instance.num_edges - 1 do
-    let s, d = inst.Instance.endpoints e in
+  for e = 0 to inst.Snapshot.num_edges - 1 do
+    let s, d = (Snapshot.endpoints inst) e in
     Hashtbl.replace table (s, d) ();
     Hashtbl.replace table (d, s) ()
   done;
   table
 
 let rec holds db adj env = function
-  | Node_pred (l, x) -> (Fo.db_instance db).Instance.node_atom (List.assoc x env) (Atom.Label l)
+  | Node_pred (l, x) -> (Fo.db_instance db).Snapshot.node_atom (List.assoc x env) (Atom.Label l)
   | Edge_pred (l, x, y) -> Fo.edge_holds db l (List.assoc x env) (List.assoc y env)
   | Adjacent (x, y) -> Hashtbl.mem adj (List.assoc x env, List.assoc y env)
   | Eq (x, y) -> List.assoc x env = List.assoc y env
@@ -79,7 +79,7 @@ let rec holds db adj env = function
   | And (f, g) -> holds db adj env f && holds db adj env g
   | Or (f, g) -> holds db adj env f || holds db adj env g
   | Count_exists (k, x, f) ->
-      let n = (Fo.db_instance db).Instance.num_nodes in
+      let n = (Fo.db_instance db).Snapshot.num_nodes in
       let count = ref 0 in
       let v = ref 0 in
       (* Early exit once the threshold is reached. *)
@@ -98,7 +98,7 @@ let eval inst formula ~free =
   let db = Fo.db_of_instance inst in
   let adj = adjacency inst in
   let out = ref [] in
-  for v = inst.Instance.num_nodes - 1 downto 0 do
+  for v = inst.Snapshot.num_nodes - 1 downto 0 do
     if holds db adj [ (free, v) ] formula then out := v :: !out
   done;
   !out

@@ -34,7 +34,7 @@ val to_string : formula -> string
 
 (** Unary query in [free]; rejects formulas outside C² or with stray
     free variables. Sorted answers. *)
-val eval : Instance.t -> formula -> free:string -> int list
+val eval : Snapshot.t -> formula -> free:string -> int list
 
 (** Embed graded modal logic: ◇≥k φ ↦ ∃≥k y (adj(x,y) ∧ φ(y)). Agrees
     with {!Gml.eval} on simple graphs (no parallel edges). Raises on

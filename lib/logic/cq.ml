@@ -33,7 +33,7 @@ let body_vars body = List.fold_left (fun acc a -> Vars.union acc (atom_vars a)) 
 
 (* Precomputed label indexes. *)
 type indexes = {
-  inst : Instance.t;
+  inst : Snapshot.t;
   nodes_by_label : (Const.t, int array) Hashtbl.t;
   edges_by_label : (Const.t, (int * int) array) Hashtbl.t; (* (src, dst) pairs *)
   out_by_label : (Const.t * int, int array) Hashtbl.t; (* (label, src) -> dsts *)
@@ -46,8 +46,8 @@ let index_nodes_by_label idx label =
   | Some a -> a
   | None ->
       let out = ref [] in
-      for v = idx.inst.Instance.num_nodes - 1 downto 0 do
-        if idx.inst.Instance.node_atom v (Atom.Label label) then out := v :: !out
+      for v = idx.inst.Snapshot.num_nodes - 1 downto 0 do
+        if idx.inst.Snapshot.node_atom v (Atom.Label label) then out := v :: !out
       done;
       let arr = Array.of_list !out in
       Hashtbl.replace idx.nodes_by_label label arr;
@@ -59,9 +59,9 @@ let index_edges_by_label idx label =
   | None ->
       let pairs = ref [] in
       let outs = Hashtbl.create 16 and ins = Hashtbl.create 16 in
-      for e = idx.inst.Instance.num_edges - 1 downto 0 do
-        if idx.inst.Instance.edge_atom e (Atom.Label label) then begin
-          let s, d = idx.inst.Instance.endpoints e in
+      for e = idx.inst.Snapshot.num_edges - 1 downto 0 do
+        if idx.inst.Snapshot.edge_atom e (Atom.Label label) then begin
+          let s, d = (Snapshot.endpoints idx.inst) e in
           pairs := (s, d) :: !pairs;
           Hashtbl.replace idx.pair_set (label, s, d) ();
           Hashtbl.replace outs s (d :: Option.value (Hashtbl.find_opt outs s) ~default:[]);
@@ -107,7 +107,7 @@ let atom_matches idx env atom k =
   match atom with
   | Node (l, x) -> begin
       match List.assoc_opt x env with
-      | Some v -> if idx.inst.Instance.node_atom v (Atom.Label l) then k env
+      | Some v -> if idx.inst.Snapshot.node_atom v (Atom.Label l) then k env
       | None -> Array.iter (fun v -> k ((x, v) :: env)) (index_nodes_by_label idx l)
     end
   | Edge (l, x, y) -> begin

@@ -18,14 +18,14 @@ val edge_atom : string -> string -> string -> atom
     instance. *)
 type indexes
 
-val make_indexes : Instance.t -> indexes
+val make_indexes : Snapshot.t -> indexes
 
 (** Call [yield] once per distinct head tuple. Raises if a head variable
     is not bound by the body. *)
-val iter_answers : ?indexes:indexes -> Instance.t -> t -> yield:(int list -> unit) -> unit
+val iter_answers : ?indexes:indexes -> Snapshot.t -> t -> yield:(int list -> unit) -> unit
 
 (** Distinct head tuples, sorted. *)
-val answers : ?indexes:indexes -> Instance.t -> t -> int list list
+val answers : ?indexes:indexes -> Snapshot.t -> t -> int list list
 
 (** Single-head-variable convenience. *)
-val answer_nodes : ?indexes:indexes -> Instance.t -> t -> int list
+val answer_nodes : ?indexes:indexes -> Snapshot.t -> t -> int list

@@ -163,7 +163,7 @@ let answers_naive ?max_length inst q =
   let relations =
     List.map (fun a -> (a, materialize_atom ?max_length inst a.regex)) q.body
   in
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let seen = Hashtbl.create 64 in
   let out = ref [] in
   let rec assign env = function

@@ -25,25 +25,25 @@ val to_string : t -> string
 (** Call [yield] once per distinct head tuple. [max_length] bounds path
     length per atom (cost control for star-heavy patterns). Raises if a
     head variable is not bound by the body. *)
-val iter_answers : ?max_length:int -> Instance.t -> t -> yield:(int list -> unit) -> unit
+val iter_answers : ?max_length:int -> Snapshot.t -> t -> yield:(int list -> unit) -> unit
 
 (** Distinct head tuples, sorted. *)
-val answers : ?max_length:int -> Instance.t -> t -> int list list
+val answers : ?max_length:int -> Snapshot.t -> t -> int list list
 
-val answer_nodes : ?max_length:int -> Instance.t -> t -> int list
+val answer_nodes : ?max_length:int -> Snapshot.t -> t -> int list
 
 (** Oracle: enumerate all variable assignments and filter. Exponential;
     for tests and the E13 ablation. *)
-val answers_naive : ?max_length:int -> Instance.t -> t -> int list list
+val answers_naive : ?max_length:int -> Snapshot.t -> t -> int list list
 
 (** Full solution mappings (every body variable bound), deduplicated. *)
-val solutions : ?max_length:int -> Instance.t -> t -> (string * int) list list
+val solutions : ?max_length:int -> Snapshot.t -> t -> (string * int) list list
 
 (** Solutions with one shortest witness path per atom — paths as
     first-class results (the G-CORE idea of the paper's reference [5]). *)
 val solutions_with_witnesses :
-  ?max_length:int -> Instance.t -> t -> ((string * int) list * (atom * Gqkg_core.Path.t) list) list
+  ?max_length:int -> Snapshot.t -> t -> ((string * int) list * (atom * Gqkg_core.Path.t) list) list
 
 (** Human-readable evaluation plan: per-atom relation sizes and the
     static greedy order. *)
-val explain : ?max_length:int -> Instance.t -> t -> string
+val explain : ?max_length:int -> Snapshot.t -> t -> string

@@ -73,7 +73,7 @@ let pp ppf f = Fmt.string ppf (to_string f)
 
 (* Edge-label lookup structures shared by both evaluators. *)
 type db = {
-  inst : Instance.t;
+  inst : Snapshot.t;
   has_edge : (Const.t * int * int, unit) Hashtbl.t;
   pairs_with_label : (Const.t, (int * int) list) Hashtbl.t;
 }
@@ -91,9 +91,9 @@ let db_of_instance inst =
 let ensure_label db label =
   if not (Hashtbl.mem db.pairs_with_label label) then begin
     let pairs = ref [] in
-    for e = db.inst.Instance.num_edges - 1 downto 0 do
-      if db.inst.Instance.edge_atom e (Atom.Label label) then begin
-        let s, d = db.inst.Instance.endpoints e in
+    for e = db.inst.Snapshot.num_edges - 1 downto 0 do
+      if db.inst.Snapshot.edge_atom e (Atom.Label label) then begin
+        let s, d = (Snapshot.endpoints db.inst) e in
         if not (Hashtbl.mem db.has_edge (label, s, d)) then begin
           Hashtbl.replace db.has_edge (label, s, d) ();
           pairs := (s, d) :: !pairs
@@ -116,18 +116,18 @@ let pairs_with_label db label =
 (* ---------------- Naive Tarskian evaluation --------------------------- *)
 
 let rec holds db env = function
-  | Node_pred (l, x) -> db.inst.Instance.node_atom (List.assoc x env) (Atom.Label l)
+  | Node_pred (l, x) -> db.inst.Snapshot.node_atom (List.assoc x env) (Atom.Label l)
   | Edge_pred (l, x, y) -> edge_holds db l (List.assoc x env) (List.assoc y env)
   | Eq (x, y) -> List.assoc x env = List.assoc y env
   | Neg f -> not (holds db env f)
   | And (f, g) -> holds db env f && holds db env g
   | Or (f, g) -> holds db env f || holds db env g
   | Exists (x, f) ->
-      let n = db.inst.Instance.num_nodes in
+      let n = db.inst.Snapshot.num_nodes in
       let rec loop v = v < n && (holds db ((x, v) :: env) f || loop (v + 1)) in
       loop 0
   | Forall (x, f) ->
-      let n = db.inst.Instance.num_nodes in
+      let n = db.inst.Snapshot.num_nodes in
       let rec loop v = v >= n || (holds db ((x, v) :: env) f && loop (v + 1)) in
       loop 0
 
@@ -143,7 +143,7 @@ let eval_naive inst formula ~free =
   check_unary formula ~free;
   let db = db_of_instance inst in
   let out = ref [] in
-  for v = inst.Instance.num_nodes - 1 downto 0 do
+  for v = inst.Snapshot.num_nodes - 1 downto 0 do
     if holds db [ (free, v) ] formula then out := v :: !out
   done;
   !out
@@ -175,7 +175,7 @@ let extend inst rel to_vars =
     if List.length to_vars > arity_cap then
       invalid_arg "Fo.eval_bounded: intermediate arity exceeds the variable bound";
     let out = rel_create to_vars in
-    let n = inst.Instance.num_nodes in
+    let n = inst.Snapshot.num_nodes in
     let rec assignments acc = function
       | [] ->
           Hashtbl.iter
@@ -243,7 +243,7 @@ let rel_neg inst rel =
   if List.length rel.vars > arity_cap then
     invalid_arg "Fo.eval_bounded: negation arity exceeds the variable bound";
   let out = rel_create rel.vars in
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let rec loop acc = function
     | [] -> begin
         let tuple = List.rev acc in
@@ -267,8 +267,8 @@ let rel_project rel keep_vars =
 let rec eval_rel inst db = function
   | Node_pred (l, x) ->
       let out = rel_create [ x ] in
-      for v = 0 to inst.Instance.num_nodes - 1 do
-        if inst.Instance.node_atom v (Atom.Label l) then rel_add out [ v ]
+      for v = 0 to inst.Snapshot.num_nodes - 1 do
+        if inst.Snapshot.node_atom v (Atom.Label l) then rel_add out [ v ]
       done;
       out
   | Edge_pred (l, x, y) ->
@@ -290,7 +290,7 @@ let rec eval_rel inst db = function
   | Eq (x, y) ->
       if x = y then begin
         let out = rel_create [ x ] in
-        for v = 0 to inst.Instance.num_nodes - 1 do
+        for v = 0 to inst.Snapshot.num_nodes - 1 do
           rel_add out [ v ]
         done;
         out
@@ -298,7 +298,7 @@ let rec eval_rel inst db = function
       else begin
         let vars = List.sort compare [ x; y ] in
         let out = rel_create vars in
-        for v = 0 to inst.Instance.num_nodes - 1 do
+        for v = 0 to inst.Snapshot.num_nodes - 1 do
           rel_add out [ v; v ]
         done;
         out

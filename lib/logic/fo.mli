@@ -38,10 +38,10 @@ val pp : Format.formatter -> formula -> unit
 (** Shared edge-label lookup structures. *)
 type db
 
-val db_of_instance : Instance.t -> db
+val db_of_instance : Snapshot.t -> db
 
 (** The instance a db was built from. *)
-val db_instance : db -> Instance.t
+val db_instance : db -> Snapshot.t
 
 (** Is there an edge so labeled from the first node to the second? *)
 val edge_holds : db -> Const.t -> int -> int -> bool
@@ -51,13 +51,13 @@ val holds : db -> (string * int) list -> formula -> bool
 
 (** Unary query by direct evaluation, O(n^quantifier-rank); the formula
     must have no free variables beyond [free]. Sorted answers. *)
-val eval_naive : Instance.t -> formula -> free:string -> int list
+val eval_naive : Snapshot.t -> formula -> free:string -> int list
 
 (** Unary query by bottom-up relational evaluation; every subformula's
     extension is a table over its free variables. Raises when an
     intermediate arity exceeds the variable bound (3) — that cap is the
     bounded-variable discipline [Vardi 1995]. *)
-val eval_bounded : Instance.t -> formula -> free:string -> int list
+val eval_bounded : Snapshot.t -> formula -> free:string -> int list
 
 (** {2 The paper's worked formulas} *)
 

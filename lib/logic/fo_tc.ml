@@ -40,7 +40,7 @@ let rec free_vars = function
    a ->+ b (or ->* when reflexive).  One BFS per source over the
    step-pair adjacency. *)
 let closure_relation ?max_length inst step ~reflexive =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let successors = Array.make n [] in
   List.iter
     (fun (a, b) -> successors.(a) <- b :: successors.(a))
@@ -83,7 +83,7 @@ let eval ?max_length inst formula ~free =
         c
   in
   let db = Fo.db_of_instance inst in
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let rec holds env = function
     | Fo f -> Fo.holds db env f
     | Tc { step; reflexive; src; dst } ->

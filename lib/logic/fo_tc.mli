@@ -22,4 +22,4 @@ val free_vars : formula -> Vars.t
 (** Unary query in [free]; every other variable must be bound. Each
     distinct step relation is materialized once (RPQ engine) and closed
     by BFS, so TC atoms cost O(n·(n+m)) total. Sorted answers. *)
-val eval : ?max_length:int -> Gqkg_graph.Instance.t -> formula -> free:string -> int list
+val eval : ?max_length:int -> Gqkg_graph.Snapshot.t -> formula -> free:string -> int list

@@ -73,13 +73,13 @@ let pp ppf f = Fmt.string ppf (to_string f)
 (* Bottom-up evaluation: one boolean array per subformula, each Diamond a
    single pass over the adjacency — O(size(φ) · (n + m)). *)
 let eval inst formula =
-  let n = inst.Instance.num_nodes in
+  let n = inst.Snapshot.num_nodes in
   let cache : (t, bool array) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun f ->
       let row =
         match f with
-        | Atom a -> Array.init n (fun v -> inst.Instance.node_atom v a)
+        | Atom a -> Array.init n (fun v -> inst.Snapshot.node_atom v a)
         | True -> Array.make n true
         | Not g ->
             let gr = Hashtbl.find cache g in
@@ -94,8 +94,8 @@ let eval inst formula =
             let gr = Hashtbl.find cache g in
             Array.init n (fun v ->
                 let count = ref 0 in
-                Array.iter (fun (_e, w) -> if gr.(w) then incr count) (inst.Instance.out_edges v);
-                Array.iter (fun (_e, u) -> if gr.(u) then incr count) (inst.Instance.in_edges v);
+                Array.iter (fun (_e, w) -> if gr.(w) then incr count) ((Snapshot.out_pairs inst) v);
+                Array.iter (fun (_e, u) -> if gr.(u) then incr count) ((Snapshot.in_pairs inst) v);
                 !count >= k)
       in
       Hashtbl.replace cache f row)

@@ -31,7 +31,7 @@ val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
 (** Truth value at every node, O(size · (n + m)). *)
-val eval : Instance.t -> t -> bool array
+val eval : Snapshot.t -> t -> bool array
 
 (** The satisfying nodes, ascending. *)
-val models : Instance.t -> t -> int list
+val models : Snapshot.t -> t -> int list

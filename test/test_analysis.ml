@@ -33,7 +33,7 @@ let with_analysis flag f =
 let contact () =
   Gqkg_workload.Contact_network.scaled (Gqkg_util.Splitmix.create 11) ~scale:1
 
-let contact_instance () = Property_graph.to_instance (contact ())
+let contact_instance () = Snapshot.of_property (contact ())
 
 (* ---------- Test simplification ---------- *)
 
@@ -202,7 +202,7 @@ let make_regex rseed =
 
 let make_instance (seed, nodes, edges) =
   let rng = Gqkg_util.Splitmix.create seed in
-  Labeled_graph.to_instance
+  Snapshot.of_labeled
     (Gqkg_workload.Gen_graph.random_labeled rng ~nodes ~edges ~node_labels:[ "a"; "b" ]
        ~edge_labels:[ "x"; "y" ])
 

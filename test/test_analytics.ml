@@ -19,7 +19,7 @@ let instance_of_edges ~nodes edges =
   done;
   List.iter (fun (s, d) -> ignore (Multigraph.Builder.fresh_edge b ~src:s ~dst:d)) edges;
   let g = Multigraph.Builder.freeze b in
-  Labeled_graph.to_instance
+  Snapshot.of_labeled
     (Labeled_graph.make ~base:g
        ~node_labels:(Array.make nodes (Const.str "node"))
        ~edge_labels:(Array.make (List.length edges) (Const.str "edge")))
@@ -117,7 +117,7 @@ let test_brandes_equals_naive () =
   let rng = Gqkg_util.Splitmix.create 17 in
   for _ = 1 to 10 do
     let lg = Gqkg_workload.Gen_graph.erdos_renyi_gnm rng ~nodes:8 ~edges:14 in
-    let inst = Labeled_graph.to_instance lg in
+    let inst = Snapshot.of_labeled lg in
     let fast = Centrality.betweenness ~directed:true inst in
     let slow = Centrality.betweenness_naive ~directed:true inst in
     Array.iteri
@@ -129,7 +129,7 @@ let test_brandes_equals_naive () =
 let test_betweenness_parallel_matches () =
   let rng = Gqkg_util.Splitmix.create 91 in
   let lg = Gqkg_workload.Gen_graph.erdos_renyi_gnm rng ~nodes:150 ~edges:500 in
-  let inst = Labeled_graph.to_instance lg in
+  let inst = Snapshot.of_labeled lg in
   let sequential = Centrality.betweenness ~directed:true inst in
   let parallel = Centrality.betweenness_parallel ~domains:4 ~directed:true inst in
   Array.iteri
@@ -147,10 +147,10 @@ let test_bcr_figure2_bus () =
   (* With r = ?person/rides/?bus/rides^-/?infected, the bus n3 carries the
      single matching (shortest) path between n1 and n2, so bc_r(n3) = 1 —
      while the company n5 never appears on a transport path. *)
-  let inst = Property_graph.to_instance (Figure2.property ()) in
+  let inst = Snapshot.of_property (Figure2.property ()) in
   let r = parse "?person/rides/?bus/rides^-/?infected" in
   let bc = Regex_centrality.exact inst r in
-  let name v = inst.Instance.node_name v in
+  let name v = inst.Snapshot.node_name v in
   Array.iteri
     (fun v score ->
       match name v with
@@ -163,12 +163,12 @@ let test_bcr_vs_plain_bc_differ () =
      (company ↔ riders), while bc_r restricted to transport paths counts
      only person-bus-infected journeys — so the bus's plain score strictly
      exceeds its transport score. *)
-  let inst = Property_graph.to_instance (Figure2.property ()) in
+  let inst = Snapshot.of_property (Figure2.property ()) in
   let plain = Centrality.betweenness ~directed:false inst in
   let r = parse "?person/rides/?bus/rides^-/?infected" in
   let constrained = Regex_centrality.exact inst r in
   let n3 =
-    let rec find v = if inst.Instance.node_name v = "n3" then v else find (v + 1) in
+    let rec find v = if inst.Snapshot.node_name v = "n3" then v else find (v + 1) in
     find 0
   in
   (* plain: shortest paths n5-n1, n5-n2 and both n5-n4 paths pass
@@ -184,7 +184,7 @@ let test_bcr_exact_unconstrained_matches_brandes () =
   let rng = Gqkg_util.Splitmix.create 23 in
   for _ = 1 to 5 do
     let lg = Gqkg_workload.Gen_graph.erdos_renyi_gnm rng ~nodes:7 ~edges:12 in
-    let inst = Labeled_graph.to_instance lg in
+    let inst = Snapshot.of_labeled lg in
     let r = Gqkg_automata.Regex.plus Gqkg_automata.Regex.any_edge in
     let constrained = Regex_centrality.exact ~max_length:7 inst r in
     let brandes = Centrality.betweenness ~directed:true inst in
@@ -198,7 +198,7 @@ let test_bcr_exact_domain_independent () =
      summation noise. *)
   let rng = Gqkg_util.Splitmix.create 47 in
   let pg = Gqkg_workload.Contact_network.generate rng in
-  let inst = Property_graph.to_instance pg in
+  let inst = Snapshot.of_property pg in
   let r = parse "?person/rides/?bus/rides^-/?person" in
   let seq = Regex_centrality.exact ~domains:1 inst r in
   let par = Regex_centrality.exact ~domains:4 inst r in
@@ -209,7 +209,7 @@ let test_bcr_exact_domain_independent () =
 let test_bcr_approximate_close_to_exact () =
   let rng = Gqkg_util.Splitmix.create 31 in
   let pg = Gqkg_workload.Contact_network.generate rng in
-  let inst = Property_graph.to_instance pg in
+  let inst = Snapshot.of_property pg in
   let r = parse "?person/rides/?bus/rides^-/?person" in
   let exact = Regex_centrality.exact inst r in
   let approx = Regex_centrality.approximate ~samples:64 ~seed:5 inst r in
@@ -228,7 +228,7 @@ let test_bcr_approximate_close_to_exact () =
 let test_pagerank_sums_to_one () =
   let rng = Gqkg_util.Splitmix.create 41 in
   let lg = Gqkg_workload.Gen_graph.erdos_renyi_gnm rng ~nodes:30 ~edges:80 in
-  let pr = Centrality.pagerank (Labeled_graph.to_instance lg) in
+  let pr = Centrality.pagerank (Snapshot.of_labeled lg) in
   let total = Array.fold_left ( +. ) 0.0 pr in
   checkb "stochastic" true (Float.abs (total -. 1.0) < 1e-6)
 
@@ -278,7 +278,7 @@ let test_walk_counts_match_enumeration () =
   (* Walk counts with unconstrained regex path counts (any-edge^k). *)
   let rng = Gqkg_util.Splitmix.create 53 in
   let lg = Gqkg_workload.Gen_graph.erdos_renyi_gnm rng ~nodes:5 ~edges:8 in
-  let inst = Labeled_graph.to_instance lg in
+  let inst = Snapshot.of_labeled lg in
   let r = Gqkg_automata.Regex.(Seq (any_edge, Seq (any_edge, any_edge))) in
   let via_regex = Gqkg_core.Count.count inst r ~length:3 in
   checkf "regex = adjacency power" via_regex (Walks.total inst ~length:3)
@@ -381,7 +381,7 @@ let test_densest_goldberg_at_least_charikar () =
   let rng = Gqkg_util.Splitmix.create 61 in
   for _ = 1 to 5 do
     let lg = Gqkg_workload.Gen_graph.erdos_renyi_gnm rng ~nodes:12 ~edges:30 in
-    let inst = Labeled_graph.to_instance lg in
+    let inst = Snapshot.of_labeled lg in
     let _, dc = Densest.charikar inst in
     let _, dg = Densest.goldberg inst in
     checkb "exact >= greedy" true (dg >= dc -. 1e-9)
@@ -412,16 +412,16 @@ let test_kcore_definition_property () =
   let rng = Gqkg_util.Splitmix.create 71 in
   for _ = 1 to 10 do
     let lg = Gqkg_workload.Gen_graph.erdos_renyi_gnm rng ~nodes:15 ~edges:40 in
-    let inst = Labeled_graph.to_instance lg in
+    let inst = Snapshot.of_labeled lg in
     let k = max 1 (Kcore.degeneracy inst) in
     let members = Kcore.core inst ~k in
-    let in_core = Array.make inst.Instance.num_nodes false in
+    let in_core = Array.make inst.Snapshot.num_nodes false in
     List.iter (fun v -> in_core.(v) <- true) members;
     List.iter
       (fun v ->
         let inside = ref 0 in
-        Array.iter (fun (e, w) -> let s, d = inst.Instance.endpoints e in if s <> d && in_core.(w) then incr inside) (inst.Instance.out_edges v);
-        Array.iter (fun (e, u) -> let s, d = inst.Instance.endpoints e in if s <> d && in_core.(u) then incr inside) (inst.Instance.in_edges v);
+        Array.iter (fun (e, w) -> let s, d = (Snapshot.endpoints inst) e in if s <> d && in_core.(w) then incr inside) ((Snapshot.out_pairs inst) v);
+        Array.iter (fun (e, u) -> let s, d = (Snapshot.endpoints inst) e in if s <> d && in_core.(u) then incr inside) ((Snapshot.in_pairs inst) v);
         checkb "internal degree >= k" true (!inside >= k))
       members
   done
@@ -541,7 +541,7 @@ let test_bisimulation_source_extraction_exact () =
       { Gqkg_workload.Gen_regex.default with node_labels = [ "a"; "b" ]; edge_labels = [ "x"; "y" ] }
     in
     let r = forwardize (Gqkg_workload.Gen_regex.generate ~params rng) in
-    let direct = Gqkg_core.Rpq.source_nodes ~max_length:6 (Labeled_graph.to_instance lg) r in
+    let direct = Gqkg_core.Rpq.source_nodes ~max_length:6 (Snapshot.of_labeled lg) r in
     let via_index = Bisimulation.source_nodes_via_quotient ~max_length:6 index r in
     checkb (Printf.sprintf "trial %d exact" trial) true (direct = via_index)
   done
@@ -556,7 +556,7 @@ let graph_gen =
     return (seed, nodes, edges))
 
 let make_inst (seed, nodes, edges) =
-  Labeled_graph.to_instance
+  Snapshot.of_labeled
     (Gqkg_workload.Gen_graph.erdos_renyi_gnm (Gqkg_util.Splitmix.create seed) ~nodes ~edges)
 
 let prop_brandes_naive =
@@ -576,8 +576,8 @@ let prop_components_partition =
       let inst = make_inst g in
       let labels, count = Traversal.weakly_connected_components inst in
       let ok = ref (count > 0) in
-      for e = 0 to inst.Instance.num_edges - 1 do
-        let s, d = inst.Instance.endpoints e in
+      for e = 0 to inst.Snapshot.num_edges - 1 do
+        let s, d = (Snapshot.endpoints inst) e in
         if labels.(s) <> labels.(d) then ok := false
       done;
       !ok)

@@ -245,7 +245,7 @@ let prop_simplify_preserves_semantics =
     QCheck2.Gen.(pair (int_bound 1_000_000) (int_bound 1_000_000))
     (fun (gseed, rseed) ->
       let inst =
-        Gqkg_graph.Labeled_graph.to_instance
+        Gqkg_graph.Snapshot.of_labeled
           (Gqkg_workload.Gen_graph.random_labeled
              (Gqkg_util.Splitmix.create gseed)
              ~nodes:5 ~edges:9 ~node_labels:[ "a"; "b" ] ~edge_labels:[ "x"; "y" ])

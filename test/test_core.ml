@@ -12,12 +12,12 @@ let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 let parse = Regex_parser.parse
 
-let fig2 () = Property_graph.to_instance (Figure2.property ())
+let fig2 () = Snapshot.of_property (Figure2.property ())
 
 let node inst name =
   let rec find v =
-    if v >= inst.Instance.num_nodes then Alcotest.fail ("no node " ^ name)
-    else if inst.Instance.node_name v = name then v
+    if v >= inst.Snapshot.num_nodes then Alcotest.fail ("no node " ^ name)
+    else if inst.Snapshot.node_name v = name then v
     else find (v + 1)
   in
   find 0
@@ -53,8 +53,8 @@ let test_path_well_formed () =
   (* e1 = contact n1 -> n2: its edge index is discoverable via endpoints. *)
   let e1 =
     let rec find e =
-      if e >= inst.Instance.num_edges then Alcotest.fail "no contact edge"
-      else if inst.Instance.endpoints e = (n1, n2) then e
+      if e >= inst.Snapshot.num_edges then Alcotest.fail "no contact edge"
+      else if (Snapshot.endpoints inst) e = (n1, n2) then e
       else find (e + 1)
     in
     find 0
@@ -99,7 +99,7 @@ let test_negated_backward_example () =
     (fun p ->
       checki "length 1" 1 (Path.length p);
       let e = Path.edge p 0 in
-      let s, d = inst.Instance.endpoints e in
+      let s, d = (Snapshot.endpoints inst) e in
       checki "traversed backwards: starts at head" (Path.start_node p) d;
       checki "ends at tail" (Path.end_node p) s)
     paths
@@ -117,8 +117,8 @@ let test_vector_rewriting_agrees () =
     parse
       (Printf.sprintf "?(f1=person)/(f1=contact & f%d=3/4/21)/?(f1=infected)" date_feature)
   in
-  let pairs_pg = Rpq.eval_pairs (Property_graph.to_instance pg) property_query in
-  let pairs_vg = Rpq.eval_pairs (Vector_graph.to_instance vg) vector_query in
+  let pairs_pg = Rpq.eval_pairs (Snapshot.of_property pg) property_query in
+  let pairs_vg = Rpq.eval_pairs (Snapshot.of_vector vg) vector_query in
   checkb "same answers" true (pairs_pg = pairs_vg && List.length pairs_pg = 1)
 
 (* ---------- matches_path is the semantics ---------- *)
@@ -128,8 +128,8 @@ let test_matches_path_examples () =
   let n1 = node inst "n1" and n2 = node inst "n2" and n3 = node inst "n3" in
   let edge_between a b =
     let rec find e =
-      if e >= inst.Instance.num_edges then Alcotest.fail "edge not found"
-      else if inst.Instance.endpoints e = (a, b) then e
+      if e >= inst.Snapshot.num_edges then Alcotest.fail "edge not found"
+      else if (Snapshot.endpoints inst) e = (a, b) then e
       else find (e + 1)
     in
     find 0
@@ -153,7 +153,7 @@ let test_self_loop_single_count () =
       ~nodes:[ (Const.str "v", Const.str "node") ]
       ~edges:[ (Const.str "loop", Const.str "v", Const.str "v", Const.str "a") ]
   in
-  let inst = Labeled_graph.to_instance lg in
+  let inst = Snapshot.of_labeled lg in
   (* 'a + a^-' both match the loop, but it is the same path. *)
   let r = parse "a + a^-" in
   checki "naive count" 1 (Naive.count inst r ~length:1);
@@ -212,7 +212,7 @@ let test_count_between () =
   let product = Product.create inst r2 in
   let table = Count.build product ~depth:3 in
   let by_pairs = ref 0.0 in
-  for b = 0 to inst.Instance.num_nodes - 1 do
+  for b = 0 to inst.Snapshot.num_nodes - 1 do
     by_pairs := !by_pairs +. Count.count_between inst r2 ~source:n1 ~target:b ~length:3
   done;
   checkb "pairwise sums to per-source" true (!by_pairs = Count.count_from table ~source:n1 ~length:3)
@@ -351,7 +351,7 @@ let test_approx_count_small_exact () =
 let test_approx_count_larger_graph () =
   let rng = Gqkg_util.Splitmix.create 99 in
   let pg = Gqkg_workload.Contact_network.generate rng in
-  let inst = Property_graph.to_instance pg in
+  let inst = Snapshot.of_property pg in
   let r = parse "?person/rides/?bus/rides^-/?infected" in
   let k = 2 in
   let exact = Count.count inst r ~length:k in
@@ -369,7 +369,7 @@ let test_approx_count_mixed_multiplicities () =
       ~params:{ Gqkg_workload.Contact_network.default with people = 40; contacts = 40 }
       rng
   in
-  let inst = Property_graph.to_instance pg in
+  let inst = Snapshot.of_property pg in
   let amb = parse "(contact + !lives + contact^- + !lives^-)*" in
   List.iter
     (fun k ->
@@ -413,7 +413,7 @@ let instance_gen =
 
 let make_instance (seed, nodes, edges) =
   let rng = Gqkg_util.Splitmix.create seed in
-  Labeled_graph.to_instance
+  Snapshot.of_labeled
     (Gqkg_workload.Gen_graph.random_labeled rng ~nodes ~edges ~node_labels:[ "a"; "b" ]
        ~edge_labels:[ "x"; "y" ])
 
@@ -502,16 +502,16 @@ let steps_of_path inst p =
   List.init (Path.length p) (fun i ->
       let e = Path.edge p i in
       let v = Path.node p i and w = Path.node p (i + 1) in
-      let s, d = inst.Instance.endpoints e in
+      let s, d = (Snapshot.endpoints inst) e in
       {
-        Derivative.edge_sat = inst.Instance.edge_atom e;
+        Derivative.edge_sat = inst.Snapshot.edge_atom e;
         forward_ok = s = v && d = w;
         backward_ok = s = w && d = v;
-        dst_sat = inst.Instance.node_atom w;
+        dst_sat = inst.Snapshot.node_atom w;
       })
 
 let derivative_matches inst r p =
-  Derivative.matches ~start_sat:(inst.Instance.node_atom (Path.start_node p)) (steps_of_path inst p) r
+  Derivative.matches ~start_sat:(inst.Snapshot.node_atom (Path.start_node p)) (steps_of_path inst p) r
 
 let test_derivative_on_worked_examples () =
   let inst = fig2 () in
@@ -589,8 +589,8 @@ let prop_count_between_matches_naive =
           Hashtbl.replace per_pair key (1 + Option.value (Hashtbl.find_opt per_pair key) ~default:0))
         naive;
       let ok = ref true in
-      for a = 0 to inst.Instance.num_nodes - 1 do
-        for b = 0 to inst.Instance.num_nodes - 1 do
+      for a = 0 to inst.Snapshot.num_nodes - 1 do
+        for b = 0 to inst.Snapshot.num_nodes - 1 do
           let expected = float_of_int (Option.value (Hashtbl.find_opt per_pair (a, b)) ~default:0) in
           if Count.count_between inst r ~source:a ~target:b ~length:k <> expected then ok := false
         done

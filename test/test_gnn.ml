@@ -15,7 +15,7 @@ let instance_of_edges ~nodes edges =
   done;
   List.iter (fun (s, d) -> ignore (Multigraph.Builder.fresh_edge b ~src:s ~dst:d)) edges;
   let g = Multigraph.Builder.freeze b in
-  Labeled_graph.to_instance
+  Snapshot.of_labeled
     (Labeled_graph.make ~base:g
        ~node_labels:(Array.make nodes (Const.str "node"))
        ~edge_labels:(Array.make (List.length edges) (Const.str "edge")))
@@ -255,12 +255,12 @@ let compile_and_compare inst formula =
   via_gnn = via_logic
 
 let test_compile_atoms () =
-  let inst = Property_graph.to_instance (Figure2.property ()) in
+  let inst = Snapshot.of_property (Figure2.property ()) in
   checkb "label atom" true (compile_and_compare inst (Gml.label "person"));
   checkb "true" true (compile_and_compare inst Gml.True)
 
 let test_compile_connectives () =
-  let inst = Property_graph.to_instance (Figure2.property ()) in
+  let inst = Snapshot.of_property (Figure2.property ()) in
   List.iter
     (fun f -> checkb (Gml.to_string f) true (compile_and_compare inst f))
     [
@@ -271,7 +271,7 @@ let test_compile_connectives () =
     ]
 
 let test_compile_diamond () =
-  let inst = Property_graph.to_instance (Figure2.property ()) in
+  let inst = Snapshot.of_property (Figure2.property ()) in
   List.iter
     (fun f -> checkb (Gml.to_string f) true (compile_and_compare inst f))
     [
@@ -296,7 +296,7 @@ let test_gnn_wl_invariance () =
       Gqkg_workload.Gen_graph.random_labeled rng ~nodes:10 ~edges:20 ~node_labels:[ "a"; "b" ]
         ~edge_labels:[ "e" ]
     in
-    let inst = Labeled_graph.to_instance lg in
+    let inst = Snapshot.of_labeled lg in
     let formula =
       Gml.Or
         ( Gml.diamond ~at_least:2 (Gml.label "a"),
@@ -306,10 +306,10 @@ let test_gnn_wl_invariance () =
     let outputs = Logic_gnn.classify compiled inst in
     let coloring =
       Wl.refine inst ~init:(fun v ->
-          Hashtbl.hash (inst.Instance.node_atom v (Atom.label "a"), inst.Instance.node_atom v (Atom.label "b")))
+          Hashtbl.hash (inst.Snapshot.node_atom v (Atom.label "a"), inst.Snapshot.node_atom v (Atom.label "b")))
     in
-    for u = 0 to inst.Instance.num_nodes - 1 do
-      for v = u + 1 to inst.Instance.num_nodes - 1 do
+    for u = 0 to inst.Snapshot.num_nodes - 1 do
+      for v = u + 1 to inst.Snapshot.num_nodes - 1 do
         if coloring.Wl.colors.(u) = coloring.Wl.colors.(v) then
           checkb (Printf.sprintf "trial %d: %d ~ %d" trial u v) true (outputs.(u) = outputs.(v))
       done
@@ -346,7 +346,7 @@ let prop_gnn_equals_logic =
     QCheck2.Gen.(pair graph_gen gml_gen)
     (fun ((seed, nodes, edges), formula) ->
       let inst =
-        Labeled_graph.to_instance
+        Snapshot.of_labeled
           (Gqkg_workload.Gen_graph.random_labeled
              (Gqkg_util.Splitmix.create seed)
              ~nodes ~edges ~node_labels:[ "a"; "b" ] ~edge_labels:[ "e" ])
@@ -360,18 +360,18 @@ let prop_wl_refines_formula_classes =
     QCheck2.Gen.(pair graph_gen gml_gen)
     (fun ((seed, nodes, edges), formula) ->
       let inst =
-        Labeled_graph.to_instance
+        Snapshot.of_labeled
           (Gqkg_workload.Gen_graph.random_labeled
              (Gqkg_util.Splitmix.create seed)
              ~nodes ~edges ~node_labels:[ "a"; "b" ] ~edge_labels:[ "e" ])
       in
       let coloring =
-        Wl.refine inst ~init:(fun v -> if inst.Instance.node_atom v (Atom.label "a") then 0 else 1)
+        Wl.refine inst ~init:(fun v -> if inst.Snapshot.node_atom v (Atom.label "a") then 0 else 1)
       in
       let truth = Gml.eval inst formula in
       let ok = ref true in
-      for u = 0 to inst.Instance.num_nodes - 1 do
-        for v = u + 1 to inst.Instance.num_nodes - 1 do
+      for u = 0 to inst.Snapshot.num_nodes - 1 do
+        for v = u + 1 to inst.Snapshot.num_nodes - 1 do
           if coloring.Wl.colors.(u) = coloring.Wl.colors.(v) && truth.(u) <> truth.(v) then ok := false
         done
       done;

@@ -154,12 +154,12 @@ let test_property_figure2 () =
 
 let test_property_edge_props () =
   let g = Figure2.property () in
-  let inst = Property_graph.to_instance g in
+  let inst = Snapshot.of_property g in
   (* e1 is the contact edge dated 3/4/21 *)
   let date = Const.date ~year:2021 ~month:3 ~day:4 in
   let found = ref 0 in
   for e = 0 to Property_graph.num_edges g - 1 do
-    if inst.Instance.edge_atom e (Atom.prop "date" date) then incr found
+    if inst.Snapshot.edge_atom e (Atom.prop "date" date) then incr found
   done;
   checki "one contact on 3/4" 1 !found
 
@@ -263,13 +263,13 @@ let test_labeled_to_vector () =
 
 let test_instance_consistency () =
   let pg = Figure2.property () in
-  let inst = Property_graph.to_instance pg in
-  checki "nodes" (Property_graph.num_nodes pg) inst.Instance.num_nodes;
-  checki "edges" (Property_graph.num_edges pg) inst.Instance.num_edges;
-  for e = 0 to inst.Instance.num_edges - 1 do
-    let s, d = inst.Instance.endpoints e in
-    checkb "out contains" true (Array.exists (fun (e', w) -> e' = e && w = d) (inst.Instance.out_edges s));
-    checkb "in contains" true (Array.exists (fun (e', u) -> e' = e && u = s) (inst.Instance.in_edges d))
+  let inst = Snapshot.of_property pg in
+  checki "nodes" (Property_graph.num_nodes pg) inst.Snapshot.num_nodes;
+  checki "edges" (Property_graph.num_edges pg) inst.Snapshot.num_edges;
+  for e = 0 to inst.Snapshot.num_edges - 1 do
+    let s, d = (Snapshot.endpoints inst) e in
+    checkb "out contains" true (Array.exists (fun (e', w) -> e' = e && w = d) ((Snapshot.out_pairs inst) s));
+    checkb "in contains" true (Array.exists (fun (e', u) -> e' = e && u = s) ((Snapshot.in_pairs inst) d))
   done
 
 (* ---------- Graph I/O ---------- *)

@@ -15,7 +15,7 @@ let parse = Regex_parser.parse
    models with different node numbering. *)
 let named_pairs inst ?max_length r =
   Rpq.eval_pairs ?max_length inst r
-  |> List.map (fun (a, b) -> (inst.Instance.node_name a, inst.Instance.node_name b))
+  |> List.map (fun (a, b) -> (inst.Snapshot.node_name a, inst.Snapshot.node_name b))
   |> List.sort compare
 
 (* ---------- E2/E3: one query, four data models ---------- *)
@@ -28,9 +28,9 @@ let test_paper_queries_across_models () =
   List.iter
     (fun q ->
       let r = parse q in
-      let on_pg = named_pairs (Property_graph.to_instance pg) r in
-      let on_lg = named_pairs (Labeled_graph.to_instance lg) r in
-      let on_vg = named_pairs (Vector_graph.to_instance vg) r in
+      let on_pg = named_pairs (Snapshot.of_property pg) r in
+      let on_lg = named_pairs (Snapshot.of_labeled lg) r in
+      let on_vg = named_pairs (Snapshot.of_vector vg) r in
       checkb (q ^ ": labeled = property") true (on_pg = on_lg);
       checkb (q ^ ": vector = property") true (on_pg = on_vg);
       checki (q ^ ": nonempty") 1 (List.length on_pg))
@@ -42,8 +42,8 @@ let test_paper_queries_over_rdf_mapping () =
   let pg = Figure2.property () in
   let store = Pg_rdf.of_property_graph pg in
   let rdf = Rdf_graph.of_store store in
-  let rdf_inst = Rdf_graph.to_instance rdf in
-  let pg_inst = Property_graph.to_instance pg in
+  let rdf_inst = Rdf_graph.to_snapshot rdf in
+  let pg_inst = Snapshot.of_property pg in
   List.iter
     (fun q ->
       let r = parse q in
@@ -61,8 +61,8 @@ let test_contact_network_pg_vs_rdf () =
   let rng = Gqkg_util.Splitmix.create 71 in
   let pg = Gqkg_workload.Contact_network.generate rng in
   let store = Pg_rdf.of_property_graph pg in
-  let rdf_inst = Rdf_graph.to_instance (Rdf_graph.of_store store) in
-  let pg_inst = Property_graph.to_instance pg in
+  let rdf_inst = Rdf_graph.to_snapshot (Rdf_graph.of_store store) in
+  let pg_inst = Snapshot.of_property pg in
   let r = parse Gqkg_workload.Contact_network.query_shared_bus in
   checki "same number of answer pairs"
     (List.length (Rpq.eval_pairs pg_inst r))
@@ -80,10 +80,10 @@ let test_rdfs_inference_enables_rpq () =
   add (Triple_store.triple (iri "urn:x/ana") (iri "urn:p/knows") (iri "urn:x/ben"));
   let query = parse "?person/knows/?person" in
   (* Before inference, ana is only a student: no match. *)
-  let before = Rpq.eval_pairs (Rdf_graph.to_instance (Rdf_graph.of_store s)) query in
+  let before = Rpq.eval_pairs (Rdf_graph.to_snapshot (Rdf_graph.of_store s)) query in
   checki "no pairs before" 0 (List.length before);
   ignore (Rdfs.materialize s);
-  let after = Rpq.eval_pairs (Rdf_graph.to_instance (Rdf_graph.of_store s)) query in
+  let after = Rpq.eval_pairs (Rdf_graph.to_snapshot (Rdf_graph.of_store s)) query in
   checki "one pair after" 1 (List.length after)
 
 (* ---------- Count / enumerate / sample / approx agree at scale ---------- *)
@@ -91,7 +91,7 @@ let test_rdfs_inference_enables_rpq () =
 let test_section41_stack_consistency () =
   let rng = Gqkg_util.Splitmix.create 73 in
   let pg = Gqkg_workload.Contact_network.generate rng in
-  let inst = Property_graph.to_instance pg in
+  let inst = Snapshot.of_property pg in
   let r = parse "?person/rides/?bus/rides^-/(?person + ?infected)" in
   let k = 2 in
   let exact = Count.count inst r ~length:k in
@@ -123,8 +123,8 @@ let test_file_roundtrip_preserves_answers () =
       let pg' = Graph_io.load_property_graph path in
       let r = parse Gqkg_workload.Contact_network.query_shared_bus in
       checkb "answers preserved" true
-        (named_pairs (Property_graph.to_instance pg) r
-        = named_pairs (Property_graph.to_instance pg') r))
+        (named_pairs (Snapshot.of_property pg) r
+        = named_pairs (Snapshot.of_property pg') r))
 
 let test_ntriples_roundtrip_preserves_answers () =
   let pg = Figure2.property () in
@@ -146,7 +146,7 @@ let test_ntriples_roundtrip_preserves_answers () =
 let test_bibliometrics_rpq_counts () =
   let store = Gqkg_workload.Bibliometrics.generate ~volume_scale:0.1 (Gqkg_util.Splitmix.create 83) in
   let rdf = Rdf_graph.of_store store in
-  let inst = Rdf_graph.to_instance rdf in
+  let inst = Rdf_graph.to_snapshot rdf in
   (* Pairs (publication, keyword-node) via the keyword predicate. *)
   let pairs = Rpq.eval_pairs inst (parse "?Publication/keyword") in
   let direct =
@@ -162,11 +162,11 @@ let test_transport_centrality_scenario () =
      transport paths count; plain betweenness has no such guarantee. *)
   let rng = Gqkg_util.Splitmix.create 89 in
   let pg = Gqkg_workload.Contact_network.generate rng in
-  let inst = Property_graph.to_instance pg in
+  let inst = Snapshot.of_property pg in
   let r = parse Gqkg_workload.Contact_network.query_bus_transport in
   let bcr = Gqkg_analytics.Regex_centrality.exact inst r in
   let order = Gqkg_analytics.Centrality.ranking bcr in
-  let is_bus v = inst.Instance.node_atom v (Atom.label "bus") in
+  let is_bus v = inst.Snapshot.node_atom v (Atom.label "bus") in
   (* All strictly-positive scores belong to buses. *)
   Array.iteri
     (fun v score -> if score > 0.0 then checkb (Printf.sprintf "node %d is a bus" v) true (is_bus v))
@@ -237,12 +237,12 @@ let test_parsers_never_crash () =
 (* ---------- Degenerate inputs: nothing crashes on tiny graphs ---------- *)
 
 let empty_instance () =
-  Property_graph.to_instance (Property_graph.Builder.freeze (Property_graph.Builder.create ()))
+  Snapshot.of_property (Property_graph.Builder.freeze (Property_graph.Builder.create ()))
 
 let singleton_instance () =
   let b = Property_graph.Builder.create () in
   ignore (Property_graph.Builder.add_node b (Const.str "solo") ~label:(Const.str "person"));
-  Property_graph.to_instance (Property_graph.Builder.freeze b)
+  Snapshot.of_property (Property_graph.Builder.freeze b)
 
 let test_empty_graph_everywhere () =
   let inst = empty_instance () in
@@ -283,7 +283,7 @@ let test_singleton_graph_everywhere () =
   checkb "crpq finds solo" true (Gqkg_logic.Crpq.answer_nodes inst q = [ 0 ])
 
 let test_zero_length_queries () =
-  let inst = Property_graph.to_instance (Figure2.property ()) in
+  let inst = Snapshot.of_property (Figure2.property ()) in
   (* k=0 through the whole Section 4.1 stack: trivial paths at matching
      nodes. *)
   let r = parse "?person + ?bus" in

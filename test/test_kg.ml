@@ -425,7 +425,7 @@ let test_rdf_graph_structure () =
 
 let test_rdf_graph_rpq () =
   let g = rdf_instance () in
-  let inst = Rdf_graph.to_instance g in
+  let inst = Rdf_graph.to_snapshot g in
   (* The paper's bus query, straight over RDF. *)
   let r = Regex_parser.parse "?person/rides/?bus/rides^-/?infected" in
   let pairs = Gqkg_core.Rpq.eval_pairs inst r in
@@ -436,13 +436,13 @@ let test_rdf_graph_rpq () =
 
 let test_rdf_graph_atoms () =
   let g = rdf_instance () in
-  let inst = Rdf_graph.to_instance g in
+  let inst = Rdf_graph.to_snapshot g in
   let julia = Option.get (Rdf_graph.find_node g (iri "urn:x/julia")) in
-  checkb "type by local name" true (inst.Instance.node_atom julia (Atom.label "person"));
-  checkb "type by full iri" true (inst.Instance.node_atom julia (Atom.label "urn:t/person"));
+  checkb "type by local name" true (inst.Snapshot.node_atom julia (Atom.label "person"));
+  checkb "type by full iri" true (inst.Snapshot.node_atom julia (Atom.label "urn:t/person"));
   checkb "property test" true
-    (inst.Instance.node_atom julia (Atom.prop "name" (Const.str "Julia")));
-  checkb "wrong value" false (inst.Instance.node_atom julia (Atom.prop "name" (Const.str "John")))
+    (inst.Snapshot.node_atom julia (Atom.prop "name" (Const.str "Julia")));
+  checkb "wrong value" false (inst.Snapshot.node_atom julia (Atom.prop "name" (Const.str "John")))
 
 (* ---------- QCheck ---------- *)
 

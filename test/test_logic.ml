@@ -8,12 +8,12 @@ open Gqkg_logic
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
-let fig2 () = Property_graph.to_instance (Figure2.property ())
+let fig2 () = Snapshot.of_property (Figure2.property ())
 
 let node inst name =
   let rec find v =
-    if v >= inst.Instance.num_nodes then Alcotest.fail ("no node " ^ name)
-    else if inst.Instance.node_name v = name then v
+    if v >= inst.Snapshot.num_nodes then Alcotest.fail ("no node " ^ name)
+    else if inst.Snapshot.node_name v = name then v
     else find (v + 1)
   in
   find 0
@@ -44,7 +44,7 @@ let test_phi_psi_on_random_graphs () =
       Gqkg_workload.Gen_graph.random_labeled rng ~nodes:8 ~edges:16
         ~node_labels:[ "person"; "bus"; "infected" ] ~edge_labels:[ "rides"; "contact" ]
     in
-    let inst = Labeled_graph.to_instance lg in
+    let inst = Snapshot.of_labeled lg in
     let a = Fo.eval_naive inst Fo.phi ~free:"x" in
     let b = Fo.eval_bounded inst Fo.phi ~free:"x" in
     let c = Fo.eval_naive inst Fo.psi ~free:"x" in
@@ -141,7 +141,7 @@ let test_fo_reused_equals_paper_psi () =
       Gqkg_workload.Gen_graph.random_labeled rng ~nodes:7 ~edges:14
         ~node_labels:[ "person"; "bus"; "infected" ] ~edge_labels:[ "rides"; "contact" ]
     in
-    let inst = Labeled_graph.to_instance lg in
+    let inst = Snapshot.of_labeled lg in
     checkb "equiv to psi" true
       (Fo.eval_bounded inst f ~free:"x" = Fo.eval_bounded inst Fo.psi ~free:"x")
   done
@@ -239,7 +239,7 @@ let simple_random_instance rng ~nodes ~p =
         ignore (Labeled_graph.Builder.fresh_edge b ~src:u ~dst:v ~label:(Const.str "e"))
     done
   done;
-  Labeled_graph.to_instance (Labeled_graph.Builder.freeze b)
+  Snapshot.of_labeled (Labeled_graph.Builder.freeze b)
 
 let test_c2_gml_embedding () =
   (* On simple graphs the GML->C2 translation is exact. *)
@@ -272,14 +272,14 @@ let test_c2_wl_invariance () =
   in
   for _ = 1 to 10 do
     let lg = Gqkg_workload.Gen_graph.erdos_renyi_gnp rng ~nodes:10 ~p:0.2 in
-    let inst = Labeled_graph.to_instance lg in
+    let inst = Snapshot.of_labeled lg in
     let coloring = Gqkg_gnn.Wl.refine_unlabeled inst in
     List.iter
       (fun f ->
-        let sat = Array.make inst.Instance.num_nodes false in
+        let sat = Array.make inst.Snapshot.num_nodes false in
         List.iter (fun v -> sat.(v) <- true) (C2.eval inst f ~free:"x");
-        for u = 0 to inst.Instance.num_nodes - 1 do
-          for v = u + 1 to inst.Instance.num_nodes - 1 do
+        for u = 0 to inst.Snapshot.num_nodes - 1 do
+          for v = u + 1 to inst.Snapshot.num_nodes - 1 do
             if coloring.Gqkg_gnn.Wl.colors.(u) = coloring.Gqkg_gnn.Wl.colors.(v) then
               checkb "same color, same C2 truth" true (sat.(u) = sat.(v))
           done
@@ -326,7 +326,7 @@ let test_cq_self_loop_pattern () =
   let n1 = Labeled_graph.Builder.add_node b (Const.str "v") ~label:(Const.str "node") in
   ignore (Labeled_graph.Builder.add_edge b (Const.str "e0") ~src:n0 ~dst:n1 ~label:(Const.str "a"));
   ignore (Labeled_graph.Builder.add_edge b (Const.str "e1") ~src:n1 ~dst:n1 ~label:(Const.str "a"));
-  let inst = Labeled_graph.to_instance (Labeled_graph.Builder.freeze b) in
+  let inst = Snapshot.of_labeled (Labeled_graph.Builder.freeze b) in
   let q = Cq.query ~head:[ "x" ] ~body:[ Cq.edge_atom "a" "x" "x" ] in
   checkb "only the loop" true (Cq.answer_nodes inst q = [ n1 ])
 
@@ -338,7 +338,7 @@ let test_cq_agrees_with_fo () =
       Gqkg_workload.Gen_graph.random_labeled rng ~nodes:7 ~edges:12
         ~node_labels:[ "person"; "bus" ] ~edge_labels:[ "rides"; "contact" ]
     in
-    let inst = Labeled_graph.to_instance lg in
+    let inst = Snapshot.of_labeled lg in
     let q =
       Cq.query ~head:[ "x" ]
         ~body:[ Cq.node_atom "person" "x"; Cq.edge_atom "rides" "x" "y"; Cq.node_atom "bus" "y" ]
@@ -386,7 +386,7 @@ let test_crpq_agrees_with_naive () =
       Gqkg_workload.Gen_graph.random_labeled rng ~nodes:6 ~edges:12
         ~node_labels:[ "person"; "bus" ] ~edge_labels:[ "rides"; "contact" ]
     in
-    let inst = Labeled_graph.to_instance lg in
+    let inst = Snapshot.of_labeled lg in
     let q =
       Crpq.query ~head:[ "x"; "z" ]
         ~body:
@@ -451,7 +451,7 @@ let test_crpq_limit () =
     Gqkg_workload.Gen_graph.random_labeled rng ~nodes:8 ~edges:20 ~node_labels:[ "person" ]
       ~edge_labels:[ "contact" ]
   in
-  let inst = Labeled_graph.to_instance lg in
+  let inst = Snapshot.of_labeled lg in
   let body = [ Crpq.atom ~src:"x" ~regex:(Regex_parser.parse "contact") ~dst:"y" ] in
   let all = Crpq.answers inst (Crpq.query ~head:[ "x"; "y" ] ~body ()) in
   checkb "several answers" true (List.length all > 3);
@@ -503,7 +503,7 @@ let test_fo_tc_matches_star_regex () =
       Gqkg_workload.Gen_graph.random_labeled rng ~nodes:7 ~edges:12 ~node_labels:[ "a" ]
         ~edge_labels:[ "e"; "f" ]
     in
-    let inst = Labeled_graph.to_instance lg in
+    let inst = Snapshot.of_labeled lg in
     let step = Regex_parser.parse "e" in
     let f = Fo_tc.Exists ("y", Fo_tc.tc step ~src:"x" ~dst:"y") in
     let via_tc = Fo_tc.eval inst f ~free:"x" in
@@ -560,7 +560,7 @@ let graph_gen =
     return (seed, nodes, edges))
 
 let make_inst (seed, nodes, edges) =
-  Labeled_graph.to_instance
+  Snapshot.of_labeled
     (Gqkg_workload.Gen_graph.random_labeled
        (Gqkg_util.Splitmix.create seed)
        ~nodes ~edges ~node_labels:[ "a"; "b" ] ~edge_labels:[ "x"; "y" ])
@@ -641,7 +641,7 @@ let prop_crpq_greedy_equals_naive =
   QCheck2.Test.make ~name:"CRPQ greedy join = naive enumeration" ~count:80 crpq_gen
     (fun (gseed, r1, r2, shape) ->
       let inst =
-        Labeled_graph.to_instance
+        Snapshot.of_labeled
           (Gqkg_workload.Gen_graph.random_labeled
              (Gqkg_util.Splitmix.create gseed)
              ~nodes:5 ~edges:9 ~node_labels:[ "a"; "b" ] ~edge_labels:[ "x"; "y" ])

@@ -1,0 +1,159 @@
+(* Tests for the columnar Snapshot: the CSR image must agree with a
+   naive scan of the endpoint columns on arbitrary graphs, label
+   interning must satisfy the label_sat contract, and the four Section 3
+   models of the Figure 2 example must freeze to interchangeable
+   snapshots (same shape, same query answers). *)
+
+open Gqkg_graph
+open Gqkg_core
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let parse = Gqkg_automata.Regex_parser.parse
+
+(* ---------- QCheck: CSR vs naive edge scan ---------- *)
+
+let graph_gen =
+  QCheck2.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* nodes = int_range 1 8 in
+    let* edges = int_range 0 16 in
+    return (seed, nodes, edges))
+
+let make_graph (seed, nodes, edges) =
+  let rng = Gqkg_util.Splitmix.create seed in
+  Gqkg_workload.Gen_graph.random_labeled rng ~nodes ~edges ~node_labels:[ "a"; "b"; "c" ]
+    ~edge_labels:[ "x"; "y"; "z" ]
+
+(* The adjacency a CSR must reproduce: all edges incident to [v] on the
+   given side, in ascending edge order. *)
+let scan_adjacency (s : Snapshot.t) v ~out =
+  let pairs = ref [] in
+  for e = s.Snapshot.num_edges - 1 downto 0 do
+    let u = if out then s.Snapshot.esrc.(e) else s.Snapshot.edst.(e) in
+    let nbr = if out then s.Snapshot.edst.(e) else s.Snapshot.esrc.(e) in
+    if u = v then pairs := (e, nbr) :: !pairs
+  done;
+  !pairs
+
+let prop_csr_agrees =
+  QCheck2.Test.make ~name:"CSR adjacency = naive edge scan" ~count:300 graph_gen (fun g ->
+      let s = Snapshot.of_labeled (make_graph g) in
+      checki "offset start" 0 s.Snapshot.out_off.(0);
+      checki "offset end" s.Snapshot.num_edges s.Snapshot.out_off.(s.Snapshot.num_nodes);
+      checki "in offset end" s.Snapshot.num_edges s.Snapshot.in_off.(s.Snapshot.num_nodes);
+      for v = 0 to s.Snapshot.num_nodes - 1 do
+        checkb "out row" true
+          (Array.to_list (Snapshot.out_pairs s v) = scan_adjacency s v ~out:true);
+        checkb "in row" true
+          (Array.to_list (Snapshot.in_pairs s v) = scan_adjacency s v ~out:false)
+      done;
+      true)
+
+let prop_label_sat_contract =
+  QCheck2.Test.make ~name:"label interning satisfies label_sat contract" ~count:300 graph_gen
+    (fun g ->
+      let s = Snapshot.of_labeled (make_graph g) in
+      let atoms =
+        List.map (fun l -> Atom.Label (Const.of_string l)) [ "x"; "y"; "z"; "absent" ]
+      in
+      for e = 0 to s.Snapshot.num_edges - 1 do
+        let id = s.Snapshot.elabel.(e) in
+        checkb "id in range" true (0 <= id && id < s.Snapshot.num_labels);
+        List.iter
+          (fun at -> checkb "edge_atom = label_sat" (s.Snapshot.edge_atom e at) (s.Snapshot.label_sat id at))
+          atoms
+      done;
+      (* Node-label bitmaps answer exactly like the node oracle. *)
+      let node_atoms =
+        List.map (fun l -> Atom.Label (Const.of_string l)) [ "a"; "b"; "c"; "absent" ]
+      in
+      for v = 0 to s.Snapshot.num_nodes - 1 do
+        List.iter
+          (fun at ->
+            let via_bits =
+              let holds = ref false in
+              for l = 0 to s.Snapshot.num_node_labels - 1 do
+                if
+                  Gqkg_util.Bitset.raw_mem s.Snapshot.node_label_bits.(l) v
+                  && s.Snapshot.node_label_sat l at
+                then holds := true
+              done;
+              !holds
+            in
+            checkb "node bitmap = node oracle" (s.Snapshot.node_atom v at) via_bits)
+          node_atoms
+      done;
+      true)
+
+let prop_label_counts =
+  QCheck2.Test.make ~name:"freeze-time label stats = column histogram" ~count:200 graph_gen
+    (fun g ->
+      let s = Snapshot.of_labeled (make_graph g) in
+      let counts = Array.make (max 1 s.Snapshot.num_labels) 0 in
+      Array.iter (fun id -> counts.(id) <- counts.(id) + 1) s.Snapshot.elabel;
+      checkb "edge label counts" true
+        (s.Snapshot.num_labels = 0
+        || Array.for_all2 ( = ) counts s.Snapshot.stats.Snapshot.edge_label_counts);
+      true)
+
+(* ---------- Cross-model consistency on the Figure 2 example ---------- *)
+
+let figure2_snapshots () =
+  let property = Figure2.property () in
+  let roundtrip = Gqkg_kg.Pg_rdf.(to_property_graph (of_property_graph property)) in
+  [
+    ("labeled", Snapshot.of_labeled (Figure2.labeled ()));
+    ("property", Snapshot.of_property property);
+    ("vector", Snapshot.of_vector (fst (Figure2.vector ())));
+    ("rdf roundtrip", Snapshot.of_property roundtrip);
+  ]
+
+let sorted_edges (s : Snapshot.t) =
+  List.sort compare
+    (List.init s.Snapshot.num_edges (fun e -> (s.Snapshot.esrc.(e), s.Snapshot.edst.(e))))
+
+let test_models_same_shape () =
+  match figure2_snapshots () with
+  | [] -> assert false
+  | (_, reference) :: others ->
+      List.iter
+        (fun (name, s) ->
+          checki (name ^ " num_nodes") reference.Snapshot.num_nodes s.Snapshot.num_nodes;
+          checki (name ^ " num_edges") reference.Snapshot.num_edges s.Snapshot.num_edges;
+          checkb (name ^ " edge list") true (sorted_edges reference = sorted_edges s))
+        others
+
+(* Query (2) mentions only labels, so all four freezes must answer it
+   identically; query (3) adds a property test, which only the models
+   that keep σ (property, and RDF through the reified edge properties)
+   can see — those two must agree and find the paper's single pair. *)
+let test_models_same_answers () =
+  let snapshots = figure2_snapshots () in
+  let query2 = parse "?person/contact/?infected" in
+  let answers =
+    List.map (fun (name, s) -> (name, Rpq.eval_pairs s query2)) snapshots
+  in
+  (match answers with
+  | (_, reference) :: others ->
+      checki "query (2) finds the pair" 1 (List.length reference);
+      List.iter
+        (fun (name, pairs) -> checkb ("query (2) on " ^ name) true (pairs = reference))
+        others
+  | [] -> assert false);
+  let query3 = parse "?person/(contact & date=3/4/21)/?infected" in
+  let on name = Rpq.eval_pairs (List.assoc name snapshots) query3 in
+  checki "query (3) on property" 1 (List.length (on "property"));
+  checkb "query (3) survives the RDF roundtrip" true (on "property" = on "rdf roundtrip")
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "gqkg_snapshot"
+    [
+      ("csr", q [ prop_csr_agrees; prop_label_sat_contract; prop_label_counts ]);
+      ( "figure2",
+        [
+          Alcotest.test_case "four models, one shape" `Quick test_models_same_shape;
+          Alcotest.test_case "four models, same answers" `Quick test_models_same_answers;
+        ] );
+    ]

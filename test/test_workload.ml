@@ -40,7 +40,7 @@ let test_erdos_renyi_gnp_density () =
 
 let test_barabasi_albert_degree_skew () =
   let g = Gen_graph.barabasi_albert (rng 3) ~nodes:200 ~attach:2 in
-  let inst = Labeled_graph.to_instance g in
+  let inst = Snapshot.of_labeled g in
   let degrees = Gqkg_analytics.Centrality.degree ~directed:false inst in
   let sorted = Array.copy degrees in
   Array.sort (fun a b -> compare b a) sorted;
@@ -85,7 +85,7 @@ let test_contact_network_inventory () =
 
 let test_contact_network_queries_nonempty () =
   let pg = Contact_network.generate (rng 13) in
-  let inst = Property_graph.to_instance pg in
+  let inst = Snapshot.of_property pg in
   let pairs =
     Gqkg_core.Rpq.eval_pairs inst (Regex_parser.parse Contact_network.query_shared_bus)
   in
@@ -96,7 +96,7 @@ let test_contact_network_structure () =
   (* Every person rides exactly rides_per_person buses and lives
      somewhere. *)
   let lg = Property_graph.to_labeled pg in
-  let inst = Property_graph.to_instance pg in
+  let inst = Snapshot.of_property pg in
   List.iter
     (fun p ->
       let rides = ref 0 and lives = ref 0 in
@@ -106,7 +106,7 @@ let test_contact_network_structure () =
           | "rides" -> incr rides
           | "lives" -> incr lives
           | _ -> ())
-        (inst.Gqkg_graph.Instance.out_edges p);
+        (Gqkg_graph.Snapshot.out_pairs inst p);
       checki "rides" 2 !rides;
       checki "lives" 1 !lives)
     (Labeled_graph.nodes_with_label lg (Const.str "person"))
