@@ -810,6 +810,36 @@ let rpq_kernel ?(small = false) () =
     best_of (rep 3) (fun () -> List.length (Rpq.eval_pairs inst ~max_length:8 r_bus))
   in
   Printf.printf "pairs kernel: %d pairs in %.1f ms\n" pairs (1000.0 *. t_pairs);
+  (* Workload B': the same all-sources reachability, per-source hash-table
+     BFS (the pre-batching reference path) vs the batched multi-source
+     frontier engine.  Both legs traverse one shared, fully pre-expanded
+     product — steady-state query throughput, so the comparison isolates
+     the traversal engines (first-query product expansion is identical
+     infrastructure under both and is what workload B already prices).
+     [batch_agree] demands bit-identical answers; [batch_speedup] is the
+     acceptance metric (>= 3x). *)
+  let sources = Array.init inst.Snapshot.num_nodes Fun.id in
+  let batch_product = Product.create inst r_bus in
+  let warm_frontier = Gqkg_core.Frontier.create batch_product in
+  ignore (Gqkg_core.Frontier.reachable ~max_length:8 warm_frontier ~sources);
+  let per_source_results, t_batch_base =
+    best_of (rep 3) (fun () ->
+        Array.map
+          (fun source -> Rpq.reachable_from_product ~max_length:8 batch_product ~source)
+          sources)
+  in
+  let batch_results, t_batch =
+    best_of (rep 3) (fun () ->
+        Gqkg_core.Frontier.reachable ~max_length:8 warm_frontier ~sources)
+  in
+  let batch_agree = per_source_results = batch_results in
+  let batch_pairs = Array.fold_left (fun acc l -> acc + List.length l) 0 batch_results in
+  let pairs_per_sec t = float_of_int batch_pairs /. Float.max 1e-9 t in
+  let batch_speedup = t_batch_base /. Float.max 1e-9 t_batch in
+  Printf.printf
+    "batch kernel: %d sources, %d pairs: per-source %.1f ms, batched %.1f ms, agree %b (%.1fx)\n"
+    (Array.length sources) batch_pairs (1000.0 *. t_batch_base) (1000.0 *. t_batch) batch_agree
+    batch_speedup;
   (* Workload C: agreement with + speedup over the naive evaluator. *)
   let tiny = Snapshot.of_property (contact ~people:40 ~seed:41) in
   let k_small = 4 in
@@ -828,7 +858,13 @@ let rpq_kernel ?(small = false) () =
   let bcr_seq, t_bcr_seq =
     best_of (rep 2) (fun () -> Gqkg_analytics.Regex_centrality.exact bcr_inst transport)
   in
-  let bcr_domains = Gqkg_util.Parallel.default_domains () in
+  (* Always run the parallel leg on >= 2 domains: [default_domains] is 1
+     on single-core machines, which would silently reduce this workload
+     to a second sequential run and leave the domain pool untested.  Two
+     domains on one core is slower, not wrong — the point of the leg is
+     the agreement check and the pool plumbing, and the speedup when
+     hardware allows. *)
+  let bcr_domains = max 2 (Gqkg_util.Parallel.default_domains ()) in
   let bcr_par, t_bcr_par =
     best_of (rep 2) (fun () ->
         Gqkg_analytics.Regex_centrality.exact ~domains:bcr_domains bcr_inst transport)
@@ -845,14 +881,20 @@ let rpq_kernel ?(small = false) () =
     \  \"count_workload\": { \"people\": %d, \"k\": %d, \"paths\": %.6g,\n\
     \    \"kernel_ms\": %.3f, \"paths_per_sec\": %.6g, \"states_interned\": %d },\n\
     \  \"pairs_workload\": { \"pairs\": %d, \"ms\": %.3f },\n\
+    \  \"batch_workload\": { \"sources\": %d, \"pairs\": %d,\n\
+    \    \"per_source_ms\": %.3f, \"per_source_pairs_per_sec\": %.6g,\n\
+    \    \"batched_ms\": %.3f, \"batched_pairs_per_sec\": %.6g,\n\
+    \    \"speedup\": %.2f, \"agree\": %b },\n\
     \  \"naive_workload\": { \"people\": 40, \"k\": %d, \"naive_ms\": %.3f,\n\
     \    \"kernel_ms\": %.3f, \"agree\": %b, \"speedup_vs_naive\": %.2f },\n\
     \  \"bc_r_workload\": { \"people\": %d, \"sequential_ms\": %.3f,\n\
-    \    \"parallel_ms\": %.3f, \"domains\": %d, \"max_abs_diff\": %.3g }\n\
+    \    \"parallel_ms\": %.3f, \"domains\": %d, \"max_abs_diff\": %.3g, \"agree\": %b }\n\
      }\n"
-    people k paths (1000.0 *. t_kernel) paths_per_sec states pairs (1000.0 *. t_pairs) k_small
+    people k paths (1000.0 *. t_kernel) paths_per_sec states pairs (1000.0 *. t_pairs)
+    (Array.length sources) batch_pairs (1000.0 *. t_batch_base) (pairs_per_sec t_batch_base)
+    (1000.0 *. t_batch) (pairs_per_sec t_batch) batch_speedup batch_agree k_small
     (1000.0 *. t_naive) (1000.0 *. t_small) agree speedup_vs_naive bcr_people
-    (1000.0 *. t_bcr_seq) (1000.0 *. t_bcr_par) bcr_domains !bcr_diff;
+    (1000.0 *. t_bcr_seq) (1000.0 *. t_bcr_par) bcr_domains !bcr_diff (!bcr_diff <= 1e-6);
   close_out oc;
   print_endline "wrote BENCH_rpq.json";
   (* Analyzer overhead, measured interleaved (same process, alternating

@@ -75,22 +75,91 @@ let generate_cmd =
 
 (* ---- query ---- *)
 
+(* Resolve a --sources selector: comma-separated node names and/or
+   [label:<name>] items (all nodes carrying that label, ascending).
+   Duplicates are dropped, first occurrence wins, so the output order
+   follows the selector. *)
+let resolve_sources inst spec =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.replace seen v ();
+      out := v :: !out
+    end
+  in
+  List.iter
+    (fun item ->
+      match String.index_opt item ':' with
+      | Some i when String.sub item 0 i = "label" ->
+          let label = String.sub item (i + 1) (String.length item - i - 1) in
+          let atom = Gqkg_graph.Atom.label label in
+          let matched = ref 0 in
+          for v = 0 to inst.Snapshot.num_nodes - 1 do
+            if inst.Snapshot.node_atom v atom then begin
+              incr matched;
+              add v
+            end
+          done;
+          if !matched = 0 then Logs.warn (fun m -> m "label %S matches no node" label)
+      | _ ->
+          let rec find v =
+            if v >= inst.Snapshot.num_nodes then begin
+              Printf.eprintf "unknown node %S\n" item;
+              exit 2
+            end
+            else if inst.Snapshot.node_name v = item then add v
+            else find (v + 1)
+          in
+          find 0)
+    (List.filter (fun s -> s <> "") (String.split_on_char ',' spec));
+  Array.of_list (List.rev !out)
+
 let query_cmd =
-  let run () path regex max_length =
+  let run () path regex max_length sources =
     let inst = load_instance path in
     let r = parse_regex regex in
-    let pairs = Rpq.eval_pairs inst ?max_length r in
-    List.iter
-      (fun (a, b) -> Printf.printf "%s\t%s\n" (inst.Snapshot.node_name a) (inst.Snapshot.node_name b))
-      pairs;
-    Logs.info (fun m -> m "%d pairs" (List.length pairs))
+    match sources with
+    | None ->
+        let pairs = Rpq.eval_pairs inst ?max_length r in
+        List.iter
+          (fun (a, b) ->
+            Printf.printf "%s\t%s\n" (inst.Snapshot.node_name a) (inst.Snapshot.node_name b))
+          pairs;
+        Logs.info (fun m -> m "%d pairs" (List.length pairs))
+    | Some spec ->
+        let sources = resolve_sources inst spec in
+        let batches0 = Gqkg_core.Frontier.batches_total () in
+        let results = Rpq.reachable_many inst ?max_length r ~sources in
+        let total = ref 0 in
+        Array.iteri
+          (fun i targets ->
+            let a = inst.Snapshot.node_name sources.(i) in
+            List.iter
+              (fun b ->
+                incr total;
+                Printf.printf "%s\t%s\n" a (inst.Snapshot.node_name b))
+              targets)
+          results;
+        Logs.info (fun m ->
+            m "%d pairs from %d sources (%d frontier batches)" !total (Array.length sources)
+              (Gqkg_core.Frontier.batches_total () - batches0))
   in
   let max_length =
     Arg.(value & opt (some int) None & info [ "max-length" ] ~doc:"Bound on path length.")
   in
+  let sources =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "sources" ] ~docv:"A,B,label:L"
+          ~doc:
+            "Evaluate from these sources only (comma-separated node names and/or label:<name> \
+             selectors), batched through the multi-source frontier engine.")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Endpoint pairs of matching paths")
-    Term.(const run $ verbose_flag $ graph_arg $ regex_arg 1 $ max_length)
+    Term.(const run $ verbose_flag $ graph_arg $ regex_arg 1 $ max_length $ sources)
 
 (* ---- count ---- *)
 
@@ -364,12 +433,27 @@ let explain_cmd =
             Printf.printf "on %s: 0 product states materialized, 0 answer pairs\n" path
         | Planner.Ready product ->
             ignore (Product.levels product ~depth:8);
+            let batches0 = Gqkg_core.Frontier.batches_total () in
+            let td0 = Gqkg_core.Frontier.top_down_levels_total () in
+            let bu0 = Gqkg_core.Frontier.bottom_up_levels_total () in
             let pairs = Rpq.eval_pairs inst ~max_length:8 simplified in
             Printf.printf
               "on %s: %d nodes x %d NFA states -> %d product states materialized, %d answer pairs (paths up to 8)\n"
               path inst.Snapshot.num_nodes
               (Gqkg_automata.Nfa.num_states nfa)
-              (Product.num_states product) (List.length pairs))
+              (Product.num_states product) (List.length pairs);
+            let batches = Gqkg_core.Frontier.batches_total () - batches0 in
+            let td = Gqkg_core.Frontier.top_down_levels_total () - td0 in
+            let bu = Gqkg_core.Frontier.bottom_up_levels_total () - bu0 in
+            if batches > 0 then
+              Printf.printf
+                "frontier: %d batched pass%s (up to %d sources each); %d level%s top-down, %d bottom-up\n"
+                batches
+                (if batches = 1 then "" else "es")
+                Gqkg_core.Frontier.word_bits td
+                (if td = 1 then "" else "s")
+                bu
+            else Printf.printf "frontier: not used (statically answered)\n")
   in
   let regex = Arg.(required & pos 0 (some string) None & info [] ~docv:"REGEX" ~doc:"Expression.") in
   let graph =

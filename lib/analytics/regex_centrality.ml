@@ -29,11 +29,12 @@ open Gqkg_core
 open Gqkg_util
 
 (* Per-source shortest-path structure over the product: distances, path
-   counts σ, and DAG predecessors of every product state. *)
+   counts σ, and DAG predecessors of every product state — flat arrays
+   indexed by product state id ([dist] = -1 for unreached states). *)
 type source_dag = {
-  dist : (int, int) Hashtbl.t;
-  sigma : (int, float) Hashtbl.t;
-  preds : (int, int list) Hashtbl.t; (* DAG edges backwards *)
+  dist : int array;
+  sigma : float array;
+  preds : int list array; (* DAG edges backwards *)
   (* Per target node: best distance and accepting states at it. *)
   targets : (int, int * int list) Hashtbl.t;
   (* Target nodes in ascending order.  Consumers iterate this list, not
@@ -44,41 +45,67 @@ type source_dag = {
   target_nodes : int list;
 }
 
+(* Per-source FIFO replay over the (frontier-warmed) product.  The walk
+   is structurally identical to a hash-table BFS — same pop order, same
+   σ accumulation order, same predecessor list order — so dist/σ/preds
+   and everything sampled or summed from them are bit-identical to the
+   pre-batching per-source code; only the bookkeeping moved from hash
+   tables to arrays.  The batch pass in {!exact}/{!approximate} has
+   already expanded every state this replay can expand, so the
+   iter_successors calls below are memoized CSR reads. *)
 let build_dag product ~source ~max_length =
-  let dist = Hashtbl.create 64 and sigma = Hashtbl.create 64 in
-  let preds = Hashtbl.create 64 in
+  let cap = ref (max 16 (Product.num_states product)) in
+  let dist = ref (Array.make !cap (-1)) in
+  let sigma = ref (Array.make !cap 0.0) in
+  let preds = ref (Array.make !cap []) in
+  let grow n =
+    if n > !cap then begin
+      let c = max n (2 * !cap) in
+      let d = Array.make c (-1) and s = Array.make c 0.0 in
+      let p = Array.make c [] in
+      Array.blit !dist 0 d 0 !cap;
+      Array.blit !sigma 0 s 0 !cap;
+      Array.blit !preds 0 p 0 !cap;
+      dist := d;
+      sigma := s;
+      preds := p;
+      cap := c
+    end
+  in
   let targets = Hashtbl.create 16 in
   (* Accepting states in discovery order — a structural (id-independent)
      order because BFS follows the deterministic successor lists. *)
   let accepting_in_order = ref [] in
   let discover state d =
-    Hashtbl.replace dist state d;
-    Hashtbl.replace sigma state 0.0;
+    !dist.(state) <- d;
     if Product.is_accepting product state then
       accepting_in_order := (state, Product.node_of product state, d) :: !accepting_in_order
   in
   (match Product.start_state product source with
   | None -> ()
   | Some s0 ->
+      grow (Product.num_states product);
       discover s0 0;
-      Hashtbl.replace sigma s0 1.0;
+      !sigma.(s0) <- 1.0;
       let queue = Queue.create () in
       Queue.push s0 queue;
       while not (Queue.is_empty queue) do
         let v = Queue.pop queue in
-        let dv = Hashtbl.find dist v in
+        let dv = !dist.(v) in
         let expand = match max_length with Some m -> dv < m | None -> true in
-        if expand then
+        if expand then begin
+          ignore (Product.degree product v);
+          grow (Product.num_states product);
           Product.iter_successors product v (fun _e w ->
-              (match Hashtbl.find_opt dist w with
-              | None ->
-                  discover w (dv + 1);
-                  Queue.push w queue
-              | Some _ -> ());
-              if Hashtbl.find dist w = dv + 1 then begin
-                Hashtbl.replace sigma w (Hashtbl.find sigma w +. Hashtbl.find sigma v);
-                Hashtbl.replace preds w (v :: Option.value (Hashtbl.find_opt preds w) ~default:[])
+              if !dist.(w) < 0 then begin
+                discover w (dv + 1);
+                Queue.push w queue
+              end;
+              if !dist.(w) = dv + 1 then begin
+                !sigma.(w) <- !sigma.(w) +. !sigma.(v);
+                !preds.(w) <- v :: !preds.(w)
               end)
+        end
       done;
       (* Per graph node, keep the closest accepting states (discovery
          order within each node). *)
@@ -93,7 +120,7 @@ let build_dag product ~source ~max_length =
   let target_nodes =
     Hashtbl.fold (fun node _ acc -> node :: acc) targets [] |> List.sort Int.compare
   in
-  { dist; sigma; preds; targets; target_nodes }
+  { dist = !dist; sigma = !sigma; preds = !preds; targets; target_nodes }
 
 (* All shortest matching paths from the source to [target], as node
    sequences (graph nodes), by backward DFS through the DAG.  [limit]
@@ -110,17 +137,15 @@ let materialize_paths product dag ~target ~limit =
            (fun final ->
              let rec back state suffix =
                let node = Product.node_of product state in
-               match Hashtbl.find_opt dag.preds state with
-               | None | Some [] -> begin
+               match dag.preds.(state) with
+               | [] ->
                    (* Reached the source start state (distance 0). *)
-                   match Hashtbl.find_opt dag.dist state with
-                   | Some 0 ->
-                       out := (node :: suffix) :: !out;
-                       incr count;
-                       (match limit with Some l when !count >= l -> raise Done | _ -> ())
-                   | _ -> ()
-                 end
-               | Some preds -> List.iter (fun p -> back p (node :: suffix)) preds
+                   if dag.dist.(state) = 0 then begin
+                     out := (node :: suffix) :: !out;
+                     incr count;
+                     match limit with Some l when !count >= l -> raise Done | _ -> ()
+                   end
+               | preds -> List.iter (fun p -> back p (node :: suffix)) preds
              in
              back final [])
            states
@@ -163,12 +188,48 @@ let exact_source product ~max_length ~pair_limit bc a =
       end)
     dag.target_nodes
 
+(* Shared slice runner: sources [first, last) against one product copy,
+   in batches of [Frontier.word_bits].  Each batch first runs one
+   multi-source frontier pass whose only job is to *warm* the product —
+   every state any source of the batch can expand gets its CSR row
+   committed once, for the whole batch — then replays the per-source
+   DAG builds over the memoized rows.  The replay, not the batch pass,
+   produces the per-source structure, so results stay bit-identical to
+   the one-source-at-a-time loop regardless of batch composition (and
+   hence of the domain count). *)
+let run_slice mk_product ~max_length per_source n first last =
+  let product = mk_product () in
+  let fr = Frontier.create product in
+  let bc = Array.make n 0.0 in
+  let a = ref first in
+  while !a < last do
+    let width = min Frontier.word_bits (last - !a) in
+    Frontier.run_batch ?max_length fr ~sources:(Array.init width (fun i -> !a + i));
+    for i = 0 to width - 1 do
+      per_source product bc (!a + i)
+    done;
+    a := !a + width
+  done;
+  bc
+
+let run_sliced mk_product ~max_length ~domains per_source n =
+  if domains <= 1 || n < 8 then run_slice mk_product ~max_length per_source n 0 n
+  else begin
+    let partials =
+      Parallel.map_slices ~domains n (run_slice mk_product ~max_length per_source n)
+    in
+    match partials with
+    | [] -> Array.make n 0.0
+    | first :: rest -> List.fold_left (fun into p -> Parallel.sum_float_arrays ~into p) first rest
+  end
+
 (* The exact bc_r of every node.  [max_length] bounds the product search
    for star-heavy expressions; [pair_limit] caps per-pair materialization
    (when hit, the pair contributes its sampled prefix — the log warns).
 
    Per-source passes are independent, so with [domains > 1] the sources
-   are sliced across OCaml 5 domains.  The lazy product memoizes state
+   are sliced across OCaml 5 domains, each slice running
+   [Frontier.word_bits]-wide batches.  The lazy product memoizes state
    expansions and is not safe for concurrent interning, so each domain
    explores its own product copy; the per-domain partial scores are
    summed in slice order, keeping the result deterministic for a fixed
@@ -179,29 +240,9 @@ let exact ?max_length ?pair_limit ?(domains = 0) inst regex =
   match plan_products inst regex with
   | None -> Array.make n 0.0
   | Some mk_product ->
-      if domains <= 1 || n < 8 then begin
-        let product = mk_product () in
-        let bc = Array.make n 0.0 in
-        for a = 0 to n - 1 do
-          exact_source product ~max_length ~pair_limit bc a
-        done;
-        bc
-      end
-      else begin
-        let partials =
-          Parallel.map_slices ~domains n (fun first last ->
-              let product = mk_product () in
-              let bc = Array.make n 0.0 in
-              for a = first to last - 1 do
-                exact_source product ~max_length ~pair_limit bc a
-              done;
-              bc)
-        in
-        match partials with
-        | [] -> Array.make n 0.0
-        | first :: rest ->
-            List.fold_left (fun into p -> Parallel.sum_float_arrays ~into p) first rest
-      end
+      run_sliced mk_product ~max_length ~domains
+        (fun product bc a -> exact_source product ~max_length ~pair_limit bc a)
+        n
 
 (* Uniform draw of one shortest matching path to [target] (as the list of
    its graph nodes): pick the accepting state proportionally to σ, then
@@ -211,15 +252,15 @@ let sample_path product dag rng ~target =
   | None -> None
   | Some (_d, states) ->
       let states = Array.of_list states in
-      let weights = Array.map (fun s -> Hashtbl.find dag.sigma s) states in
+      let weights = Array.map (fun s -> dag.sigma.(s)) states in
       let final = states.(Alias.sample_weights weights rng) in
       let rec back state suffix =
         let node = Product.node_of product state in
-        match Hashtbl.find_opt dag.preds state with
-        | None | Some [] -> node :: suffix
-        | Some preds ->
+        match dag.preds.(state) with
+        | [] -> node :: suffix
+        | preds ->
             let preds = Array.of_list preds in
-            let weights = Array.map (fun s -> Hashtbl.find dag.sigma s) preds in
+            let weights = Array.map (fun s -> dag.sigma.(s)) preds in
             back preds.(Alias.sample_weights weights rng) (node :: suffix)
       in
       Some (back final [])
@@ -245,33 +286,13 @@ let approximate_source product ~max_length ~samples ~seed bc a =
 
 (* Randomized approximation of bc_r: per reachable pair, [samples] uniform
    members of S_{a,b,r} estimate the inclusion fractions.  Sources are
-   sliced across domains exactly as in {!exact}. *)
+   sliced across domains and batched exactly as in {!exact}. *)
 let approximate ?max_length ?(samples = 16) ?(seed = 7) ?(domains = 0) inst regex =
   let n = inst.Snapshot.num_nodes in
   let domains = if domains > 0 then domains else Parallel.default_domains () in
   match plan_products inst regex with
   | None -> Array.make n 0.0
   | Some mk_product ->
-      if domains <= 1 || n < 8 then begin
-        let product = mk_product () in
-        let bc = Array.make n 0.0 in
-        for a = 0 to n - 1 do
-          approximate_source product ~max_length ~samples ~seed bc a
-        done;
-        bc
-      end
-      else begin
-        let partials =
-          Parallel.map_slices ~domains n (fun first last ->
-              let product = mk_product () in
-              let bc = Array.make n 0.0 in
-              for a = first to last - 1 do
-                approximate_source product ~max_length ~samples ~seed bc a
-              done;
-              bc)
-        in
-        match partials with
-        | [] -> Array.make n 0.0
-        | first :: rest ->
-            List.fold_left (fun into p -> Parallel.sum_float_arrays ~into p) first rest
-      end
+      run_sliced mk_product ~max_length ~domains
+        (fun product bc a -> approximate_source product ~max_length ~samples ~seed bc a)
+        n

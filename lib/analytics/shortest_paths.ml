@@ -34,9 +34,12 @@ let dijkstra ?(directed = true) inst ~source ~weight =
   done;
   dist
 
-(* All-pairs BFS; O(n·(n+m)), the right tool at our graph scales. *)
+(* All-pairs BFS; O(n·(n+m)) but batched [Bitset.bits_per_word] sources
+   per adjacency sweep through the multi-source frontier engine — the
+   right tool at our graph scales. *)
 let all_pairs ?(directed = true) inst =
-  Array.init inst.Snapshot.num_nodes (fun source -> single_source ~directed inst ~source)
+  Traversal.bfs_distances_many ~directed inst
+    ~sources:(Array.init inst.Snapshot.num_nodes Fun.id)
 
 (* Exact diameter: the maximum finite eccentricity (ignoring unreachable
    pairs); [None] for the empty graph. *)
@@ -45,10 +48,9 @@ let diameter ?(directed = false) inst =
   if n = 0 then None
   else begin
     let best = ref 0 in
-    for source = 0 to n - 1 do
-      let dist = single_source ~directed inst ~source in
-      Array.iter (fun d -> if d > !best then best := d) dist
-    done;
+    Array.iter
+      (Array.iter (fun d -> if d > !best then best := d))
+      (Traversal.bfs_distances_many ~directed inst ~sources:(Array.init n Fun.id));
     Some !best
   end
 
@@ -81,14 +83,14 @@ let diameter_double_sweep ?(directed = false) ?(seed = 0) inst =
 let average_distance ?(directed = false) inst =
   let n = inst.Snapshot.num_nodes in
   let total = ref 0 and pairs = ref 0 in
+  let dists = Traversal.bfs_distances_many ~directed inst ~sources:(Array.init n Fun.id) in
   for source = 0 to n - 1 do
-    let dist = single_source ~directed inst ~source in
     Array.iteri
       (fun v d ->
         if v <> source && d >= 0 then begin
           total := !total + d;
           incr pairs
         end)
-      dist
+      dists.(source)
   done;
   if !pairs = 0 then None else Some (float_of_int !total /. float_of_int !pairs)

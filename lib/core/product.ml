@@ -766,13 +766,8 @@ let iter_successors p id f =
     f p.succ_data.(off + (2 * i)) p.succ_data.(off + (2 * i) + 1)
   done
 
-(* Compatibility view: materializes a fresh array per call; hot paths
-   should use {!iter_successors} / {!degree} / {!move_succ} instead. *)
-let successors p id =
-  ensure_expanded p id;
-  let off = p.succ_off.(id) in
-  Array.init p.succ_len.(id) (fun i ->
-      (p.succ_data.(off + (2 * i)), p.succ_data.(off + (2 * i) + 1)))
+let is_expanded p id = p.succ_off.(id) >= 0
+let moves_total p = p.data_len / 2
 
 (* Breadth-first materialization of the states reachable within [depth]
    steps from every node's start state.  Returns the per-level state-id

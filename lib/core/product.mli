@@ -46,20 +46,21 @@ val is_accepting : t -> int -> bool
     [None] only for degenerate automata with an empty closure. *)
 val start_state : t -> int -> int option
 
-(** Successor moves [(edge, successor-id)] of a state, in a
-    deterministic order (ascending edge id). One entry per
-    (edge, destination) move — a self-loop matched in both directions
-    yields a single move. Materializes a fresh array per call.
-
-    @deprecated Use {!iter_successors} / {!degree} / {!move_succ}, which
-    read the flat CSR buffer directly without allocating. *)
-val successors : t -> int -> (int * int) array
-  [@@ocaml.deprecated "use Product.iter_successors / degree / move_succ instead"]
-
 (** [iter_successors p id f] calls [f edge succ] for every successor
-    move, in the same deterministic order as {!successors}, without
-    materializing an intermediate array. *)
+    move, in a deterministic order (ascending edge id), reading the
+    flat CSR buffer directly.  One entry per (edge, destination) move —
+    a self-loop matched in both directions yields a single move. *)
 val iter_successors : t -> int -> (int -> int -> unit) -> unit
+
+(** Has the state's successor row been materialized yet?  Lets readers
+    (e.g. the frontier engine's reverse-CSR builder) walk exactly the
+    committed part of the CSR without triggering further expansion. *)
+val is_expanded : t -> int -> bool
+
+(** Total successor moves committed so far, across all expanded states.
+    Grows monotonically — a cheap staleness stamp for derived views of
+    the CSR. *)
+val moves_total : t -> int
 
 (** Number of successor moves of a state (expanding it if needed). *)
 val degree : t -> int -> int

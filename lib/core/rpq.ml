@@ -68,8 +68,10 @@ let bfs_product product ~source ~max_length =
    RPQ semantics.  [max_length] bounds path length (mandatory only for
    queries where [[r]] is infinite and reachability is still complete
    without a bound, since products are finite; the bound is for cost
-   control). *)
-let reachable_from_product product ~source ~max_length =
+   control).  This is the per-source reference path — one hash-table BFS
+   per source — kept as the oracle the batched frontier engine is tested
+   and benchmarked against. *)
+let reachable_from_product ?max_length product ~source =
   let dist = bfs_product product ~source ~max_length in
   let seen = Hashtbl.create 16 in
   Hashtbl.iter
@@ -78,25 +80,41 @@ let reachable_from_product product ~source ~max_length =
     dist;
   Hashtbl.fold (fun n () acc -> n :: acc) seen [] |> List.sort compare
 
+(* Single-source queries ride the batched engine as a batch of one: the
+   word-packed pass degenerates to a plain array BFS, still cheaper than
+   the hash-table walk. *)
 let reachable_from ?max_length inst regex ~source =
   match Planner.prepare inst regex with
   | Planner.Empty -> []
-  | Planner.Ready product -> reachable_from_product product ~source ~max_length
+  | Planner.Ready product ->
+      (Frontier.reachable ?max_length (Frontier.create product) ~sources:[| source |]).(0)
 
-(* All pairs (a, b) such that some path in [[r]] goes from a to b.  The
-   planner may hand back the reversed automaton when backward seeding is
-   cheaper; pairs are then swapped back and re-sorted, so the output is
-   identical either way (ascending lexicographic). *)
+(* Reachability from an explicit source set, batched [Frontier.word_bits]
+   sources per pass; [result.(i)] lists the targets of [sources.(i)],
+   sorted.  Statically-empty queries answer without building a product. *)
+let reachable_many ?max_length inst regex ~sources =
+  match Planner.prepare inst regex with
+  | Planner.Empty -> Array.map (fun _ -> []) sources
+  | Planner.Ready product -> Frontier.reachable ?max_length (Frontier.create product) ~sources
+
+(* All pairs (a, b) such that some path in [[r]] goes from a to b: one
+   batched frontier run over every node as a source.  The planner may
+   hand back the reversed automaton when backward seeding is cheaper;
+   pairs are then swapped back and re-sorted, so the output is identical
+   either way (ascending lexicographic). *)
 let eval_pairs ?max_length inst regex =
   match Planner.prepare_pairs inst regex with
   | Planner.Empty, _ -> []
   | Planner.Ready product, swapped ->
+      let n = inst.Snapshot.num_nodes in
+      let per_source =
+        Frontier.reachable ?max_length (Frontier.create product) ~sources:(Array.init n Fun.id)
+      in
       let out = ref [] in
-      for source = inst.Snapshot.num_nodes - 1 downto 0 do
-        let targets = reachable_from_product product ~source ~max_length in
+      for source = n - 1 downto 0 do
         List.iter
           (fun b -> out := (if swapped then (b, source) else (source, b)) :: !out)
-          (List.rev targets)
+          (List.rev per_source.(source))
       done;
       if swapped then List.sort compare !out else !out
 
@@ -106,11 +124,13 @@ let source_nodes ?max_length inst regex =
   match Planner.prepare inst regex with
   | Planner.Empty -> []
   | Planner.Ready product ->
+      let n = inst.Snapshot.num_nodes in
+      let per_source =
+        Frontier.reachable ?max_length (Frontier.create product) ~sources:(Array.init n Fun.id)
+      in
       let out = ref [] in
-      for source = inst.Snapshot.num_nodes - 1 downto 0 do
-        match reachable_from_product product ~source ~max_length with
-        | [] -> ()
-        | _ :: _ -> out := source :: !out
+      for source = n - 1 downto 0 do
+        match per_source.(source) with [] -> () | _ :: _ -> out := source :: !out
       done;
       !out
 

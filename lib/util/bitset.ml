@@ -34,6 +34,18 @@ let raw_is_empty ws =
   let rec loop k = k = Array.length ws || (ws.(k) = 0 && loop (k + 1)) in
   loop 0
 
+(* Iterate the set bit positions of a single word, ascending — the
+   per-slot decode step of the multi-source frontier engines, where one
+   word carries a batch of BFS sources.  [lsr] is a logical shift, so a
+   word with the top (sign) bit set still terminates. *)
+let word_iter w f =
+  let w = ref w and i = ref 0 in
+  while !w <> 0 do
+    if !w land 1 <> 0 then f !i;
+    incr i;
+    w := !w lsr 1
+  done
+
 (* Monomorphic word-wise comparison; widths must match (they do inside
    one kernel, where the width is fixed by the automaton). *)
 let raw_equal a b =

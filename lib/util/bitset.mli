@@ -32,6 +32,10 @@ val raw_hash : int array -> int
 (** Iterate set members in ascending order. *)
 val raw_iter : int array -> (int -> unit) -> unit
 
+(** [word_iter w f] calls [f] on the set bit positions of the single
+    word [w], ascending — decoding a packed batch of BFS source slots. *)
+val word_iter : int -> (int -> unit) -> unit
+
 val raw_cardinal : int array -> int
 
 (** Members in ascending order. *)

@@ -36,6 +36,38 @@ let test_bfs_distances () =
   let undirected = Traversal.bfs_distances ~directed:false inst ~source:3 in
   checkb "undirected reaches back" true (undirected = [| 3; 2; 1; 0 |])
 
+(* The word-packed multi-source BFS must reproduce per-source
+   [bfs_distances] bit for bit: random graphs, both edge-direction
+   modes, all three expansion policies, batches wider than a word and
+   with duplicate sources. *)
+let test_bfs_distances_many () =
+  List.iter
+    (fun (gseed, nodes, edges) ->
+      let rng = Gqkg_util.Splitmix.create gseed in
+      let inst =
+        Snapshot.of_labeled
+          (Gqkg_workload.Gen_graph.random_labeled rng ~nodes ~edges ~node_labels:[ "a" ]
+             ~edge_labels:[ "x" ])
+      in
+      let sources =
+        Array.init (Gqkg_util.Bitset.bits_per_word + 5) (fun i -> i mod inst.Snapshot.num_nodes)
+      in
+      List.iter
+        (fun directed ->
+          let expected =
+            Array.map (fun source -> Traversal.bfs_distances ~directed inst ~source) sources
+          in
+          List.iter
+            (fun direction ->
+              let got = Traversal.bfs_distances_many ~direction ~directed inst ~sources in
+              checkb
+                (Printf.sprintf "seed %d directed %b" gseed directed)
+                true
+                (Array.for_all2 (fun a b -> a = b) expected got))
+            [ `Auto; `Top_down; `Bottom_up ])
+        [ true; false ])
+    [ (11, 9, 20); (12, 30, 45); (13, 5, 2) ]
+
 let test_weakly_connected_components () =
   let inst = instance_of_edges ~nodes:5 [ (0, 1); (2, 3) ] in
   let labels, count = Traversal.weakly_connected_components inst in
@@ -596,6 +628,7 @@ let () =
       ( "traversal",
         [
           Alcotest.test_case "bfs" `Quick test_bfs_distances;
+          Alcotest.test_case "bfs many = per-source" `Quick test_bfs_distances_many;
           Alcotest.test_case "wcc" `Quick test_weakly_connected_components;
           Alcotest.test_case "scc cycle" `Quick test_strongly_connected_components;
           Alcotest.test_case "scc dag" `Quick test_scc_dag;

@@ -495,6 +495,48 @@ let prop_levels_domain_independent =
       Product.num_states p1 = Product.num_states p4
       && Array.for_all2 (List.equal Int.equal) l1 l4)
 
+(* The batched multi-source engine must answer exactly like the
+   per-source hash-table BFS — for every direction policy, with the
+   batch straddling the word boundary ([word_bits + 7] sources means a
+   full first batch and a ragged second one) and containing duplicate
+   sources, with and without a depth bound. *)
+let prop_frontier_matches_per_source =
+  QCheck2.Test.make ~name:"Frontier.reachable = per-source BFS" ~count:100 regex_and_graph_gen
+    (fun (g, rseed) ->
+      let r = make_regex rseed in
+      let n = (make_instance g).Snapshot.num_nodes in
+      let sources = Array.init (Frontier.word_bits + 7) (fun i -> i mod n) in
+      List.for_all
+        (fun max_length ->
+          let product = Product.create (make_instance g) r in
+          let expected =
+            Array.map (fun source -> Rpq.reachable_from_product ?max_length product ~source) sources
+          in
+          List.for_all
+            (fun direction ->
+              let fr = Frontier.create (Product.create (make_instance g) r) in
+              Frontier.reachable ~direction ?max_length fr ~sources = expected)
+            [ `Auto; `Top_down; `Bottom_up ])
+        [ None; Some 3 ])
+
+(* [reachable_many] must route statically-empty queries past the product
+   entirely: every answer empty, not one state interned. *)
+let test_reachable_many_static_empty () =
+  let inst = fig2 () in
+  let sources = Array.init inst.Snapshot.num_nodes Fun.id in
+  let before = Product.states_interned_total () in
+  let results = Rpq.reachable_many inst ~max_length:4 (parse "ghost") ~sources in
+  checki "no states interned" before (Product.states_interned_total ());
+  checkb "answers all empty" true (Array.for_all (fun l -> l = []) results);
+  checki "one answer per source" (Array.length sources) (Array.length results);
+  (* And a live query through the same entry point agrees with the
+     single-source path. *)
+  let live = Rpq.reachable_many inst ~max_length:4 (parse "rides") ~sources in
+  checkb "live batch = per-source" true
+    (Array.for_all2
+       (fun source answer -> Rpq.reachable_from inst ~max_length:4 (parse "rides") ~source = answer)
+       sources live)
+
 
 (* ---------- Derivative backend agrees with the NFA engine ---------- *)
 
@@ -653,6 +695,7 @@ let () =
           Alcotest.test_case "derivative backend" `Quick test_derivative_on_worked_examples;
           Alcotest.test_case "shortest length" `Quick test_shortest_path_length;
           Alcotest.test_case "source nodes" `Quick test_source_nodes;
+          Alcotest.test_case "batched static empty" `Quick test_reachable_many_static_empty;
         ] );
       ( "properties",
         q
@@ -663,6 +706,7 @@ let () =
             prop_samples_match;
             prop_matches_path_iff_enumerated;
             prop_levels_domain_independent;
+            prop_frontier_matches_per_source;
             prop_count_between_matches_naive;
             prop_derivative_equals_nfa;
             prop_uniform_distribution_random_graphs;
