@@ -873,6 +873,27 @@ let rpq_kernel ?(small = false) () =
   Array.iteri (fun v x -> bcr_diff := Float.max !bcr_diff (Float.abs (x -. bcr_par.(v)))) bcr_seq;
   Printf.printf "bc_r (%d people): sequential %.1f ms, parallel(%d domains) %.1f ms, max diff %.2g\n"
     bcr_people (1000.0 *. t_bcr_seq) bcr_domains (1000.0 *. t_bcr_par) !bcr_diff;
+  (* Governor overhead: the same pair workload with a live (limited but
+     never-tripping) budget attached vs none, interleaved so machine
+     noise cancels.  A limitless budget is skipped by the kernels'
+     [is_unlimited] fast path, so the budgeted leg uses a huge step
+     limit to keep every check site on the counting path.  Acceptance
+     bar: within 10% (with a small absolute guard for tiny workloads
+     where a few microseconds of bookkeeping exceed 10% of nothing). *)
+  let gov_reps = max 3 (rep 7) in
+  let t_gov_on = ref infinity and t_gov_off = ref infinity in
+  for _ = 1 to gov_reps do
+    let budget = Gqkg_util.Budget.create ~max_steps:max_int () in
+    let _, t = wall (fun () -> Rpq.eval_pairs ~budget inst ~max_length:8 r_bus) in
+    if t < !t_gov_on then t_gov_on := t;
+    let _, t = wall (fun () -> Rpq.eval_pairs inst ~max_length:8 r_bus) in
+    if t < !t_gov_off then t_gov_off := t
+  done;
+  let governor_overhead = 100.0 *. ((!t_gov_on /. Float.max 1e-9 !t_gov_off) -. 1.0) in
+  let governor_ok = governor_overhead <= 10.0 || !t_gov_on -. !t_gov_off <= 0.002 in
+  Printf.printf
+    "governor overhead (pairs, budgeted vs not, best of %d each): %.1f ms vs %.1f ms (%+.1f%%, ok %b)\n"
+    gov_reps (1000.0 *. !t_gov_on) (1000.0 *. !t_gov_off) governor_overhead governor_ok;
   (* Machine-readable trajectory record. *)
   let oc = open_out "BENCH_rpq.json" in
   Printf.fprintf oc
@@ -888,13 +909,16 @@ let rpq_kernel ?(small = false) () =
     \  \"naive_workload\": { \"people\": 40, \"k\": %d, \"naive_ms\": %.3f,\n\
     \    \"kernel_ms\": %.3f, \"agree\": %b, \"speedup_vs_naive\": %.2f },\n\
     \  \"bc_r_workload\": { \"people\": %d, \"sequential_ms\": %.3f,\n\
-    \    \"parallel_ms\": %.3f, \"domains\": %d, \"max_abs_diff\": %.3g, \"agree\": %b }\n\
+    \    \"parallel_ms\": %.3f, \"domains\": %d, \"max_abs_diff\": %.3g, \"agree\": %b },\n\
+    \  \"governor\": { \"budgeted_ms\": %.3f, \"unbudgeted_ms\": %.3f,\n\
+    \    \"overhead_pct\": %.1f, \"governor_overhead_ok\": %b }\n\
      }\n"
     people k paths (1000.0 *. t_kernel) paths_per_sec states pairs (1000.0 *. t_pairs)
     (Array.length sources) batch_pairs (1000.0 *. t_batch_base) (pairs_per_sec t_batch_base)
     (1000.0 *. t_batch) (pairs_per_sec t_batch) batch_speedup batch_agree k_small
     (1000.0 *. t_naive) (1000.0 *. t_small) agree speedup_vs_naive bcr_people
-    (1000.0 *. t_bcr_seq) (1000.0 *. t_bcr_par) bcr_domains !bcr_diff (!bcr_diff <= 1e-6);
+    (1000.0 *. t_bcr_seq) (1000.0 *. t_bcr_par) bcr_domains !bcr_diff (!bcr_diff <= 1e-6)
+    (1000.0 *. !t_gov_on) (1000.0 *. !t_gov_off) governor_overhead governor_ok;
   close_out oc;
   print_endline "wrote BENCH_rpq.json";
   (* Analyzer overhead, measured interleaved (same process, alternating

@@ -31,14 +31,70 @@ let regex_arg position =
   let doc = "Regular path query, e.g. '?person/rides/?bus'." in
   Arg.(required & pos position (some string) None & info [] ~docv:"REGEX" ~doc)
 
-let load_instance path = Snapshot.of_property (Graph_io.load_property_graph path)
+(* Structured user-input failure: one GQ04x diagnostic on stderr and
+   exit code 2 — never a raw OCaml backtrace.  Codes: GQ040 malformed
+   graph file, GQ041 file-system error, GQ042 regex parse error, GQ043
+   CRPQ parse error, GQ044 SPARQL parse error, GQ045 N-Triples parse
+   error, GQ046 bad argument. *)
+let fail_user ~code ~subterm ~message =
+  prerr_endline
+    (Gqkg_analysis.Diagnostic.to_string
+       (Gqkg_analysis.Diagnostic.user_error ~code ~subterm ~message));
+  exit 2
+
+let load_property path =
+  match Graph_io.load_property_graph path with
+  | pg -> pg
+  | exception Graph_io.Parse_error { file; line; message } ->
+      fail_user ~code:"GQ040" ~subterm:path ~message:(Graph_io.error_to_string ~file ~line ~message)
+  | exception Sys_error message -> fail_user ~code:"GQ041" ~subterm:path ~message
+
+let load_instance path = Snapshot.of_property (load_property path)
+
+let load_store path =
+  match Gqkg_kg.Ntriples.load path with
+  | store -> store
+  | exception Gqkg_kg.Ntriples.Parse_error { file; line; message } ->
+      fail_user ~code:"GQ045" ~subterm:path ~message:(Graph_io.error_to_string ~file ~line ~message)
+  | exception Sys_error message -> fail_user ~code:"GQ041" ~subterm:path ~message
 
 let parse_regex text =
   match Gqkg_automata.Regex_parser.parse text with
   | r -> r
   | exception Gqkg_automata.Regex_parser.Error { position; message } ->
-      Printf.eprintf "regex error at %d: %s\n" position message;
-      exit 2
+      fail_user ~code:"GQ042" ~subterm:text
+        ~message:(Printf.sprintf "parse error at position %d: %s" position message)
+
+(* --timeout-ms / --max-states: the resource governor's CLI face.  The
+   budget itself is created inside each command right before evaluation
+   so the wall-clock deadline excludes graph loading. *)
+let budget_args =
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:"Wall-clock budget for evaluation; on exhaustion a sound partial result is returned.")
+  in
+  let max_states =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:"Bound on interned product states; on exhaustion a sound partial result is returned.")
+  in
+  Term.(const (fun timeout_ms max_states -> (timeout_ms, max_states)) $ timeout_ms $ max_states)
+
+let make_budget (timeout_ms, max_states) = Gqkg_util.Budget.create ?timeout_ms ?max_states ()
+
+(* Exit code 3 with a GQ03x JSON diagnostic on stderr when the budget
+   tripped and the printed answer is therefore a sound partial result. *)
+let report_budget budget =
+  match Gqkg_analysis.Diagnostic.of_budget budget with
+  | None -> ()
+  | Some d ->
+      prerr_endline (Gqkg_analysis.Diagnostic.to_json d);
+      exit 3
 
 (* ---- generate ---- *)
 
@@ -56,8 +112,8 @@ let generate_cmd =
             (Gqkg_workload.Gen_graph.barabasi_albert rng ~nodes:(50 * scale) ~attach:2)
       | "figure2" -> Figure2.property ()
       | other ->
-          Printf.eprintf "unknown graph kind %S (try contact, er, ba, figure2)\n" other;
-          exit 2
+          fail_user ~code:"GQ046" ~subterm:other
+            ~message:"unknown graph kind (try contact, er, ba, figure2)"
     in
     Graph_io.save_property_graph output pg;
     Printf.printf "wrote %s: %d nodes, %d edges\n" output (Property_graph.num_nodes pg)
@@ -104,10 +160,8 @@ let resolve_sources inst spec =
           if !matched = 0 then Logs.warn (fun m -> m "label %S matches no node" label)
       | _ ->
           let rec find v =
-            if v >= inst.Snapshot.num_nodes then begin
-              Printf.eprintf "unknown node %S\n" item;
-              exit 2
-            end
+            if v >= inst.Snapshot.num_nodes then
+              fail_user ~code:"GQ046" ~subterm:item ~message:"unknown node"
             else if inst.Snapshot.node_name v = item then add v
             else find (v + 1)
           in
@@ -116,12 +170,13 @@ let resolve_sources inst spec =
   Array.of_list (List.rev !out)
 
 let query_cmd =
-  let run () path regex max_length sources =
+  let run () path regex max_length sources limits =
     let inst = load_instance path in
     let r = parse_regex regex in
-    match sources with
+    let budget = make_budget limits in
+    (match sources with
     | None ->
-        let pairs = Rpq.eval_pairs inst ?max_length r in
+        let pairs = Rpq.eval_pairs ~budget inst ?max_length r in
         List.iter
           (fun (a, b) ->
             Printf.printf "%s\t%s\n" (inst.Snapshot.node_name a) (inst.Snapshot.node_name b))
@@ -130,7 +185,7 @@ let query_cmd =
     | Some spec ->
         let sources = resolve_sources inst spec in
         let batches0 = Gqkg_core.Frontier.batches_total () in
-        let results = Rpq.reachable_many inst ?max_length r ~sources in
+        let results = Rpq.reachable_many ~budget inst ?max_length r ~sources in
         let total = ref 0 in
         Array.iteri
           (fun i targets ->
@@ -143,7 +198,8 @@ let query_cmd =
           results;
         Logs.info (fun m ->
             m "%d pairs from %d sources (%d frontier batches)" !total (Array.length sources)
-              (Gqkg_core.Frontier.batches_total () - batches0))
+              (Gqkg_core.Frontier.batches_total () - batches0)));
+    report_budget budget
   in
   let max_length =
     Arg.(value & opt (some int) None & info [ "max-length" ] ~doc:"Bound on path length.")
@@ -159,7 +215,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Endpoint pairs of matching paths")
-    Term.(const run $ verbose_flag $ graph_arg $ regex_arg 1 $ max_length $ sources)
+    Term.(const run $ verbose_flag $ graph_arg $ regex_arg 1 $ max_length $ sources $ budget_args)
 
 (* ---- count ---- *)
 
@@ -169,10 +225,8 @@ let count_cmd =
     let r = parse_regex regex in
     let resolve name =
       let rec find v =
-        if v >= inst.Snapshot.num_nodes then begin
-          Printf.eprintf "unknown node %S\n" name;
-          exit 2
-        end
+        if v >= inst.Snapshot.num_nodes then
+          fail_user ~code:"GQ046" ~subterm:name ~message:"unknown node"
         else if inst.Snapshot.node_name v = name then v
         else find (v + 1)
       in
@@ -186,9 +240,7 @@ let count_cmd =
         let product = Product.create inst r in
         let table = Count.build product ~depth:length in
         Printf.printf "exact (from %s): %.0f\n" a (Count.count_from table ~source:(resolve a) ~length)
-    | None, Some _ ->
-        Printf.eprintf "--to requires --from\n";
-        exit 2
+    | None, Some _ -> fail_user ~code:"GQ046" ~subterm:"--to" ~message:"--to requires --from"
     | None, None -> Printf.printf "exact: %.0f\n" (Count.count inst r ~length));
     match epsilon with
     | Some epsilon ->
@@ -264,13 +316,11 @@ let centrality_cmd =
       | "bcr" -> begin
           match regex with
           | Some regex -> Gqkg_analytics.Regex_centrality.exact inst (parse_regex regex)
-          | None ->
-              Printf.eprintf "bcr needs --regex\n";
-              exit 2
+          | None -> fail_user ~code:"GQ046" ~subterm:"bcr" ~message:"bcr needs --regex"
         end
       | other ->
-          Printf.eprintf "unknown measure %S\n" other;
-          exit 2
+          fail_user ~code:"GQ046" ~subterm:other
+            ~message:"unknown measure (try betweenness, bcr, pagerank, closeness)"
     in
     let order = Gqkg_analytics.Centrality.ranking scores in
     Array.iteri
@@ -296,8 +346,8 @@ let match_cmd =
       match Gqkg_logic.Crpq_parser.parse query with
       | q -> q
       | exception Gqkg_logic.Crpq_parser.Error { position; message } ->
-          Printf.eprintf "query error at %d: %s\n" position message;
-          exit 2
+          fail_user ~code:"GQ043" ~subterm:query
+            ~message:(Printf.sprintf "parse error at position %d: %s" position message)
     in
     if show_plan then print_string (Gqkg_logic.Crpq.explain ?max_length inst q)
     else
@@ -330,18 +380,18 @@ let convert_cmd =
     in
     match (ends_with ".pg" input, ends_with ".nt" output, ends_with ".nt" input, ends_with ".pg" output) with
     | true, true, _, _ ->
-        let pg = Graph_io.load_property_graph input in
+        let pg = load_property input in
         Gqkg_kg.Ntriples.save output (Gqkg_kg.Pg_rdf.of_property_graph pg);
         Printf.printf "wrote %s\n" output
     | _, _, true, true ->
-        let store = Gqkg_kg.Ntriples.load input in
+        let store = load_store input in
         let pg = Gqkg_kg.Pg_rdf.to_property_graph store in
         Graph_io.save_property_graph output pg;
         Printf.printf "wrote %s: %d nodes, %d edges\n" output (Property_graph.num_nodes pg)
           (Property_graph.num_edges pg)
     | _ ->
-        Printf.eprintf "supported conversions: .pg -> .nt and .nt -> .pg\n";
-        exit 2
+        fail_user ~code:"GQ046" ~subterm:(input ^ " -> " ^ output)
+          ~message:"supported conversions: .pg -> .nt and .nt -> .pg"
   in
   let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT" ~doc:"Input file.") in
   let output = Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT" ~doc:"Output file.") in
@@ -353,7 +403,7 @@ let convert_cmd =
 
 let materialize_cmd =
   let run () input output =
-    let store = Gqkg_kg.Ntriples.load input in
+    let store = load_store input in
     let before = Gqkg_kg.Triple_store.size store in
     let added = Gqkg_kg.Rdfs.materialize store in
     Gqkg_kg.Ntriples.save output store;
@@ -369,7 +419,7 @@ let materialize_cmd =
 
 let sparql_cmd =
   let run () path query =
-    let store = Gqkg_kg.Ntriples.load path in
+    let store = load_store path in
     match Gqkg_kg.Sparql.run store query with
     | rows ->
         List.iter
@@ -377,8 +427,8 @@ let sparql_cmd =
             print_endline (String.concat "\t" (List.map Gqkg_kg.Term.to_string row)))
           rows
     | exception Gqkg_kg.Sparql.Error { position; message } ->
-        Printf.eprintf "query error at %d: %s\n" position message;
-        exit 2
+        fail_user ~code:"GQ044" ~subterm:query
+          ~message:(Printf.sprintf "parse error at position %d: %s" position message)
   in
   let path =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"TRIPLES" ~doc:"N-Triples file.")
@@ -396,8 +446,9 @@ let sparql_cmd =
 (* ---- explain ---- *)
 
 let explain_cmd =
-  let run () regex graph =
+  let run () regex graph limits =
     let r = parse_regex regex in
+    let budget = make_budget limits in
     Printf.printf "expression : %s\n" (Gqkg_automata.Regex.to_string ~top:true r);
     let simplified = Gqkg_automata.Regex.simplify r in
     if not (Gqkg_automata.Regex.equal simplified r) then
@@ -428,7 +479,7 @@ let explain_cmd =
         List.iter
           (fun d -> print_endline (Gqkg_analysis.Diagnostic.to_string d))
           report.Gqkg_analysis.Analyze.diagnostics;
-        match Planner.prepare inst simplified with
+        (match Planner.prepare ~budget inst simplified with
         | Planner.Empty ->
             Printf.printf "on %s: 0 product states materialized, 0 answer pairs\n" path
         | Planner.Ready product ->
@@ -436,7 +487,7 @@ let explain_cmd =
             let batches0 = Gqkg_core.Frontier.batches_total () in
             let td0 = Gqkg_core.Frontier.top_down_levels_total () in
             let bu0 = Gqkg_core.Frontier.bottom_up_levels_total () in
-            let pairs = Rpq.eval_pairs inst ~max_length:8 simplified in
+            let pairs = Rpq.eval_pairs ~budget inst ~max_length:8 simplified in
             Printf.printf
               "on %s: %d nodes x %d NFA states -> %d product states materialized, %d answer pairs (paths up to 8)\n"
               path inst.Snapshot.num_nodes
@@ -453,7 +504,9 @@ let explain_cmd =
                 Gqkg_core.Frontier.word_bits td
                 (if td = 1 then "" else "s")
                 bu
-            else Printf.printf "frontier: not used (statically answered)\n")
+            else Printf.printf "frontier: not used (statically answered)\n");
+        Printf.printf "budget: %s\n" (Gqkg_util.Budget.describe budget);
+        report_budget budget)
   in
   let regex = Arg.(required & pos 0 (some string) None & info [] ~docv:"REGEX" ~doc:"Expression.") in
   let graph =
@@ -461,14 +514,20 @@ let explain_cmd =
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Show the compilation pipeline of a path expression")
-    Term.(const run $ verbose_flag $ regex $ graph)
+    Term.(const run $ verbose_flag $ regex $ graph $ budget_args)
 
 (* ---- lint ---- *)
 
 let lint_cmd =
-  let run () path regex model json =
+  let run () path regex model json limits =
     let r = parse_regex regex in
-    let pg = Graph_io.load_property_graph path in
+    (* Lint is static — no product is built — so only the wall-clock
+       budget bites, checked around the graph-sized phases (load, schema
+       extraction).  A tripped budget marks the report partial. *)
+    let budget = make_budget limits in
+    let pg = load_property path in
+    Gqkg_util.Budget.charge_steps budget (Property_graph.num_nodes pg + Property_graph.num_edges pg);
+    ignore (Gqkg_util.Budget.check budget);
     let schema =
       match model with
       | "property" -> Gqkg_analysis.Schema.of_property pg
@@ -476,18 +535,20 @@ let lint_cmd =
       | "vector" -> Gqkg_analysis.Schema.of_vector (fst (Vector_graph.of_property pg))
       | "multigraph" -> Gqkg_analysis.Schema.of_multigraph (Property_graph.base pg)
       | other ->
-          Printf.eprintf "unknown model %S (try property, labeled, vector, multigraph)\n" other;
-          exit 2
+          fail_user ~code:"GQ046" ~subterm:other
+            ~message:"unknown model (try property, labeled, vector, multigraph)"
     in
+    ignore (Gqkg_util.Budget.check budget);
     let report = Gqkg_analysis.Analyze.run ~schema r in
+    let diagnostics =
+      report.Gqkg_analysis.Analyze.diagnostics
+      @ (match Gqkg_analysis.Diagnostic.of_budget budget with Some d -> [ d ] | None -> [])
+    in
     let verdict =
       if Gqkg_analysis.Analyze.is_empty report then "empty" else "possibly-nonempty"
     in
     if json then begin
-      let diags =
-        String.concat ","
-          (List.map Gqkg_analysis.Diagnostic.to_json report.Gqkg_analysis.Analyze.diagnostics)
-      in
+      let diags = String.concat "," (List.map Gqkg_analysis.Diagnostic.to_json diagnostics) in
       Printf.printf
         "{\"verdict\":\"%s\",\"expression\":\"%s\",\"states_before\":%d,\"states_after\":%d,\
          \"fwd_cost\":%g,\"bwd_cost\":%g,\"diagnostics\":[%s]}\n"
@@ -507,11 +568,10 @@ let lint_cmd =
         Printf.printf "seed cost  : forward %.0f, backward %.0f\n"
           report.Gqkg_analysis.Analyze.fwd_cost report.Gqkg_analysis.Analyze.bwd_cost
       end;
-      List.iter
-        (fun d -> print_endline (Gqkg_analysis.Diagnostic.to_string d))
-        report.Gqkg_analysis.Analyze.diagnostics;
+      List.iter (fun d -> print_endline (Gqkg_analysis.Diagnostic.to_string d)) diagnostics;
       Logs.info (fun m -> m "schema:@.%s" (Gqkg_analysis.Schema.to_string schema))
     end;
+    report_budget budget;
     if Gqkg_analysis.Analyze.is_empty report then exit 1
   in
   let model =
@@ -523,13 +583,13 @@ let lint_cmd =
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.") in
   Cmd.v
     (Cmd.info "lint" ~doc:"Statically analyze a path query against a graph's vocabulary")
-    Term.(const run $ verbose_flag $ graph_arg $ regex_arg 1 $ model $ json)
+    Term.(const run $ verbose_flag $ graph_arg $ regex_arg 1 $ model $ json $ budget_args)
 
 (* ---- stats ---- *)
 
 let stats_cmd =
   let run () path =
-    let pg = Graph_io.load_property_graph path in
+    let pg = load_property path in
     let inst = Snapshot.of_property pg in
     print_string (Snapshot.describe inst);
     Fmt.pr "%a@." Gqkg_analytics.Graph_stats.pp_summary (Gqkg_analytics.Graph_stats.summarize inst);
@@ -549,7 +609,7 @@ let stats_cmd =
 
 let wl_cmd =
   let run () path =
-    let pg = Graph_io.load_property_graph path in
+    let pg = load_property path in
     let inst = Snapshot.of_property pg in
     let coloring =
       Gqkg_gnn.Wl.refine inst ~init:(fun v -> Hashtbl.hash (inst.Snapshot.node_name v = "" (* uniform *)))
@@ -592,9 +652,13 @@ let () =
   | _ -> ());
   let default = Term.(ret (const (fun () -> `Help (`Pager, None)) $ const ())) in
   let info = Cmd.info "gqkg" ~version:"1.0.0" ~doc:"Graph databases and knowledge graphs toolbox" in
+  (* [~catch:false] so file-system errors raised mid-command (unreadable
+     input, unwritable output) surface as a structured GQ041 diagnostic
+     instead of cmdliner's internal-error backtrace. *)
   exit
-    (Cmd.eval
-       (Cmd.group ~default info
+    (try
+       Cmd.eval ~catch:false
+         (Cmd.group ~default info
           [
             generate_cmd;
             query_cmd;
@@ -610,4 +674,5 @@ let () =
             lint_cmd;
             stats_cmd;
             wl_cmd;
-          ]))
+          ])
+     with Sys_error message -> fail_user ~code:"GQ041" ~subterm:"" ~message)

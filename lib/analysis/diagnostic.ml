@@ -44,3 +44,37 @@ let to_json d =
 let rank = function Error -> 0 | Warning -> 1 | Info -> 2
 let sort ds = List.stable_sort (fun a b -> compare (rank a.severity) (rank b.severity)) ds
 let has_errors ds = List.exists (fun d -> d.severity = Error) ds
+
+(* --- Resource-governor diagnostics (GQ03x) ---------------------------
+
+   Emitted when an evaluation returns a partial result because its
+   budget tripped.  Warnings, not errors: the partial answer is sound
+   (a subset of the unbudgeted answer), the caller just needs to know it
+   may be incomplete.  The CLI maps their presence to exit code 3. *)
+
+let budget_code = function
+  | Gqkg_util.Budget.Timeout -> "GQ030"
+  | Gqkg_util.Budget.State_limit -> "GQ031"
+  | Gqkg_util.Budget.Step_limit -> "GQ032"
+  | Gqkg_util.Budget.Injected -> "GQ033"
+
+let of_budget b =
+  match Gqkg_util.Budget.exhausted b with
+  | None -> None
+  | Some reason ->
+      Some
+        (make ~code:(budget_code reason) ~severity:Warning ~subterm:""
+           ~message:
+             (Printf.sprintf
+                "evaluation stopped early (%s); the result is a sound subset of the full answer \
+                 [%s]"
+                (Gqkg_util.Budget.reason_to_string reason)
+                (Gqkg_util.Budget.describe b)))
+
+(* --- User-input diagnostics (GQ04x) ----------------------------------
+
+   Structured reports for malformed user input (files, queries, CLI
+   arguments): always errors, rendered by the CLI instead of a raw
+   OCaml exception backtrace, with exit code 2. *)
+
+let user_error ~code ~subterm ~message = make ~code ~severity:Error ~subterm ~message

@@ -25,3 +25,18 @@ val to_json : t -> string
 val sort : t list -> t list
 
 val has_errors : t list -> bool
+
+(** Stable code for a budget-exhaustion reason: GQ030 timeout, GQ031
+    state limit, GQ032 step limit, GQ033 injected (fault harness). *)
+val budget_code : Gqkg_util.Budget.reason -> string
+
+(** The GQ03x warning describing why (and after how much consumption) an
+    evaluation under this budget returned a partial result; [None] while
+    the budget has not tripped.  The CLI maps its presence to exit
+    code 3. *)
+val of_budget : Gqkg_util.Budget.t -> t option
+
+(** A GQ04x user-input error (malformed file, unparsable query, bad
+    argument): rendered structurally by the CLI with exit code 2 instead
+    of a raw exception backtrace. *)
+val user_error : code:string -> subterm:string -> message:string -> t

@@ -89,7 +89,21 @@ let build_dag product ~source ~max_length =
       !sigma.(s0) <- 1.0;
       let queue = Queue.create () in
       Queue.push s0 queue;
-      while not (Queue.is_empty queue) do
+      (* Budget check site: every 128 dequeues, like the Rpq BFS.  An
+         early stop truncates the DAG; paths materialized or sampled
+         from it are still genuine shortest matching paths, only fewer
+         pairs contribute. *)
+      let budget = Product.budget product in
+      let pops = ref 0 in
+      let stop = ref false in
+      while (not !stop) && not (Queue.is_empty queue) do
+        incr pops;
+        if !pops land 127 = 0 then begin
+          Budget.charge_steps budget 128;
+          Budget.note_states budget (Product.num_states product);
+          if Budget.check budget then stop := true
+        end;
+        if not !stop then begin
         let v = Queue.pop queue in
         let dv = !dist.(v) in
         let expand = match max_length with Some m -> dv < m | None -> true in
@@ -105,6 +119,7 @@ let build_dag product ~source ~max_length =
                 !sigma.(w) <- !sigma.(w) +. !sigma.(v);
                 !preds.(w) <- v :: !preds.(w)
               end)
+        end
         end
       done;
       (* Per graph node, keep the closest accepting states (discovery
@@ -156,10 +171,10 @@ let materialize_paths product dag ~target ~limit =
    when statically empty (bc_r is all zeros — no matching path exists),
    otherwise a product factory the per-domain workers call.  The trimmed
    NFA is immutable and shared read-only across the copies. *)
-let plan_products inst regex =
+let plan_products ?budget inst regex =
   let module Analyze = Gqkg_analysis.Analyze in
   match Analyze.plan_if_enabled inst regex with
-  | None -> Some (fun () -> Product.create inst regex)
+  | None -> Some (fun () -> Product.create ?budget inst regex)
   | Some r -> (
       match r.Analyze.nfa with
       | None -> None
@@ -167,7 +182,10 @@ let plan_products inst regex =
           let hints =
             { Product.fwd_seed_cost = r.Analyze.fwd_cost; bwd_seed_cost = r.Analyze.bwd_cost }
           in
-          Some (fun () -> Product.create ~nfa ~hints inst r.Analyze.regex))
+          (* One budget shared by every per-domain product copy: its
+             counters are atomics, so concurrent slices charge it
+             together and trip together. *)
+          Some (fun () -> Product.create ?budget ~nfa ~hints inst r.Analyze.regex))
 
 (* Per-source exact contribution, accumulated into [bc]. *)
 let exact_source product ~max_length ~pair_limit bc a =
@@ -199,14 +217,19 @@ let exact_source product ~max_length ~pair_limit bc a =
    hence of the domain count). *)
 let run_slice mk_product ~max_length per_source n first last =
   let product = mk_product () in
+  let budget = Product.budget product in
   let fr = Frontier.create product in
   let bc = Array.make n 0.0 in
   let a = ref first in
-  while !a < last do
+  (* Budget check sites: per batch and per source.  A skipped source
+     contributes nothing, so partial bc scores are undercounts. *)
+  while !a < last && not (Budget.check budget) do
     let width = min Frontier.word_bits (last - !a) in
     Frontier.run_batch ?max_length fr ~sources:(Array.init width (fun i -> !a + i));
-    for i = 0 to width - 1 do
-      per_source product bc (!a + i)
+    let i = ref 0 in
+    while !i < width && not (Budget.check budget) do
+      per_source product bc (!a + !i);
+      incr i
     done;
     a := !a + width
   done;
@@ -234,10 +257,10 @@ let run_sliced mk_product ~max_length ~domains per_source n =
    explores its own product copy; the per-domain partial scores are
    summed in slice order, keeping the result deterministic for a fixed
    domain count. *)
-let exact ?max_length ?pair_limit ?(domains = 0) inst regex =
+let exact ?budget ?max_length ?pair_limit ?(domains = 0) inst regex =
   let n = inst.Snapshot.num_nodes in
   let domains = if domains > 0 then domains else Parallel.default_domains () in
-  match plan_products inst regex with
+  match plan_products ?budget inst regex with
   | None -> Array.make n 0.0
   | Some mk_product ->
       run_sliced mk_product ~max_length ~domains
@@ -287,12 +310,27 @@ let approximate_source product ~max_length ~samples ~seed bc a =
 (* Randomized approximation of bc_r: per reachable pair, [samples] uniform
    members of S_{a,b,r} estimate the inclusion fractions.  Sources are
    sliced across domains and batched exactly as in {!exact}. *)
-let approximate ?max_length ?(samples = 16) ?(seed = 7) ?(domains = 0) inst regex =
+let approximate ?budget ?max_length ?(samples = 16) ?(seed = 7) ?(domains = 0) inst regex =
   let n = inst.Snapshot.num_nodes in
   let domains = if domains > 0 then domains else Parallel.default_domains () in
-  match plan_products inst regex with
+  match plan_products ?budget inst regex with
   | None -> Array.make n 0.0
   | Some mk_product ->
       run_sliced mk_product ~max_length ~domains
         (fun product bc a -> approximate_source product ~max_length ~samples ~seed bc a)
         n
+
+(* The degradation ladder: exact bc_r under the caller's budget; if the
+   exact pass trips, fall back to the sampling approximation under a
+   fresh budget with the same limits ([Budget.similar] — the injector is
+   deliberately not copied).  The outcome's completeness reflects the
+   pass that produced the returned scores. *)
+let governed ~budget ?max_length ?pair_limit ?(samples = 16) ?(seed = 7) ?(domains = 0) inst
+    regex =
+  let scores = exact ~budget ?max_length ?pair_limit ~domains inst regex in
+  match Budget.exhausted budget with
+  | None -> { Budget.value = (scores, `Exact); completeness = Budget.Complete }
+  | Some _ ->
+      let retry = Budget.similar budget in
+      let scores = approximate ~budget:retry ?max_length ~samples ~seed ~domains inst regex in
+      { Budget.value = (scores, `Approximate); completeness = Budget.completeness retry }

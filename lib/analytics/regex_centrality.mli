@@ -3,7 +3,12 @@
     bc_r(x) = Σ over pairs (a,b), a≠x≠b, of |S_{a,b,r}(x)| / |S_{a,b,r}|
 
     where S_{a,b,r} is the set of shortest paths from a to b conforming
-    to r and S_{a,b,r}(x) those containing x. *)
+    to r and S_{a,b,r}(x) those containing x.
+
+    Both algorithms accept an optional [budget]; a tripped budget skips
+    the remaining sources, so partial scores are undercounts of the
+    unbudgeted scores.  {!governed} adds the degradation ladder: exact
+    first, falling back to the approximation when exact trips. *)
 
 open Gqkg_graph
 
@@ -14,6 +19,7 @@ open Gqkg_graph
     per-source passes across OCaml domains (each with its own product
     copy); 0 or absent means {!Gqkg_util.Parallel.default_domains}. *)
 val exact :
+  ?budget:Gqkg_util.Budget.t ->
   ?max_length:int ->
   ?pair_limit:int ->
   ?domains:int ->
@@ -28,6 +34,7 @@ val exact :
     estimate does not depend on [domains] (up to float summation
     order). *)
 val approximate :
+  ?budget:Gqkg_util.Budget.t ->
   ?max_length:int ->
   ?samples:int ->
   ?seed:int ->
@@ -35,3 +42,19 @@ val approximate :
   Snapshot.t ->
   Gqkg_automata.Regex.t ->
   float array
+
+(** Budget-governed bc_r with graceful degradation: run {!exact} under
+    [budget]; when it trips, rerun {!approximate} under a fresh budget
+    with the same limits ({!Gqkg_util.Budget.similar}).  The tag says
+    which pass produced the scores; completeness is [Complete] only if
+    the pass that answered ran to completion. *)
+val governed :
+  budget:Gqkg_util.Budget.t ->
+  ?max_length:int ->
+  ?pair_limit:int ->
+  ?samples:int ->
+  ?seed:int ->
+  ?domains:int ->
+  Snapshot.t ->
+  Gqkg_automata.Regex.t ->
+  (float array * [ `Exact | `Approximate ]) Gqkg_util.Budget.outcome

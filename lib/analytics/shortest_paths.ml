@@ -37,20 +37,20 @@ let dijkstra ?(directed = true) inst ~source ~weight =
 (* All-pairs BFS; O(n·(n+m)) but batched [Bitset.bits_per_word] sources
    per adjacency sweep through the multi-source frontier engine — the
    right tool at our graph scales. *)
-let all_pairs ?(directed = true) inst =
-  Traversal.bfs_distances_many ~directed inst
+let all_pairs ?budget ?(directed = true) inst =
+  Traversal.bfs_distances_many ?budget ~directed inst
     ~sources:(Array.init inst.Snapshot.num_nodes Fun.id)
 
 (* Exact diameter: the maximum finite eccentricity (ignoring unreachable
    pairs); [None] for the empty graph. *)
-let diameter ?(directed = false) inst =
+let diameter ?budget ?(directed = false) inst =
   let n = inst.Snapshot.num_nodes in
   if n = 0 then None
   else begin
     let best = ref 0 in
     Array.iter
       (Array.iter (fun d -> if d > !best then best := d))
-      (Traversal.bfs_distances_many ~directed inst ~sources:(Array.init n Fun.id));
+      (Traversal.bfs_distances_many ?budget ~directed inst ~sources:(Array.init n Fun.id));
     Some !best
   end
 
@@ -80,10 +80,10 @@ let diameter_double_sweep ?(directed = false) ?(seed = 0) inst =
   end
 
 (* Average distance over reachable ordered pairs. *)
-let average_distance ?(directed = false) inst =
+let average_distance ?budget ?(directed = false) inst =
   let n = inst.Snapshot.num_nodes in
   let total = ref 0 and pairs = ref 0 in
-  let dists = Traversal.bfs_distances_many ~directed inst ~sources:(Array.init n Fun.id) in
+  let dists = Traversal.bfs_distances_many ?budget ~directed inst ~sources:(Array.init n Fun.id) in
   for source = 0 to n - 1 do
     Array.iteri
       (fun v d ->

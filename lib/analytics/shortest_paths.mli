@@ -9,14 +9,16 @@ val single_source : ?directed:bool -> Snapshot.t -> source:int -> int array
     [infinity] = unreachable. Raises on negative weights. *)
 val dijkstra : ?directed:bool -> Snapshot.t -> source:int -> weight:(int -> float) -> float array
 
-(** All-pairs BFS distances. *)
-val all_pairs : ?directed:bool -> Snapshot.t -> int array array
+(** All-pairs BFS distances.  A tripped [budget] leaves unreached
+    cells at -1; written distances are exact. *)
+val all_pairs : ?budget:Gqkg_util.Budget.t -> ?directed:bool -> Snapshot.t -> int array array
 
-(** Exact diameter over reachable pairs; [None] on the empty graph. *)
-val diameter : ?directed:bool -> Snapshot.t -> int option
+(** Exact diameter over reachable pairs; [None] on the empty graph.
+    Under a tripped [budget] the value is a lower bound. *)
+val diameter : ?budget:Gqkg_util.Budget.t -> ?directed:bool -> Snapshot.t -> int option
 
 (** Double-sweep lower bound (exact on trees, usually tight). *)
 val diameter_double_sweep : ?directed:bool -> ?seed:int -> Snapshot.t -> int option
 
 (** Mean distance over reachable ordered pairs. *)
-val average_distance : ?directed:bool -> Snapshot.t -> float option
+val average_distance : ?budget:Gqkg_util.Budget.t -> ?directed:bool -> Snapshot.t -> float option

@@ -64,7 +64,8 @@ let bfs_distances ?directed inst ~source = fst (bfs ?directed inst ~source)
    is high (denser graphs profit from pulling earlier).  Distances are
    bit-identical to per-source {!bfs_distances}; [direction] forces one
    expansion mode for tests. *)
-let bfs_distances_many ?(direction = `Auto) ?(directed = true) inst ~sources =
+let bfs_distances_many ?(budget = Gqkg_util.Budget.unlimited) ?(direction = `Auto)
+    ?(directed = true) inst ~sources =
   let n = inst.Snapshot.num_nodes in
   let out_off = inst.Snapshot.out_off and out_nbr = inst.Snapshot.out_nbr in
   let in_off = inst.Snapshot.in_off and in_nbr = inst.Snapshot.in_nbr in
@@ -96,7 +97,15 @@ let bfs_distances_many ?(direction = `Auto) ?(directed = true) inst ~sources =
       dists.(s).(v) <- 0
     done;
     let d = ref 0 in
-    while !cur_n > 0 do
+    (* Budget check site: once per level per batch.  Stopping early
+       leaves the unreached distances at -1; the distances already
+       written are exact, so consumers only lose coverage. *)
+    while
+      !cur_n > 0
+      &&
+      (Gqkg_util.Budget.charge_steps budget !cur_n;
+       not (Gqkg_util.Budget.check budget))
+    do
       incr d;
       let td_cost = ref 0 in
       for i = 0 to !cur_n - 1 do

@@ -21,8 +21,11 @@ val bfs_distances : ?directed:bool -> Snapshot.t -> source:int -> int array
     bottom-up (Beamer) over the snapshot's CSRs.  [result.(i)] is
     bit-identical to [bfs_distances ~directed ~source:sources.(i)];
     [direction] forces one expansion mode for tests (default [`Auto]
-    picks per level by a degree-stat cost heuristic). *)
+    picks per level by a degree-stat cost heuristic).  A tripped
+    [budget] stops between levels: unreached cells stay -1, written
+    distances are exact. *)
 val bfs_distances_many :
+  ?budget:Gqkg_util.Budget.t ->
   ?direction:[ `Auto | `Bottom_up | `Top_down ] ->
   ?directed:bool ->
   Snapshot.t ->

@@ -36,13 +36,14 @@ type t = {
   nfa : Nfa.t;
   pool_size : int;
   rng : Splitmix.t;
+  budget : Budget.t;
 }
 
-let create ?(seed = 0x5eed) inst regex ~epsilon =
+let create ?(budget = Budget.unlimited) ?(seed = 0x5eed) inst regex ~epsilon =
   if epsilon <= 0.0 || epsilon >= 1.0 then invalid_arg "Approx_count.create: epsilon in (0,1)";
   let nfa = Nfa.of_regex regex in
   let pool_size = max 16 (int_of_float (ceil (8.0 /. (epsilon *. epsilon)))) in
-  { inst; nfa; pool_size; rng = Splitmix.create seed }
+  { inst; nfa; pool_size; rng = Splitmix.create seed; budget }
 
 let config t ~node ~state = (node * Nfa.num_states t.nfa) + state
 let config_node t c = c / Nfa.num_states t.nfa
@@ -136,7 +137,15 @@ let estimate t ~length =
       (state_closure t ~node:v (Nfa.start t.nfa))
   done;
   let current = ref level in
-  for _i = 1 to length do
+  (* Budget check site: once per level.  An interrupted run holds
+     estimates for paths SHORTER than [length] — not a sound partial
+     answer for length [length] — so a trip forfeits the whole estimate
+     and answers 0.0 (the only universally sound undercount). *)
+  let tripped = ref false in
+  let i = ref 1 in
+  while !i <= length && not !tripped do
+    if Budget.check t.budget then tripped := true
+    else begin
     (* Group union branches by destination configuration. *)
     let branches : (config, (config * int) list ref) Hashtbl.t = Hashtbl.create 256 in
     Hashtbl.iter
@@ -188,20 +197,25 @@ let estimate t ~length =
             Hashtbl.replace next c' { estimate; pool = Array.of_list !pool }
         end)
       branches;
-    current := next
+    current := next;
+    incr i
+    end
   done;
-  (* Accepted paths of length k: configurations whose state is accept;
-     disjoint across end nodes, so plain summation. *)
-  let accept = Nfa.accept t.nfa in
-  Hashtbl.fold
-    (fun c entry acc -> if config_state t c = accept then acc +. entry.estimate else acc)
-    !current 0.0
+  if !tripped then 0.0
+  else begin
+    (* Accepted paths of length k: configurations whose state is accept;
+       disjoint across end nodes, so plain summation. *)
+    let accept = Nfa.accept t.nfa in
+    Hashtbl.fold
+      (fun c entry acc -> if config_state t c = accept then acc +. entry.estimate else acc)
+      !current 0.0
+  end
 
 (* One-shot estimation of Count(G, r, k) within relative error ~epsilon. *)
-let count ?(seed = 0x5eed) inst regex ~length ~epsilon =
+let count ?budget ?(seed = 0x5eed) inst regex ~length ~epsilon =
   (* Statically-empty queries need no estimator run: the exact answer is 0. *)
   match Gqkg_analysis.Analyze.plan_if_enabled inst regex with
   | Some report when Gqkg_analysis.Analyze.is_empty report -> 0.0
   | Some _ | None ->
-      let t = create ~seed inst regex ~epsilon in
+      let t = create ?budget ~seed inst regex ~epsilon in
       estimate t ~length

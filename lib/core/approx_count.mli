@@ -9,14 +9,28 @@ type t
 
 (** [create inst r ~epsilon] sizes the per-configuration sample pools at
     Θ(1/ε²). Raises unless 0 < ε < 1. *)
-val create : ?seed:int -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> epsilon:float -> t
+val create :
+  ?budget:Gqkg_util.Budget.t ->
+  ?seed:int ->
+  Gqkg_graph.Snapshot.t ->
+  Gqkg_automata.Regex.t ->
+  epsilon:float ->
+  t
 
-(** Estimate Count(G, r, k). *)
+(** Estimate Count(G, r, k).  A tripped budget answers 0.0 — an
+    interrupted level pass estimates shorter paths, which would not be a
+    sound partial answer for length [k]. *)
 val estimate : t -> length:int -> float
 
 (** One-shot estimation. *)
 val count :
-  ?seed:int -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> length:int -> epsilon:float -> float
+  ?budget:Gqkg_util.Budget.t ->
+  ?seed:int ->
+  Gqkg_graph.Snapshot.t ->
+  Gqkg_automata.Regex.t ->
+  length:int ->
+  epsilon:float ->
+  float
 
 (** {2 Internals exposed for the ablation harness and white-box tests} *)
 

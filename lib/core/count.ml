@@ -60,7 +60,13 @@ let build product ~depth =
   Array.iteri
     (fun i id -> if Product.is_accepting product id then suffix.(0).(i) <- 1.0)
     state_ids;
-  for j = 1 to depth do
+  (* Budget check site: once per DP depth.  Stopping leaves the deeper
+     suffix rows at 0.0 — an undercount, so every consumer (counts,
+     pruned enumeration, sampling weights) only shrinks. *)
+  let budget = Product.budget product in
+  let jr = ref 1 in
+  while !jr <= depth && not (Gqkg_util.Budget.check budget) do
+    let j = !jr in
     let prev = suffix.(j - 1) and cur = suffix.(j) in
     for i = 0 to n - 1 do
       let total = ref 0.0 in
@@ -70,7 +76,8 @@ let build product ~depth =
         if si >= 0 then total := !total +. prev.(si)
       done;
       cur.(i) <- !total
-    done
+    done;
+    incr jr
   done;
   { product; depth; state_ids; index_of; suffix }
 
@@ -100,16 +107,16 @@ let count_from t ~source ~length =
   | None -> 0.0
 
 (* One-shot: Count(G, r, k). *)
-let count inst regex ~length =
-  match Planner.prepare inst regex with
+let count ?budget inst regex ~length =
+  match Planner.prepare ?budget inst regex with
   | Planner.Empty -> 0.0
   | Planner.Ready product ->
       let t = build product ~depth:length in
       count_at t ~length
 
 (* Counts for every length 0..k in one preprocessing pass. *)
-let count_all inst regex ~max_length =
-  match Planner.prepare inst regex with
+let count_all ?budget inst regex ~max_length =
+  match Planner.prepare ?budget inst regex with
   | Planner.Empty -> Array.make (max_length + 1) 0.0
   | Planner.Ready product ->
       let t = build product ~depth:max_length in
@@ -126,16 +133,29 @@ let count_between_in product ~source ~target ~length =
       let current = Hashtbl.create 16 in
       Hashtbl.replace current s0 1.0;
       let current = ref current in
-      for _ = 1 to length do
-        let next = Hashtbl.create 16 in
-        Hashtbl.iter
-          (fun state weight ->
-            Product.iter_successors product state (fun _e succ ->
-                Hashtbl.replace next succ
-                  (weight +. Option.value (Hashtbl.find_opt next succ) ~default:0.0)))
-          !current;
-        current := next
+      (* Budget check site: once per DP step.  An interrupted DP holds
+         weights of paths shorter than [length] — NOT a sound partial
+         count for length [length] — so a trip here answers 0.0 (the
+         only universally sound undercount). *)
+      let budget = Product.budget product in
+      let tripped = ref false in
+      let step = ref 1 in
+      while !step <= length && not !tripped do
+        if Gqkg_util.Budget.check budget then tripped := true
+        else begin
+          let next = Hashtbl.create 16 in
+          Hashtbl.iter
+            (fun state weight ->
+              Product.iter_successors product state (fun _e succ ->
+                  Hashtbl.replace next succ
+                    (weight +. Option.value (Hashtbl.find_opt next succ) ~default:0.0)))
+            !current;
+          current := next;
+          incr step
+        end
       done;
+      if !tripped then 0.0
+      else
       Hashtbl.fold
         (fun state weight acc ->
           if Product.is_accepting product state && Product.node_of product state = target then
@@ -143,8 +163,8 @@ let count_between_in product ~source ~target ~length =
           else acc)
         !current 0.0
 
-let count_between inst regex ~source ~target ~length =
+let count_between ?budget inst regex ~source ~target ~length =
   if length < 0 then invalid_arg "Count.count_between: negative length";
-  match Planner.prepare inst regex with
+  match Planner.prepare ?budget inst regex with
   | Planner.Empty -> 0.0
   | Planner.Ready product -> count_between_in product ~source ~target ~length

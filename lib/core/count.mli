@@ -4,7 +4,11 @@
 
     Counts are floats: they grow combinatorially, and every consumer
     (the uniform sampler's weights, FPRAS accuracy comparisons) needs
-    ratios rather than exact big integers. *)
+    ratios rather than exact big integers.
+
+    Under a tripped budget every count is an {e undercount} (never an
+    overcount): interrupted table construction zeroes the deeper suffix
+    rows, and an interrupted pairwise DP answers 0.0. *)
 
 type table
 (** Suffix-count tables: for every product state reachable within the
@@ -31,14 +35,25 @@ val count_at : table -> length:int -> float
 val count_from : table -> source:int -> length:int -> float
 
 (** One-shot Count(G, r, k). *)
-val count : Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> length:int -> float
+val count :
+  ?budget:Gqkg_util.Budget.t ->
+  Gqkg_graph.Snapshot.t ->
+  Gqkg_automata.Regex.t ->
+  length:int ->
+  float
 
 (** Counts for every length 0..max_length with one preprocessing pass. *)
-val count_all : Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> max_length:int -> float array
+val count_all :
+  ?budget:Gqkg_util.Budget.t ->
+  Gqkg_graph.Snapshot.t ->
+  Gqkg_automata.Regex.t ->
+  max_length:int ->
+  float array
 
 (** Paths from [source] to [target] of exactly [length] — the pairwise
     count the regex-constrained centrality of Section 4.2 builds on. *)
 val count_between :
+  ?budget:Gqkg_util.Budget.t ->
   Gqkg_graph.Snapshot.t ->
   Gqkg_automata.Regex.t ->
   source:int ->

@@ -30,12 +30,14 @@ type t = {
   mutable steps_since_last : int; (* instrumentation: delay measurement *)
   mutable max_delay : int;
   mutable emitted : int;
+  mutable steps_total : int; (* budget accounting, checked every 256 *)
+  mutable dead : bool; (* the budget tripped: no further answers *)
 }
 
-let create ?sources inst regex ~length =
+let create ?budget ?sources inst regex ~length =
   if length < 0 then invalid_arg "Enumerate.create: negative length";
   let engine =
-    match Planner.prepare inst regex with
+    match Planner.prepare ?budget inst regex with
     | Planner.Empty -> None
     | Planner.Ready product -> Some { table = Count.build product ~depth:length; product }
   in
@@ -56,6 +58,8 @@ let create ?sources inst regex ~length =
     steps_since_last = 0;
     max_delay = 0;
     emitted = 0;
+    steps_total = 0;
+    dead = false;
   }
 
 let push t eng state =
@@ -77,8 +81,27 @@ let emit t =
   t.steps_since_last <- 0;
   Path.make ~nodes:(Array.sub t.nodes 0 (t.length + 1)) ~edges:(Array.sub t.edges 0 t.length)
 
+(* Budget check site: every 256 DFS steps.  Tripping marks the
+   enumerator dead — the paths already emitted are exactly a prefix of
+   the unbudgeted enumeration order, hence a subset. *)
+let budget_tripped t eng =
+  t.steps_total <- t.steps_total + 1;
+  t.dead
+  ||
+  t.steps_total land 255 = 0
+  &&
+  let budget = Product.budget eng.product in
+  Gqkg_util.Budget.charge_steps budget 256;
+  if Gqkg_util.Budget.check budget then begin
+    t.dead <- true;
+    true
+  end
+  else false
+
 let rec step t eng =
   t.steps_since_last <- t.steps_since_last + 1;
+  if budget_tripped t eng then None
+  else
   match t.stack with
   | [] ->
       (* Start a new source, skipping those with no answers of this length. *)
@@ -135,7 +158,11 @@ let rec step t eng =
       end
 
 (* Statically-empty queries have no engine and no answers. *)
-let next t = match t.engine with None -> None | Some eng -> step t eng
+let next t =
+  match t.engine with
+  | None -> None
+  | Some _ when t.dead -> None
+  | Some eng -> step t eng
 
 let iter t f =
   let rec loop () =
@@ -157,8 +184,11 @@ let max_delay t = t.max_delay
 let emitted t = t.emitted
 
 (* Convenience: all answers of length exactly k. *)
-let paths ?sources inst regex ~length = to_list (create ?sources inst regex ~length)
+let paths ?budget ?sources inst regex ~length =
+  to_list (create ?budget ?sources inst regex ~length)
 
 (* All answers of length at most k, by increasing length. *)
-let paths_up_to ?sources inst regex ~max_length =
-  List.concat_map (fun k -> paths ?sources inst regex ~length:k) (List.init (max_length + 1) Fun.id)
+let paths_up_to ?budget ?sources inst regex ~max_length =
+  List.concat_map
+    (fun k -> paths ?budget ?sources inst regex ~length:k)
+    (List.init (max_length + 1) Fun.id)

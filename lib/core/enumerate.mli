@@ -5,14 +5,22 @@
     at a time by a pruned depth-first walk of the deterministic product:
     a branch is entered only if it has an accepting completion of the
     right residual length, so every descent emits a path and the delay
-    between consecutive answers is polynomial. No path is emitted twice. *)
+    between consecutive answers is polynomial. No path is emitted twice.
+
+    A tripped [budget] ends the enumeration early: the paths emitted up
+    to that point are a prefix of the unbudgeted enumeration order. *)
 
 type t
 
 (** [create inst r ~length] preprocesses; [sources] restricts the start
     nodes (default: all). *)
 val create :
-  ?sources:int list -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> length:int -> t
+  ?budget:Gqkg_util.Budget.t ->
+  ?sources:int list ->
+  Gqkg_graph.Snapshot.t ->
+  Gqkg_automata.Regex.t ->
+  length:int ->
+  t
 
 (** Next answer, or [None] when exhausted. *)
 val next : t -> Path.t option
@@ -29,8 +37,18 @@ val emitted : t -> int
 
 (** All answers of exactly the given length. *)
 val paths :
-  ?sources:int list -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> length:int -> Path.t list
+  ?budget:Gqkg_util.Budget.t ->
+  ?sources:int list ->
+  Gqkg_graph.Snapshot.t ->
+  Gqkg_automata.Regex.t ->
+  length:int ->
+  Path.t list
 
 (** All answers of length ≤ the bound, by increasing length. *)
 val paths_up_to :
-  ?sources:int list -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> max_length:int -> Path.t list
+  ?budget:Gqkg_util.Budget.t ->
+  ?sources:int list ->
+  Gqkg_graph.Snapshot.t ->
+  Gqkg_automata.Regex.t ->
+  max_length:int ->
+  Path.t list

@@ -220,7 +220,20 @@ let run_batch ?(direction = `Auto) ?max_length ?level t ~sources =
           let states = Array.sub !cur.a 0 !cur.n in
           let words = Array.map (fun id -> !cur_word.(id)) states in
           f ~dist:!dist ~states ~words);
-      let expand = match max_length with Some m -> !dist < m | None -> true in
+      (* Budget check site: once per level for the whole batch.  Levels
+         already emitted (and the visited words accumulated so far) stay
+         valid — stopping early only shrinks downstream answer sets. *)
+      let budget_stop =
+        let b = Product.budget p in
+        if not (Gqkg_util.Budget.is_unlimited b) then begin
+          Gqkg_util.Budget.charge_steps b !cur.n;
+          Gqkg_util.Budget.note_states b (Product.num_states p)
+        end;
+        Gqkg_util.Budget.check b
+      in
+      let expand =
+        (not budget_stop) && match max_length with Some m -> !dist < m | None -> true
+      in
       if not expand then stop := true
       else begin
         let ns = Product.num_states p in

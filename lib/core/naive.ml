@@ -13,8 +13,14 @@ module Path_set = Set.Make (struct
   let compare = Path.compare
 end)
 
-(* [[r]] restricted to paths of length <= max_length. *)
-let eval inst regex ~max_length =
+(* [[r]] restricted to paths of length <= max_length.
+
+   Budget check sites: once per regex constructor and once per Star
+   fixpoint round.  Every operator is monotone in its operands, so
+   answering the empty set for a tripped subterm (or the fixpoint's
+   accumulator so far) keeps the overall result a subset of the
+   unbudgeted denotation. *)
+let eval ?(budget = Gqkg_util.Budget.unlimited) inst regex ~max_length =
   let all_nodes () =
     let acc = ref Path_set.empty in
     for n = 0 to inst.Snapshot.num_nodes - 1 do
@@ -22,7 +28,10 @@ let eval inst regex ~max_length =
     done;
     !acc
   in
-  let rec go = function
+  let rec go r =
+    if Gqkg_util.Budget.check budget then Path_set.empty
+    else
+    match r with
     | Regex.Node_test t ->
         let acc = ref Path_set.empty in
         for n = 0 to inst.Snapshot.num_nodes - 1 do
@@ -89,26 +98,28 @@ let eval inst regex ~max_length =
             current Path_set.empty
         in
         let rec fix acc frontier =
-          let next = Path_set.diff (grow frontier) acc in
-          if Path_set.is_empty next then acc else fix (Path_set.union acc next) next
+          if Gqkg_util.Budget.check budget then acc
+          else
+            let next = Path_set.diff (grow frontier) acc in
+            if Path_set.is_empty next then acc else fix (Path_set.union acc next) next
         in
         let trivials = all_nodes () in
         fix trivials trivials
   in
   go regex
 
-let paths inst regex ~max_length = Path_set.elements (eval inst regex ~max_length)
+let paths ?budget inst regex ~max_length = Path_set.elements (eval ?budget inst regex ~max_length)
 
 (* Count(G, r, k) by brute force. *)
-let count inst regex ~length =
+let count ?budget inst regex ~length =
   Path_set.fold
     (fun p acc -> if Path.length p = length then acc + 1 else acc)
-    (eval inst regex ~max_length:length)
+    (eval ?budget inst regex ~max_length:length)
     0
 
 (* Pairs (start, end) of matching paths up to the bound. *)
-let pairs inst regex ~max_length =
-  let set = eval inst regex ~max_length in
+let pairs ?budget inst regex ~max_length =
+  let set = eval ?budget inst regex ~max_length in
   let out = Hashtbl.create 64 in
   Path_set.iter (fun p -> Hashtbl.replace out (Path.start_node p, Path.end_node p) ()) set;
   Hashtbl.fold (fun pair () acc -> pair :: acc) out [] |> List.sort compare

@@ -7,41 +7,45 @@
    [Empty] and the caller answers without constructing any product state
    at all.  With analysis disabled, [prepare] reproduces the
    pre-analyzer path bit for bit: the untrimmed Thompson automaton of
-   the original expression, no hints. *)
+   the original expression, no hints.
+
+   The optional [budget] is attached to the product here, so every
+   kernel downstream of the planner shares one cooperative resource
+   budget without further parameter threading. *)
 
 module Analyze = Gqkg_analysis.Analyze
 
 type prep = Empty | Ready of Product.t
 
-let product_of_report inst (r : Analyze.report) =
+let product_of_report ?budget inst (r : Analyze.report) =
   match r.Analyze.nfa with
   | None -> Empty
   | Some nfa ->
       let hints =
         { Product.fwd_seed_cost = r.Analyze.fwd_cost; bwd_seed_cost = r.Analyze.bwd_cost }
       in
-      Ready (Product.create ~nfa ~hints inst r.Analyze.regex)
+      Ready (Product.create ?budget ~nfa ~hints inst r.Analyze.regex)
 
-let prepare inst regex =
+let prepare ?budget inst regex =
   match Analyze.plan_if_enabled inst regex with
-  | None -> Ready (Product.create inst regex)
-  | Some report -> product_of_report inst report
+  | None -> Ready (Product.create ?budget inst regex)
+  | Some report -> product_of_report ?budget inst report
 
 (* Like [prepare], but also exposes the report (for direction choice and
    diagnostics); [None] when analysis is disabled. *)
-let prepare_with_report inst regex =
+let prepare_with_report ?budget inst regex =
   match Analyze.plan_if_enabled inst regex with
-  | None -> (Ready (Product.create inst regex), None)
-  | Some report -> (product_of_report inst report, Some report)
+  | None -> (Ready (Product.create ?budget inst regex), None)
+  | Some report -> (product_of_report ?budget inst report, Some report)
 
 (* Planning for all-pairs evaluation, where direction is free: when the
    analyzer estimates the backward frontier to be decisively cheaper
    (2x hysteresis — the estimates are coarse), the product is built over
    the reversed automaton and the caller swaps each result pair.  Second
    component: did we reverse? *)
-let prepare_pairs inst regex =
+let prepare_pairs ?budget inst regex =
   match Analyze.plan_if_enabled inst regex with
-  | None -> (Ready (Product.create inst regex), false)
+  | None -> (Ready (Product.create ?budget inst regex), false)
   | Some r -> (
       match r.Analyze.nfa with
       | None -> (Empty, false)
@@ -56,4 +60,4 @@ let prepare_pairs inst regex =
             if swap then Gqkg_automata.Regex.reverse r.Analyze.regex else r.Analyze.regex
           in
           let hints = { Product.fwd_seed_cost = fwd; bwd_seed_cost = bwd } in
-          (Ready (Product.create ~nfa ~hints inst regex), swap))
+          (Ready (Product.create ?budget ~nfa ~hints inst regex), swap))

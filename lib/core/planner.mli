@@ -1,7 +1,10 @@
 (** Bridge between the static analyzer and the product kernel: plans a
     query (prune, trim, estimate seed costs) before building the
     product. With {!Gqkg_analysis.Analyze.enabled} off, reproduces the
-    pre-analyzer path exactly. *)
+    pre-analyzer path exactly.
+
+    The optional [budget] is attached to the built product, so every
+    kernel downstream shares one cooperative resource budget. *)
 
 open Gqkg_graph
 open Gqkg_automata
@@ -10,13 +13,17 @@ type prep =
   | Empty  (** statically empty: answer without building any product state *)
   | Ready of Product.t
 
-val prepare : Snapshot.t -> Regex.t -> prep
+val prepare : ?budget:Gqkg_util.Budget.t -> Snapshot.t -> Regex.t -> prep
 
 (** Also expose the analyzer report ([None] when analysis is off). *)
-val prepare_with_report : Snapshot.t -> Regex.t -> prep * Gqkg_analysis.Analyze.report option
+val prepare_with_report :
+  ?budget:Gqkg_util.Budget.t ->
+  Snapshot.t ->
+  Regex.t ->
+  prep * Gqkg_analysis.Analyze.report option
 
 (** Planning for all-pairs evaluation, where direction is free: when
     backward seeding is estimated decisively cheaper, builds the product
     over the reversed automaton; the boolean says whether the caller
     must swap each result pair. *)
-val prepare_pairs : Snapshot.t -> Regex.t -> prep * bool
+val prepare_pairs : ?budget:Gqkg_util.Budget.t -> Snapshot.t -> Regex.t -> prep * bool

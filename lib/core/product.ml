@@ -186,6 +186,9 @@ type t = {
   start_cache : int option array; (* node -> start state id *)
   start_known : bool array;
   hints : hints option; (* analyzer seeding hints, if planned *)
+  budget : Gqkg_util.Budget.t;
+      (* resource budget shared by every kernel walking this product;
+         checked per level / per batch, never per edge *)
 }
 
 (* Split each NFA state's edge moves into the label-pure part (tabulated
@@ -228,7 +231,7 @@ let build_dispatch nfa (inst : Snapshot.t) =
 (* [nfa] lets the analyzer substitute a trimmed automaton for the
    Thompson construction of [regex]; both must recognize the same
    language on this instance. *)
-let create ?nfa ?hints inst regex =
+let create ?(budget = Gqkg_util.Budget.unlimited) ?nfa ?hints inst regex =
   let nfa = match nfa with Some n -> n | None -> Nfa.of_regex regex in
   let labels, gen_fwd, gen_bwd = build_dispatch nfa inst in
   {
@@ -261,11 +264,13 @@ let create ?nfa ?hints inst regex =
     start_cache = Array.make (max inst.Snapshot.num_nodes 1) None;
     start_known = Array.make (max inst.Snapshot.num_nodes 1) false;
     hints;
+    budget;
   }
 
 let instance p = p.inst
 let nfa p = p.nfa
 let hints p = p.hints
+let budget p = p.budget
 
 (* Close [seeds] in place at node [w], caching node-check outcomes. *)
 let close_at p w seeds =
@@ -791,8 +796,18 @@ let levels ?domains p ~depth =
   levels.(0) <- first;
   let i = ref 1 in
   let fixed = ref false in
-  while (not !fixed) && !i <= depth do
+  (* Budget check site: once per level, before expanding the frontier.
+     Stopping early leaves the remaining levels empty — a subset of the
+     unbudgeted result, so downstream counts/enumerations only shrink. *)
+  while
+    (not !fixed) && !i <= depth
+    &&
+    (Gqkg_util.Budget.note_states p.budget (num_states p);
+     not (Gqkg_util.Budget.check p.budget))
+  do
     let frontier = levels.(!i - 1) in
+    if not (Gqkg_util.Budget.is_unlimited p.budget) then
+      Gqkg_util.Budget.charge_steps p.budget (List.length frontier);
     (if domains > 1 then begin
        let unexpanded = Array.of_list (List.filter (fun id -> p.succ_off.(id) < 0) frontier) in
        if Array.length unexpanded >= 2 * domains then begin

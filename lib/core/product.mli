@@ -15,15 +15,28 @@ type state = { node : int; nfa_states : int array }
     scanned by the first forward vs backward expansion. *)
 type hints = { fwd_seed_cost : float; bwd_seed_cost : float }
 
-(** [create ?nfa ?hints inst regex] — [nfa] substitutes a (trimmed)
-    automaton for the Thompson construction of [regex]; it must
-    recognize the same language on this instance. *)
+(** [create ?budget ?nfa ?hints inst regex] — [nfa] substitutes a
+    (trimmed) automaton for the Thompson construction of [regex]; it
+    must recognize the same language on this instance.  [budget]
+    (default {!Gqkg_util.Budget.unlimited}) rides along with the
+    product: every kernel that walks it checks the budget cooperatively
+    at coarse granularity and stops with a sound partial result when it
+    trips. *)
 val create :
-  ?nfa:Gqkg_automata.Nfa.t -> ?hints:hints -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> t
+  ?budget:Gqkg_util.Budget.t ->
+  ?nfa:Gqkg_automata.Nfa.t ->
+  ?hints:hints ->
+  Gqkg_graph.Snapshot.t ->
+  Gqkg_automata.Regex.t ->
+  t
 
 val instance : t -> Gqkg_graph.Snapshot.t
 val nfa : t -> Gqkg_automata.Nfa.t
 val hints : t -> hints option
+
+(** The budget attached at {!create} time ({!Gqkg_util.Budget.unlimited}
+    when none was given). *)
+val budget : t -> Gqkg_util.Budget.t
 
 (** Process-wide count of product states ever interned (across all
     products); lets tests assert that statically-empty queries build no

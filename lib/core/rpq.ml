@@ -42,25 +42,39 @@ let matches_path inst regex path =
   !alive && Nfa.is_accepting nfa !current
 
 (* Product states reachable from [source], with the shortest number of
-   steps to each; bounded by [max_length] steps when given. *)
+   steps to each; bounded by [max_length] steps when given.  Budget
+   check site: every 128 dequeues (coarse — a dequeue expands at most
+   one state).  An early stop leaves [dist] holding a prefix of the BFS
+   order: a subset of the unbudgeted reachable set. *)
 let bfs_product product ~source ~max_length =
   let dist = Hashtbl.create 64 in
   match Product.start_state product source with
   | None -> dist
   | Some s0 ->
+      let budget = Product.budget product in
+      let pops = ref 0 in
       let queue = Queue.create () in
       Hashtbl.replace dist s0 0;
       Queue.push s0 queue;
-      while not (Queue.is_empty queue) do
-        let id = Queue.pop queue in
-        let d = Hashtbl.find dist id in
-        let expand = match max_length with Some m -> d < m | None -> true in
-        if expand then
-          Product.iter_successors product id (fun _e succ ->
-              if not (Hashtbl.mem dist succ) then begin
-                Hashtbl.replace dist succ (d + 1);
-                Queue.push succ queue
-              end)
+      let stop = ref false in
+      while (not !stop) && not (Queue.is_empty queue) do
+        incr pops;
+        if !pops land 127 = 0 then begin
+          Gqkg_util.Budget.charge_steps budget 128;
+          Gqkg_util.Budget.note_states budget (Product.num_states product);
+          if Gqkg_util.Budget.check budget then stop := true
+        end;
+        if not !stop then begin
+          let id = Queue.pop queue in
+          let d = Hashtbl.find dist id in
+          let expand = match max_length with Some m -> d < m | None -> true in
+          if expand then
+            Product.iter_successors product id (fun _e succ ->
+                if not (Hashtbl.mem dist succ) then begin
+                  Hashtbl.replace dist succ (d + 1);
+                  Queue.push succ queue
+                end)
+        end
       done;
       dist
 
@@ -83,8 +97,8 @@ let reachable_from_product ?max_length product ~source =
 (* Single-source queries ride the batched engine as a batch of one: the
    word-packed pass degenerates to a plain array BFS, still cheaper than
    the hash-table walk. *)
-let reachable_from ?max_length inst regex ~source =
-  match Planner.prepare inst regex with
+let reachable_from ?budget ?max_length inst regex ~source =
+  match Planner.prepare ?budget inst regex with
   | Planner.Empty -> []
   | Planner.Ready product ->
       (Frontier.reachable ?max_length (Frontier.create product) ~sources:[| source |]).(0)
@@ -92,8 +106,8 @@ let reachable_from ?max_length inst regex ~source =
 (* Reachability from an explicit source set, batched [Frontier.word_bits]
    sources per pass; [result.(i)] lists the targets of [sources.(i)],
    sorted.  Statically-empty queries answer without building a product. *)
-let reachable_many ?max_length inst regex ~sources =
-  match Planner.prepare inst regex with
+let reachable_many ?budget ?max_length inst regex ~sources =
+  match Planner.prepare ?budget inst regex with
   | Planner.Empty -> Array.map (fun _ -> []) sources
   | Planner.Ready product -> Frontier.reachable ?max_length (Frontier.create product) ~sources
 
@@ -102,8 +116,8 @@ let reachable_many ?max_length inst regex ~sources =
    hand back the reversed automaton when backward seeding is cheaper;
    pairs are then swapped back and re-sorted, so the output is identical
    either way (ascending lexicographic). *)
-let eval_pairs ?max_length inst regex =
-  match Planner.prepare_pairs inst regex with
+let eval_pairs ?budget ?max_length inst regex =
+  match Planner.prepare_pairs ?budget inst regex with
   | Planner.Empty, _ -> []
   | Planner.Ready product, swapped ->
       let n = inst.Snapshot.num_nodes in
@@ -120,8 +134,8 @@ let eval_pairs ?max_length inst regex =
 
 (* Node extraction (Section 4.3): nodes a with at least one matching path
    starting at a (existentially quantified endpoint). *)
-let source_nodes ?max_length inst regex =
-  match Planner.prepare inst regex with
+let source_nodes ?budget ?max_length inst regex =
+  match Planner.prepare ?budget inst regex with
   | Planner.Empty -> []
   | Planner.Ready product ->
       let n = inst.Snapshot.num_nodes in
@@ -148,8 +162,8 @@ let shortest_in_product product ~source ~target ~max_length =
 
 (* Length of the shortest path in [[r]] from a to b, if any: the distance
    d_r(a, b) used by the regex-constrained centrality of Section 4.2. *)
-let shortest_path_length ?max_length inst regex ~source ~target =
-  match Planner.prepare inst regex with
+let shortest_path_length ?budget ?max_length inst regex ~source ~target =
+  match Planner.prepare ?budget inst regex with
   | Planner.Empty -> None
   | Planner.Ready product -> shortest_in_product product ~source ~target ~max_length
 
@@ -180,7 +194,19 @@ let shortest_witness_in product ~source ~target ~max_length =
       if Product.is_accepting product s0 && Product.node_of product s0 = target then
         found := Some (Path.trivial source)
       else begin
-        while !found = None && not (Queue.is_empty queue) do
+        (* Budget check site: every 128 dequeues, like [bfs_product]. *)
+        let budget = Product.budget product in
+        let pops = ref 0 in
+        let stop = ref false in
+        while (not !stop) && !found = None && not (Queue.is_empty queue) do
+          incr pops;
+          if !pops land 127 = 0 then begin
+            Gqkg_util.Budget.charge_steps budget 128;
+            Gqkg_util.Budget.note_states budget (Product.num_states product);
+            if Gqkg_util.Budget.check budget then stop := true
+          end;
+          if !stop then ()
+          else
           let v = Queue.pop queue in
           let d = Hashtbl.find dist v in
           let expand = match max_length with Some m -> d < m | None -> true in
@@ -197,7 +223,7 @@ let shortest_witness_in product ~source ~target ~max_length =
       end;
       !found
 
-let shortest_witness ?max_length inst regex ~source ~target =
-  match Planner.prepare inst regex with
+let shortest_witness ?budget ?max_length inst regex ~source ~target =
+  match Planner.prepare ?budget inst regex with
   | Planner.Empty -> None
   | Planner.Ready product -> shortest_witness_in product ~source ~target ~max_length

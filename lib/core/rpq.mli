@@ -1,5 +1,11 @@
 (** Endpoint-oriented regular path query evaluation over the lazy
-    deterministic product (the classic RPQ questions of Section 4). *)
+    deterministic product (the classic RPQ questions of Section 4).
+
+    Every entry point takes an optional [budget]
+    (default {!Gqkg_util.Budget.unlimited}): evaluation stops
+    cooperatively when it trips and the answer returned is a subset of
+    the unbudgeted answer — inspect {!Gqkg_util.Budget.completeness} (or
+    use {!Governor} for outcome-typed wrappers). *)
 
 (** Reference semantics: does the concrete path conform to the
     expression? Used as the oracle by tests and by the FPRAS. *)
@@ -10,13 +16,19 @@ val matches_path : Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> Path.t -> b
     products being finite). Sorted. Runs as a batch of one through the
     {!Frontier} engine. *)
 val reachable_from :
-  ?max_length:int -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> source:int -> int list
+  ?budget:Gqkg_util.Budget.t ->
+  ?max_length:int ->
+  Gqkg_graph.Snapshot.t ->
+  Gqkg_automata.Regex.t ->
+  source:int ->
+  int list
 
 (** Reachability from an explicit source set, batched
     {!Frontier.word_bits} sources per frontier pass: [result.(i)] lists
     the targets of [sources.(i)], sorted — elementwise equal to
     {!reachable_from}. Duplicate sources are allowed. *)
 val reachable_many :
+  ?budget:Gqkg_util.Budget.t ->
   ?max_length:int ->
   Gqkg_graph.Snapshot.t ->
   Gqkg_automata.Regex.t ->
@@ -30,15 +42,25 @@ val reachable_from_product : ?max_length:int -> Product.t -> source:int -> int l
 
 (** All pairs (a, b) joined by a matching path, sorted. *)
 val eval_pairs :
-  ?max_length:int -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> (int * int) list
+  ?budget:Gqkg_util.Budget.t ->
+  ?max_length:int ->
+  Gqkg_graph.Snapshot.t ->
+  Gqkg_automata.Regex.t ->
+  (int * int) list
 
 (** Nodes with at least one matching path starting at them (the node
     extraction of Section 4.3). Sorted. *)
-val source_nodes : ?max_length:int -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> int list
+val source_nodes :
+  ?budget:Gqkg_util.Budget.t ->
+  ?max_length:int ->
+  Gqkg_graph.Snapshot.t ->
+  Gqkg_automata.Regex.t ->
+  int list
 
 (** d_r(a, b): length of the shortest matching path, if any — the metric
     of the regex-constrained centrality of Section 4.2. *)
 val shortest_path_length :
+  ?budget:Gqkg_util.Budget.t ->
   ?max_length:int ->
   Gqkg_graph.Snapshot.t ->
   Gqkg_automata.Regex.t ->
@@ -50,6 +72,7 @@ val shortest_path_length :
     witness in the G-CORE "paths as first-class results" sense; [None]
     when no matching path exists. *)
 val shortest_witness :
+  ?budget:Gqkg_util.Budget.t ->
   ?max_length:int ->
   Gqkg_graph.Snapshot.t ->
   Gqkg_automata.Regex.t ->

@@ -25,9 +25,14 @@ type engine = {
 
 type t = { engine : engine option; length : int; total : float }
 
-let create inst regex ~length =
+(* A tripped budget interrupts {!Count.build}, zeroing the deeper
+   suffix rows; every per-start weight at [length] then reads 0.0, so
+   the engine comes out [None] and sampling reports the empty answer set
+   — never a path outside the answer set, never a skewed distribution
+   over a partial table. *)
+let create ?budget inst regex ~length =
   if length < 0 then invalid_arg "Uniform_gen.create: negative length";
-  match Planner.prepare inst regex with
+  match Planner.prepare ?budget inst regex with
   | Planner.Empty -> { engine = None; length; total = 0.0 }
   | Planner.Ready product ->
       let table = Count.build product ~depth:length in

@@ -7,7 +7,10 @@
 
 type t
 
-val create : Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> length:int -> t
+(** A [budget] that trips during preprocessing yields a sampler over the
+    empty answer set (no skewed sampling over partial tables). *)
+val create :
+  ?budget:Gqkg_util.Budget.t -> Gqkg_graph.Snapshot.t -> Gqkg_automata.Regex.t -> length:int -> t
 
 (** Count(G, r, k) as seen by this sampler. *)
 val total_count : t -> float

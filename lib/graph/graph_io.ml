@@ -10,9 +10,16 @@
    identifiers, labels and values therefore cannot contain whitespace or
    '='.  Edges may reference nodes declared later. *)
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { file : string option; line : int; message : string }
 
-let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { file = None; line; message })) fmt
+
+(* "file:line: message" when the file is known, "line N: message"
+   otherwise — the rendering the CLI shows for malformed input. *)
+let error_to_string ~file ~line ~message =
+  match file with
+  | Some f -> Printf.sprintf "%s:%d: %s" f line message
+  | None -> Printf.sprintf "line %d: %s" line message
 
 let split_tokens line = String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
 
@@ -53,23 +60,44 @@ let parse_line ~line text =
   | keyword :: _ -> fail line "unknown declaration %S" keyword
 
 let property_graph_of_string text =
+  (* Declarations keep their source line so second-pass errors (and the
+     duplicate-id check) can point at the offending line even when the
+     file has comments or blank lines. *)
   let decls = ref [] in
   List.iteri
     (fun i line ->
-      match parse_line ~line:(i + 1) line with Some d -> decls := d :: !decls | None -> ())
+      match parse_line ~line:(i + 1) line with
+      | Some d -> decls := (i + 1, d) :: !decls
+      | None -> ())
     (String.split_on_char '\n' text);
   let decls = List.rev !decls in
   let b = Property_graph.Builder.create () in
-  (* First pass: declare all nodes so edges can reference any of them. *)
+  (* First pass: declare all nodes so edges can reference any of them.
+     A re-declared node id is rejected here — the builder would silently
+     merge the two declarations, which is never what a hand-written file
+     means. *)
+  let node_lines = Hashtbl.create 16 in
+  let edge_lines = Hashtbl.create 16 in
   List.iter
-    (function
+    (fun (line, decl) ->
+      match decl with
       | Node (id, label, props) ->
+          (match Hashtbl.find_opt node_lines id with
+          | Some first ->
+              fail line "duplicate node id %s (first declared on line %d)" (Const.to_string id)
+                first
+          | None -> Hashtbl.add node_lines id line);
           let n = Property_graph.Builder.add_node b id ~label in
           List.iter (fun (p, v) -> Property_graph.Builder.set_node_property b n ~prop:p ~value:v) props
-      | Edge _ -> ())
+      | Edge (id, _, _, _, _) -> (
+          match Hashtbl.find_opt edge_lines id with
+          | Some first ->
+              fail line "duplicate edge id %s (first declared on line %d)" (Const.to_string id)
+                first
+          | None -> Hashtbl.add edge_lines id line))
     decls;
-  List.iteri
-    (fun i decl ->
+  List.iter
+    (fun (line, decl) ->
       match decl with
       | Node _ -> ()
       | Edge (id, src, dst, label, props) -> (
@@ -77,8 +105,12 @@ let property_graph_of_string text =
           | Some src, Some dst ->
               let e = Property_graph.Builder.add_edge b id ~src ~dst ~label in
               List.iter (fun (p, v) -> Property_graph.Builder.set_edge_property b e ~prop:p ~value:v) props
-          | None, _ -> fail (i + 1) "edge %s references undeclared source" (Const.to_string id)
-          | _, None -> fail (i + 1) "edge %s references undeclared target" (Const.to_string id)))
+          | None, _ ->
+              fail line "edge %s references undeclared source %s" (Const.to_string id)
+                (Const.to_string src)
+          | _, None ->
+              fail line "edge %s references undeclared target %s" (Const.to_string id)
+                (Const.to_string dst)))
     decls;
   Property_graph.Builder.freeze b
 
@@ -124,7 +156,9 @@ let load_property_graph path =
       raise exn
   in
   close_in ic;
-  property_graph_of_string text
+  try property_graph_of_string text
+  with Parse_error { file = None; line; message } ->
+    raise (Parse_error { file = Some path; line; message })
 
 let save_property_graph path g =
   let oc = open_out path in

@@ -8,9 +8,15 @@
     Tokens are whitespace-separated and parsed with {!Const.of_string};
     edges may reference nodes declared later. *)
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { file : string option; line : int; message : string }
 
-(** Raises {!Parse_error} with a 1-based line number. *)
+(** ["file:line: message"] (or ["line N: message"] without a file) — the
+    rendering the CLI shows for malformed input. *)
+val error_to_string : file:string option -> line:int -> message:string -> string
+
+(** Raises {!Parse_error} with a 1-based line number ([file = None]).
+    Rejects re-declared node and edge ids (the builder would silently
+    merge them) and edges referencing undeclared endpoints. *)
 val property_graph_of_string : string -> Property_graph.t
 
 val labeled_graph_of_string : string -> Labeled_graph.t
@@ -25,6 +31,8 @@ val labeled_graph_to_string : Labeled_graph.t -> string
     sorted): the right equality after set-based round-trips (RDF). *)
 val canonical_string : Property_graph.t -> string
 
+(** Like {!property_graph_of_string}; {!Parse_error}s carry the path in
+    [file]. *)
 val load_property_graph : string -> Property_graph.t
 val save_property_graph : string -> Property_graph.t -> unit
 

@@ -3,9 +3,9 @@
    IRIs in angle brackets, literals in quotes with optional ^^<datatype>
    or @lang, and _:name blank nodes.  Full-line comments start with #. *)
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { file : string option; line : int; message : string }
 
-let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { file = None; line; message })) fmt
 
 type cursor = { text : string; mutable pos : int; line : int }
 
@@ -154,7 +154,9 @@ let load path =
       raise exn
   in
   close_in ic;
-  parse_string text
+  try parse_string text
+  with Parse_error { file = None; line; message } ->
+    raise (Parse_error { file = Some path; line; message })
 
 let save path store =
   let oc = open_out path in

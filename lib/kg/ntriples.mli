@@ -2,7 +2,7 @@
     angle brackets, literals with optional [^^<datatype>] or [@lang],
     [_:name] blank nodes, full-line ['#'] comments. *)
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { file : string option; line : int; message : string }
 
 (** Lexing cursor over a single line, exposed for embedders (the
     SPARQL-lite parser reuses the literal lexer). *)

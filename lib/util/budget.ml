@@ -1,0 +1,119 @@
+type reason = Timeout | State_limit | Step_limit | Injected
+type completeness = Complete | Partial of reason
+type 'a outcome = { value : 'a; completeness : completeness }
+
+type t = {
+  deadline : float option;  (** absolute [Unix.gettimeofday] seconds *)
+  max_states : int option;
+  max_steps : int option;
+  trip_after_checks : int option;
+  started : float;
+  tripped : reason option Atomic.t;
+  checks : int Atomic.t;
+  steps : int Atomic.t;
+  states : int Atomic.t;
+  limited : bool;  (** false = nothing to enforce, checks are free *)
+}
+
+let make ?timeout_ms ?max_states ?max_steps ?trip_after_checks ~now () =
+  let deadline =
+    Option.map (fun ms -> now +. (float_of_int ms /. 1000.)) timeout_ms
+  in
+  {
+    deadline;
+    max_states;
+    max_steps;
+    trip_after_checks;
+    started = now;
+    tripped = Atomic.make None;
+    checks = Atomic.make 0;
+    steps = Atomic.make 0;
+    states = Atomic.make 0;
+    limited =
+      Option.is_some timeout_ms || Option.is_some max_states
+      || Option.is_some max_steps
+      || Option.is_some trip_after_checks;
+  }
+
+let unlimited = make ~now:0.0 ()
+
+let create ?timeout_ms ?max_states ?max_steps ?trip_after_checks () =
+  make ?timeout_ms ?max_states ?max_steps ?trip_after_checks
+    ~now:(Unix.gettimeofday ()) ()
+
+let is_unlimited t = not t.limited
+
+let trip t reason =
+  (* First writer wins; later trips keep the original reason. *)
+  ignore (Atomic.compare_and_set t.tripped None (Some reason))
+
+let check t =
+  if not t.limited then false
+  else begin
+    let n = Atomic.fetch_and_add t.checks 1 in
+    (match t.trip_after_checks with
+    | Some k when n >= k -> trip t Injected
+    | _ -> ());
+    (match Atomic.get t.tripped with
+    | Some _ -> ()
+    | None ->
+        (match t.max_states with
+        | Some k when Atomic.get t.states > k -> trip t State_limit
+        | _ -> ());
+        (match t.max_steps with
+        | Some k when Atomic.get t.steps > k -> trip t Step_limit
+        | _ -> ());
+        (match t.deadline with
+        | Some d when Unix.gettimeofday () > d -> trip t Timeout
+        | _ -> ()));
+    Atomic.get t.tripped <> None
+  end
+
+let charge_steps t n = if t.limited then ignore (Atomic.fetch_and_add t.steps n)
+let note_states t n = if t.limited then Atomic.set t.states n
+let exhausted t = Atomic.get t.tripped
+
+let completeness t =
+  match Atomic.get t.tripped with None -> Complete | Some r -> Partial r
+
+let checks_performed t = Atomic.get t.checks
+let steps_charged t = Atomic.get t.steps
+let states_noted t = Atomic.get t.states
+
+let elapsed_ms t =
+  if t.started = 0.0 then 0.0
+  else (Unix.gettimeofday () -. t.started) *. 1000.
+
+let similar t =
+  let timeout_ms =
+    Option.map
+      (fun d -> int_of_float (Float.max 1. ((d -. t.started) *. 1000.)))
+      t.deadline
+  in
+  create ?timeout_ms ?max_states:t.max_states ?max_steps:t.max_steps ()
+
+let reason_to_string = function
+  | Timeout -> "timeout"
+  | State_limit -> "state-limit"
+  | Step_limit -> "step-limit"
+  | Injected -> "injected"
+
+let describe t =
+  let limit name = function
+    | Some k -> Printf.sprintf "%s<=%d" name k
+    | None -> Printf.sprintf "%s=unlimited" name
+  in
+  let deadline =
+    match t.deadline with
+    | Some d ->
+        Printf.sprintf "timeout<=%.0fms" ((d -. t.started) *. 1000.)
+    | None -> "timeout=unlimited"
+  in
+  Printf.sprintf "%s %s %s | spent: %.1fms, %d steps, %d states, %d checks%s"
+    deadline
+    (limit "states" t.max_states)
+    (limit "steps" t.max_steps)
+    (elapsed_ms t) (steps_charged t) (states_noted t) (checks_performed t)
+    (match Atomic.get t.tripped with
+    | None -> ""
+    | Some r -> Printf.sprintf " | exhausted (%s)" (reason_to_string r))

@@ -1,0 +1,292 @@
+(* Tests for the resource governor: Budget mechanics, soundness of
+   partial results (budgeted ⊆ unbudgeted), and the fault-injection
+   sweep that trips the budget at every reachable check site of every
+   public entry point and asserts that no exception escapes and every
+   partial answer is sound. *)
+
+open Gqkg_graph
+open Gqkg_core
+module Budget = Gqkg_util.Budget
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---------- Budget mechanics ---------- *)
+
+let test_unlimited () =
+  checkb "is_unlimited" true (Budget.is_unlimited Budget.unlimited);
+  checkb "never trips" false (Budget.check Budget.unlimited);
+  Budget.charge_steps Budget.unlimited 1_000_000;
+  Budget.note_states Budget.unlimited 1_000_000;
+  checkb "still never trips" false (Budget.check Budget.unlimited);
+  checkb "complete" true (Budget.completeness Budget.unlimited = Budget.Complete)
+
+let test_step_limit () =
+  let b = Budget.create ~max_steps:10 () in
+  checkb "fresh" false (Budget.check b);
+  Budget.charge_steps b 5;
+  checkb "under" false (Budget.check b);
+  Budget.charge_steps b 6;
+  checkb "over" true (Budget.check b);
+  checkb "sticky" true (Budget.check b);
+  checkb "reason" true (Budget.exhausted b = Some Budget.Step_limit);
+  checkb "partial" true (Budget.completeness b = Budget.Partial Budget.Step_limit)
+
+let test_state_limit () =
+  let b = Budget.create ~max_states:100 () in
+  Budget.note_states b 100;
+  checkb "at limit" false (Budget.check b);
+  Budget.note_states b 101;
+  checkb "over" true (Budget.check b);
+  checkb "reason" true (Budget.exhausted b = Some Budget.State_limit)
+
+let test_injector () =
+  let b = Budget.create ~trip_after_checks:2 () in
+  checkb "check 0" false (Budget.check b);
+  checkb "check 1" false (Budget.check b);
+  checkb "check 2 trips" true (Budget.check b);
+  checkb "reason" true (Budget.exhausted b = Some Budget.Injected);
+  checki "counted" 3 (Budget.checks_performed b);
+  let b0 = Budget.create ~trip_after_checks:0 () in
+  checkb "trip on first" true (Budget.check b0)
+
+let test_similar_rearms () =
+  let b = Budget.create ~max_steps:10 ~trip_after_checks:0 () in
+  checkb "tripped" true (Budget.check b);
+  let r = Budget.similar b in
+  checkb "rearmed" false (Budget.check r);
+  (* The step limit survives the rearm; the injector does not. *)
+  Budget.charge_steps r 11;
+  checkb "limit kept" true (Budget.check r);
+  checkb "injector dropped" true (Budget.exhausted r = Some Budget.Step_limit)
+
+let test_describe () =
+  let b = Budget.create ~max_states:5 () in
+  Budget.note_states b 9;
+  ignore (Budget.check b);
+  let d = Budget.describe b in
+  checkb "mentions exhaustion" true
+    (let contains s sub =
+       let n = String.length s and m = String.length sub in
+       let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+       loop 0
+     in
+     contains d "state-limit")
+
+(* ---------- Shared fixture ---------- *)
+
+let make_instance (seed, nodes, edges) =
+  let rng = Gqkg_util.Splitmix.create seed in
+  Snapshot.of_labeled
+    (Gqkg_workload.Gen_graph.random_labeled rng ~nodes ~edges ~node_labels:[ "a"; "b" ]
+       ~edge_labels:[ "x"; "y" ])
+
+let make_regex rseed =
+  let params =
+    { Gqkg_workload.Gen_regex.default with node_labels = [ "a"; "b" ]; edge_labels = [ "x"; "y" ]; max_depth = 3 }
+  in
+  Gqkg_workload.Gen_regex.generate ~params (Gqkg_util.Splitmix.create rseed)
+
+let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
+
+(* ---------- QCheck: budgeted results are sound ---------- *)
+
+let gen =
+  QCheck2.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* nodes = int_range 1 6 in
+    let* edges = int_range 0 10 in
+    let* rseed = int_bound 1_000_000 in
+    let* max_steps = int_range 0 40 in
+    return ((seed, nodes, edges), rseed, max_steps))
+
+(* Budgeted pairs ⊆ unbudgeted pairs, and Complete implies equality.
+   (The converse — equal sets imply Complete — does not hold: a budget
+   can trip after the last answer was already found, which is still an
+   honest Partial.) *)
+let prop_pairs_sound =
+  QCheck2.Test.make ~name:"budgeted eval_pairs ⊆ unbudgeted; Complete ⇒ equal" ~count:200 gen
+    (fun (g, rseed, max_steps) ->
+      let inst = make_instance g in
+      let r = make_regex rseed in
+      let full = Rpq.eval_pairs inst ~max_length:3 r in
+      let budget = Budget.create ~max_steps () in
+      let out = Governor.eval_pairs ~budget ~max_length:3 inst r in
+      subset out.Budget.value full
+      && (out.Budget.completeness <> Budget.Complete || List.sort compare out.Budget.value = List.sort compare full))
+
+let prop_counts_sound =
+  QCheck2.Test.make ~name:"budgeted counts are undercounts" ~count:100 gen
+    (fun (g, rseed, max_steps) ->
+      let inst = make_instance g in
+      let r = make_regex rseed in
+      let full = Count.count inst r ~length:3 in
+      let budget = Budget.create ~max_steps () in
+      let out = Governor.count ~budget inst r ~length:3 in
+      out.Budget.value <= full +. 1e-9
+      && (out.Budget.completeness <> Budget.Complete || abs_float (out.Budget.value -. full) < 1e-9))
+
+(* ---------- Fault injection: every check site, every entry point ----
+
+   Protocol: run each entry point once under a fresh limitless counting
+   budget to learn how many times it calls [Budget.check] on this input,
+   then replay with [trip_after_checks = k] for every k below that
+   count.  Each replay must (a) not raise, and (b) produce a value that
+   is sound against the unbudgeted reference. *)
+
+let fault_sweep ~name run =
+  (* A limitless [create ()] budget is treated as unlimited and skips
+     counting; a huge step limit keeps the counters live without ever
+     tripping. *)
+  let probe = Budget.create ~max_steps:max_int () in
+  (try ignore (run probe)
+   with e -> Alcotest.fail (name ^ " raised under counting budget: " ^ Printexc.to_string e));
+  let sites = Budget.checks_performed probe in
+  for k = 0 to sites - 1 do
+    let b = Budget.create ~trip_after_checks:k () in
+    match run b with
+    | ok ->
+        if not ok then
+          Alcotest.fail (Printf.sprintf "%s: unsound partial result tripping at check %d" name k)
+    | exception e ->
+        Alcotest.fail
+          (Printf.sprintf "%s: exception escaped tripping at check %d: %s" name k
+             (Printexc.to_string e))
+  done;
+  sites
+
+let test_fault_injection () =
+  let inst = make_instance (0xfa017, 6, 10) in
+  let insts = [ inst; make_instance (0xbeef, 4, 8) ] in
+  let regexes = [ make_regex 11; make_regex 23; make_regex 1234 ] in
+  let total = ref 0 in
+  let sweep name run = total := !total + fault_sweep ~name run in
+  List.iter
+    (fun inst ->
+      List.iter
+        (fun r ->
+          let full_pairs = Rpq.eval_pairs inst ~max_length:3 r in
+          let full_paths = Naive.paths inst r ~max_length:3 in
+          let full_count = Count.count inst r ~length:3 in
+          sweep "Governor.eval_pairs" (fun b ->
+              let out = Governor.eval_pairs ~budget:b ~max_length:3 inst r in
+              subset out.Budget.value full_pairs);
+          sweep "Governor.reachable_many" (fun b ->
+              let sources = Array.init inst.Snapshot.num_nodes Fun.id in
+              let out = Governor.reachable_many ~budget:b ~max_length:3 inst r ~sources in
+              Array.for_all
+                (fun i ->
+                  subset
+                    (List.map (fun t -> (i, t)) out.Budget.value.(i))
+                    full_pairs)
+                sources);
+          sweep "Governor.source_nodes" (fun b ->
+              let out = Governor.source_nodes ~budget:b ~max_length:3 inst r in
+              subset out.Budget.value (List.map fst full_pairs));
+          sweep "Governor.count" (fun b ->
+              let out = Governor.count ~budget:b inst r ~length:3 in
+              out.Budget.value <= full_count +. 1e-9);
+          sweep "Governor.count_all" (fun b ->
+              let out = Governor.count_all ~budget:b inst r ~max_length:3 in
+              Array.for_all (fun c -> c >= 0.0) out.Budget.value);
+          sweep "Governor.approx_count" (fun b ->
+              let out = Governor.approx_count ~budget:b ~seed:5 inst r ~length:2 ~epsilon:0.5 in
+              out.Budget.value >= 0.0);
+          sweep "Governor.paths" (fun b ->
+              let out = Governor.paths ~budget:b inst r ~length:2 in
+              List.for_all (fun p -> List.exists (Path.equal p) full_paths) out.Budget.value);
+          sweep "Governor.shortest_path_length" (fun b ->
+              let reference = Rpq.shortest_path_length inst ~max_length:3 r ~source:0 ~target:0 in
+              let out =
+                Governor.shortest_path_length ~budget:b ~max_length:3 inst r ~source:0 ~target:0
+              in
+              match out.Budget.value with Some d -> reference = Some d | None -> true);
+          sweep "Rpq.shortest_witness" (fun b ->
+              match Rpq.shortest_witness ~budget:b ~max_length:3 inst r ~source:0 ~target:0 with
+              | Some p -> Rpq.matches_path inst r p
+              | None -> true);
+          sweep "Uniform_gen" (fun b ->
+              let gen = Uniform_gen.create ~budget:b inst r ~length:2 in
+              let rng = Gqkg_util.Splitmix.create 3 in
+              List.for_all (fun p -> Rpq.matches_path inst r p) (Uniform_gen.samples gen rng 4));
+          sweep "Naive.pairs" (fun b ->
+              subset (Naive.pairs ~budget:b inst r ~max_length:3) full_pairs);
+          sweep "Gqkg_analytics.Regex_centrality.governed" (fun b ->
+              let out = Gqkg_analytics.Regex_centrality.governed ~budget:b ~max_length:3 ~samples:4 inst r in
+              let scores, _ = out.Budget.value in
+              Array.for_all (fun s -> s >= 0.0) scores))
+        regexes)
+    insts;
+  (* Analytics kernels (regex-independent). *)
+  List.iter
+    (fun inst ->
+      let reference =
+        Gqkg_analytics.Traversal.bfs_distances_many inst
+          ~sources:(Array.init inst.Snapshot.num_nodes Fun.id)
+      in
+      sweep "Traversal.bfs_distances_many" (fun b ->
+          let d =
+            Gqkg_analytics.Traversal.bfs_distances_many ~budget:b inst
+              ~sources:(Array.init inst.Snapshot.num_nodes Fun.id)
+          in
+          (* Written distances must be exact; unreached cells stay -1. *)
+          let ok = ref true in
+          Array.iteri
+            (fun i row ->
+              Array.iteri (fun v x -> if x <> -1 && x <> reference.(i).(v) then ok := false) row)
+            d;
+          !ok);
+      let full_diameter = Gqkg_analytics.Shortest_paths.diameter inst in
+      sweep "Shortest_paths.diameter" (fun b ->
+          match (Gqkg_analytics.Shortest_paths.diameter ~budget:b inst, full_diameter) with
+          | None, _ -> true
+          | Some d, Some full -> d <= full
+          | Some _, None -> false))
+    insts;
+  checkb "sweep exercised at least one check site" true (!total > 0)
+
+(* Enumerate under an injected trip must stop cleanly mid-stream. *)
+let test_enumerate_fault () =
+  let inst = make_instance (0xfa017, 6, 10) in
+  let r = make_regex 11 in
+  let full = Enumerate.paths inst r ~length:2 in
+  for k = 0 to 4 do
+    let b = Budget.create ~trip_after_checks:k () in
+    let partial = Enumerate.paths ~budget:b inst r ~length:2 in
+    checkb "prefix-sound" true
+      (List.for_all (fun p -> List.exists (Path.equal p) full) partial)
+  done
+
+(* The Regex_centrality ladder: an exact pass that trips must fall back
+   to the approximate sampler and label the outcome accordingly. *)
+let test_degradation_ladder () =
+  let inst = make_instance (0xfa017, 6, 10) in
+  let r = make_regex 11 in
+  let exact_out = Gqkg_analytics.Regex_centrality.governed ~budget:(Budget.create ()) ~max_length:3 inst r in
+  checkb "unlimited stays exact" true (snd exact_out.Budget.value = `Exact);
+  checkb "unlimited is complete" true (exact_out.Budget.completeness = Budget.Complete);
+  let tripped = Budget.create ~trip_after_checks:0 () in
+  let out = Gqkg_analytics.Regex_centrality.governed ~budget:tripped ~max_length:3 ~samples:4 inst r in
+  checkb "trip degrades to approximate" true (snd out.Budget.value = `Approximate)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "gqkg budget"
+    [
+      ( "mechanics",
+        [
+          Alcotest.test_case "unlimited" `Quick test_unlimited;
+          Alcotest.test_case "step limit" `Quick test_step_limit;
+          Alcotest.test_case "state limit" `Quick test_state_limit;
+          Alcotest.test_case "injector" `Quick test_injector;
+          Alcotest.test_case "similar rearms" `Quick test_similar_rearms;
+          Alcotest.test_case "describe" `Quick test_describe;
+        ] );
+      ( "fault injection",
+        [
+          Alcotest.test_case "every check site" `Quick test_fault_injection;
+          Alcotest.test_case "enumerate" `Quick test_enumerate_fault;
+          Alcotest.test_case "degradation ladder" `Quick test_degradation_ladder;
+        ] );
+      ("properties", q [ prop_pairs_sound; prop_counts_sound ]);
+    ]

@@ -315,6 +315,40 @@ let test_io_rejects_malformed () =
       | _ -> Alcotest.fail ("should reject: " ^ text))
     [ "node onlyid\n"; "edge e a b\n"; "nonsense a b\n"; "node a l badprop\n" ]
 
+(* Corrupt-input fixtures: each must fail with the expected file, line
+   and message fragment — exercising the line bookkeeping through
+   comments/blank lines and the duplicate-id / undeclared-endpoint
+   rejections. *)
+let corrupt_fixture name = Filename.concat "../examples/corrupt" name
+
+let expect_parse_error ~name ~line ~fragment =
+  let path = corrupt_fixture name in
+  match Graph_io.load_property_graph path with
+  | _ -> Alcotest.fail (name ^ ": should have been rejected")
+  | exception Graph_io.Parse_error { file; line = l; message } ->
+      Alcotest.(check (option string)) (name ^ " file") (Some path) file;
+      Alcotest.(check int) (name ^ " line") line l;
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+        loop 0
+      in
+      if not (contains message fragment) then
+        Alcotest.fail (Printf.sprintf "%s: message %S lacks %S" name message fragment)
+
+let test_io_corrupt_fixtures () =
+  expect_parse_error ~name:"malformed-line.pg" ~line:3 ~fragment:"unknown declaration";
+  expect_parse_error ~name:"duplicate-node.pg" ~line:7 ~fragment:"duplicate node id a";
+  expect_parse_error ~name:"undeclared-endpoint.pg" ~line:6 ~fragment:"undeclared target ghost";
+  expect_parse_error ~name:"duplicate-edge.pg" ~line:4 ~fragment:"duplicate edge id e1";
+  expect_parse_error ~name:"bad-property.pg" ~line:1 ~fragment:"malformed property"
+
+let test_io_error_rendering () =
+  Alcotest.(check string) "with file" "g.pg:3: boom"
+    (Graph_io.error_to_string ~file:(Some "g.pg") ~line:3 ~message:"boom");
+  Alcotest.(check string) "without file" "line 3: boom"
+    (Graph_io.error_to_string ~file:None ~line:3 ~message:"boom")
+
 let test_io_dot_export () =
   let dot = Graph_io.to_dot (Figure2.property ()) in
   checkb "digraph" true (String.length dot > 10 && String.sub dot 0 7 = "digraph");
@@ -622,6 +656,8 @@ let () =
           Alcotest.test_case "comments/blanks" `Quick test_io_parses_comments_and_blanks;
           Alcotest.test_case "forward reference" `Quick test_io_forward_reference;
           Alcotest.test_case "rejects malformed" `Quick test_io_rejects_malformed;
+          Alcotest.test_case "corrupt fixtures" `Quick test_io_corrupt_fixtures;
+          Alcotest.test_case "error rendering" `Quick test_io_error_rendering;
           Alcotest.test_case "dot export" `Quick test_io_dot_export;
         ] );
       ( "journal",
