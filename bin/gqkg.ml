@@ -7,8 +7,13 @@
      sample      uniform generation of matching paths
      enumerate   poly-delay enumeration of matching paths
      centrality  betweenness / bc_r / pagerank rankings
+     save        freeze a graph to a binary snapshot (.gqs), optionally renumbered
      stats       structural statistics of a graph
-     wl          Weisfeiler-Lehman color refinement summary *)
+     wl          Weisfeiler-Lehman color refinement summary
+
+   Anywhere a command loads a graph, a binary snapshot written by
+   [gqkg save] is accepted transparently (sniffed by magic / the .gqs
+   suffix) — loading is O(read) instead of parse + freeze. *)
 
 open Cmdliner
 open Gqkg_graph
@@ -35,21 +40,42 @@ let regex_arg position =
    exit code 2 — never a raw OCaml backtrace.  Codes: GQ040 malformed
    graph file, GQ041 file-system error, GQ042 regex parse error, GQ043
    CRPQ parse error, GQ044 SPARQL parse error, GQ045 N-Triples parse
-   error, GQ046 bad argument. *)
+   error, GQ046 bad argument, GQ047 corrupt binary snapshot. *)
 let fail_user ~code ~subterm ~message =
   prerr_endline
     (Gqkg_analysis.Diagnostic.to_string
        (Gqkg_analysis.Diagnostic.user_error ~code ~subterm ~message));
   exit 2
 
+(* A path names a binary snapshot if it carries the .gqs suffix or
+   starts with the snapshot magic — the suffix check first, so a
+   corrupt .gqs reports GQ047 rather than a text-parse GQ040. *)
+let names_snapshot path =
+  Filename.check_suffix path ".gqs" || Snapshot_io.is_snapshot_file path
+
 let load_property path =
-  match Graph_io.load_property_graph path with
-  | pg -> pg
-  | exception Graph_io.Parse_error { file; line; message } ->
-      fail_user ~code:"GQ040" ~subterm:path ~message:(Graph_io.error_to_string ~file ~line ~message)
+  if names_snapshot path then
+    fail_user ~code:"GQ046" ~subterm:path
+      ~message:"this command needs a text property-graph file, not a binary snapshot (.gqs)"
+  else
+    match Graph_io.load_property_graph path with
+    | pg -> pg
+    | exception Graph_io.Parse_error { file; line; message } ->
+        fail_user ~code:"GQ040" ~subterm:path ~message:(Graph_io.error_to_string ~file ~line ~message)
+    | exception Sys_error message -> fail_user ~code:"GQ041" ~subterm:path ~message
+
+let load_snapshot path =
+  match Snapshot_io.load path with
+  | s -> s
+  | exception Snapshot_io.Corrupt message -> fail_user ~code:"GQ047" ~subterm:path ~message
   | exception Sys_error message -> fail_user ~code:"GQ041" ~subterm:path ~message
 
-let load_instance path = Snapshot.of_property (load_property path)
+(* Every query-side command loads through here, so all of them accept
+   either the text format (parse + freeze) or a binary snapshot
+   (bounds-checked decode). *)
+let load_instance path =
+  if names_snapshot path then load_snapshot path
+  else Snapshot.of_property (Graph_io.load_property_graph path)
 
 let load_store path =
   match Gqkg_kg.Ntriples.load path with
@@ -585,13 +611,75 @@ let lint_cmd =
     (Cmd.info "lint" ~doc:"Statically analyze a path query against a graph's vocabulary")
     Term.(const run $ verbose_flag $ graph_arg $ regex_arg 1 $ model $ json $ budget_args)
 
+(* ---- save (binary snapshot) ---- *)
+
+let save_cmd =
+  let run () input output order names verify =
+    let order =
+      match Renumber.order_of_string order with
+      | Some o -> o
+      | None ->
+          fail_user ~code:"GQ046" ~subterm:order
+            ~message:"unknown order (try degree, bfs, none)"
+    in
+    let names =
+      match names with
+      | "auto" -> `Auto
+      | "keep" -> `Keep
+      | "drop" -> `Drop
+      | other ->
+          fail_user ~code:"GQ046" ~subterm:other
+            ~message:"unknown names policy (try auto, keep, drop)"
+    in
+    let inst = load_instance input in
+    let t0 = Unix.gettimeofday () in
+    let renumbered, perm = Renumber.renumber order inst in
+    let perm = if Renumber.is_identity perm then None else Some perm in
+    let report = Snapshot_io.save ~names ?perm ~path:output renumbered in
+    let save_s = Unix.gettimeofday () -. t0 in
+    Printf.printf
+      "wrote %s: %d nodes, %d edges, %d sections, %d bytes (%.1f B/edge)\n"
+      output inst.Snapshot.num_nodes inst.Snapshot.num_edges
+      report.Snapshot_io.sections report.Snapshot_io.file_bytes
+      report.Snapshot_io.bytes_per_edge;
+    Printf.printf "order: %s%s, names: %s, checksum: %016x, %.3fs\n"
+      (Renumber.order_to_string order)
+      (if report.Snapshot_io.renumbered then " (permutation stored)" else "")
+      (if report.Snapshot_io.names_kept then "kept" else "synthetic")
+      report.Snapshot_io.checksum save_s;
+    if verify then begin
+      let t1 = Unix.gettimeofday () in
+      let reloaded = load_snapshot output in
+      Printf.printf "verify: reloaded %d nodes, %d edges in %.3fs\n"
+        reloaded.Snapshot.num_nodes reloaded.Snapshot.num_edges
+        (Unix.gettimeofday () -. t1)
+    end
+  in
+  let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT" ~doc:"Graph to freeze (.pg text or .gqs snapshot).") in
+  let output = Arg.(required & pos 1 (some string) None & info [] ~docv:"OUTPUT" ~doc:"Snapshot file to write (.gqs).") in
+  let order =
+    Arg.(value & opt string "degree" & info [ "order" ] ~doc:"Node renumbering: degree | bfs | none.")
+  in
+  let names =
+    Arg.(
+      value
+      & opt string "auto"
+      & info [ "names" ]
+          ~doc:"Name tables: auto (drop when synthetic) | keep | drop.")
+  in
+  let verify = Arg.(value & flag & info [ "verify" ] ~doc:"Reload the file after writing (checksum + bounds check).") in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:"Freeze a graph to a binary snapshot, optionally renumbered for cache locality")
+    Term.(const run $ verbose_flag $ input $ output $ order $ names $ verify)
+
 (* ---- stats ---- *)
 
 let stats_cmd =
   let run () path =
-    let pg = load_property path in
-    let inst = Snapshot.of_property pg in
+    let inst = load_instance path in
     print_string (Snapshot.describe inst);
+    print_endline (Partition.describe (Partition.build inst));
     Fmt.pr "%a@." Gqkg_analytics.Graph_stats.pp_summary (Gqkg_analytics.Graph_stats.summarize inst);
     let _, scc = Gqkg_analytics.Traversal.strongly_connected_components inst in
     Printf.printf "strongly connected components: %d\n" scc;
@@ -629,7 +717,7 @@ let wl_cmd =
 let known_subcommands =
   [
     "generate"; "query"; "match"; "count"; "sample"; "enumerate"; "centrality"; "convert";
-    "materialize"; "sparql"; "explain"; "lint"; "stats"; "wl";
+    "materialize"; "sparql"; "explain"; "lint"; "save"; "stats"; "wl";
   ]
 
 let () =
@@ -672,6 +760,7 @@ let () =
             sparql_cmd;
             explain_cmd;
             lint_cmd;
+            save_cmd;
             stats_cmd;
             wl_cmd;
           ])

@@ -235,11 +235,50 @@ let run_slice mk_product ~max_length per_source n first last =
   done;
   bc
 
+(* Warm ONE product over every source: after these batch passes, every
+   state any per-source replay can touch is expanded, every lazy memo
+   (move tables, start states, acceptance) is filled, and the product is
+   effectively read-only — see the safety argument in Frontier: both the
+   top-down and the bottom-up step expand the whole frontier at every
+   level below the bound, so batch coverage equals per-source BFS
+   coverage exactly. *)
+let warm_product product ~max_length n =
+  let budget = Product.budget product in
+  let fr = Frontier.create product in
+  let a = ref 0 in
+  while !a < n && not (Budget.check budget) do
+    let width = min Frontier.word_bits (n - !a) in
+    Frontier.run_batch ?max_length fr ~sources:(Array.init width (fun i -> !a + i));
+    a := !a + width
+  done
+
+(* Parallel strategy: warm the shared product once (sequential — the
+   lazy product is not safe for concurrent interning), then replay the
+   per-source DAG builds concurrently over the memoized rows.  Replays
+   only read: expansion, start-state and acceptance caches were all
+   filled by the warm pass, and the budget's counters are atomics.  The
+   old per-domain-product-copy design expanded the product once per
+   domain — duplicated work that made parallel bc_r *slower* than
+   sequential on small workloads; sharing the warm removes exactly that
+   duplication.  Per-slice partial scores merge in slice order, so the
+   result is deterministic for a fixed domain count. *)
 let run_sliced mk_product ~max_length ~domains per_source n =
   if domains <= 1 || n < 8 then run_slice mk_product ~max_length per_source n 0 n
   else begin
+    let product = mk_product () in
+    warm_product product ~max_length n;
+    let budget = Product.budget product in
     let partials =
-      Parallel.map_slices ~domains n (run_slice mk_product ~max_length per_source n)
+      Parallel.map_slices ~domains ~grain:4 n (fun first last ->
+          let bc = Array.make n 0.0 in
+          let a = ref first in
+          (* Budget check site: per source; a skipped source contributes
+             nothing, so partial bc scores are undercounts. *)
+          while !a < last && not (Budget.check budget) do
+            per_source product bc !a;
+            incr a
+          done;
+          bc)
     in
     match partials with
     | [] -> Array.make n 0.0
@@ -251,12 +290,11 @@ let run_sliced mk_product ~max_length ~domains per_source n =
    (when hit, the pair contributes its sampled prefix — the log warns).
 
    Per-source passes are independent, so with [domains > 1] the sources
-   are sliced across OCaml 5 domains, each slice running
-   [Frontier.word_bits]-wide batches.  The lazy product memoizes state
-   expansions and is not safe for concurrent interning, so each domain
-   explores its own product copy; the per-domain partial scores are
-   summed in slice order, keeping the result deterministic for a fixed
-   domain count. *)
+   are sliced across OCaml 5 domains: one shared product is warmed by
+   [Frontier.word_bits]-wide batch passes, then the slices replay their
+   sources over the memoized (read-only) rows.  Per-domain partial
+   scores are summed in slice order, keeping the result deterministic
+   for a fixed domain count. *)
 let exact ?budget ?max_length ?pair_limit ?(domains = 0) inst regex =
   let n = inst.Snapshot.num_nodes in
   let domains = if domains > 0 then domains else Parallel.default_domains () in

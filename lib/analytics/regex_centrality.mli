@@ -16,8 +16,9 @@ open Gqkg_graph
     (|S| can be exponential — that is the paper's point). [max_length]
     bounds the product search; [pair_limit] caps per-pair
     materialization as a safety valve. [domains] slices the independent
-    per-source passes across OCaml domains (each with its own product
-    copy); 0 or absent means {!Gqkg_util.Parallel.default_domains}. *)
+    per-source passes across OCaml domains over one shared,
+    frontier-warmed product (replays are read-only); 0 or absent means
+    {!Gqkg_util.Parallel.default_domains}. *)
 val exact :
   ?budget:Gqkg_util.Budget.t ->
   ?max_length:int ->

@@ -99,6 +99,13 @@ val make :
     ids; returns the id table and the distinct values in id order. *)
 val intern : n:int -> get:(int -> 'a) -> int array * 'a array
 
+(** Label satisfaction by [Const] equality against an interned universe
+    — the rule shared by the labeled, property and vector models, and
+    the rule a snapshot reloaded from disk falls back to (closures do
+    not persist; see {!Snapshot_io}). [Prop] and [Feature] atoms are
+    never satisfied. *)
+val const_label_sat : Const.t array -> int -> Atom.t -> bool
+
 (** {1 Freezing the Section 3 models} *)
 
 val of_labeled : Labeled_graph.t -> t

@@ -147,3 +147,50 @@ let share_statistics store =
       if kg = 0 then None
       else Some (year, float_of_int (count_kg_with_rdf store ~year) /. float_of_int kg))
     [ 2015; 2020 ]
+
+(* ---- streaming citation graph (snapshot-direct) ------------------------
+
+   The scale-tier companion of [generate]: where the triple-store corpus
+   carries full per-paper metadata at 10^3-10^4 papers, this builds only
+   the citation topology — papers in publication order, each citing
+   [refs] earlier papers with a recency-biased preferential rule — as
+   flat columns frozen straight into a snapshot.  Labels: "cites"
+   (most), "extends" (a minority follow-up link).  At 10^6-10^7 papers
+   this is the E16 bench substrate. *)
+
+let citation_snapshot ?(refs = 5) ?(recency_window = 50_000) rng ~papers =
+  if papers < 2 || refs < 1 then
+    invalid_arg "Bibliometrics.citation_snapshot: need papers >= 2, refs >= 1";
+  let m = ref 0 in
+  for v = 1 to papers - 1 do
+    m := !m + min refs v
+  done;
+  let m = !m in
+  let esrc = Array.make m 0 and edst = Array.make m 0 in
+  let elabel = Array.make m 0 in
+  (* endpoint pool: cited papers enter once per citation received, so a
+     pool draw is degree-proportional over past citations *)
+  let pool = Array.make m 0 in
+  let filled = ref 0 in
+  let cursor = ref 0 in
+  for v = 1 to papers - 1 do
+    for _ = 1 to min refs v do
+      let t =
+        if !filled > 0 && Splitmix.bernoulli rng 0.4 then pool.(Splitmix.int rng !filled)
+        else begin
+          (* recent-literature bias: uniform over the trailing window *)
+          let lo = max 0 (v - recency_window) in
+          lo + Splitmix.int rng (v - lo)
+        end
+      in
+      let t = if t >= v then v - 1 else t in
+      esrc.(!cursor) <- v;
+      edst.(!cursor) <- t;
+      elabel.(!cursor) <- (if Splitmix.bernoulli rng 0.1 then 1 else 0);
+      pool.(!filled) <- t;
+      incr filled;
+      incr cursor
+    done
+  done;
+  Gen_graph.stream_freeze ~nodes:papers ~esrc ~edst ~elabel
+    ~edge_label_names:[| "cites"; "extends" |]

@@ -40,3 +40,11 @@ val figure1_series : Triple_store.t -> series list
 
 (** (year, share) for 2015 and 2020 — the falling KG∩RDF statistic. *)
 val share_statistics : Triple_store.t -> (int * float) list
+
+(** Streaming citation graph for the 10^6–10^7 scale tier: papers in
+    publication order, each citing [refs] earlier papers under a
+    recency-biased preferential rule; edge labels ["cites"] /
+    ["extends"]. Snapshot-direct (flat columns, synthetic names) — see
+    {!Gen_graph} streaming generators. *)
+val citation_snapshot :
+  ?refs:int -> ?recency_window:int -> Splitmix.t -> papers:int -> Gqkg_graph.Snapshot.t

@@ -150,6 +150,86 @@ let grid ~rows ~cols =
   done;
   Labeled_graph.Builder.freeze b
 
+(* ---- streaming generators (snapshot-direct) ---------------------------
+
+   The Builder-based generators above allocate a Const name per node and
+   edge — fine at 10^4, prohibitive at 10^7.  The streaming generators
+   write endpoint/label columns into flat int arrays and freeze them
+   straight into a Snapshot: memory is O(columns), names are the
+   synthetic "n<id>"/"e<id>" closures (which Snapshot_io detects and
+   elides from disk), and generation is a single pass over the edges. *)
+
+let stream_freeze ~nodes ~esrc ~edst ~elabel ~edge_label_names =
+  let num_labels = Array.length edge_label_names in
+  let label_universe = Array.map Const.str edge_label_names in
+  let node_universe = [| default_label |] in
+  let label_sat = Snapshot.const_label_sat label_universe in
+  let node_label_sat = Snapshot.const_label_sat node_universe in
+  Snapshot.make ~num_nodes:nodes ~esrc ~edst ~num_labels ~elabel
+    ~label_names:(Array.map Const.to_string label_universe)
+    ~label_sat ~num_node_labels:1 ~node_labels:(Array.make nodes [ 0 ])
+    ~node_label_names:[| Const.to_string default_label |]
+    ~node_label_sat
+    ~node_atom:(fun _ a -> node_label_sat 0 a)
+    ~edge_atom:(fun e a -> num_labels > 0 && label_sat elabel.(e) a)
+    ~node_name:(fun v -> "n" ^ string_of_int v)
+    ~edge_name:(fun e -> "e" ^ string_of_int e)
+
+(* Streaming G(n, m) with labels drawn uniformly from [edge_labels]
+   (default: the single "edge" label). *)
+let stream_gnm ?(edge_labels = [ "edge" ]) rng ~nodes ~edges =
+  if nodes <= 0 then invalid_arg "Gen_graph.stream_gnm: need nodes";
+  if edge_labels = [] then invalid_arg "Gen_graph.stream_gnm: empty vocabulary";
+  let names = Array.of_list edge_labels in
+  let k = Array.length names in
+  let esrc = Array.make edges 0 and edst = Array.make edges 0 in
+  let elabel = Array.make edges 0 in
+  for e = 0 to edges - 1 do
+    esrc.(e) <- Splitmix.int rng nodes;
+    edst.(e) <- Splitmix.int rng nodes;
+    if k > 1 then elabel.(e) <- Splitmix.int rng k
+  done;
+  stream_freeze ~nodes ~esrc ~edst ~elabel ~edge_label_names:names
+
+(* Streaming preferential attachment (the repeated-endpoints trick over
+   a flat pool — no hash table, so a multigraph: duplicate targets are
+   kept).  Node v >= 1 attaches min(attach, v) edges to earlier nodes,
+   preferentially by current degree. *)
+let stream_preferential ?(edge_labels = [ "edge" ]) rng ~nodes ~attach =
+  if nodes < 2 || attach < 1 then
+    invalid_arg "Gen_graph.stream_preferential: need nodes >= 2, attach >= 1";
+  if edge_labels = [] then invalid_arg "Gen_graph.stream_preferential: empty vocabulary";
+  let names = Array.of_list edge_labels in
+  let k = Array.length names in
+  let edges = ref 0 in
+  for v = 1 to nodes - 1 do
+    edges := !edges + min attach v
+  done;
+  let m = !edges in
+  let esrc = Array.make m 0 and edst = Array.make m 0 in
+  let elabel = Array.make m 0 in
+  let pool = Array.make (2 * m) 0 in
+  let filled = ref 0 in
+  let cursor = ref 0 in
+  for v = 1 to nodes - 1 do
+    for _ = 1 to min attach v do
+      let t =
+        if !filled = 0 then 0 else
+        if Splitmix.bernoulli rng 0.5 then pool.(Splitmix.int rng !filled)
+        else Splitmix.int rng v
+      in
+      let t = if t = v then 0 else t in
+      esrc.(!cursor) <- v;
+      edst.(!cursor) <- t;
+      if k > 1 then elabel.(!cursor) <- Splitmix.int rng k;
+      pool.(!filled) <- v;
+      pool.(!filled + 1) <- t;
+      filled := !filled + 2;
+      incr cursor
+    done
+  done;
+  stream_freeze ~nodes ~esrc ~edst ~elabel ~edge_label_names:names
+
 (* Random labeled graph: ER topology with labels drawn uniformly from the
    given vocabularies — the workhorse of the property-test suites. *)
 let random_labeled rng ~nodes ~edges ~node_labels ~edge_labels =

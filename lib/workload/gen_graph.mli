@@ -33,3 +33,33 @@ val random_labeled :
   node_labels:string list ->
   edge_labels:string list ->
   Labeled_graph.t
+
+(** {1 Streaming generators}
+
+    Snapshot-direct: endpoint and label columns are written into flat
+    int arrays and frozen without per-element Const names or Builder
+    closures, so 10^6–10^7 nodes fit in O(columns) memory. Node and
+    edge names are the synthetic ["n<id>"]/["e<id>"] closures, which
+    {!Snapshot_io.save} detects and elides from disk. *)
+
+(** Freeze endpoint/label columns directly — the shared back end of the
+    streaming generators (single ["node"] node label, synthetic names).
+    [elabel] entries index [edge_label_names]. *)
+val stream_freeze :
+  nodes:int ->
+  esrc:int array ->
+  edst:int array ->
+  elabel:int array ->
+  edge_label_names:string array ->
+  Snapshot.t
+
+(** Streaming G(n, m); edge labels drawn uniformly from [edge_labels]
+    (default a single ["edge"] label). *)
+val stream_gnm :
+  ?edge_labels:string list -> Splitmix.t -> nodes:int -> edges:int -> Snapshot.t
+
+(** Streaming preferential attachment: node [v >= 1] attaches
+    [min attach v] edges to earlier nodes proportionally to degree
+    (repeated-endpoints pool; duplicate targets kept — a multigraph). *)
+val stream_preferential :
+  ?edge_labels:string list -> Splitmix.t -> nodes:int -> attach:int -> Snapshot.t

@@ -1,0 +1,281 @@
+(* Tests for the persistence + layout pipeline: binary snapshots must
+   round-trip every model-observable answer (save -> load -> the same
+   name-level results for label-only queries), renumbering must be
+   answer-invariant bit-for-bit, the CSR of a loaded snapshot must agree
+   with a naive scan of its endpoint columns, the partitioned adjacency
+   must cover every edge exactly once, and corrupt files must raise
+   [Snapshot_io.Corrupt] — never escape as a crash. *)
+
+open Gqkg_graph
+open Gqkg_core
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let parse = Gqkg_automata.Regex_parser.parse
+
+let graph_gen =
+  QCheck2.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* nodes = int_range 1 10 in
+    let* edges = int_range 0 24 in
+    return (seed, nodes, edges))
+
+let make_snapshot (seed, nodes, edges) =
+  let rng = Gqkg_util.Splitmix.create seed in
+  Snapshot.of_labeled
+    (Gqkg_workload.Gen_graph.random_labeled rng ~nodes ~edges ~node_labels:[ "a"; "b"; "c" ]
+       ~edge_labels:[ "x"; "y"; "z" ])
+
+(* Only [Label] atoms survive persistence, so the probe queries stay
+   label-only: edge labels, node-label tests, closures, converses. *)
+let probe_queries =
+  List.map parse [ "x"; "x/y"; "(x + y)*"; "?a/x/?b"; "x^-/(y + z)"; "?c/(x + y + z)*/?a" ]
+
+(* Answers in name space: the only id-stable surface across layouts. *)
+let name_pairs (s : Snapshot.t) pairs =
+  List.sort compare
+    (List.map (fun (a, b) -> (s.Snapshot.node_name a, s.Snapshot.node_name b)) pairs)
+
+let answers (s : Snapshot.t) r = name_pairs s (Rpq.eval_pairs s ~max_length:6 r)
+
+let with_temp_gqs f =
+  let path = Filename.temp_file "gqkg_test" ".gqs" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path) (fun () -> f path)
+
+(* ---------- QCheck: save -> load round trip ---------- *)
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"save -> load preserves label-query answers" ~count:150 graph_gen
+    (fun g ->
+      let s = make_snapshot g in
+      with_temp_gqs (fun path ->
+          ignore (Snapshot_io.save ~path s);
+          let loaded = Snapshot_io.load path in
+          checki "nodes" s.Snapshot.num_nodes loaded.Snapshot.num_nodes;
+          checki "edges" s.Snapshot.num_edges loaded.Snapshot.num_edges;
+          List.iter
+            (fun r -> checkb "answers" true (answers s r = answers loaded r))
+            probe_queries;
+          (* Names round-trip element-wise, not just through queries. *)
+          for v = 0 to s.Snapshot.num_nodes - 1 do
+            checkb "node name" true
+              (String.equal (s.Snapshot.node_name v) (loaded.Snapshot.node_name v))
+          done;
+          true))
+
+let prop_roundtrip_renumbered =
+  QCheck2.Test.make ~name:"renumber -> save -> load preserves answers" ~count:150
+    QCheck2.Gen.(pair graph_gen (oneofl [ Renumber.Degree; Renumber.Bfs ]))
+    (fun (g, order) ->
+      let s = make_snapshot g in
+      let renumbered, perm = Renumber.renumber order s in
+      with_temp_gqs (fun path ->
+          ignore (Snapshot_io.save ~perm ~path renumbered);
+          let loaded, stored = Snapshot_io.load_with_perm path in
+          (match stored with
+          | Some p ->
+              checkb "stored permutation matches" true
+                (p.Renumber.old_of_new = perm.Renumber.old_of_new)
+          | None -> checkb "identity permutation elided" true (Renumber.is_identity perm));
+          List.iter
+            (fun r -> checkb "answers" true (answers s r = answers loaded r))
+            probe_queries;
+          true))
+
+(* ---------- QCheck: renumbering is answer-invariant (no I/O) ---------- *)
+
+let prop_renumber_invariant =
+  QCheck2.Test.make ~name:"renumbering is answer-invariant" ~count:200
+    QCheck2.Gen.(pair graph_gen (oneofl [ Renumber.Identity; Renumber.Degree; Renumber.Bfs ]))
+    (fun (g, order) ->
+      let s = make_snapshot g in
+      let renumbered, perm = Renumber.renumber order s in
+      checki "node count" s.Snapshot.num_nodes renumbered.Snapshot.num_nodes;
+      (* the permutation really is one *)
+      let seen = Array.make (max 1 s.Snapshot.num_nodes) false in
+      Array.iter (fun v -> seen.(v) <- true) perm.Renumber.old_of_new;
+      checkb "node permutation total" true (Array.for_all Fun.id seen);
+      List.iter
+        (fun r -> checkb "answers" true (answers s r = answers renumbered r))
+        probe_queries;
+      true)
+
+(* ---------- QCheck: loaded CSR vs naive edge scan ---------- *)
+
+let scan_adjacency (s : Snapshot.t) v ~out =
+  let pairs = ref [] in
+  for e = s.Snapshot.num_edges - 1 downto 0 do
+    let u = if out then s.Snapshot.esrc.(e) else s.Snapshot.edst.(e) in
+    let nbr = if out then s.Snapshot.edst.(e) else s.Snapshot.esrc.(e) in
+    if u = v then pairs := (e, nbr) :: !pairs
+  done;
+  !pairs
+
+let prop_loaded_csr =
+  QCheck2.Test.make ~name:"loaded CSR = naive scan of loaded columns" ~count:150 graph_gen
+    (fun g ->
+      let s = make_snapshot g in
+      let renumbered, perm = Renumber.renumber Renumber.Degree s in
+      with_temp_gqs (fun path ->
+          ignore (Snapshot_io.save ~perm ~path renumbered);
+          let loaded = Snapshot_io.load path in
+          for v = 0 to loaded.Snapshot.num_nodes - 1 do
+            checkb "out row" true
+              (Array.to_list (Snapshot.out_pairs loaded v) = scan_adjacency loaded v ~out:true);
+            checkb "in row" true
+              (Array.to_list (Snapshot.in_pairs loaded v) = scan_adjacency loaded v ~out:false)
+          done;
+          true))
+
+(* ---------- QCheck: partitioned adjacency covers every edge once ---------- *)
+
+let prop_partition_cover =
+  QCheck2.Test.make ~name:"partition covers each edge exactly once" ~count:200
+    QCheck2.Gen.(pair graph_gen (int_range 1 4))
+    (fun (g, block_bits) ->
+      let s = make_snapshot g in
+      let p = Partition.build ~block_bits s in
+      let seen = Array.make (max 1 s.Snapshot.num_edges) 0 in
+      for b = 0 to Partition.num_blocks p - 1 do
+        Partition.iter_block p ~block:b (fun e _src dst ->
+            seen.(e) <- seen.(e) + 1;
+            checki "edge filed in its destination's block" b (Partition.block_of_node p dst))
+      done;
+      checkb "each edge once" true
+        (s.Snapshot.num_edges = 0 || Array.for_all (fun c -> c = 1) seen);
+      true)
+
+(* ---------- synthetic-name elision ---------- *)
+
+let test_synthetic_names () =
+  let rng = Gqkg_util.Splitmix.create 7 in
+  let s = Gqkg_workload.Gen_graph.stream_gnm rng ~nodes:500 ~edges:1500 in
+  with_temp_gqs (fun path ->
+      let report = Snapshot_io.save ~path s in
+      checkb "generator names elided from disk" false report.Snapshot_io.names_kept;
+      let loaded = Snapshot_io.load path in
+      checkb "synthetic names re-synthesized" true
+        (String.equal (loaded.Snapshot.node_name 42) "n42"
+        && String.equal (loaded.Snapshot.edge_name 7) "e7");
+      (* ...and through a permutation they keep naming the *old* ids. *)
+      let renumbered, perm = Renumber.renumber Renumber.Degree s in
+      let path2 = path ^ ".2" in
+      Fun.protect
+        ~finally:(fun () -> if Sys.file_exists path2 then Sys.remove path2)
+        (fun () ->
+          ignore (Snapshot_io.save ~perm ~path:path2 renumbered);
+          let l2 = Snapshot_io.load path2 in
+          for v = 0 to 99 do
+            checkb "renumbered synthetic name" true
+              (String.equal (l2.Snapshot.node_name v)
+                 ("n" ^ string_of_int perm.Renumber.old_of_new.(v)))
+          done))
+
+(* ---------- persistence lossiness contract ---------- *)
+
+let test_lossiness_contract () =
+  let s = Snapshot.of_property (Figure2.property ()) in
+  with_temp_gqs (fun path ->
+      ignore (Snapshot_io.save ~path s);
+      let loaded = Snapshot_io.load path in
+      (* Label atoms answer identically... *)
+      List.iter
+        (fun r -> checkb "label query" true (answers s r = answers loaded r))
+        (List.map parse [ "rides"; "?person/rides/?bus"; "(rides + lives)*" ]);
+      (* ...property atoms degrade to false (documented lossiness). *)
+      let with_prop = parse "?person/(contact & date=3/4/21)/?infected" in
+      checki "property query answers on the original" 1
+        (List.length (Rpq.eval_pairs s with_prop));
+      checki "property atoms test false after reload" 0
+        (List.length (Rpq.eval_pairs loaded with_prop)))
+
+(* ---------- corrupt inputs ---------- *)
+
+let corrupt_fixture name = Filename.concat "../examples/corrupt" name
+
+let expect_corrupt ~name ~fragment =
+  let path = corrupt_fixture name in
+  match Snapshot_io.load path with
+  | _ -> Alcotest.fail (name ^ ": should have been rejected")
+  | exception Snapshot_io.Corrupt message ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
+        loop 0
+      in
+      if not (contains message fragment) then
+        Alcotest.fail (Printf.sprintf "%s: message %S lacks %S" name message fragment)
+
+let test_corrupt_fixtures () =
+  expect_corrupt ~name:"truncated.gqs" ~fragment:"section table runs past end";
+  expect_corrupt ~name:"bad-magic.gqs" ~fragment:"bad magic";
+  expect_corrupt ~name:"bad-version.gqs" ~fragment:"unsupported snapshot version 99";
+  expect_corrupt ~name:"bad-checksum.gqs" ~fragment:"checksum mismatch";
+  checkb "sniff rejects bad magic" false (Snapshot_io.is_snapshot_file (corrupt_fixture "bad-magic.gqs"));
+  checkb "sniff accepts truncated-but-magic" true
+    (Snapshot_io.is_snapshot_file (corrupt_fixture "truncated.gqs"))
+
+(* Every single-byte corruption of a valid file must raise [Corrupt] —
+   no Invalid_argument, no out-of-bounds, no silent wrong graph.  The
+   checksum is over decoded values, so any payload flip is caught; any
+   header/table flip must be caught structurally. *)
+let prop_byte_flips =
+  QCheck2.Test.make ~name:"every single-byte flip raises Corrupt" ~count:120
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_bound 10_000))
+    (fun (seed, flip_seed) ->
+      let s = make_snapshot (seed, 6, 12) in
+      with_temp_gqs (fun path ->
+          ignore (Snapshot_io.save ~path s);
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let image = really_input_string ic len in
+          close_in ic;
+          let rng = Gqkg_util.Splitmix.create flip_seed in
+          let pos = Gqkg_util.Splitmix.int rng len in
+          let bit = 1 lsl Gqkg_util.Splitmix.int rng 8 in
+          let corrupted = Bytes.of_string image in
+          Bytes.set corrupted pos (Char.chr (Char.code (Bytes.get corrupted pos) lxor bit));
+          let oc = open_out_bin path in
+          output_bytes oc corrupted;
+          close_out oc;
+          (match Snapshot_io.load path with
+          | _ ->
+              Alcotest.fail
+                (Printf.sprintf "flip of byte %d accepted (file len %d)" pos len)
+          | exception Snapshot_io.Corrupt _ -> ());
+          true))
+
+(* ---------- read_info ---------- *)
+
+let test_read_info () =
+  let s = make_snapshot (11, 9, 20) in
+  let renumbered, perm = Renumber.renumber Renumber.Degree s in
+  with_temp_gqs (fun path ->
+      let report = Snapshot_io.save ~perm ~path renumbered in
+      let info = Snapshot_io.read_info path in
+      checki "version" Snapshot_io.version info.Snapshot_io.i_version;
+      checki "nodes" s.Snapshot.num_nodes info.Snapshot_io.i_nodes;
+      checki "edges" s.Snapshot.num_edges info.Snapshot_io.i_edges;
+      checki "file bytes" report.Snapshot_io.file_bytes info.Snapshot_io.i_file_bytes;
+      checkb "renumbered flag" (not (Renumber.is_identity perm)) info.Snapshot_io.i_renumbered;
+      (* random_labeled names nodes "n<i>" in freeze order — exactly the
+         canonical synthetic pattern, so [`Auto] elides the tables. *)
+      checkb "canonical generator names detected" true info.Snapshot_io.i_synthetic_names)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "gqkg_persist"
+    [
+      ("roundtrip", q [ prop_roundtrip; prop_roundtrip_renumbered ]);
+      ("renumber", q [ prop_renumber_invariant; prop_loaded_csr ]);
+      ("partition", q [ prop_partition_cover ]);
+      ( "contract",
+        [
+          Alcotest.test_case "synthetic-name elision" `Quick test_synthetic_names;
+          Alcotest.test_case "lossiness: Label only" `Quick test_lossiness_contract;
+          Alcotest.test_case "read_info" `Quick test_read_info;
+        ] );
+      ( "corrupt",
+        q [ prop_byte_flips ]
+        @ [ Alcotest.test_case "committed fixtures" `Quick test_corrupt_fixtures ] );
+    ]
