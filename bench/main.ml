@@ -1097,6 +1097,10 @@ let rpq_kernel ?(small = false) ?(extra_json = "") () =
      where a few microseconds of bookkeeping exceed 10% of nothing). *)
   let gov_reps = max 3 (rep 7) in
   let t_gov_on = ref infinity and t_gov_off = ref infinity in
+  (* The semantic caches would warm the unbudgeted leg only (budgeted
+     runs never consult them), turning the comparison into cache-vs-not
+     — disable them so both legs really build and evaluate. *)
+  Semcache.enabled := false;
   for _ = 1 to gov_reps do
     let budget = Gqkg_util.Budget.create ~max_steps:max_int () in
     let _, t = wall (fun () -> Rpq.eval_pairs ~budget inst ~max_length:8 r_bus) in
@@ -1104,11 +1108,84 @@ let rpq_kernel ?(small = false) ?(extra_json = "") () =
     let _, t = wall (fun () -> Rpq.eval_pairs inst ~max_length:8 r_bus) in
     if t < !t_gov_off then t_gov_off := t
   done;
+  Semcache.enabled := true;
   let governor_overhead = 100.0 *. ((!t_gov_on /. Float.max 1e-9 !t_gov_off) -. 1.0) in
   let governor_ok = governor_overhead <= 10.0 || !t_gov_on -. !t_gov_off <= 0.002 in
   Printf.printf
     "governor overhead (pairs, budgeted vs not, best of %d each): %.1f ms vs %.1f ms (%+.1f%%, ok %b)\n"
     gov_reps (1000.0 *. !t_gov_on) (1000.0 *. !t_gov_off) governor_overhead governor_ok;
+  (* Workload E: the decision-procedure planner.  A redundant query
+     (a closure branch subsumed by its sibling) evaluated with
+     minimization on vs off, interleaved best-of so machine drift
+     cancels; answers must be bit-identical, and the minimized leg
+     within 10% of parity (it should win: fewer automaton states mean
+     fewer product states).  The semantic caches are disabled during
+     the timing legs so both legs really build and run their product.
+     Then the semantic result cache: the same query twice through the
+     Governor under fresh unlimited budgets — the second evaluation
+     must hit. *)
+  let r_red = parse "(((rides + visits))* + (rides)*)" in
+  let states_trimmed, states_canonical =
+    let plan = Planner.prepare_explained inst r_red in
+    ( (match plan.Planner.report with
+      | Some rep -> rep.Gqkg_analysis.Analyze.states_after
+      | None -> 0),
+      match plan.Planner.canon with
+      | Some c -> c.Gqkg_analysis.Decide.states
+      | None -> 0 )
+  in
+  let with_min flag f =
+    let old = !Planner.minimize in
+    Planner.minimize := flag;
+    Fun.protect ~finally:(fun () -> Planner.minimize := old) f
+  in
+  Semcache.enabled := false;
+  let min_reps = max 3 (rep 7) in
+  let t_min_on = ref infinity and t_min_off = ref infinity in
+  let v_on = ref [] and v_off = ref [] in
+  for _ = 1 to min_reps do
+    let v, t = with_min true (fun () -> wall (fun () -> Rpq.eval_pairs inst ~max_length:8 r_red)) in
+    if t < !t_min_on then begin t_min_on := t; v_on := v end;
+    let v, t = with_min false (fun () -> wall (fun () -> Rpq.eval_pairs inst ~max_length:8 r_red)) in
+    if t < !t_min_off then begin t_min_off := t; v_off := v end
+  done;
+  Semcache.enabled := true;
+  let min_agree = !v_on = !v_off in
+  let min_ratio = !t_min_off /. Float.max 1e-9 !t_min_on in
+  let minimize_ok = min_agree && (min_ratio >= 0.9 || !t_min_on -. !t_min_off <= 0.002) in
+  Printf.printf
+    "minimize (interleaved, best of %d): %d -> %d states, minimized %.1f ms vs raw %.1f ms \
+     (%.2fx), agree %b, ok %b\n"
+    min_reps states_trimmed states_canonical (1000.0 *. !t_min_on) (1000.0 *. !t_min_off)
+    min_ratio min_agree minimize_ok;
+  Semcache.reset ();
+  let o1, t_cache_first =
+    wall (fun () -> Governor.eval_pairs ~budget:(Gqkg_util.Budget.create ()) inst ~max_length:8 r_red)
+  in
+  let o2, t_cache_hit =
+    wall (fun () -> Governor.eval_pairs ~budget:(Gqkg_util.Budget.create ()) inst ~max_length:8 r_red)
+  in
+  let cache_stats = Semcache.stats () in
+  let cache_lookups = cache_stats.Semcache.result_hits + cache_stats.Semcache.result_misses in
+  let cache_hit_rate =
+    float_of_int cache_stats.Semcache.result_hits /. float_of_int (max 1 cache_lookups)
+  in
+  let cache_agree = o1.Gqkg_util.Budget.value = o2.Gqkg_util.Budget.value in
+  Printf.printf
+    "semantic cache: first %.2f ms, cached %.2f ms, %d hits / %d lookups (rate %.2f), agree %b\n"
+    (1000.0 *. t_cache_first) (1000.0 *. t_cache_hit) cache_stats.Semcache.result_hits
+    cache_lookups cache_hit_rate cache_agree;
+  let decide_json =
+    Printf.sprintf
+      "  \"decide_workload\": { \"states_trimmed\": %d, \"states_canonical\": %d,\n\
+      \    \"minimized_ms\": %.3f, \"raw_ms\": %.3f, \"throughput_ratio\": %.2f,\n\
+      \    \"agree\": %b, \"minimize_ok\": %b,\n\
+      \    \"cache_lookups\": %d, \"cache_hits\": %d, \"cache_hit_rate\": %.2f,\n\
+      \    \"first_ms\": %.3f, \"cached_ms\": %.3f, \"cache_agree\": %b },\n"
+      states_trimmed states_canonical (1000.0 *. !t_min_on) (1000.0 *. !t_min_off) min_ratio
+      min_agree minimize_ok cache_lookups cache_stats.Semcache.result_hits cache_hit_rate
+      (1000.0 *. t_cache_first) (1000.0 *. t_cache_hit) cache_agree
+  in
   (* Machine-readable trajectory record: the E15 kernel metrics plus
      the spliced-in E16 scale fragment, written to BENCH_rpq.json and
      archived per run under bench/runs/ (gitignored). *)
@@ -1131,6 +1208,7 @@ let rpq_kernel ?(small = false) ?(extra_json = "") () =
       \    \"forced_domains\": %d, \"forced_max_abs_diff\": %.3g, \"forced_agree\": %b,\n\
       \    \"pool_spawned\": %d },\n\
       %s\
+      %s\
       \  \"governor\": { \"budgeted_ms\": %.3f, \"unbudgeted_ms\": %.3f,\n\
       \    \"overhead_pct\": %.1f, \"governor_overhead_ok\": %b }\n\
       }\n"
@@ -1140,7 +1218,7 @@ let rpq_kernel ?(small = false) ?(extra_json = "") () =
       (1000.0 *. t_naive) (1000.0 *. t_small) agree speedup_vs_naive bcr_people
       (1000.0 *. t_bcr_seq) (1000.0 *. t_bcr_par) bcr_domains bcr_speedup bcr_diff
       (bcr_diff <= 1e-6) forced_domains bcr_forced_diff (bcr_forced_diff <= 1e-6)
-      (Gqkg_util.Parallel.spawned_total ()) extra_json (1000.0 *. !t_gov_on)
+      (Gqkg_util.Parallel.spawned_total ()) extra_json decide_json (1000.0 *. !t_gov_on)
       (1000.0 *. !t_gov_off) governor_overhead governor_ok
   in
   let oc = open_out "BENCH_rpq.json" in
@@ -1167,12 +1245,16 @@ let rpq_kernel ?(small = false) ?(extra_json = "") () =
   in
   let reps = rep 7 in
   let t_on = ref infinity and t_off = ref infinity in
+  (* Caches off: only the analysis-on leg has a cache key (canonical
+     form), so leaving them on would bias this comparison too. *)
+  Semcache.enabled := false;
   for _ = 1 to reps do
     let _, t = wall (fun () -> with_analysis true (fun () -> Rpq.eval_pairs inst ~max_length:8 r_bus)) in
     if t < !t_on then t_on := t;
     let _, t = wall (fun () -> with_analysis false (fun () -> Rpq.eval_pairs inst ~max_length:8 r_bus)) in
     if t < !t_off then t_off := t
   done;
+  Semcache.enabled := true;
   let overhead = 100.0 *. ((!t_on /. Float.max 1e-9 !t_off) -. 1.0) in
   let _, t_plan = best_of (rep 7) (fun () -> Analyze.plan inst r_bus) in
   Printf.printf "plan-only: %.3f ms\n" (1000.0 *. t_plan);

@@ -7,9 +7,16 @@
      sample      uniform generation of matching paths
      enumerate   poly-delay enumeration of matching paths
      centrality  betweenness / bc_r / pagerank rankings
+     contain     decide containment / equivalence of two path queries
      save        freeze a graph to a binary snapshot (.gqs), optionally renumbered
      stats       structural statistics of a graph
      wl          Weisfeiler-Lehman color refinement summary
+
+   Exit-code contract (shared by lint and contain; the table lives in
+   DESIGN.md section 5g and is asserted in CI): 0 = clean / holds /
+   unknown, 1 = findings (lint: statically empty; contain: refuted),
+   2 = usage or parse error (GQ04x), 3 = budget tripped (GQ03x),
+   answer printed is a sound partial.
 
    Anywhere a command loads a graph, a binary snapshot written by
    [gqkg save] is accepted transparently (sniffed by magic / the .gqs
@@ -196,17 +203,34 @@ let resolve_sources inst spec =
   Array.of_list (List.rev !out)
 
 let query_cmd =
-  let run () path regex max_length sources limits =
+  let run () path regex max_length sources repeat limits =
     let inst = load_instance path in
     let r = parse_regex regex in
     let budget = make_budget limits in
     (match sources with
     | None ->
-        let pairs = Rpq.eval_pairs ~budget inst ?max_length r in
+        (* Through the Governor, so repeated evaluations of the same
+           (or a semantically equivalent) query hit the semantic result
+           cache; --repeat N demonstrates and exercises it.  Budgeted
+           runs never consult the cache, so each repeat gets a fresh
+           budget and really evaluates. *)
+        let o = Governor.eval_pairs ~budget ?max_length inst r in
+        let pairs = o.Gqkg_util.Budget.value in
         List.iter
           (fun (a, b) ->
             Printf.printf "%s\t%s\n" (inst.Snapshot.node_name a) (inst.Snapshot.node_name b))
           pairs;
+        for _ = 2 to repeat do
+          ignore (Governor.eval_pairs ~budget:(make_budget limits) ?max_length inst r)
+        done;
+        if repeat > 1 then begin
+          let s = Semcache.stats () in
+          Printf.printf "semantic-cache: %d hits / %d lookups (plans: %d hits / %d lookups)\n"
+            s.Semcache.result_hits
+            (s.Semcache.result_hits + s.Semcache.result_misses)
+            s.Semcache.plan_hits
+            (s.Semcache.plan_hits + s.Semcache.plan_misses)
+        end;
         Logs.info (fun m -> m "%d pairs" (List.length pairs))
     | Some spec ->
         let sources = resolve_sources inst spec in
@@ -239,9 +263,20 @@ let query_cmd =
             "Evaluate from these sources only (comma-separated node names and/or label:<name> \
              selectors), batched through the multi-source frontier engine.")
   in
+  let repeat =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Evaluate the query N times and report semantic-cache counters (pairs are printed \
+             once).")
+  in
   Cmd.v
     (Cmd.info "query" ~doc:"Endpoint pairs of matching paths")
-    Term.(const run $ verbose_flag $ graph_arg $ regex_arg 1 $ max_length $ sources $ budget_args)
+    Term.(
+      const run $ verbose_flag $ graph_arg $ regex_arg 1 $ max_length $ sources $ repeat
+      $ budget_args)
 
 (* ---- count ---- *)
 
@@ -505,7 +540,17 @@ let explain_cmd =
         List.iter
           (fun d -> print_endline (Gqkg_analysis.Diagnostic.to_string d))
           report.Gqkg_analysis.Analyze.diagnostics;
-        (match Planner.prepare ~budget inst simplified with
+        let plan = Planner.prepare_explained ~budget inst simplified in
+        (match plan.Planner.canon with
+        | Some c ->
+            Printf.printf "canonical: %d -> %d states, hash %s (%s%s)\n"
+              report.Gqkg_analysis.Analyze.states_after c.Gqkg_analysis.Decide.states
+              (Gqkg_analysis.Decide.hash_hex c.Gqkg_analysis.Decide.hash)
+              (if plan.Planner.minimized then "evaluating minimized automaton"
+               else "already minimal, kept as-is")
+              (if plan.Planner.plan_cache_hit then "; plan cache hit" else "")
+        | None -> ());
+        (match plan.Planner.prep with
         | Planner.Empty ->
             Printf.printf "on %s: 0 product states materialized, 0 answer pairs\n" path
         | Planner.Ready product ->
@@ -566,8 +611,12 @@ let lint_cmd =
     in
     ignore (Gqkg_util.Budget.check budget);
     let report = Gqkg_analysis.Analyze.run ~schema r in
+    (* The GQ05x redundancy pass (subsumed branches, dead disjuncts,
+       absorbed closures) rides on the same budget: once it trips, the
+       remaining containment checks answer Unknown and report nothing. *)
+    let redundancy = Gqkg_analysis.Decide.lint ~schema ~budget r in
     let diagnostics =
-      report.Gqkg_analysis.Analyze.diagnostics
+      report.Gqkg_analysis.Analyze.diagnostics @ redundancy
       @ (match Gqkg_analysis.Diagnostic.of_budget budget with Some d -> [ d ] | None -> [])
     in
     let verdict =
@@ -610,6 +659,95 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint" ~doc:"Statically analyze a path query against a graph's vocabulary")
     Term.(const run $ verbose_flag $ graph_arg $ regex_arg 1 $ model $ json $ budget_args)
+
+(* ---- contain ---- *)
+
+let contain_cmd =
+  let run () r1_text r2_text graph json limits =
+    let module D = Gqkg_analysis.Decide in
+    let r1 = parse_regex r1_text and r2 = parse_regex r2_text in
+    (* With --graph, atoms are interpreted against that graph's schema
+       exactly as lint's GQ0xx pass would — an out-of-vocabulary label
+       has the empty language there, never a spurious refutation. *)
+    let schema =
+      Option.map (fun p -> Gqkg_analysis.Schema.of_snapshot (load_instance p)) graph
+    in
+    let budget = make_budget limits in
+    let fwd, witness = D.contains_witness ?schema ~budget r1 r2 in
+    let bwd = D.contains ?schema ~budget r2 r1 in
+    let name = function D.True -> "holds" | D.False -> "refuted" | D.Unknown _ -> "unknown" in
+    let reason = function D.Unknown why -> Some why | D.True | D.False -> None in
+    let equivalent =
+      match (fwd, bwd) with
+      | D.True, D.True -> "yes"
+      | D.False, _ | _, D.False -> "no"
+      | _ -> "unknown"
+    in
+    let canon r = D.canonicalize ?schema ~budget r in
+    let c1 = canon r1 and c2 = canon r2 in
+    if json then begin
+      let dir v =
+        Printf.sprintf "{\"verdict\":%S%s}" (name v)
+          (match reason v with
+          | Some why -> Printf.sprintf ",\"reason\":%S" why
+          | None -> "")
+      in
+      let canon_json = function
+        | Some c ->
+            Printf.sprintf "{\"states\":%d,\"hash\":\"%s\"}" c.D.states (D.hash_hex c.D.hash)
+        | None -> "null"
+      in
+      Printf.printf
+        "{\"r1\":\"%s\",\"r2\":\"%s\",\"r1_in_r2\":%s,\"r2_in_r1\":%s,\"equivalent\":%S,\
+         \"witness\":%s,\"canonical\":{\"r1\":%s,\"r2\":%s}}\n"
+        (Gqkg_analysis.Diagnostic.json_escape (Gqkg_automata.Regex.to_string ~top:true r1))
+        (Gqkg_analysis.Diagnostic.json_escape (Gqkg_automata.Regex.to_string ~top:true r2))
+        (dir fwd) (dir bwd) equivalent
+        (match witness with
+        | Some w -> Printf.sprintf "%S" (D.witness_to_string w)
+        | None -> "null")
+        (canon_json c1) (canon_json c2)
+    end
+    else begin
+      Printf.printf "r1         : %s\n" (Gqkg_automata.Regex.to_string ~top:true r1);
+      Printf.printf "r2         : %s\n" (Gqkg_automata.Regex.to_string ~top:true r2);
+      let dir label v =
+        Printf.printf "%s : %s%s\n" label (name v)
+          (match reason v with Some why -> " (" ^ why ^ ")" | None -> "")
+      in
+      dir "r1 <= r2  " fwd;
+      dir "r2 <= r1  " bwd;
+      Printf.printf "equivalent : %s\n" equivalent;
+      (match witness with
+      | Some w -> Printf.printf "witness    : %s\n" (D.witness_to_string w)
+      | None -> ());
+      let show_canon label = function
+        | Some c ->
+            Printf.printf "canonical  : %s %d states, hash %s\n" label c.D.states
+              (D.hash_hex c.D.hash)
+        | None -> ()
+      in
+      show_canon "r1" c1;
+      show_canon "r2" c2
+    end;
+    (* Same contract as lint: 3 partial beats 1 findings beats 0. *)
+    report_budget budget;
+    match fwd with D.False -> exit 1 | D.True | D.Unknown _ -> ()
+  in
+  let r1 = Arg.(required & pos 0 (some string) None & info [] ~docv:"R1" ~doc:"Candidate subquery.") in
+  let r2 = Arg.(required & pos 1 (some string) None & info [] ~docv:"R2" ~doc:"Candidate superquery.") in
+  let graph =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "graph" ]
+          ~doc:"Interpret label atoms against this graph's schema vocabulary (as lint does).")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable JSON output.") in
+  Cmd.v
+    (Cmd.info "contain"
+       ~doc:"Decide whether every path matching R1 also matches R2 (exit 1 when refuted)")
+    Term.(const run $ verbose_flag $ r1 $ r2 $ graph $ json $ budget_args)
 
 (* ---- save (binary snapshot) ---- *)
 
@@ -689,7 +827,16 @@ let stats_cmd =
     Printf.printf "average clustering: %.4f\n" (Gqkg_analytics.Clustering.average_clustering inst);
     let members, density = Gqkg_analytics.Densest.charikar inst in
     Printf.printf "densest subgraph (charikar): %d nodes, density %.3f\n" (List.length members) density;
-    Printf.printf "degeneracy (max k-core): %d\n" (Gqkg_analytics.Kcore.degeneracy inst)
+    Printf.printf "degeneracy (max k-core): %d\n" (Gqkg_analytics.Kcore.degeneracy inst);
+    let s = Semcache.stats () in
+    Printf.printf
+      "semantic cache (this process): plans %d hits / %d lookups, results %d hits / %d lookups, \
+       %d + %d entries\n"
+      s.Semcache.plan_hits
+      (s.Semcache.plan_hits + s.Semcache.plan_misses)
+      s.Semcache.result_hits
+      (s.Semcache.result_hits + s.Semcache.result_misses)
+      s.Semcache.plan_entries s.Semcache.result_entries
   in
   Cmd.v (Cmd.info "stats" ~doc:"Structural statistics") Term.(const run $ verbose_flag $ graph_arg)
 
@@ -716,8 +863,8 @@ let wl_cmd =
 
 let known_subcommands =
   [
-    "generate"; "query"; "match"; "count"; "sample"; "enumerate"; "centrality"; "convert";
-    "materialize"; "sparql"; "explain"; "lint"; "save"; "stats"; "wl";
+    "generate"; "query"; "match"; "count"; "sample"; "enumerate"; "centrality"; "contain";
+    "convert"; "materialize"; "sparql"; "explain"; "lint"; "save"; "stats"; "wl";
   ]
 
 let () =
@@ -760,6 +907,7 @@ let () =
             sparql_cmd;
             explain_cmd;
             lint_cmd;
+            contain_cmd;
             save_cmd;
             stats_cmd;
             wl_cmd;

@@ -420,6 +420,18 @@ let of_snapshot (inst : Snapshot.t) =
     default_edge_cost = float_of_int (max inst.Snapshot.num_edges 1);
   }
 
+(* Static atom verdict against a schema vocabulary, shared with the
+   decision procedures in Decide: an atom outside a closed universe is
+   statically false there exactly when the GQ001/002/003 pass would say
+   so, which is what keeps containment verdicts consistent with lint
+   (no false "subsumed" reports on out-of-vocabulary labels). *)
+let schema_atom_verdict schema ~edge a =
+  let o = of_schema schema in
+  match fst (o.atom (if edge then Cedge else Cnode) a) with
+  | V_true -> `True
+  | V_false -> `False
+  | V_unknown -> `Unknown
+
 (* ---- The pipeline ----------------------------------------------------- *)
 
 let analyze_with (o : oracle) regex =

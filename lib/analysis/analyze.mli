@@ -47,6 +47,14 @@ val plan : Snapshot.t -> Regex.t -> report
 (** [plan] when {!enabled}, [None] otherwise. *)
 val plan_if_enabled : Snapshot.t -> Regex.t -> report option
 
+(** Static verdict of one atom against a schema vocabulary — the same
+    interpretation the GQ001/002/003 pass applies (atoms outside a
+    closed universe are statically false, atoms carried by every object
+    are true). Exposed so {!Decide} buckets test atoms consistently
+    with lint. *)
+val schema_atom_verdict :
+  Schema.t option -> edge:bool -> Atom.t -> [ `True | `False | `Unknown ]
+
 (** Boolean-only test simplification (no vocabulary): three-valued
     constant folding plus an exhaustive truth table over up to 12
     distinct atoms. [`F] means unsatisfiable, [`T] tautological. *)

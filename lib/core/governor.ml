@@ -7,8 +7,32 @@ module Budget = Gqkg_util.Budget
 
 let outcome budget value = { Budget.value; completeness = Budget.completeness budget }
 
+(* eval_pairs consults the semantic result cache: keyed by the query's
+   canonical-automaton key (+ max_length) and the snapshot epoch, so
+   syntactically different but equivalent queries share one entry.
+   Only Complete results are stored, and only unlimited budgets look up
+   — a Partial answer must never be served as if it were the whole
+   truth, and a budgeted run must actually consume its budget. *)
 let eval_pairs ~budget ?max_length inst regex =
-  outcome budget (Rpq.eval_pairs ~budget ?max_length inst regex)
+  let key =
+    if Budget.is_unlimited budget && !Semcache.enabled then
+      Option.map
+        (fun k ->
+          match max_length with Some l -> k ^ "|len" ^ string_of_int l | None -> k)
+        (Planner.semantic_key inst regex)
+    else None
+  in
+  match key with
+  | None -> outcome budget (Rpq.eval_pairs ~budget ?max_length inst regex)
+  | Some key -> (
+      match Semcache.find_pairs inst ~key with
+      | Some v -> { Budget.value = v; completeness = Budget.Complete }
+      | None ->
+          let v = Rpq.eval_pairs ~budget ?max_length inst regex in
+          (match Budget.completeness budget with
+          | Budget.Complete -> Semcache.store_pairs inst ~key v
+          | Budget.Partial _ -> ());
+          outcome budget v)
 
 let reachable_many ~budget ?max_length inst regex ~sources =
   outcome budget (Rpq.reachable_many ~budget ?max_length inst regex ~sources)

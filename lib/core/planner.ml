@@ -9,55 +9,145 @@
    pre-analyzer path bit for bit: the untrimmed Thompson automaton of
    the original expression, no hints.
 
+   On top of that, with [minimize] on (the default), the trimmed
+   automaton is canonicalized by the decision procedures (Decide):
+   when the minimal canonical automaton is strictly smaller it is
+   evaluated instead of the trimmed one (identity-preserving when the
+   automaton is already minimal), and its canonical key makes
+   syntactically different but equivalent queries share one entry in
+   the semantic plan cache (Semcache).  Canonicalization runs under a
+   pure state cap — no wall clock — so planning stays deterministic;
+   when it gives up, the trimmed automaton is used as before.
+
    The optional [budget] is attached to the product here, so every
    kernel downstream of the planner shares one cooperative resource
-   budget without further parameter threading. *)
+   budget without further parameter threading.  Cached plans are only
+   looked up or stored for unlimited budgets: a product warmed under a
+   tripped budget must never be served to an unbudgeted caller. *)
 
 module Analyze = Gqkg_analysis.Analyze
+module Decide = Gqkg_analysis.Decide
+module Schema = Gqkg_analysis.Schema
+module Budget = Gqkg_util.Budget
+module Nfa = Gqkg_automata.Nfa
+module Regex = Gqkg_automata.Regex
 
 type prep = Empty | Ready of Product.t
 
-let product_of_report ?budget inst (r : Analyze.report) =
-  match r.Analyze.nfa with
-  | None -> Empty
-  | Some nfa ->
-      let hints =
-        { Product.fwd_seed_cost = r.Analyze.fwd_cost; bwd_seed_cost = r.Analyze.bwd_cost }
-      in
-      Ready (Product.create ?budget ~nfa ~hints inst r.Analyze.regex)
+(* Evaluate the minimized canonical automaton instead of the trimmed
+   one?  Bench A/Bs this; [false] restores the pre-decision-procedure
+   planner exactly. *)
+let minimize = ref true
 
-let prepare ?budget inst regex =
-  match Analyze.plan_if_enabled inst regex with
-  | None -> Ready (Product.create ?budget inst regex)
-  | Some report -> product_of_report ?budget inst report
+(* State cap for planning-time canonicalization: deterministic (no
+   wall-clock component) and small — a query automaton that blows past
+   this is evaluated untouched. *)
+let canon_max_states = ref 256
 
-(* Like [prepare], but also exposes the report (for direction choice and
-   diagnostics); [None] when analysis is disabled. *)
-let prepare_with_report ?budget inst regex =
-  match Analyze.plan_if_enabled inst regex with
-  | None -> (Ready (Product.create ?budget inst regex), None)
-  | Some report -> (product_of_report ?budget inst report, Some report)
+type plan = {
+  prep : prep;
+  report : Analyze.report option;
+  canon : Decide.canonical option;
+  minimized : bool;  (** the canonical automaton is the one being evaluated *)
+  plan_cache_hit : bool;
+  swapped : bool;
+}
 
-(* Planning for all-pairs evaluation, where direction is free: when the
-   analyzer estimates the backward frontier to be decisively cheaper
-   (2x hysteresis — the estimates are coarse), the product is built over
-   the reversed automaton and the caller swaps each result pair.  Second
-   component: did we reverse? *)
-let prepare_pairs ?budget inst regex =
+let canonical_for inst nfa =
+  if not !minimize then None
+  else
+    Decide.canonicalize_nfa
+      ~schema:(Schema.of_snapshot inst)
+      ~max_states:!canon_max_states nfa
+
+let cacheable = function None -> true | Some b -> Budget.is_unlimited b
+
+let plan_query ?budget ~for_pairs inst regex =
   match Analyze.plan_if_enabled inst regex with
-  | None -> (Ready (Product.create ?budget inst regex), false)
+  | None ->
+      {
+        prep = Ready (Product.create ?budget inst regex);
+        report = None;
+        canon = None;
+        minimized = false;
+        plan_cache_hit = false;
+        swapped = false;
+      }
   | Some r -> (
       match r.Analyze.nfa with
-      | None -> (Empty, false)
+      | None ->
+          {
+            prep = Empty;
+            report = Some r;
+            canon = None;
+            minimized = false;
+            plan_cache_hit = false;
+            swapped = false;
+          }
       | Some nfa ->
-          let swap = r.Analyze.bwd_cost *. 2.0 < r.Analyze.fwd_cost in
-          let nfa = if swap then Gqkg_automata.Nfa.reverse nfa else nfa in
+          let swap = for_pairs && r.Analyze.bwd_cost *. 2.0 < r.Analyze.fwd_cost in
+          let canon = canonical_for inst nfa in
+          let minimized, base_nfa =
+            match canon with
+            | Some c when c.Decide.states < Nfa.num_states nfa -> (true, c.Decide.nfa)
+            | _ -> (false, nfa)
+          in
+          let eval_nfa = if swap then Nfa.reverse base_nfa else base_nfa in
           let fwd, bwd =
             if swap then (r.Analyze.bwd_cost, r.Analyze.fwd_cost)
             else (r.Analyze.fwd_cost, r.Analyze.bwd_cost)
           in
-          let regex =
-            if swap then Gqkg_automata.Regex.reverse r.Analyze.regex else r.Analyze.regex
-          in
+          let eval_regex = if swap then Regex.reverse r.Analyze.regex else r.Analyze.regex in
           let hints = { Product.fwd_seed_cost = fwd; bwd_seed_cost = bwd } in
-          (Ready (Product.create ?budget ~nfa ~hints inst regex), swap))
+          let build () = Product.create ?budget ~nfa:eval_nfa ~hints inst eval_regex in
+          let mk prep hit =
+            {
+              prep;
+              report = Some r;
+              canon;
+              minimized;
+              plan_cache_hit = hit;
+              swapped = swap;
+            }
+          in
+          let key =
+            match canon with
+            | Some c when cacheable budget ->
+                Some (if swap then c.Decide.key ^ "|rev" else c.Decide.key)
+            | _ -> None
+          in
+          (match key with
+          | None -> mk (Ready (build ())) false
+          | Some key -> (
+              match Semcache.find_product inst ~key with
+              | Some p -> mk (Ready p) true
+              | None ->
+                  let p = build () in
+                  Semcache.store_product inst ~key p;
+                  mk (Ready p) false)))
+
+let prepare ?budget inst regex = (plan_query ?budget ~for_pairs:false inst regex).prep
+
+let prepare_with_report ?budget inst regex =
+  let p = plan_query ?budget ~for_pairs:false inst regex in
+  (p.prep, p.report)
+
+let prepare_pairs ?budget inst regex =
+  let p = plan_query ?budget ~for_pairs:true inst regex in
+  (p.prep, p.swapped)
+
+let prepare_explained ?budget inst regex = plan_query ?budget ~for_pairs:false inst regex
+
+(* The canonical key of a query on this snapshot, for semantic result
+   caching: [None] when analysis or minimization is off, the query is
+   statically empty (already O(1) — nothing to cache), or
+   canonicalization gave up. *)
+let semantic_key inst regex =
+  if not !minimize then None
+  else
+    match Analyze.plan_if_enabled inst regex with
+    | None -> None
+    | Some r -> (
+        match r.Analyze.nfa with
+        | None -> None
+        | Some nfa -> Option.map (fun c -> c.Decide.key) (canonical_for inst nfa))

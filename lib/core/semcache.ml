@@ -1,0 +1,70 @@
+(* Bounded drop-oldest association caches keyed by (snapshot epoch,
+   canonical key).  Deliberately simple: entry counts are small (a
+   repeated-query workload has few distinct canonical classes), so
+   linear scans beat the bookkeeping of a real LRU here. *)
+
+open Gqkg_graph
+
+type stats = {
+  plan_hits : int;
+  plan_misses : int;
+  result_hits : int;
+  result_misses : int;
+  plan_entries : int;
+  result_entries : int;
+}
+
+let enabled = ref true
+
+type 'a cache = { mutable entries : (int * string * 'a) list; cap : int }
+
+let plan_cache : Product.t cache = { entries = []; cap = 32 }
+let result_cache : (int * int) list cache = { entries = []; cap = 128 }
+let plan_hits = ref 0
+let plan_misses = ref 0
+let result_hits = ref 0
+let result_misses = ref 0
+
+let stats () =
+  {
+    plan_hits = !plan_hits;
+    plan_misses = !plan_misses;
+    result_hits = !result_hits;
+    result_misses = !result_misses;
+    plan_entries = List.length plan_cache.entries;
+    result_entries = List.length result_cache.entries;
+  }
+
+let reset () =
+  plan_cache.entries <- [];
+  result_cache.entries <- [];
+  plan_hits := 0;
+  plan_misses := 0;
+  result_hits := 0;
+  result_misses := 0
+
+let rec take n = function [] -> [] | _ when n <= 0 -> [] | x :: rest -> x :: take (n - 1) rest
+
+let find cache hits misses epoch key =
+  if not !enabled then None
+  else
+    match
+      List.find_opt (fun (e, k, _) -> e = epoch && String.equal k key) cache.entries
+    with
+    | Some (_, _, v) ->
+        incr hits;
+        Some v
+    | None ->
+        incr misses;
+        None
+
+let store cache epoch key v =
+  if
+    !enabled
+    && not (List.exists (fun (e, k, _) -> e = epoch && String.equal k key) cache.entries)
+  then cache.entries <- (epoch, key, v) :: take (cache.cap - 1) cache.entries
+
+let find_product (s : Snapshot.t) ~key = find plan_cache plan_hits plan_misses s.epoch key
+let store_product (s : Snapshot.t) ~key p = store plan_cache s.epoch key p
+let find_pairs (s : Snapshot.t) ~key = find result_cache result_hits result_misses s.epoch key
+let store_pairs (s : Snapshot.t) ~key v = store result_cache s.epoch key v

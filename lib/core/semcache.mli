@@ -1,0 +1,46 @@
+(** The Governor's semantic cache: plans (warmed products) and full
+    result sets keyed by (snapshot epoch, canonical-automaton key).
+
+    The key contract (DESIGN.md §5g): two queries share a canonical key
+    exactly when their minimal DFAs over the shared signature alphabet
+    are isomorphic, which implies equal languages over that alphabet and
+    therefore — because every realizable node/edge outcome vector is
+    among the enumerated letters — equal answer sets on any snapshot.
+    The snapshot {!Gqkg_graph.Snapshot.t.epoch} stamp is process-unique
+    per constructed snapshot, so entries can never outlive or leak
+    across graph versions. Only [Complete] results may be stored
+    (callers enforce this); a partial answer under a tripped budget is
+    never served back.
+
+    Both caches are bounded (drop-oldest) and process-global; {!reset}
+    clears entries and counters (tests, bench A/B runs). *)
+
+open Gqkg_graph
+
+type stats = {
+  plan_hits : int;
+  plan_misses : int;
+  result_hits : int;
+  result_misses : int;
+  plan_entries : int;
+  result_entries : int;
+}
+
+(** Master switch; [false] makes every lookup miss silently (no
+    counter movement) and every store a no-op. Default [true]. *)
+val enabled : bool ref
+
+val stats : unit -> stats
+val reset : unit -> unit
+
+(** Plan cache: warmed product automata, reusable because products are
+    read-mostly and re-entrant across evaluations on the same snapshot. *)
+val find_product : Snapshot.t -> key:string -> Product.t option
+
+val store_product : Snapshot.t -> key:string -> Product.t -> unit
+
+(** Result cache: full sorted pair sets of [eval_pairs] (the caller
+    folds any [max_length] into the key). *)
+val find_pairs : Snapshot.t -> key:string -> (int * int) list option
+
+val store_pairs : Snapshot.t -> key:string -> (int * int) list -> unit

@@ -53,7 +53,14 @@ type t = {
   node_name : int -> string;
   edge_name : int -> string;
   stats : stats;
+  epoch : int;
 }
+
+(* Process-wide epoch counter: every snapshot constructed in this
+   process (via [make] or the loader's literal record) gets a distinct
+   stamp; the Governor's semantic cache keys on it. *)
+let epoch_counter = Atomic.make 0
+let fresh_epoch () = Atomic.fetch_and_add epoch_counter 1
 
 (* Percentile of a degree distribution given as a counting histogram
    over 0 .. max_degree (nearest-rank on the n node observations). *)
@@ -196,6 +203,7 @@ let make ~num_nodes ~esrc ~edst ~num_labels ~elabel ~label_names ~label_sat ~num
         edge_label_counts;
         node_label_counts;
       };
+    epoch = fresh_epoch ();
   }
 
 let intern ~n ~get =

@@ -70,6 +70,10 @@ type t = {
   node_name : int -> string;
   edge_name : int -> string;
   stats : stats;
+  epoch : int;
+      (** Process-unique freeze stamp: every constructed snapshot gets a
+          fresh value, so (epoch, canonical query key) identifies a
+          result set — the semantic cache key of the Governor. *)
 }
 
 (** [make] builds the CSR image, label bitmaps and stats from columnar
@@ -98,6 +102,10 @@ val make :
 (** Intern the values of [get] over [0 .. n-1] into dense first-occurrence
     ids; returns the id table and the distinct values in id order. *)
 val intern : n:int -> get:(int -> 'a) -> int array * 'a array
+
+(** Next value of the process-wide epoch counter — for code that builds
+    the record directly instead of through {!make} (snapshot loading). *)
+val fresh_epoch : unit -> int
 
 (** Label satisfaction by [Const] equality against an interned universe
     — the rule shared by the labeled, property and vector models, and

@@ -631,6 +631,7 @@ let load_with_perm path =
           edge_label_counts;
           node_label_counts;
         };
+      epoch = Snapshot.fresh_epoch ();
     }
   in
   (snapshot, perm)
