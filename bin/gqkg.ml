@@ -9,6 +9,7 @@
      centrality  betweenness / bc_r / pagerank rankings
      contain     decide containment / equivalence of two path queries
      save        freeze a graph to a binary snapshot (.gqs), optionally renumbered
+     mutate      apply a mutation script via the delta overlay, committing epochs
      stats       structural statistics of a graph
      wl          Weisfeiler-Lehman color refinement summary
 
@@ -43,14 +44,15 @@ let regex_arg position =
   let doc = "Regular path query, e.g. '?person/rides/?bus'." in
   Arg.(required & pos position (some string) None & info [] ~docv:"REGEX" ~doc)
 
-(* Structured user-input failure: one GQ04x diagnostic on stderr and
-   exit code 2 — never a raw OCaml backtrace.  Codes: GQ040 malformed
-   graph file, GQ041 file-system error, GQ042 regex parse error, GQ043
-   CRPQ parse error, GQ044 SPARQL parse error, GQ045 N-Triples parse
-   error, GQ046 bad argument, GQ047 corrupt binary snapshot. *)
+(* Structured user-input failure: one GQ04x JSON diagnostic on stderr
+   and exit code 2 — never a raw OCaml backtrace.  Codes: GQ040
+   malformed graph file, GQ041 file-system error, GQ042 regex parse
+   error, GQ043 CRPQ parse error, GQ044 SPARQL parse error, GQ045
+   N-Triples parse error, GQ046 bad argument, GQ047 corrupt binary
+   snapshot, GQ048 malformed or invalid mutation journal/script. *)
 let fail_user ~code ~subterm ~message =
   prerr_endline
-    (Gqkg_analysis.Diagnostic.to_string
+    (Gqkg_analysis.Diagnostic.to_json
        (Gqkg_analysis.Diagnostic.user_error ~code ~subterm ~message));
   exit 2
 
@@ -60,10 +62,32 @@ let fail_user ~code ~subterm ~message =
 let names_snapshot path =
   Filename.check_suffix path ".gqs" || Snapshot_io.is_snapshot_file path
 
+(* A path names a mutation journal (replayed on load) by suffix. *)
+let names_journal path =
+  Filename.check_suffix path ".log" || Filename.check_suffix path ".journal"
+
+(* Journal/mutation-script errors surface as GQ048 with file:line
+   context — including the torn-final-line case of a crashed append. *)
+let fail_journal ~path = function
+  | Journal.Replay_error { file; line; message } ->
+      fail_user ~code:"GQ048" ~subterm:path
+        ~message:
+          (Graph_io.error_to_string
+             ~file:(Some (Option.value file ~default:path))
+             ~line ~message)
+  | Sys_error message -> fail_user ~code:"GQ041" ~subterm:path ~message
+  | e -> raise e
+
+let load_journal ?tolerate_partial path =
+  match Journal.load ?tolerate_partial path with
+  | g -> g
+  | exception e -> fail_journal ~path e
+
 let load_property path =
   if names_snapshot path then
     fail_user ~code:"GQ046" ~subterm:path
       ~message:"this command needs a text property-graph file, not a binary snapshot (.gqs)"
+  else if names_journal path then load_journal path
   else
     match Graph_io.load_property_graph path with
     | pg -> pg
@@ -78,11 +102,11 @@ let load_snapshot path =
   | exception Sys_error message -> fail_user ~code:"GQ041" ~subterm:path ~message
 
 (* Every query-side command loads through here, so all of them accept
-   either the text format (parse + freeze) or a binary snapshot
-   (bounds-checked decode). *)
+   the text format (parse + freeze), a binary snapshot (bounds-checked
+   decode), or an append-only journal (replay + freeze). *)
 let load_instance path =
   if names_snapshot path then load_snapshot path
-  else Snapshot.of_property (Graph_io.load_property_graph path)
+  else Snapshot.of_property (load_property path)
 
 let load_store path =
   match Gqkg_kg.Ntriples.load path with
@@ -527,7 +551,7 @@ let explain_cmd =
     | None -> ()
     | Some path -> (
         let inst = load_instance path in
-        Printf.printf "\nsnapshot: %s" (Snapshot.describe inst);
+        Printf.printf "\nsnapshot (epoch %d): %s" inst.Snapshot.epoch (Snapshot.describe inst);
         let report = Gqkg_analysis.Analyze.plan inst simplified in
         (match report.Gqkg_analysis.Analyze.nfa with
         | None -> Printf.printf "\nanalysis: statically empty on %s\n" path
@@ -811,11 +835,162 @@ let save_cmd =
        ~doc:"Freeze a graph to a binary snapshot, optionally renumbered for cache locality")
     Term.(const run $ verbose_flag $ input $ output $ order $ names $ verify)
 
+(* ---- mutate (write path + MVCC snapshot epochs) ---- *)
+
+let mutate_cmd =
+  let run () input ops_file journal_out save_out query commit_every tolerate =
+    let base =
+      try
+        if names_snapshot input then Overlay.base_of_snapshot (load_snapshot input)
+        else Overlay.base_of_property (load_property input)
+      with Invalid_argument message -> fail_user ~code:"GQ046" ~subterm:input ~message
+    in
+    let mgr = Epochs.create base in
+    let epoch0 = (Epochs.snapshot mgr).Snapshot.epoch in
+    (* Parse the script keeping file line numbers, so parse and apply
+       errors alike point at the offending line (GQ048). *)
+    let ops =
+      let text =
+        match
+          let ic = open_in_bin ops_file in
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with
+        | text -> text
+        | exception Sys_error message -> fail_user ~code:"GQ041" ~subterm:ops_file ~message
+      in
+      let lines = String.split_on_char '\n' text in
+      let total = List.length lines in
+      let ops = ref [] in
+      List.iteri
+        (fun i line ->
+          match Journal.op_of_line ~file:ops_file ~line:(i + 1) line with
+          | Some op -> ops := (i + 1, op) :: !ops
+          | None -> ()
+          | exception (Journal.Replay_error _ as e) ->
+              if not (tolerate && i = total - 1) then fail_journal ~path:ops_file e)
+        lines;
+      List.rev !ops
+    in
+    (* Mutations accumulate in a delta overlay; each commit re-freezes
+       incrementally through the Governor (epoch swing + semantic-cache
+       retention accounting). *)
+    let overlay = ref (Overlay.create (Epochs.base mgr)) in
+    let commits = ref 0 and reused = ref 0 and rebuilt = ref 0 in
+    let flush_commit () =
+      if Overlay.size !overlay > 0 then begin
+        let _, reuse = Governor.commit mgr !overlay in
+        incr commits;
+        reused := !reused + List.length reuse.Overlay.reused;
+        rebuilt := !rebuilt + List.length reuse.Overlay.rebuilt;
+        overlay := Overlay.create (Epochs.base mgr)
+      end
+    in
+    List.iteri
+      (fun i (line, op) ->
+        (try Overlay.apply ~file:ops_file ~line !overlay op
+         with Journal.Replay_error _ as e -> fail_journal ~path:ops_file e);
+        match commit_every with
+        | Some n when n > 0 && (i + 1) mod n = 0 -> flush_commit ()
+        | _ -> ())
+      ops;
+    flush_commit ();
+    let snap = Epochs.snapshot mgr in
+    Printf.printf "applied %d ops in %d commit(s): %d nodes, %d edges (epoch %d -> %d)\n"
+      (List.length ops) !commits snap.Snapshot.num_nodes snap.Snapshot.num_edges epoch0
+      snap.Snapshot.epoch;
+    if !commits > 0 then
+      Printf.printf "columns: %d reused, %d rebuilt across commits (reuse ratio %.2f)\n" !reused
+        !rebuilt
+        (float_of_int !reused /. float_of_int (max 1 (!reused + !rebuilt)));
+    let s = Semcache.stats () in
+    Printf.printf "semantic cache: %d commits noted, %d entries invalidated, %d + %d entries live\n"
+      s.Semcache.commits s.Semcache.invalidated s.Semcache.plan_entries s.Semcache.result_entries;
+    (match journal_out with
+    | Some path ->
+        let ops = Overlay.history (Epochs.base mgr) in
+        let oc = open_out path in
+        output_string oc (Journal.ops_to_string ops);
+        close_out oc;
+        Printf.printf "journal: wrote %s (%d ops, replayable minimal history)\n" path
+          (List.length ops)
+    | None -> ());
+    (match save_out with
+    | Some path ->
+        let report = Snapshot_io.save ~path snap in
+        Printf.printf "snapshot: wrote %s (%d bytes)\n" path report.Snapshot_io.file_bytes
+    | None -> ());
+    match query with
+    | Some regex ->
+        let r = parse_regex regex in
+        let o = Governor.eval_pairs ~budget:(Gqkg_util.Budget.create ()) snap r in
+        List.iter
+          (fun (a, b) ->
+            Printf.printf "%s\t%s\n" (snap.Snapshot.node_name a) (snap.Snapshot.node_name b))
+          o.Gqkg_util.Budget.value
+    | None -> ()
+  in
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"GRAPH" ~doc:"Input graph: .pg text, .gqs snapshot, or .log/.journal journal.")
+  in
+  let ops_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "ops" ] ~docv:"FILE"
+          ~doc:"Mutation script, one op per line (node/mergenode/edge/mergeedge/nprop/eprop/delnprop/deleprop/delnode/deledge).")
+  in
+  let journal_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"OUT.log"
+          ~doc:"Write the final state as a replayable journal (minimal history).")
+  in
+  let save_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save" ] ~docv:"OUT.gqs" ~doc:"Also freeze the final state to a binary snapshot.")
+  in
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "query" ] ~docv:"REGEX"
+          ~doc:"After committing, print the endpoint pairs of this path query on the final epoch.")
+  in
+  let commit_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "commit-every" ] ~docv:"N"
+          ~doc:"Commit an epoch every N ops (default: one commit at the end).")
+  in
+  let tolerate =
+    Arg.(
+      value
+      & flag
+      & info [ "tolerate-partial" ]
+          ~doc:"Ignore a torn final line in the ops file (crash recovery).")
+  in
+  Cmd.v
+    (Cmd.info "mutate"
+       ~doc:"Apply a mutation script through the delta overlay and commit new snapshot epochs")
+    Term.(
+      const run $ verbose_flag $ input $ ops_file $ journal_out $ save_out $ query $ commit_every
+      $ tolerate)
+
 (* ---- stats ---- *)
 
 let stats_cmd =
   let run () path =
     let inst = load_instance path in
+    Printf.printf "epoch: %d\n" inst.Snapshot.epoch;
     print_string (Snapshot.describe inst);
     print_endline (Partition.describe (Partition.build inst));
     Fmt.pr "%a@." Gqkg_analytics.Graph_stats.pp_summary (Gqkg_analytics.Graph_stats.summarize inst);
@@ -836,7 +1011,10 @@ let stats_cmd =
       (s.Semcache.plan_hits + s.Semcache.plan_misses)
       s.Semcache.result_hits
       (s.Semcache.result_hits + s.Semcache.result_misses)
-      s.Semcache.plan_entries s.Semcache.result_entries
+      s.Semcache.plan_entries s.Semcache.result_entries;
+    Printf.printf "semantic cache retention: %d epoch commits, %d entries invalidated, %d live\n"
+      s.Semcache.commits s.Semcache.invalidated
+      (s.Semcache.plan_entries + s.Semcache.result_entries)
   in
   Cmd.v (Cmd.info "stats" ~doc:"Structural statistics") Term.(const run $ verbose_flag $ graph_arg)
 
@@ -864,7 +1042,7 @@ let wl_cmd =
 let known_subcommands =
   [
     "generate"; "query"; "match"; "count"; "sample"; "enumerate"; "centrality"; "contain";
-    "convert"; "materialize"; "sparql"; "explain"; "lint"; "save"; "stats"; "wl";
+    "convert"; "materialize"; "mutate"; "sparql"; "explain"; "lint"; "save"; "stats"; "wl";
   ]
 
 let () =
@@ -909,6 +1087,7 @@ let () =
             lint_cmd;
             contain_cmd;
             save_cmd;
+            mutate_cmd;
             stats_cmd;
             wl_cmd;
           ])

@@ -53,12 +53,27 @@ type plan = {
   swapped : bool;
 }
 
+(* Schema derivation is per epoch, not per query: the vocabulary summary
+   of a snapshot is a pure function of its (immutable) columns, so one
+   [Schema.of_snapshot] per committed epoch suffices.  A short memo list
+   (not a single slot) keeps pinned older epochs warm while the writer
+   commits new ones. *)
+let schema_memo : (int * Schema.t) list ref = ref []
+let schema_memo_cap = 8
+
+let schema_for (inst : Gqkg_graph.Snapshot.t) =
+  let epoch = inst.Gqkg_graph.Snapshot.epoch in
+  match List.assoc_opt epoch !schema_memo with
+  | Some s -> s
+  | None ->
+      let s = Schema.of_snapshot inst in
+      let rec take n = function [] -> [] | _ when n <= 0 -> [] | x :: r -> x :: take (n - 1) r in
+      schema_memo := (epoch, s) :: take (schema_memo_cap - 1) !schema_memo;
+      s
+
 let canonical_for inst nfa =
   if not !minimize then None
-  else
-    Decide.canonicalize_nfa
-      ~schema:(Schema.of_snapshot inst)
-      ~max_states:!canon_max_states nfa
+  else Decide.canonicalize_nfa ~schema:(schema_for inst) ~max_states:!canon_max_states nfa
 
 let cacheable = function None -> true | Some b -> Budget.is_unlimited b
 

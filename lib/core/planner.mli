@@ -56,3 +56,9 @@ val prepare_explained : ?budget:Gqkg_util.Budget.t -> Snapshot.t -> Regex.t -> p
     canonicalization gave up) — the Governor's result-cache key
     ingredient. *)
 val semantic_key : Snapshot.t -> Regex.t -> string option
+
+(** The snapshot's vocabulary schema, memoized on the epoch stamp: one
+    {!Gqkg_analysis.Schema.of_snapshot} derivation per committed epoch,
+    shared by every plan on that epoch (pinned older epochs stay warm
+    in a short memo). *)
+val schema_for : Snapshot.t -> Gqkg_analysis.Schema.t

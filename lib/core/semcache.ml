@@ -12,6 +12,8 @@ type stats = {
   result_misses : int;
   plan_entries : int;
   result_entries : int;
+  commits : int;
+  invalidated : int;
 }
 
 let enabled = ref true
@@ -24,6 +26,8 @@ let plan_hits = ref 0
 let plan_misses = ref 0
 let result_hits = ref 0
 let result_misses = ref 0
+let commits = ref 0
+let invalidated = ref 0
 
 let stats () =
   {
@@ -33,6 +37,8 @@ let stats () =
     result_misses = !result_misses;
     plan_entries = List.length plan_cache.entries;
     result_entries = List.length result_cache.entries;
+    commits = !commits;
+    invalidated = !invalidated;
   }
 
 let reset () =
@@ -41,7 +47,23 @@ let reset () =
   plan_hits := 0;
   plan_misses := 0;
   result_hits := 0;
-  result_misses := 0
+  result_misses := 0;
+  commits := 0;
+  invalidated := 0
+
+(* Epoch-keyed entries can never be *wrong* across commits — a new
+   snapshot has a fresh epoch, so stale entries simply stop matching.
+   Explicit invalidation is about memory and honest accounting: on
+   commit, drop entries whose epoch is no longer live (retained entries
+   are those of still-pinned epochs plus the new current one). *)
+let note_commit ~live_epochs =
+  incr commits;
+  let drop cache =
+    let keep, dead = List.partition (fun (e, _, _) -> List.mem e live_epochs) cache.entries in
+    cache.entries <- keep;
+    List.length dead
+  in
+  invalidated := !invalidated + drop plan_cache + drop result_cache
 
 let rec take n = function [] -> [] | _ when n <= 0 -> [] | x :: rest -> x :: take (n - 1) rest
 

@@ -24,6 +24,8 @@ type stats = {
   result_misses : int;
   plan_entries : int;
   result_entries : int;
+  commits : int;  (** epoch commits observed via {!note_commit} *)
+  invalidated : int;  (** entries dropped across all commits (retired epochs) *)
 }
 
 (** Master switch; [false] makes every lookup miss silently (no
@@ -32,6 +34,14 @@ val enabled : bool ref
 
 val stats : unit -> stats
 val reset : unit -> unit
+
+(** Tell the cache an epoch commit happened: entries keyed by epochs
+    not in [live_epochs] (the new current epoch plus any still-pinned
+    older ones, see {!Gqkg_graph.Epochs.live_epochs}) are dropped and
+    counted as [invalidated]; entries of pinned epochs are retained, so
+    an in-flight reader pinned to epoch N keeps its cache hits while
+    the writer commits N+1. *)
+val note_commit : live_epochs:int list -> unit
 
 (** Plan cache: warmed product automata, reusable because products are
     read-mostly and re-entrant across evaluations on the same snapshot. *)

@@ -3,78 +3,47 @@
    permanent form; graphs grow and shrink by adding/deleting nodes and
    edges).
 
-   A graph's history is a sequence of operations, one per line:
-
-     node <id> <label>            add a node
-     edge <id> <src> <dst> <label> add an edge
-     nprop <id> <prop>=<value>    set a node property
-     eprop <id> <prop>=<value>    set an edge property
-     delnode <id>                 delete a node (and incident edges)
-     deledge <id>                 delete an edge
+   The op vocabulary and line format live in {!Mutation}; this module
+   owns replay (ops -> property graph), the durable store, and the
+   file-context error discipline: every error raised while reading a
+   journal from disk carries the path, so callers can surface
+   "file:line: message" diagnostics without re-deriving context.
 
    Replaying a journal rebuilds the graph; writing is append-only, so a
-   crash can lose at most a partial trailing line, which [replay
-   ~tolerate_partial:true] skips.  [checkpoint] rewrites the journal as
+   crash can lose at most a partial trailing line, which
+   [~tolerate_partial:true] skips.  [checkpoint] rewrites the journal as
    the minimal history of the current state. *)
 
-type op =
+type op = Mutation.t =
   | Add_node of { id : Const.t; label : Const.t }
+  | Merge_node of { id : Const.t; label : Const.t }
   | Add_edge of { id : Const.t; src : Const.t; dst : Const.t; label : Const.t }
+  | Merge_edge of { id : Const.t; src : Const.t; dst : Const.t; label : Const.t }
   | Set_node_prop of { id : Const.t; prop : Const.t; value : Const.t }
   | Set_edge_prop of { id : Const.t; prop : Const.t; value : Const.t }
+  | Del_node_prop of { id : Const.t; prop : Const.t }
+  | Del_edge_prop of { id : Const.t; prop : Const.t }
   | Del_node of { id : Const.t }
   | Del_edge of { id : Const.t }
 
-exception Replay_error of { line : int; message : string }
+exception Replay_error of { file : string option; line : int; message : string }
 
-let fail line fmt = Printf.ksprintf (fun message -> raise (Replay_error { line; message })) fmt
+let fail ?file line fmt =
+  Printf.ksprintf (fun message -> raise (Replay_error { file; line; message })) fmt
 
-let op_to_line = function
-  | Add_node { id; label } -> Printf.sprintf "node %s %s" (Const.to_string id) (Const.to_string label)
-  | Add_edge { id; src; dst; label } ->
-      Printf.sprintf "edge %s %s %s %s" (Const.to_string id) (Const.to_string src)
-        (Const.to_string dst) (Const.to_string label)
-  | Set_node_prop { id; prop; value } ->
-      Printf.sprintf "nprop %s %s=%s" (Const.to_string id) (Const.to_string prop) (Const.to_string value)
-  | Set_edge_prop { id; prop; value } ->
-      Printf.sprintf "eprop %s %s=%s" (Const.to_string id) (Const.to_string prop) (Const.to_string value)
-  | Del_node { id } -> Printf.sprintf "delnode %s" (Const.to_string id)
-  | Del_edge { id } -> Printf.sprintf "deledge %s" (Const.to_string id)
+let op_to_line = Mutation.to_line
 
-let parse_prop ~line token =
-  match String.index_opt token '=' with
-  | Some i when i > 0 && i < String.length token - 1 ->
-      (Const.of_string (String.sub token 0 i), Const.of_string (String.sub token (i + 1) (String.length token - i - 1)))
-  | _ -> fail line "malformed property %S" token
-
-let op_of_line ~line text =
-  let tokens = String.split_on_char ' ' text |> List.filter (fun t -> t <> "") in
-  match tokens with
-  | [] -> None
-  | [ "node"; id; label ] -> Some (Add_node { id = Const.of_string id; label = Const.of_string label })
-  | [ "edge"; id; src; dst; label ] ->
-      Some
-        (Add_edge
-           {
-             id = Const.of_string id;
-             src = Const.of_string src;
-             dst = Const.of_string dst;
-             label = Const.of_string label;
-           })
-  | [ "nprop"; id; kv ] ->
-      let prop, value = parse_prop ~line kv in
-      Some (Set_node_prop { id = Const.of_string id; prop; value })
-  | [ "eprop"; id; kv ] ->
-      let prop, value = parse_prop ~line kv in
-      Some (Set_edge_prop { id = Const.of_string id; prop; value })
-  | [ "delnode"; id ] -> Some (Del_node { id = Const.of_string id })
-  | [ "deledge"; id ] -> Some (Del_edge { id = Const.of_string id })
-  | keyword :: _ -> fail line "unknown or malformed operation %S" keyword
+let op_of_line ?file ~line text =
+  match Mutation.of_line ~line text with
+  | op -> op
+  | exception Mutation.Op_error { line; message } -> raise (Replay_error { file; line; message })
 
 (* ---------------- Replay: ops -> property graph ---------------------- *)
 
 (* Mutable draft with insertion-ordered identifiers; deletions leave the
-   order of survivors intact. *)
+   order of survivors intact.  This is the from-scratch reference
+   semantics the incremental overlay/commit path is property-tested
+   against (test_epoch). *)
 type draft = {
   node_labels : (Const.t, Const.t) Hashtbl.t;
   node_props : (Const.t, (Const.t * Const.t) list) Hashtbl.t;
@@ -98,28 +67,47 @@ let set_prop tbl id prop value =
   let existing = Option.value (Hashtbl.find_opt tbl id) ~default:[] in
   Hashtbl.replace tbl id ((prop, value) :: List.filter (fun (p, _) -> not (Const.equal p prop)) existing)
 
-let apply ~line draft op =
+let remove_prop tbl id prop =
+  match Hashtbl.find_opt tbl id with
+  | None -> ()
+  | Some existing -> Hashtbl.replace tbl id (List.filter (fun (p, _) -> not (Const.equal p prop)) existing)
+
+let add_node ?file ~line draft id label =
+  if Hashtbl.mem draft.node_labels id then fail ?file line "node %s already exists" (Const.to_string id);
+  Hashtbl.replace draft.node_labels id label;
+  draft.node_order <- id :: draft.node_order
+
+let add_edge ?file ~line draft id src dst label =
+  if Hashtbl.mem draft.edges id then fail ?file line "edge %s already exists" (Const.to_string id);
+  if not (Hashtbl.mem draft.node_labels src) then
+    fail ?file line "edge %s references missing node %s" (Const.to_string id) (Const.to_string src);
+  if not (Hashtbl.mem draft.node_labels dst) then
+    fail ?file line "edge %s references missing node %s" (Const.to_string id) (Const.to_string dst);
+  Hashtbl.replace draft.edges id (src, dst, label);
+  draft.edge_order <- id :: draft.edge_order
+
+let apply ?file ~line draft op =
   match op with
-  | Add_node { id; label } ->
-      if Hashtbl.mem draft.node_labels id then fail line "node %s already exists" (Const.to_string id);
-      Hashtbl.replace draft.node_labels id label;
-      draft.node_order <- id :: draft.node_order
-  | Add_edge { id; src; dst; label } ->
-      if Hashtbl.mem draft.edges id then fail line "edge %s already exists" (Const.to_string id);
-      if not (Hashtbl.mem draft.node_labels src) then
-        fail line "edge %s references missing node %s" (Const.to_string id) (Const.to_string src);
-      if not (Hashtbl.mem draft.node_labels dst) then
-        fail line "edge %s references missing node %s" (Const.to_string id) (Const.to_string dst);
-      Hashtbl.replace draft.edges id (src, dst, label);
-      draft.edge_order <- id :: draft.edge_order
+  | Add_node { id; label } -> add_node ?file ~line draft id label
+  | Merge_node { id; label } ->
+      if not (Hashtbl.mem draft.node_labels id) then add_node ?file ~line draft id label
+  | Add_edge { id; src; dst; label } -> add_edge ?file ~line draft id src dst label
+  | Merge_edge { id; src; dst; label } ->
+      if not (Hashtbl.mem draft.edges id) then add_edge ?file ~line draft id src dst label
   | Set_node_prop { id; prop; value } ->
-      if not (Hashtbl.mem draft.node_labels id) then fail line "no node %s" (Const.to_string id);
+      if not (Hashtbl.mem draft.node_labels id) then fail ?file line "no node %s" (Const.to_string id);
       set_prop draft.node_props id prop value
   | Set_edge_prop { id; prop; value } ->
-      if not (Hashtbl.mem draft.edges id) then fail line "no edge %s" (Const.to_string id);
+      if not (Hashtbl.mem draft.edges id) then fail ?file line "no edge %s" (Const.to_string id);
       set_prop draft.edge_props id prop value
+  | Del_node_prop { id; prop } ->
+      if not (Hashtbl.mem draft.node_labels id) then fail ?file line "no node %s" (Const.to_string id);
+      remove_prop draft.node_props id prop
+  | Del_edge_prop { id; prop } ->
+      if not (Hashtbl.mem draft.edges id) then fail ?file line "no edge %s" (Const.to_string id);
+      remove_prop draft.edge_props id prop
   | Del_node { id } ->
-      if not (Hashtbl.mem draft.node_labels id) then fail line "no node %s" (Const.to_string id);
+      if not (Hashtbl.mem draft.node_labels id) then fail ?file line "no node %s" (Const.to_string id);
       Hashtbl.remove draft.node_labels id;
       Hashtbl.remove draft.node_props id;
       draft.node_order <- List.filter (fun n -> not (Const.equal n id)) draft.node_order;
@@ -138,7 +126,7 @@ let apply ~line draft op =
         draft.edge_order <-
           List.filter (fun e -> not (List.exists (Const.equal e) doomed)) draft.edge_order
   | Del_edge { id } ->
-      if not (Hashtbl.mem draft.edges id) then fail line "no edge %s" (Const.to_string id);
+      if not (Hashtbl.mem draft.edges id) then fail ?file line "no edge %s" (Const.to_string id);
       Hashtbl.remove draft.edges id;
       Hashtbl.remove draft.edge_props id;
       draft.edge_order <- List.filter (fun e -> not (Const.equal e id)) draft.edge_order
@@ -164,19 +152,19 @@ let freeze_draft draft =
     (List.rev draft.edge_order);
   Property_graph.Builder.freeze b
 
-let replay_ops ops =
+let replay_ops ?file ops =
   let draft = draft_create () in
-  List.iteri (fun i op -> apply ~line:(i + 1) draft op) ops;
+  List.iteri (fun i op -> apply ?file ~line:(i + 1) draft op) ops;
   freeze_draft draft
 
-let ops_of_string ?(tolerate_partial = false) text =
+let ops_of_string ?file ?(tolerate_partial = false) text =
   let lines = String.split_on_char '\n' text in
   let total = List.length lines in
   let ops = ref [] in
   List.iteri
     (fun i line ->
       let is_last = i = total - 1 in
-      match op_of_line ~line:(i + 1) line with
+      match op_of_line ?file ~line:(i + 1) line with
       | Some op -> ops := op :: !ops
       | None -> ()
       | exception Replay_error _ when tolerate_partial && is_last ->
@@ -185,6 +173,19 @@ let ops_of_string ?(tolerate_partial = false) text =
   List.rev !ops
 
 let ops_to_string ops = String.concat "" (List.map (fun op -> op_to_line op ^ "\n") ops)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_ops ?(tolerate_partial = false) path =
+  ops_of_string ~file:path ~tolerate_partial (read_file path)
+
+let load ?tolerate_partial path =
+  let ops = load_ops ?tolerate_partial path in
+  replay_ops ~file:path ops
 
 (* The minimal history recreating a graph: its current state as adds. *)
 let ops_of_graph g =
@@ -230,28 +231,17 @@ type store = {
 }
 
 let open_store ?(tolerate_partial = false) path =
-  let ops =
-    if Sys.file_exists path then begin
-      let ic = open_in path in
-      let text =
-        Fun.protect
-          ~finally:(fun () -> close_in ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      in
-      ops_of_string ~tolerate_partial text
-    end
-    else []
-  in
+  let ops = if Sys.file_exists path then load_ops ~tolerate_partial path else [] in
   (* Validate by replaying before accepting the store. *)
-  ignore (replay_ops ops);
+  ignore (replay_ops ~file:path ops);
   let channel = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   { path; channel; ops = List.rev ops; cache = None }
 
 let append store op =
   (* Validate against the current state before making it durable. *)
   let draft = draft_create () in
-  List.iteri (fun i op -> apply ~line:(i + 1) draft op) (List.rev store.ops);
-  apply ~line:(List.length store.ops + 1) draft op;
+  List.iteri (fun i op -> apply ~file:store.path ~line:(i + 1) draft op) (List.rev store.ops);
+  apply ~file:store.path ~line:(List.length store.ops + 1) draft op;
   output_string store.channel (op_to_line op ^ "\n");
   flush store.channel;
   store.ops <- op :: store.ops;
@@ -261,7 +251,7 @@ let graph store =
   match store.cache with
   | Some g -> g
   | None ->
-      let g = replay_ops (List.rev store.ops) in
+      let g = replay_ops ~file:store.path (List.rev store.ops) in
       store.cache <- Some g;
       g
 

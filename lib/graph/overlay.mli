@@ -1,0 +1,87 @@
+(** Delta overlay: a mutable batch of {!Mutation} ops over a frozen
+    {!Snapshot}, answering membership/label/property/adjacency lookups
+    as base ∪ additions ∖ deletions, and committing into a new snapshot
+    epoch by incremental re-freeze — untouched columns are physically
+    shared with the base instead of rebuilt.
+
+    The overlay is single-writer: apply mutations from one thread, then
+    {!commit}. Readers never see the overlay — they query the immutable
+    base (or any pinned older epoch, see {!Epochs}).
+
+    Numbering invariant (what makes incremental ≡ from-scratch): base
+    survivors keep their base order, new objects are appended in
+    insertion order — exactly the order {!Journal.replay_ops} produces,
+    so a committed snapshot and a scratch rebuild of the same history
+    number nodes and edges identically. Only the interned label
+    universes may differ (a commit keeps stale entries at count 0 where
+    a scratch freeze forgets them); query answers are unaffected. *)
+
+type base
+(** A snapshot plus the identity columns (ids, labels, properties as
+    {!Const}s) a re-freeze needs. *)
+
+val base_of_property : Property_graph.t -> base
+
+(** From a bare snapshot (e.g. loaded from [.gqs]): ids come from the
+    name closures, properties are empty (closures do not persist —
+    matching reload semantics). Raises [Invalid_argument] when node
+    labels are not exclusive (one per node), i.e. the snapshot did not
+    come from a property/labeled/vector freeze. *)
+val base_of_snapshot : Snapshot.t -> base
+
+val snapshot : base -> Snapshot.t
+
+(** Minimal {!Mutation} history recreating the base's state by replay
+    (same shape as {!Journal.ops_of_graph}) — what [gqkg mutate
+    --journal] persists. *)
+val history : base -> Mutation.t list
+
+type t
+
+(** An empty overlay over [base]. *)
+val create : base -> t
+
+val base : t -> base
+
+(** Ops applied so far (the overlay size reported by [gqkg stats]). *)
+val size : t -> int
+
+val live_nodes : t -> int
+val live_edges : t -> int
+
+(** Apply one mutation ({!Mutation} semantics: [Add_*] fails on a live
+    id, [Merge_*] is match-or-create, [Del_node] cascades). Raises
+    {!Journal.Replay_error} — with [file]/[line] context when given —
+    on invalid ops; the overlay is unchanged in that case. *)
+val apply : ?file:string -> ?line:int -> t -> Mutation.t -> unit
+
+(** {2 Reads through the overlay (base ∪ adds ∖ deletes)} *)
+
+val mem_node : t -> Const.t -> bool
+val mem_edge : t -> Const.t -> bool
+val node_label : t -> Const.t -> Const.t option
+val node_prop : t -> Const.t -> Const.t -> Const.t option
+val edge_prop : t -> Const.t -> Const.t -> Const.t option
+
+(** Live out-edges of a node as [(edge id, label, dst id)], surviving
+    base edges first (base order) then new edges (insertion order);
+    [None] if the node is not live. [in_edges] mirrors it with src. *)
+val out_edges : t -> Const.t -> (Const.t * Const.t * Const.t) list option
+
+val in_edges : t -> Const.t -> (Const.t * Const.t * Const.t) list option
+
+(** {2 Commit: incremental re-freeze} *)
+
+(** Which of the snapshot's named columns the commit physically shared
+    with the base and which it had to rebuild. *)
+type reuse = { reused : string list; rebuilt : string list }
+
+val reuse_ratio : reuse -> float
+
+(** Freeze the overlay into a new snapshot (fresh epoch), sharing every
+    column the delta did not touch: a props-only delta keeps the whole
+    topology (CSR, endpoints, ids, bitmaps, stats); an adds-only delta
+    keeps node columns it only extends; node deletions renumber and
+    rebuild. An empty overlay returns the base itself (same epoch) with
+    every column reused. The overlay must not be used afterwards. *)
+val commit : t -> base * reuse

@@ -126,6 +126,41 @@ let pack_csr n esrc edst =
   done;
   (out_off, out_eid, out_nbr, in_off, in_eid, in_nbr)
 
+(* Full stats record from packed offsets and label counts — shared by
+   [make] and the incremental re-freeze (Overlay.commit), which reuses
+   unchanged label-count columns instead of recounting. *)
+let stats_of_columns ~num_nodes ~out_off ~in_off ~edge_label_counts ~node_label_counts =
+  let out_degree_p50, out_degree_p99, out_degree_max = degree_stats num_nodes out_off in
+  let in_degree_p50, in_degree_p99, in_degree_max = degree_stats num_nodes in_off in
+  let degree_p50, degree_p99, degree_max =
+    let maxd = ref 0 in
+    for v = 0 to num_nodes - 1 do
+      let d = out_off.(v + 1) - out_off.(v) + in_off.(v + 1) - in_off.(v) in
+      if d > !maxd then maxd := d
+    done;
+    let hist = Array.make (!maxd + 1) 0 in
+    for v = 0 to num_nodes - 1 do
+      let d = out_off.(v + 1) - out_off.(v) + in_off.(v + 1) - in_off.(v) in
+      hist.(d) <- hist.(d) + 1
+    done;
+    ( percentile_of_hist hist num_nodes 0.50,
+      percentile_of_hist hist num_nodes 0.99,
+      !maxd )
+  in
+  {
+    out_degree_p50;
+    out_degree_p99;
+    out_degree_max;
+    in_degree_p50;
+    in_degree_p99;
+    in_degree_max;
+    degree_p50;
+    degree_p99;
+    degree_max;
+    edge_label_counts;
+    node_label_counts;
+  }
+
 let make ~num_nodes ~esrc ~edst ~num_labels ~elabel ~label_names ~label_sat ~num_node_labels
     ~node_labels ~node_label_names ~node_label_sat ~node_atom ~edge_atom ~node_name ~edge_name =
   let num_edges = Array.length esrc in
@@ -149,23 +184,6 @@ let make ~num_nodes ~esrc ~edst ~num_labels ~elabel ~label_names ~label_sat ~num
   let edge_label_counts = Array.make num_labels 0 in
   if num_labels > 0 then
     Array.iter (fun l -> edge_label_counts.(l) <- edge_label_counts.(l) + 1) elabel;
-  let out_degree_p50, out_degree_p99, out_degree_max = degree_stats num_nodes out_off in
-  let in_degree_p50, in_degree_p99, in_degree_max = degree_stats num_nodes in_off in
-  let degree_p50, degree_p99, degree_max =
-    let maxd = ref 0 in
-    for v = 0 to num_nodes - 1 do
-      let d = out_off.(v + 1) - out_off.(v) + in_off.(v + 1) - in_off.(v) in
-      if d > !maxd then maxd := d
-    done;
-    let hist = Array.make (!maxd + 1) 0 in
-    for v = 0 to num_nodes - 1 do
-      let d = out_off.(v + 1) - out_off.(v) + in_off.(v + 1) - in_off.(v) in
-      hist.(d) <- hist.(d) + 1
-    done;
-    ( percentile_of_hist hist num_nodes 0.50,
-      percentile_of_hist hist num_nodes 0.99,
-      !maxd )
-  in
   {
     num_nodes;
     num_edges;
@@ -189,20 +207,7 @@ let make ~num_nodes ~esrc ~edst ~num_labels ~elabel ~label_names ~label_sat ~num
     edge_atom;
     node_name;
     edge_name;
-    stats =
-      {
-        out_degree_p50;
-        out_degree_p99;
-        out_degree_max;
-        in_degree_p50;
-        in_degree_p99;
-        in_degree_max;
-        degree_p50;
-        degree_p99;
-        degree_max;
-        edge_label_counts;
-        node_label_counts;
-      };
+    stats = stats_of_columns ~num_nodes ~out_off ~in_off ~edge_label_counts ~node_label_counts;
     epoch = fresh_epoch ();
   }
 

@@ -103,6 +103,24 @@ val make :
     ids; returns the id table and the distinct values in id order. *)
 val intern : n:int -> get:(int -> 'a) -> int array * 'a array
 
+(** CSR adjacency from endpoint columns (counting sort):
+    [(out_off, out_eid, out_nbr, in_off, in_eid, in_nbr)], each node's
+    entries in ascending edge order — the primitive [make] and the
+    incremental re-freeze ({!Overlay.commit}) share. *)
+val pack_csr :
+  int -> int array -> int array -> int array * int array * int array * int array * int array * int array
+
+(** Degree/label statistics from packed offsets and label-count columns
+    — lets the incremental re-freeze refresh stats while physically
+    reusing unchanged count arrays. *)
+val stats_of_columns :
+  num_nodes:int ->
+  out_off:int array ->
+  in_off:int array ->
+  edge_label_counts:int array ->
+  node_label_counts:int array ->
+  stats
+
 (** Next value of the process-wide epoch counter — for code that builds
     the record directly instead of through {!make} (snapshot loading). *)
 val fresh_epoch : unit -> int

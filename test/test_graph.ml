@@ -471,6 +471,39 @@ let test_journal_torn_write_recovery () =
   let ops = Journal.ops_of_string ~tolerate_partial:true text in
   checki "two surviving ops" 2 (List.length ops)
 
+let test_journal_merge_prop_roundtrip () =
+  let ops =
+    [
+      Journal.Merge_node { id = Const.str "a"; label = Const.str "person" };
+      Journal.Merge_node { id = Const.str "a"; label = Const.str "bus" };
+      Journal.Merge_edge
+        { id = Const.str "e"; src = Const.str "a"; dst = Const.str "a"; label = Const.str "knows" };
+      Journal.Set_node_prop { id = Const.str "a"; prop = Const.str "age"; value = Const.int 7 };
+      Journal.Del_node_prop { id = Const.str "a"; prop = Const.str "age" };
+      Journal.Del_node_prop { id = Const.str "a"; prop = Const.str "ghost" (* absent: no-op *) };
+      Journal.Set_edge_prop { id = Const.str "e"; prop = Const.str "w"; value = Const.int 2 };
+      Journal.Del_edge_prop { id = Const.str "e"; prop = Const.str "w" };
+    ]
+  in
+  let ops' = Journal.ops_of_string (Journal.ops_to_string ops) in
+  checkb "merge/del-prop lines roundtrip" true (ops = ops');
+  let g = Journal.replay_ops ops in
+  checki "second merge was a no-op" 1 (Property_graph.num_nodes g);
+  checkb "merge kept the first label" true
+    (Property_graph.node_label g 0 = Const.str "person");
+  checkb "node prop removed" true (Property_graph.node_property g 0 (Const.str "age") = None);
+  checkb "edge prop removed" true (Property_graph.edge_property g 0 (Const.str "w") = None)
+
+let test_journal_error_file_context () =
+  (match Journal.ops_of_string ~file:"ops.log" "node a person\nbogus b\n" with
+  | exception Journal.Replay_error { file = Some "ops.log"; line = 2; _ } -> ()
+  | exception Journal.Replay_error _ -> Alcotest.fail "wrong file/line context"
+  | _ -> Alcotest.fail "malformed line accepted");
+  match Journal.replay_ops ~file:"ops.log" [ Journal.Del_node { id = Const.str "ghost" } ] with
+  | exception Journal.Replay_error { file = Some "ops.log"; line = 1; _ } -> ()
+  | exception Journal.Replay_error _ -> Alcotest.fail "replay error lost its context"
+  | _ -> Alcotest.fail "invalid replay accepted"
+
 (* ---------- QCheck properties ---------- *)
 
 let graph_gen =
@@ -671,6 +704,8 @@ let () =
           Alcotest.test_case "store lifecycle" `Quick test_journal_store_lifecycle;
           Alcotest.test_case "append validates" `Quick test_journal_append_validates;
           Alcotest.test_case "torn write" `Quick test_journal_torn_write_recovery;
+          Alcotest.test_case "merge/del-prop roundtrip" `Quick test_journal_merge_prop_roundtrip;
+          Alcotest.test_case "error file context" `Quick test_journal_error_file_context;
         ] );
       ( "properties",
         q
