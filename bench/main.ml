@@ -1025,6 +1025,139 @@ let mutation_workload ?(small = false) () =
     (Overlay.reuse_ratio reuse) agree
     (t_commit < t_full)
 
+(* ------------------------------------------------------------------ *)
+(* E17: join workload - worst-case-optimal vs backtracking joins       *)
+(* ------------------------------------------------------------------ *)
+
+(* The multiway join engine A/B: cyclic conjunctive patterns (triangle,
+   4-cycle) and an acyclic path over a clique-dense graph — a sparse
+   Erdos-Renyi background with embedded cliques plus a few high-degree
+   hubs, the regime where pairwise join plans drown in intermediate
+   tuples while the leapfrog intersection gallops straight to the
+   agreeing keys.  The backtracking oracle is the pre-WCOJ greedy join
+   over fully-indexed materialized relations; answer sets must be
+   identical (sorted) on every pattern, and the triangle leg is the
+   acceptance metric (>= 5x).  Returns the BENCH_rpq.json fragment. *)
+let join_workload ?(small = false) () =
+  Table.section
+    (Printf.sprintf "E17: join workload (%s) - worst-case-optimal vs backtracking join"
+       (if small then "small" else "full"));
+  let nodes = if small then 600 else 6_000 in
+  let cliques = if small then 3 else 8 in
+  let clique_size = if small then 10 else 10 in
+  let hubs = if small then 8 else 24 in
+  let hub_degree = if small then 150 else 300 in
+  let background = if small then 500 else 4_000 in
+  let rng = Splitmix.create 1700 in
+  let b = Labeled_graph.Builder.create () in
+  let hub_base = cliques * clique_size in
+  for i = 0 to nodes - 1 do
+    let label =
+      if i < hub_base then "c" else if i < hub_base + hubs then "h" else "n"
+    in
+    ignore
+      (Labeled_graph.Builder.add_node b (Const.str (Printf.sprintf "j%d" i))
+         ~label:(Const.str label))
+  done;
+  let e = Const.str "e" in
+  (* Embedded cliques: every ordered pair inside disjoint node blocks. *)
+  for c = 0 to cliques - 1 do
+    let base = c * clique_size in
+    for u = base to base + clique_size - 1 do
+      for v = base to base + clique_size - 1 do
+        if u <> v then ignore (Labeled_graph.Builder.fresh_edge b ~src:u ~dst:v ~label:e)
+      done
+    done
+  done;
+  (* Skew hubs: high fan-out and fan-in nodes whose candidate lists a
+     backtracking join must enumerate (and cost-estimate) one element at
+     a time, plus a complete directed core among the hubs so that wedges
+     with a large list on BOTH sides exist — the regime the leapfrog
+     intersection gallops through. *)
+  for h = 0 to hubs - 1 do
+    let hub = hub_base + h in
+    for _ = 1 to hub_degree do
+      ignore (Labeled_graph.Builder.fresh_edge b ~src:hub ~dst:(Splitmix.int rng nodes) ~label:e);
+      ignore (Labeled_graph.Builder.fresh_edge b ~src:(Splitmix.int rng nodes) ~dst:hub ~label:e)
+    done;
+    for h' = 0 to hubs - 1 do
+      if h' <> h then
+        ignore (Labeled_graph.Builder.fresh_edge b ~src:hub ~dst:(hub_base + h') ~label:e)
+    done
+  done;
+  (* Sparse uniform background. *)
+  for _ = 1 to background do
+    ignore
+      (Labeled_graph.Builder.fresh_edge b ~src:(Splitmix.int rng nodes)
+         ~dst:(Splitmix.int rng nodes) ~label:e)
+  done;
+  let inst = Snapshot.of_labeled (Labeled_graph.Builder.freeze b) in
+  Printf.printf
+    "clique-dense graph: %d nodes, %d edges (%d cliques of %d, %d hubs of ~%d, %d background)\n"
+    inst.Snapshot.num_nodes inst.Snapshot.num_edges cliques clique_size hubs (2 * hub_degree)
+    background;
+  let patterns =
+    [
+      ("triangle", "SELECT x, y, z WHERE (x)-[e]->(y), (y)-[e]->(z), (z)-[e]->(x)");
+      ( "cycle4",
+        "SELECT x, y, z, w WHERE (x)-[e]->(y), (y)-[e]->(z), (z)-[e]->(w), (w)-[e]->(x)" );
+      ("path3", "SELECT x, w WHERE (x:h)-[e]->(y), (y)-[e]->(z), (z)-[e]->(w:h)");
+    ]
+  in
+  let reps = if small then 2 else 3 in
+  let agree_all = ref true in
+  let stats =
+    List.map
+      (fun (name, text) ->
+        let q = Gqkg_logic.Crpq_parser.parse text in
+        (* Timed legs enumerate (both engines yield each distinct head
+           tuple exactly once); the sorted-set agreement check runs
+           untimed so the shared polymorphic sort does not dilute the
+           engine comparison. *)
+        let count_fast, t_fast =
+          best_of reps (fun () ->
+              let n = ref 0 in
+              Gqkg_logic.Crpq.iter_answers inst q ~yield:(fun _ -> incr n);
+              !n)
+        in
+        let count_slow, t_slow =
+          best_of reps (fun () ->
+              let n = ref 0 in
+              Gqkg_logic.Crpq.iter_answers_backtrack inst q ~yield:(fun _ -> incr n);
+              !n)
+        in
+        let agree =
+          count_fast = count_slow
+          && Gqkg_logic.Crpq.answers inst q = Gqkg_logic.Crpq.answers_backtrack inst q
+        in
+        if not agree then agree_all := false;
+        let speedup = t_slow /. Float.max 1e-9 t_fast in
+        Printf.printf "%-9s %8d answers: wcoj %8.2f ms, backtrack %8.2f ms (%5.1fx), agree %b\n"
+          name count_fast (1000.0 *. t_fast) (1000.0 *. t_slow) speedup agree;
+        (name, count_fast, t_fast, t_slow, speedup))
+      patterns
+  in
+  let triangle_speedup =
+    match stats with (_, _, _, _, speedup) :: _ -> speedup | [] -> 0.0
+  in
+  Printf.printf "triangle speedup %.1fx (acceptance >= 5x), all answer sets agree: %b\n"
+    triangle_speedup !agree_all;
+  let per_pattern =
+    String.concat ""
+      (List.map
+         (fun (name, answers, t_fast, t_slow, speedup) ->
+           Printf.sprintf
+             "    \"%s\": { \"answers\": %d, \"wcoj_ms\": %.3f, \"backtrack_ms\": %.3f, \
+              \"speedup\": %.2f },\n"
+             name answers (1000.0 *. t_fast) (1000.0 *. t_slow) speedup)
+         stats)
+  in
+  Printf.sprintf
+    "  \"join_workload\": { \"nodes\": %d, \"edges\": %d,\n\
+     %s\
+    \    \"triangle_speedup\": %.2f, \"join_agree\": %b },\n"
+    inst.Snapshot.num_nodes inst.Snapshot.num_edges per_pattern triangle_speedup !agree_all
+
 (* [small] is the CI smoke configuration: same workloads, tiny sizes
    and single repetitions, so the whole experiment finishes in a couple
    of seconds while still exercising every code path and the JSON
@@ -1547,12 +1680,20 @@ let ablations () =
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   let huge = Array.exists (fun a -> a = "huge") Sys.argv in
+  if Array.exists (fun a -> a = "join") Sys.argv then begin
+    (* E17 alone: the join-engine A/B without the scale tiers. *)
+    let small = Array.exists (fun a -> a = "small") Sys.argv in
+    ignore (join_workload ~small ());
+    exit 0
+  end;
   if Array.exists (fun a -> a = "rpq") Sys.argv then begin
     (* Kernel-only mode: the E16 scale tier plus the E15 throughput
        record.  "small" is the seconds-long smoke configuration CI runs
        on every push; "huge" lifts E16 to 10^7 nodes. *)
     let small = Array.exists (fun a -> a = "small") Sys.argv in
-    let extra_json = scale_tier ~small ~huge () ^ mutation_workload ~small () in
+    let extra_json =
+      scale_tier ~small ~huge () ^ mutation_workload ~small () ^ join_workload ~small ()
+    in
     rpq_kernel ~small ~extra_json ();
     exit 0
   end;
@@ -1569,7 +1710,7 @@ let () =
   models ();
   ablations ();
   completion ();
-  let extra_json = scale_tier ~huge () ^ mutation_workload () in
+  let extra_json = scale_tier ~huge () ^ mutation_workload () ^ join_workload () in
   rpq_kernel ~extra_json ();
   if not quick then bechamel_timings ();
   print_newline ();

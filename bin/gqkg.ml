@@ -140,9 +140,21 @@ let budget_args =
       & info [ "max-states" ] ~docv:"N"
           ~doc:"Bound on interned product states; on exhaustion a sound partial result is returned.")
   in
-  Term.(const (fun timeout_ms max_states -> (timeout_ms, max_states)) $ timeout_ms $ max_states)
+  let max_steps =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Bound on traversal/join steps (e.g. variable bindings in the multiway join); on \
+             exhaustion a sound partial result is returned.")
+  in
+  Term.(
+    const (fun timeout_ms max_states max_steps -> (timeout_ms, max_states, max_steps))
+    $ timeout_ms $ max_states $ max_steps)
 
-let make_budget (timeout_ms, max_states) = Gqkg_util.Budget.create ?timeout_ms ?max_states ()
+let make_budget (timeout_ms, max_states, max_steps) =
+  Gqkg_util.Budget.create ?timeout_ms ?max_states ?max_steps ()
 
 (* Exit code 3 with a GQ03x JSON diagnostic on stderr when the budget
    tripped and the printed answer is therefore a sound partial result. *)
@@ -425,7 +437,7 @@ let centrality_cmd =
 (* ---- match (CRPQ) ---- *)
 
 let match_cmd =
-  let run () path query max_length show_plan =
+  let run () path query max_length show_plan limits =
     let inst = load_instance path in
     let q =
       match Gqkg_logic.Crpq_parser.parse query with
@@ -435,11 +447,14 @@ let match_cmd =
             ~message:(Printf.sprintf "parse error at position %d: %s" position message)
     in
     if show_plan then print_string (Gqkg_logic.Crpq.explain ?max_length inst q)
-    else
+    else begin
+      let budget = make_budget limits in
       List.iter
         (fun row ->
           print_endline (String.concat "\t" (List.map (fun v -> inst.Snapshot.node_name v) row)))
-        (Gqkg_logic.Crpq.answers ?max_length inst q)
+        (Gqkg_logic.Crpq.answers ~budget ?max_length inst q);
+      report_budget budget
+    end
   in
   let query =
     Arg.(
@@ -453,7 +468,7 @@ let match_cmd =
   let show_plan = Arg.(value & flag & info [ "plan" ] ~doc:"Show the evaluation plan instead.") in
   Cmd.v
     (Cmd.info "match" ~doc:"Evaluate a conjunctive regular path query")
-    Term.(const run $ verbose_flag $ graph_arg $ query $ max_length $ show_plan)
+    Term.(const run $ verbose_flag $ graph_arg $ query $ max_length $ show_plan $ budget_args)
 
 (* ---- convert ---- *)
 
@@ -530,8 +545,32 @@ let sparql_cmd =
 
 (* ---- explain ---- *)
 
+(* A SELECT-shaped input is a CRPQ: explain shows the multiway-join plan
+   (chosen variable order + per-atom estimates) instead of the regex
+   compilation pipeline. *)
+let explain_crpq query graph =
+  let q =
+    match Gqkg_logic.Crpq_parser.parse query with
+    | q -> q
+    | exception Gqkg_logic.Crpq_parser.Error { position; message } ->
+        fail_user ~code:"GQ043" ~subterm:query
+          ~message:(Printf.sprintf "parse error at position %d: %s" position message)
+  in
+  match graph with
+  | None ->
+      fail_user ~code:"GQ046" ~subterm:query
+        ~message:"explaining a conjunctive query needs --graph (estimates come from the snapshot)"
+  | Some path ->
+      let inst = load_instance path in
+      print_string (Gqkg_logic.Crpq.explain inst q)
+
 let explain_cmd =
   let run () regex graph limits =
+    let is_select =
+      String.length regex >= 6 && String.lowercase_ascii (String.sub regex 0 6) = "select"
+    in
+    if is_select then explain_crpq regex graph
+    else begin
     let r = parse_regex regex in
     let budget = make_budget limits in
     Printf.printf "expression : %s\n" (Gqkg_automata.Regex.to_string ~top:true r);
@@ -602,8 +641,15 @@ let explain_cmd =
             else Printf.printf "frontier: not used (statically answered)\n");
         Printf.printf "budget: %s\n" (Gqkg_util.Budget.describe budget);
         report_budget budget)
+    end
   in
-  let regex = Arg.(required & pos 0 (some string) None & info [] ~docv:"REGEX" ~doc:"Expression.") in
+  let regex =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REGEX"
+          ~doc:"Path expression, or a SELECT ... WHERE conjunctive query (join plan).")
+  in
   let graph =
     Arg.(value & opt (some file) None & info [ "graph" ] ~doc:"Also evaluate over this graph file.")
   in
@@ -992,6 +1038,8 @@ let stats_cmd =
     let inst = load_instance path in
     Printf.printf "epoch: %d\n" inst.Snapshot.epoch;
     print_string (Snapshot.describe inst);
+    (* The cardinality estimates the multiway-join planner consumes. *)
+    print_string (Gqkg_core.Join.Index.describe (Gqkg_core.Join.Index.get inst));
     print_endline (Partition.describe (Partition.build inst));
     Fmt.pr "%a@." Gqkg_analytics.Graph_stats.pp_summary (Gqkg_analytics.Graph_stats.summarize inst);
     let _, scc = Gqkg_analytics.Traversal.strongly_connected_components inst in

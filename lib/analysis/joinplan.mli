@@ -1,0 +1,33 @@
+(** Variable-order selection for the worst-case-optimal join engine.
+
+    The Leapfrog-Triejoin kernel ({!Gqkg_core.Join}) binds variables one
+    at a time in a single global order; every atom's trie must then be
+    laid out with its variables in that order.  This module is the pure
+    planning half: given per-atom cardinality statistics (relation sizes
+    and per-column distinct counts, derived from freeze-time Snapshot
+    label stats or from materialized relations), pick the order.
+
+    The heuristic is greedy smallest-estimate-first, preferring
+    variables connected to the prefix already chosen: at each step the
+    candidate's score is the cheapest way any atom can enumerate it —
+    its distinct count when the atom is untouched, or its expected
+    fan-out (size / product of bound-column distincts) once sibling
+    columns are bound.  Ties break toward lower variable ids so plans
+    are deterministic. *)
+
+type atom_stat = {
+  vars : int array;  (** distinct variable ids, one per column *)
+  size : float;  (** (estimated) number of tuples *)
+  distinct : float array;  (** per column: distinct values of [vars.(i)] *)
+  label : string;  (** display name for {!describe} *)
+}
+
+(** Evaluation order over variable ids [0 .. num_vars-1]; every id
+    appears exactly once.  Variables mentioned by no atom come last.
+    Raises [Invalid_argument] on out-of-range ids. *)
+val choose_order : num_vars:int -> atom_stat list -> int array
+
+(** Render the chosen order and the per-atom estimates — the plan text
+    behind [gqkg explain] for conjunctive queries. *)
+val describe :
+  var_name:(int -> string) -> atom_stat list -> order:int array -> string

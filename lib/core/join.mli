@@ -1,0 +1,128 @@
+(** Worst-case-optimal multiway join over Snapshot CSR: a
+    Leapfrog-Triejoin engine shared by every conjunctive consumer (CQ,
+    CRPQ, SPARQL BGP).
+
+    Instead of joining relation-by-relation (whose intermediate results
+    can be quadratically larger than the output — O(n²) on triangles), the
+    engine binds variables one at a time: at each level it leapfrogs the
+    sorted iterators of every atom containing that variable to their
+    common values, achieving the AGM worst-case-optimal bound (O(n^1.5)
+    on the triangle query).
+
+    Atoms are specified over named variables with one of four relation
+    sources; constants must be substituted away by the caller (or pinned
+    with a singleton {!Set} atom).  Trie iterators come in three flavors:
+    zero-copy views over a per-snapshot label-sorted CSR index
+    ({!Edges}), sorted int arrays built from materialized relations
+    ({!Pairs}, {!Rows3}), and unary sorted sets / singletons ({!Set}).
+    The global variable order is chosen by
+    {!Gqkg_analysis.Joinplan.choose_order} from per-atom cardinality
+    estimates.
+
+    Budget governance: [solve ?budget] charges one step per variable
+    binding and polls {!Gqkg_util.Budget.check} at coarse granularity; a
+    tripped budget stops the enumeration, so the yielded bindings are a
+    sound subset of the complete answer (check
+    [Budget.completeness budget] afterwards). *)
+
+open Gqkg_graph
+module Budget = Gqkg_util.Budget
+
+(** {1 Per-snapshot join index} *)
+
+module Index : sig
+  (** Label-sorted adjacency: for every edge-label id, the distinct
+      (src, dst) pairs grouped by src (out orientation) and by dst (in
+      orientation), built once per snapshot by counting sorts and cached
+      by {!Snapshot.epoch}.  Empty when the snapshot interns no edge
+      labels ([num_labels = 0]). *)
+  type t
+
+  val get : Snapshot.t -> t
+
+  (** Edge-label ids whose [label_sat] accepts the constant. *)
+  val edge_label_ids : t -> Const.t -> int list
+
+  (** Nodes whose node labels satisfy the constant, ascending. *)
+  val nodes_with_const_label : t -> Const.t -> int array
+
+  (** Per edge label: distinct (src, dst) pairs, distinct sources,
+      distinct destinations, self-loop count. *)
+  type label_stat = {
+    name : string;
+    pairs : int;
+    distinct_src : int;
+    distinct_dst : int;
+    self_loops : int;
+  }
+
+  val label_stats : t -> label_stat array
+
+  (** The per-label cardinality table [gqkg stats] prints. *)
+  val describe : t -> string
+end
+
+(** {1 Atom specification} *)
+
+type rel =
+  | Edges of int list
+      (** Union of edge-label ids, served zero-copy from the {!Index}
+          when the list is a singleton.  Arity 2: (src, dst). *)
+  | Pairs of (int * int) list  (** Materialized binary relation. *)
+  | Set of int array  (** Unary relation (need not be sorted). *)
+  | Rows3 of (int * int * int) list  (** Ternary relation. *)
+
+type atom_spec = {
+  avars : string array;
+      (** One variable name per column; repeats allowed (the atom is
+          projected to its distinct variables, e.g. an (x, x) edge atom
+          becomes the self-loop node set). *)
+  rel : rel;
+  name : string;  (** Display name for plans. *)
+}
+
+val atom : ?name:string -> string array -> rel -> atom_spec
+
+(** {1 Planning} *)
+
+type plan = {
+  order : string array;  (** global variable order *)
+  atom_summary : (string * string * int) list;
+      (** per atom: display name, iterator kind, rows *)
+  rendered : string;  (** full plan text (order + estimates) *)
+}
+
+(** Plan without running — what [gqkg explain] surfaces.  [snapshot] is
+    required when any atom is {!Edges}. *)
+val plan : ?snapshot:Snapshot.t -> atom_spec list -> plan
+
+(** {1 Evaluation} *)
+
+(** Enumerate all satisfying assignments, yielding the values of [vars]
+    (in the given order) once per distinct tuple.  When [vars] covers
+    every variable each full assignment is yielded exactly once (no
+    dedup table is kept); proper projections are deduplicated.
+
+    Raises [Invalid_argument] if a requested variable appears in no
+    atom, or an atom's arity disagrees with its relation.  Exceptions
+    raised by [yield] (e.g. a LIMIT sentinel) propagate. *)
+val solve :
+  ?budget:Budget.t ->
+  ?snapshot:Snapshot.t ->
+  ?order_hint:string array ->
+  atom_spec list ->
+  vars:string list ->
+  yield:(int array -> unit) ->
+  unit
+
+(** {1 Shared path-atom materialization}
+
+    The one place CRPQ and BGP path atoms are materialized: endpoint
+    pairs of the regex, computed by the batched {!Frontier}-backed
+    product engine, sorted and deduplicated. *)
+val path_pairs :
+  ?budget:Budget.t ->
+  ?max_length:int ->
+  Snapshot.t ->
+  Gqkg_automata.Regex.t ->
+  (int * int) list

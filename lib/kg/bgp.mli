@@ -1,8 +1,13 @@
 (** Basic graph pattern matching — the conjunctive core of SPARQL — with
     SPARQL-1.1-style property-path patterns (Section 4's declarative
-    face of pattern extraction over RDF). Evaluation is greedy
-    index-backed backtracking over the SPO/POS/OSP indexes; path
-    patterns are materialized once each by the RPQ product engine. *)
+    face of pattern extraction over RDF).  Evaluation goes through the
+    worst-case-optimal multiway join engine ({!Gqkg_core.Join}) over
+    interned term ids: triple patterns are scanned once into sorted
+    relations over their variable columns, path patterns are
+    materialized once each by the RPQ product engine, and the
+    conjunction is solved variable-by-variable under a planned order.
+    The previous greedy backtracking join remains as the reference
+    oracle {!iter_solutions_backtrack}. *)
 
 type component = Const of Term.t | Var of string
 
@@ -28,14 +33,31 @@ type binding = (string * Term.t) list
 
 val pattern_vars : pattern -> string list
 
-(** Call [yield] once per solution mapping (not deduplicated). *)
-val iter_solutions : Triple_store.t -> query -> yield:(binding -> unit) -> unit
+(** Call [yield] once per solution mapping (not deduplicated; the join
+    engine enumerates each full assignment exactly once).  A tripped
+    [budget] stops both path-atom materialization and the join: the
+    yielded mappings are a sound subset of the complete answer. *)
+val iter_solutions :
+  ?budget:Gqkg_util.Budget.t -> Triple_store.t -> query -> yield:(binding -> unit) -> unit
 
 (** Distinct projections onto the selected variables, sorted. Raises if
     a selected variable is unused. *)
-val select : Triple_store.t -> query -> Term.t list list
+val select : ?budget:Gqkg_util.Budget.t -> Triple_store.t -> query -> Term.t list list
 
 (** Number of solution mappings (no projection or dedup). *)
-val count_solutions : Triple_store.t -> query -> int
+val count_solutions : ?budget:Gqkg_util.Budget.t -> Triple_store.t -> query -> int
 
-val ask : Triple_store.t -> query -> bool
+val ask : ?budget:Gqkg_util.Budget.t -> Triple_store.t -> query -> bool
+
+(** The join plan: chosen variable order and per-atom estimates. *)
+val explain : Triple_store.t -> query -> string
+
+(** {1 Reference oracle}
+
+    The pre-WCOJ greedy backtracking join (cheapest pattern first under
+    the current bindings, int-slot environments over term ids), kept as
+    the equivalence oracle for tests and the bench A/B. *)
+
+val iter_solutions_backtrack : Triple_store.t -> query -> yield:(binding -> unit) -> unit
+val select_backtrack : Triple_store.t -> query -> Term.t list list
+val count_solutions_backtrack : Triple_store.t -> query -> int

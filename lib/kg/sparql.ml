@@ -197,9 +197,11 @@ let parse input =
   ({ Bgp.select; where }, limit)
 
 (* Parse and evaluate; LIMIT truncates the sorted projection. *)
-let run store input =
+(* Evaluation rides on {!Bgp.select}, i.e. on the worst-case-optimal
+   join engine; [budget] governs path materialization and the join. *)
+let run ?budget store input =
   let query, limit = parse input in
-  let rows = Bgp.select store query in
+  let rows = Bgp.select ?budget store query in
   match limit with
   | None -> rows
   | Some l -> List.filteri (fun i _ -> i < l) rows

@@ -10,5 +10,7 @@ exception Error of { position : int; message : string }
 (** Parse into a BGP query and an optional LIMIT. Raises {!Error}. *)
 val parse : string -> Bgp.query * int option
 
-(** Parse and evaluate (sorted distinct rows, LIMIT applied). *)
-val run : Triple_store.t -> string -> Term.t list list
+(** Parse and evaluate (sorted distinct rows, LIMIT applied) through the
+    worst-case-optimal join engine; a tripped [budget] yields a sound
+    subset of the rows. *)
+val run : ?budget:Gqkg_util.Budget.t -> Triple_store.t -> string -> Term.t list list

@@ -4,13 +4,20 @@
    variables; answers are the assignments of graph nodes to the free
    (head) variables that satisfy every atom.
 
-   Evaluation is backtracking search with a greedy join order: at every
-   step the next atom is the one with the fewest candidate matches given
-   the bindings so far, and already-bound edge atoms become constant-time
-   index probes.  This is a small but real query optimizer — enough to
-   make pattern matching usable as the substrate for the higher layers. *)
+   Evaluation goes through the worst-case-optimal multiway join engine
+   ({!Gqkg_core.Join}): node-label atoms become sorted node sets,
+   edge-label atoms are served zero-copy from the per-snapshot
+   label-sorted CSR index, and the conjunction is solved
+   variable-by-variable under a planned global order — O(n^1.5) on the
+   triangle query where binary joins pay O(n²) intermediates.
+
+   The previous greedy backtracking join survives as
+   {!answers_backtrack}, the reference oracle for tests and the bench
+   A/B; its environments are int-slot arrays under a prepass variable
+   numbering (constant-time lookup, trail-based undo). *)
 
 open Gqkg_graph
+module Join = Gqkg_core.Join
 
 type atom =
   | Node of Const.t * string  (** label(x) *)
@@ -30,6 +37,71 @@ let atom_vars = function
   | Edge (_, x, y) -> Vars.add x (Vars.singleton y)
 
 let body_vars body = List.fold_left (fun acc a -> Vars.union acc (atom_vars a)) Vars.empty body
+
+let validate_head q =
+  List.iter
+    (fun v ->
+      if not (Vars.mem v (body_vars q.body)) then
+        invalid_arg (Printf.sprintf "Cq: head variable %s not bound by the body" v))
+    q.head
+
+(* ------------------------------------------------------------------ *)
+(* WCOJ path: compile atoms to join specs                             *)
+(* ------------------------------------------------------------------ *)
+
+let atom_name = function
+  | Node (l, x) -> Printf.sprintf "%s(%s)" (Const.to_string l) x
+  | Edge (l, x, y) -> Printf.sprintf "%s(%s,%s)" (Const.to_string l) x y
+
+(* Edge atoms with an interned label are zero-copy CSR views; without a
+   label index (num_labels = 0) the relation is scanned once per label
+   constant.  Node atoms use the index's cached label->nodes sets. *)
+let join_specs inst body =
+  let idx = Join.Index.get inst in
+  List.map
+    (fun a ->
+      match a with
+      | Node (l, x) ->
+          Join.atom ~name:(atom_name a) [| x |]
+            (Join.Set (Join.Index.nodes_with_const_label idx l))
+      | Edge (l, x, y) ->
+          let rel =
+            if inst.Snapshot.num_labels > 0 then Join.Edges (Join.Index.edge_label_ids idx l)
+            else begin
+              let pairs = ref [] in
+              for e = inst.Snapshot.num_edges - 1 downto 0 do
+                if inst.Snapshot.edge_atom e (Atom.Label l) then
+                  pairs := (Snapshot.endpoints inst) e :: !pairs
+              done;
+              Join.Pairs !pairs
+            end
+          in
+          Join.atom ~name:(atom_name a) [| x; y |] rel)
+    body
+
+let iter_answers ?budget inst q ~yield =
+  validate_head q;
+  Join.solve ?budget ~snapshot:inst (join_specs inst q.body) ~vars:q.head
+    ~yield:(fun row -> yield (Array.to_list row))
+
+let answers ?budget inst q =
+  let out = ref [] in
+  iter_answers ?budget inst q ~yield:(fun a -> out := a :: !out);
+  List.sort compare !out
+
+(* Unary convenience: answers of a single-head-variable query. *)
+let answer_nodes ?budget inst q =
+  List.filter_map (function [ v ] -> Some v | _ -> None) (answers ?budget inst q)
+
+(* The join plan (variable order + per-atom estimates) for explain. *)
+let explain inst q =
+  Printf.sprintf "CQ(%s) :- %s\n%s" (String.concat ", " q.head)
+    (String.concat ", " (List.map atom_name q.body))
+    (Join.plan ~snapshot:inst (join_specs inst q.body)).Join.rendered
+
+(* ------------------------------------------------------------------ *)
+(* Reference oracle: greedy backtracking join                         *)
+(* ------------------------------------------------------------------ *)
 
 (* Precomputed label indexes. *)
 type indexes = {
@@ -84,62 +156,98 @@ let make_indexes inst =
     pair_set = Hashtbl.create 256;
   }
 
+(* The oracle's environments are int-slot arrays under a prepass
+   variable numbering: slot v = -1 while unbound, constant-time lookup
+   and trail-free undo (each atom binds at most two slots and resets
+   them after exploring the branch). *)
+type slots = { ids : (string, int) Hashtbl.t; env : int array }
+
+let number_vars body =
+  let ids = Hashtbl.create 16 in
+  let next = ref 0 in
+  List.iter
+    (fun a ->
+      Vars.iter
+        (fun v ->
+          if not (Hashtbl.mem ids v) then begin
+            Hashtbl.add ids v !next;
+            incr next
+          end)
+        (atom_vars a))
+    body;
+  { ids; env = Array.make (max 1 !next) (-1) }
+
+let slot s v = Hashtbl.find s.ids v
+
 (* Estimated number of candidate bindings an atom contributes, under the
    current partial assignment: the greedy cost function of the planner. *)
-let atom_cost idx env = function
+let atom_cost idx s = function
   | Node (l, x) ->
-      if List.mem_assoc x env then 1 else Array.length (index_nodes_by_label idx l)
+      if s.env.(slot s x) >= 0 then 1 else Array.length (index_nodes_by_label idx l)
   | Edge (l, x, y) -> begin
       let all () = Array.length (index_edges_by_label idx l) in
-      match (List.assoc_opt x env, List.assoc_opt y env) with
-      | Some _, Some _ -> 1
-      | Some s, None ->
+      match (s.env.(slot s x), s.env.(slot s y)) with
+      | sx, sy when sx >= 0 && sy >= 0 -> 1
+      | sx, _ when sx >= 0 ->
           ignore (index_edges_by_label idx l);
-          Array.length (Option.value (Hashtbl.find_opt idx.out_by_label (l, s)) ~default:[||])
-      | None, Some d ->
+          Array.length (Option.value (Hashtbl.find_opt idx.out_by_label (l, sx)) ~default:[||])
+      | _, sy when sy >= 0 ->
           ignore (index_edges_by_label idx l);
-          Array.length (Option.value (Hashtbl.find_opt idx.in_by_label (l, d)) ~default:[||])
-      | None, None -> all ()
+          Array.length (Option.value (Hashtbl.find_opt idx.in_by_label (l, sy)) ~default:[||])
+      | _ -> all ()
     end
 
-(* All extensions of [env] satisfying the atom, passed to [k]. *)
-let atom_matches idx env atom k =
+(* All extensions of the environment satisfying the atom: bind the
+   slots, call [k], restore. *)
+let atom_matches idx s atom k =
+  let bound v = s.env.(v) >= 0 in
+  let with_binding v value k =
+    s.env.(v) <- value;
+    k ();
+    s.env.(v) <- -1
+  in
   match atom with
-  | Node (l, x) -> begin
-      match List.assoc_opt x env with
-      | Some v -> if idx.inst.Snapshot.node_atom v (Atom.Label l) then k env
-      | None -> Array.iter (fun v -> k ((x, v) :: env)) (index_nodes_by_label idx l)
-    end
+  | Node (l, x) ->
+      let sx = slot s x in
+      if bound sx then begin
+        if idx.inst.Snapshot.node_atom s.env.(sx) (Atom.Label l) then k ()
+      end
+      else Array.iter (fun v -> with_binding sx v k) (index_nodes_by_label idx l)
   | Edge (l, x, y) -> begin
       ignore (index_edges_by_label idx l);
-      match (List.assoc_opt x env, List.assoc_opt y env) with
-      | Some s, Some d -> if Hashtbl.mem idx.pair_set (l, s, d) then k env
-      | Some s, None ->
+      let sx = slot s x and sy = slot s y in
+      match (bound sx, bound sy) with
+      | true, true -> if Hashtbl.mem idx.pair_set (l, s.env.(sx), s.env.(sy)) then k ()
+      | true, false ->
           Array.iter
-            (fun d -> k ((y, d) :: env))
-            (Option.value (Hashtbl.find_opt idx.out_by_label (l, s)) ~default:[||])
-      | None, Some d ->
+            (fun d -> with_binding sy d k)
+            (Option.value (Hashtbl.find_opt idx.out_by_label (l, s.env.(sx))) ~default:[||])
+      | false, true ->
           Array.iter
-            (fun s -> k ((x, s) :: env))
-            (Option.value (Hashtbl.find_opt idx.in_by_label (l, d)) ~default:[||])
-      | None, None ->
-          Array.iter (fun (s, d) -> if x = y then (if s = d then k ((x, s) :: env)) else k ((x, s) :: (y, d) :: env)) (index_edges_by_label idx l)
+            (fun src -> with_binding sx src k)
+            (Option.value (Hashtbl.find_opt idx.in_by_label (l, s.env.(sy))) ~default:[||])
+      | false, false ->
+          Array.iter
+            (fun (src, d) ->
+              if sx = sy then begin
+                if src = d then with_binding sx src k
+              end
+              else with_binding sx src (fun () -> with_binding sy d k))
+            (index_edges_by_label idx l)
     end
 
-(* Evaluate, invoking [yield] once per answer (head-variable tuple);
-   duplicate answers from different witnesses are deduplicated. *)
-let iter_answers ?indexes inst q ~yield =
+(* Reference evaluation: greedy backtracking (cheapest atom first under
+   the current bindings), yielding distinct head tuples. *)
+let iter_answers_backtrack ?indexes inst q ~yield =
   let idx = match indexes with Some i -> i | None -> make_indexes inst in
-  List.iter
-    (fun v ->
-      if not (Vars.mem v (body_vars q.body)) then
-        invalid_arg (Printf.sprintf "Cq: head variable %s not bound by the body" v))
-    q.head;
+  validate_head q;
+  let s = number_vars q.body in
+  let head_slots = List.map (slot s) q.head in
   let seen = Hashtbl.create 64 in
-  let rec solve env remaining =
+  let rec solve remaining =
     match remaining with
     | [] ->
-        let answer = List.map (fun v -> List.assoc v env) q.head in
+        let answer = List.map (fun v -> s.env.(v)) head_slots in
         if not (Hashtbl.mem seen answer) then begin
           Hashtbl.replace seen answer ();
           yield answer
@@ -149,7 +257,7 @@ let iter_answers ?indexes inst q ~yield =
         let best = ref None in
         List.iter
           (fun atom ->
-            let cost = atom_cost idx env atom in
+            let cost = atom_cost idx s atom in
             match !best with
             | Some (_, c) when c <= cost -> ()
             | _ -> best := Some (atom, cost))
@@ -158,15 +266,11 @@ let iter_answers ?indexes inst q ~yield =
         | None -> ()
         | Some (atom, _) ->
             let rest = List.filter (fun a -> a != atom) remaining in
-            atom_matches idx env atom (fun env' -> solve env' rest))
+            atom_matches idx s atom (fun () -> solve rest))
   in
-  solve [] q.body
+  solve q.body
 
-let answers ?indexes inst q =
+let answers_backtrack ?indexes inst q =
   let out = ref [] in
-  iter_answers ?indexes inst q ~yield:(fun a -> out := a :: !out);
+  iter_answers_backtrack ?indexes inst q ~yield:(fun a -> out := a :: !out);
   List.sort compare !out
-
-(* Unary convenience: answers of a single-head-variable query. *)
-let answer_nodes ?indexes inst q =
-  List.filter_map (function [ v ] -> Some v | _ -> None) (answers ?indexes inst q)

@@ -1,6 +1,10 @@
 (** Conjunctive queries over labeled graphs: node-label and edge-label
-    atoms over variables, evaluated by greedy index-backed backtracking
-    (the basic pattern matching of Sections 2.1 and 4.3). *)
+    atoms over variables (the basic pattern matching of Sections 2.1 and
+    4.3), evaluated by the worst-case-optimal multiway join engine
+    ({!Gqkg_core.Join}) — edge atoms as zero-copy CSR trie views, the
+    conjunction solved variable-by-variable under a planned order.  The
+    previous greedy backtracking join remains as the reference oracle
+    {!answers_backtrack}. *)
 
 open Gqkg_graph
 
@@ -14,18 +18,30 @@ val query : head:string list -> body:atom list -> t
 val node_atom : string -> string -> atom
 val edge_atom : string -> string -> string -> atom
 
-(** Precomputed label indexes, shareable across queries on the same
+(** Call [yield] once per distinct head tuple. Raises if a head variable
+    is not bound by the body.  A tripped [budget] stops the enumeration:
+    the yielded tuples are a sound subset of the complete answer. *)
+val iter_answers :
+  ?budget:Gqkg_util.Budget.t -> Snapshot.t -> t -> yield:(int list -> unit) -> unit
+
+(** Distinct head tuples, sorted. *)
+val answers : ?budget:Gqkg_util.Budget.t -> Snapshot.t -> t -> int list list
+
+(** Single-head-variable convenience. *)
+val answer_nodes : ?budget:Gqkg_util.Budget.t -> Snapshot.t -> t -> int list
+
+(** The join plan: chosen variable order and per-atom estimates. *)
+val explain : Snapshot.t -> t -> string
+
+(** {1 Reference oracle}
+
+    The pre-WCOJ greedy backtracking join (cheapest atom first under the
+    current bindings, int-slot environments), kept as the equivalence
+    oracle for tests and the bench A/B. *)
+
+(** Precomputed label indexes, shareable across oracle runs on the same
     instance. *)
 type indexes
 
 val make_indexes : Snapshot.t -> indexes
-
-(** Call [yield] once per distinct head tuple. Raises if a head variable
-    is not bound by the body. *)
-val iter_answers : ?indexes:indexes -> Snapshot.t -> t -> yield:(int list -> unit) -> unit
-
-(** Distinct head tuples, sorted. *)
-val answers : ?indexes:indexes -> Snapshot.t -> t -> int list list
-
-(** Single-head-variable convenience. *)
-val answer_nodes : ?indexes:indexes -> Snapshot.t -> t -> int list
+val answers_backtrack : ?indexes:indexes -> Snapshot.t -> t -> int list list

@@ -2,9 +2,13 @@
     (x, r, y) where r is a full Section 4 regular expression — the
     backbone of modern graph query languages [Angles et al. 2017].
 
-    Each atom's endpoint relation is computed once with the product
-    engine and indexed both ways; the conjunction is solved by greedy
-    smallest-first backtracking join. *)
+    Evaluation goes through the worst-case-optimal multiway join engine
+    ({!Gqkg_core.Join}): single-edge-label atoms are zero-copy CSR trie
+    views, other atoms' endpoint relations are materialized once by the
+    batched Frontier-backed product engine and shared across identical
+    regexes, and the conjunction is solved variable-by-variable under a
+    planned global order.  The previous greedy backtracking join remains
+    as the reference oracle {!answers_backtrack}. *)
 
 open Gqkg_graph
 open Gqkg_automata
@@ -24,26 +28,45 @@ val to_string : t -> string
 
 (** Call [yield] once per distinct head tuple. [max_length] bounds path
     length per atom (cost control for star-heavy patterns). Raises if a
-    head variable is not bound by the body. *)
-val iter_answers : ?max_length:int -> Snapshot.t -> t -> yield:(int list -> unit) -> unit
+    head variable is not bound by the body.  A tripped [budget] stops
+    both atom materialization and the join: the yielded tuples are a
+    sound subset of the complete answer. *)
+val iter_answers :
+  ?budget:Gqkg_util.Budget.t ->
+  ?max_length:int ->
+  Snapshot.t ->
+  t ->
+  yield:(int list -> unit) ->
+  unit
 
 (** Distinct head tuples, sorted. *)
-val answers : ?max_length:int -> Snapshot.t -> t -> int list list
+val answers : ?budget:Gqkg_util.Budget.t -> ?max_length:int -> Snapshot.t -> t -> int list list
 
-val answer_nodes : ?max_length:int -> Snapshot.t -> t -> int list
+val answer_nodes :
+  ?budget:Gqkg_util.Budget.t -> ?max_length:int -> Snapshot.t -> t -> int list
+
+(** The pre-WCOJ greedy backtracking join over fully-indexed
+    materialized relations — the reference oracle for tests and the
+    bench A/B (int-slot environments, LIMIT honored).  [yield] fires
+    once per distinct head tuple, in discovery order. *)
+val iter_answers_backtrack :
+  ?max_length:int -> Snapshot.t -> t -> yield:(int list -> unit) -> unit
+
+val answers_backtrack : ?max_length:int -> Snapshot.t -> t -> int list list
 
 (** Oracle: enumerate all variable assignments and filter. Exponential;
     for tests and the E13 ablation. *)
 val answers_naive : ?max_length:int -> Snapshot.t -> t -> int list list
 
 (** Full solution mappings (every body variable bound), deduplicated. *)
-val solutions : ?max_length:int -> Snapshot.t -> t -> (string * int) list list
+val solutions :
+  ?budget:Gqkg_util.Budget.t -> ?max_length:int -> Snapshot.t -> t -> (string * int) list list
 
 (** Solutions with one shortest witness path per atom — paths as
     first-class results (the G-CORE idea of the paper's reference [5]). *)
 val solutions_with_witnesses :
   ?max_length:int -> Snapshot.t -> t -> ((string * int) list * (atom * Gqkg_core.Path.t) list) list
 
-(** Human-readable evaluation plan: per-atom relation sizes and the
-    static greedy order. *)
+(** Human-readable evaluation plan: per-atom relation sizes/kinds and
+    the chosen variable order with estimates. *)
 val explain : ?max_length:int -> Snapshot.t -> t -> string

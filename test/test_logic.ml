@@ -477,7 +477,7 @@ let test_crpq_explain () =
        let rec loop i = i + m <= n && (String.sub s i m = sub || loop (i + 1)) in
        loop 0
      in
-     contains plan "endpoint pairs" && contains plan "greedy order")
+     contains plan "endpoint pairs" && contains plan "variable order")
 
 (* ---------- FO + transitive closure ---------- *)
 
