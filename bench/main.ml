@@ -1677,13 +1677,178 @@ let ablations () =
   print_endline " greedy join order, O(1) sampling and pre-compilation simplification";
   print_endline " are the measured wins)"
 
+(* ---- E18: serve daemon saturation (emits BENCH_serve.json) ---- *)
+
+(* Loopback saturation of `gqkg serve`: N concurrent clients fire
+   queries (with a sprinkle of mutations and pings) as fast as the
+   daemon answers, then the server drains gracefully.  The numbers an
+   operator sizes the daemon with — qps, p50/p99, shed count, trip
+   rate — come from the server's own /metrics, plus the leak
+   assertions (live epochs, pins) measured after the drain. *)
+let serve_workload ?(small = false) () =
+  let module Server = Gqkg_server.Server in
+  let module Jsonx = Gqkg_server.Jsonx in
+  Table.section
+    (Printf.sprintf "E18: serve daemon saturation (%s) - concurrent clients over loopback"
+       (if small then "small" else "full"));
+  let n_clients = if small then 4 else 8 in
+  let n_requests = if small then 60 else 400 in
+  let rng0 = Splitmix.create 1800 in
+  let pg = Gqkg_workload.Contact_network.scaled rng0 ~scale:(if small then 2 else 6) in
+  let mgr = Epochs.create (Overlay.base_of_property pg) in
+  let config =
+    {
+      Server.default_config with
+      workers = 4;
+      queue_depth = 32;
+      per_client_depth = 8;
+      default_timeout_ms = Some 5_000;
+    }
+  in
+  let srv = Server.start ~port:0 ~config mgr in
+  let port = Server.port srv in
+  let queries =
+    [| "rides"; "rides/route*"; "lives/lives^-"; "(contact)*"; "contact/contact" |]
+  in
+  let failures = Atomic.make 0 in
+  let client_thread k =
+    let rng = Splitmix.create (1800 + k) in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+    let buf = ref "" in
+    let chunk = Bytes.create 4096 in
+    let recv_line () =
+      let rec go () =
+        match String.index_opt !buf '\n' with
+        | Some i ->
+            let line = String.sub !buf 0 i in
+            buf := String.sub !buf (i + 1) (String.length !buf - i - 1);
+            Some line
+        | None -> (
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> None
+            | n ->
+                buf := !buf ^ Bytes.sub_string chunk 0 n;
+                go ()
+            | exception Unix.Unix_error _ -> None)
+      in
+      go ()
+    in
+    (try
+       for j = 1 to n_requests do
+         let roll = Splitmix.int rng 12 in
+         let line =
+           if roll = 0 then
+             Printf.sprintf
+               {|{"op":"mutate","ops":["node bs%dn%d person"]}|} k j
+           else if roll = 1 then {|{"op":"ping"}|}
+           else
+             Printf.sprintf {|{"op":"query","q":"%s"}|}
+               queries.(Splitmix.int rng (Array.length queries))
+         in
+         let s = line ^ "\n" in
+         ignore (Unix.write fd (Bytes.of_string s) 0 (String.length s));
+         match recv_line () with
+         | Some resp -> (
+             match Jsonx.parse resp with
+             | Ok _ -> ()
+             | Error _ -> Atomic.incr failures)
+         | None -> Atomic.incr failures
+       done
+     with _ -> Atomic.incr failures);
+    try Unix.close fd with _ -> ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init n_clients (fun k -> Thread.create client_thread k) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let m = Server.metrics srv in
+  let t_drain0 = Unix.gettimeofday () in
+  Server.stop srv;
+  let drain_ms = 1000.0 *. (Unix.gettimeofday () -. t_drain0) in
+  let num name =
+    match Option.bind (Jsonx.member name m) Jsonx.num with Some f -> f | None -> 0.0
+  in
+  let pins = Epochs.pins mgr in
+  let live = List.length (Epochs.live_epochs mgr) in
+  let drained_clean = pins = 0 && live = 1 && Atomic.get failures = 0 in
+  let total = n_clients * n_requests in
+  let qps = float_of_int total /. wall in
+  Printf.printf "  %d clients x %d requests in %.2f s: %.0f req/s end-to-end\n" n_clients
+    n_requests wall qps;
+  Printf.printf "  server-side: p50 %.2f ms, p99 %.2f ms, queue peak %.0f, shed %.0f\n"
+    (num "p50_ms") (num "p99_ms") (num "queue_peak") (num "shed");
+  Printf.printf "  epochs: %.0f committed live, %d live / %d pins after drain (%.0f ms drain)\n"
+    (num "epoch") live pins drain_ms;
+  Printf.printf "  drained clean: %b (%d client failures)\n" drained_clean
+    (Atomic.get failures);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"serve\",\n\
+      \  \"clients\": %d, \"requests_per_client\": %d,\n\
+      \  \"qps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f,\n\
+      \  \"queue_peak\": %.0f, \"shed\": %.0f, \"budget_trips\": %.0f,\n\
+      \  \"responses\": %.0f, \"cache_hit_rate\": %.3f,\n\
+      \  \"final_epoch\": %.0f, \"live_epochs_after\": %d, \"pins_after\": %d,\n\
+      \  \"drain_ms\": %.1f, \"drained_clean\": %b\n\
+      }\n"
+      n_clients n_requests qps (num "p50_ms") (num "p99_ms") (num "queue_peak") (num "shed")
+      (num "budget_trips") (num "responses")
+      (match Jsonx.member "cache" m with
+      | Some cache -> (
+          match Option.bind (Jsonx.member "hit_rate" cache) Jsonx.num with
+          | Some f -> f
+          | None -> 0.0)
+      | None -> 0.0)
+      (num "epoch") live pins drain_ms drained_clean
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc json;
+  close_out oc;
+  print_endline "  wrote BENCH_serve.json"
+
+(* Ctrl-C must not kill the run mid-write: the handler only raises a
+   flag, the dispatch loop stops at the next section boundary, and
+   everything already printed or written (BENCH files included) stays
+   flushed and well-formed.  Exit is 130 as interrupted tools should. *)
+let interrupted = ref false
+
+let install_interrupt () =
+  try
+    Sys.set_signal Sys.sigint
+      (Sys.Signal_handle
+         (fun _ ->
+           interrupted := true;
+           prerr_endline "bench: interrupt requested, finishing current section..."))
+  with Invalid_argument _ -> ()
+
+let section_or_skip f =
+  if !interrupted then () else f ()
+
+let finish_if_interrupted () =
+  if !interrupted then begin
+    prerr_endline "bench: interrupted; completed sections were flushed above";
+    exit 130
+  end
+
 let () =
+  install_interrupt ();
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   let huge = Array.exists (fun a -> a = "huge") Sys.argv in
   if Array.exists (fun a -> a = "join") Sys.argv then begin
     (* E17 alone: the join-engine A/B without the scale tiers. *)
     let small = Array.exists (fun a -> a = "small") Sys.argv in
     ignore (join_workload ~small ());
+    exit 0
+  end;
+  if Array.exists (fun a -> a = "serve") Sys.argv then begin
+    (* E18 alone: daemon saturation over loopback; "small" is the CI
+       smoke configuration. *)
+    let small = Array.exists (fun a -> a = "small") Sys.argv in
+    serve_workload ~small ();
+    finish_if_interrupted ();
     exit 0
   end;
   if Array.exists (fun a -> a = "rpq") Sys.argv then begin
@@ -1695,23 +1860,27 @@ let () =
       scale_tier ~small ~huge () ^ mutation_workload ~small () ^ join_workload ~small ()
     in
     rpq_kernel ~small ~extra_json ();
+    finish_if_interrupted ();
     exit 0
   end;
-  figure1 ();
-  figure2 ();
-  worked_queries ();
-  counting ();
-  uniform_generation ();
-  enumeration ();
-  variety ();
-  centrality ();
-  logic ();
-  gnn ();
-  models ();
-  ablations ();
-  completion ();
+  section_or_skip figure1;
+  section_or_skip figure2;
+  section_or_skip worked_queries;
+  section_or_skip counting;
+  section_or_skip uniform_generation;
+  section_or_skip enumeration;
+  section_or_skip variety;
+  section_or_skip centrality;
+  section_or_skip logic;
+  section_or_skip gnn;
+  section_or_skip models;
+  section_or_skip ablations;
+  section_or_skip completion;
+  finish_if_interrupted ();
   let extra_json = scale_tier ~huge () ^ mutation_workload () ^ join_workload () in
   rpq_kernel ~extra_json ();
-  if not quick then bechamel_timings ();
+  section_or_skip (fun () -> serve_workload ());
+  if (not quick) && not !interrupted then bechamel_timings ();
+  finish_if_interrupted ();
   print_newline ();
   print_endline "done: all experiment sections completed."

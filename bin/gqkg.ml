@@ -10,6 +10,7 @@
      contain     decide containment / equivalence of two path queries
      save        freeze a graph to a binary snapshot (.gqs), optionally renumbered
      mutate      apply a mutation script via the delta overlay, committing epochs
+     serve       multi-tenant query daemon: newline-delimited JSON over TCP
      stats       structural statistics of a graph
      wl          Weisfeiler-Lehman color refinement summary
 
@@ -165,6 +166,19 @@ let report_budget budget =
       prerr_endline (Gqkg_analysis.Diagnostic.to_json d);
       exit 3
 
+(* Ctrl-C trips the active budget instead of killing the process
+   mid-write: the kernel unwinds cooperatively at its next budget
+   check, the sound partial answer is printed, and [report_budget]
+   exits 3 with a GQ034 diagnostic — the same degradation ladder a
+   timeout takes. *)
+let cancel_on_sigint budget f =
+  match
+    Sys.signal Sys.sigint
+      (Sys.Signal_handle (fun _ -> Gqkg_util.Budget.cancel budget))
+  with
+  | exception Invalid_argument _ -> f () (* platform without signals *)
+  | previous -> Fun.protect ~finally:(fun () -> Sys.set_signal Sys.sigint previous) f
+
 (* ---- generate ---- *)
 
 let generate_cmd =
@@ -243,7 +257,8 @@ let query_cmd =
     let inst = load_instance path in
     let r = parse_regex regex in
     let budget = make_budget limits in
-    (match sources with
+    cancel_on_sigint budget (fun () ->
+    match sources with
     | None ->
         (* Through the Governor, so repeated evaluations of the same
            (or a semantically equivalent) query hit the semantic result
@@ -449,10 +464,12 @@ let match_cmd =
     if show_plan then print_string (Gqkg_logic.Crpq.explain ?max_length inst q)
     else begin
       let budget = make_budget limits in
-      List.iter
-        (fun row ->
-          print_endline (String.concat "\t" (List.map (fun v -> inst.Snapshot.node_name v) row)))
-        (Gqkg_logic.Crpq.answers ~budget ?max_length inst q);
+      cancel_on_sigint budget (fun () ->
+          List.iter
+            (fun row ->
+              print_endline
+                (String.concat "\t" (List.map (fun v -> inst.Snapshot.node_name v) row)))
+            (Gqkg_logic.Crpq.answers ~budget ?max_length inst q));
       report_budget budget
     end
   in
@@ -933,18 +950,36 @@ let mutate_cmd =
         overlay := Overlay.create (Epochs.base mgr)
       end
     in
-    List.iteri
-      (fun i (line, op) ->
-        (try Overlay.apply ~file:ops_file ~line !overlay op
-         with Journal.Replay_error _ as e -> fail_journal ~path:ops_file e);
-        match commit_every with
-        | Some n when n > 0 && (i + 1) mod n = 0 -> flush_commit ()
-        | _ -> ())
-      ops;
+    (* Ctrl-C must not kill the process mid-commit: the handler only
+       raises a flag, the apply loop stops at the next op boundary, the
+       pending overlay is flushed as a final (consistent) commit, and
+       any --journal/--save outputs are still written.  Exit is then 3
+       with a GQ034 diagnostic naming how far the script got. *)
+    let interrupted = ref false in
+    let previous_sigint =
+      try Some (Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> interrupted := true)))
+      with Invalid_argument _ -> None
+    in
+    let applied = ref 0 in
+    (try
+       List.iteri
+         (fun i (line, op) ->
+           if !interrupted then raise Exit;
+           (try Overlay.apply ~file:ops_file ~line !overlay op
+            with Journal.Replay_error _ as e -> fail_journal ~path:ops_file e);
+           incr applied;
+           match commit_every with
+           | Some n when n > 0 && (i + 1) mod n = 0 -> flush_commit ()
+           | _ -> ())
+         ops
+     with Exit -> ());
     flush_commit ();
+    (match previous_sigint with
+    | Some h -> Sys.set_signal Sys.sigint h
+    | None -> ());
     let snap = Epochs.snapshot mgr in
     Printf.printf "applied %d ops in %d commit(s): %d nodes, %d edges (epoch %d -> %d)\n"
-      (List.length ops) !commits snap.Snapshot.num_nodes snap.Snapshot.num_edges epoch0
+      !applied !commits snap.Snapshot.num_nodes snap.Snapshot.num_edges epoch0
       snap.Snapshot.epoch;
     if !commits > 0 then
       Printf.printf "columns: %d reused, %d rebuilt across commits (reuse ratio %.2f)\n" !reused
@@ -967,7 +1002,7 @@ let mutate_cmd =
         let report = Snapshot_io.save ~path snap in
         Printf.printf "snapshot: wrote %s (%d bytes)\n" path report.Snapshot_io.file_bytes
     | None -> ());
-    match query with
+    (match query with
     | Some regex ->
         let r = parse_regex regex in
         let o = Governor.eval_pairs ~budget:(Gqkg_util.Budget.create ()) snap r in
@@ -975,7 +1010,18 @@ let mutate_cmd =
           (fun (a, b) ->
             Printf.printf "%s\t%s\n" (snap.Snapshot.node_name a) (snap.Snapshot.node_name b))
           o.Gqkg_util.Budget.value
-    | None -> ()
+    | None -> ());
+    if !interrupted then begin
+      prerr_endline
+        (Gqkg_analysis.Diagnostic.to_json
+           (Gqkg_analysis.Diagnostic.make ~code:"GQ034"
+              ~severity:Gqkg_analysis.Diagnostic.Error ~subterm:ops_file
+              ~message:
+                (Printf.sprintf
+                   "interrupted: applied %d of %d ops; committed epochs and outputs are consistent"
+                   !applied (List.length ops))));
+      exit 3
+    end
   in
   let input =
     Arg.(
@@ -1030,6 +1076,129 @@ let mutate_cmd =
     Term.(
       const run $ verbose_flag $ input $ ops_file $ journal_out $ save_out $ query $ commit_every
       $ tolerate)
+
+(* ---- serve (fault-tolerant multi-tenant query daemon) ---- *)
+
+let serve_cmd =
+  let run () path port max_clients workers queue_depth per_client default_timeout_ms
+      default_max_states idle_timeout_ms fault_trip fault_drop =
+    let base =
+      try
+        if names_snapshot path then Overlay.base_of_snapshot (load_snapshot path)
+        else Overlay.base_of_property (load_property path)
+      with Invalid_argument message -> fail_user ~code:"GQ046" ~subterm:path ~message
+    in
+    let mgr = Epochs.create base in
+    let config =
+      {
+        Gqkg_server.Server.default_config with
+        max_clients;
+        workers;
+        queue_depth;
+        per_client_depth = per_client;
+        default_timeout_ms = Some default_timeout_ms;
+        default_max_states;
+        idle_timeout_ms;
+        fault_trip_after_checks = fault_trip;
+        fault_drop_after = fault_drop;
+      }
+    in
+    let server =
+      match Gqkg_server.Server.start ~port ~config mgr with
+      | s -> s
+      | exception Unix.Unix_error (e, _, _) ->
+          fail_user ~code:"GQ046" ~subterm:(string_of_int port)
+            ~message:(Printf.sprintf "cannot listen on port %d: %s" port (Unix.error_message e))
+    in
+    let snap = Epochs.snapshot mgr in
+    Printf.printf "gqkg serve: listening on 127.0.0.1:%d (epoch %d, %d nodes, %d edges)\n%!"
+      (Gqkg_server.Server.port server)
+      snap.Snapshot.epoch snap.Snapshot.num_nodes snap.Snapshot.num_edges;
+    (* SIGTERM/SIGINT request a graceful drain: stop accepting, finish
+       or trip in-flight work, flush every response, then exit 0. *)
+    let stop_requested = ref false in
+    let request_stop _ = stop_requested := true in
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop)
+     with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop)
+     with Invalid_argument _ -> ());
+    while not !stop_requested do
+      try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    prerr_endline "gqkg serve: draining...";
+    Gqkg_server.Server.stop server;
+    print_endline (Gqkg_server.Jsonx.to_string (Gqkg_server.Server.metrics server))
+  in
+  let port =
+    Arg.(
+      value & opt int 7687
+      & info [ "port" ] ~docv:"P" ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let max_clients =
+    Arg.(
+      value & opt int 32
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:"Concurrent connections; beyond this, new connections get GQ061 and are closed.")
+  in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Request-execution threads.")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:"Admission-queue capacity; beyond this, requests are shed with GQ060.")
+  in
+  let per_client =
+    Arg.(
+      value & opt int 8
+      & info [ "per-client-depth" ] ~docv:"N"
+          ~doc:"One client's share of the queue (fairness bound).")
+  in
+  let default_timeout_ms =
+    Arg.(
+      value & opt int 10_000
+      & info [ "default-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline when the request carries no timeout_ms field; exhaustion \
+             degrades to a sound partial answer.")
+  in
+  let default_max_states =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "default-max-states" ] ~docv:"N"
+          ~doc:"Default per-request bound on interned product states.")
+  in
+  let idle_timeout_ms =
+    Arg.(
+      value & opt int 30_000
+      & info [ "idle-timeout-ms" ] ~docv:"MS"
+          ~doc:"Close connections silent for this long (GQ064 notice first).")
+  in
+  let fault_trip =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-trip-after-checks" ] ~docv:"N"
+          ~doc:"Fault injector: arm every request budget to trip after N checks (soak testing).")
+  in
+  let fault_drop =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-drop-after" ] ~docv:"N"
+          ~doc:"Fault injector: hard-drop each connection after every N responses (soak testing).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a graph to concurrent clients over newline-delimited JSON with admission \
+          control, MVCC epochs and graceful degradation")
+    Term.(
+      const run $ verbose_flag $ graph_arg $ port $ max_clients $ workers $ queue_depth
+      $ per_client $ default_timeout_ms $ default_max_states $ idle_timeout_ms $ fault_trip
+      $ fault_drop)
 
 (* ---- stats ---- *)
 
@@ -1090,7 +1259,8 @@ let wl_cmd =
 let known_subcommands =
   [
     "generate"; "query"; "match"; "count"; "sample"; "enumerate"; "centrality"; "contain";
-    "convert"; "materialize"; "mutate"; "sparql"; "explain"; "lint"; "save"; "stats"; "wl";
+    "convert"; "materialize"; "mutate"; "serve"; "sparql"; "explain"; "lint"; "save"; "stats";
+    "wl";
   ]
 
 let () =
@@ -1136,6 +1306,7 @@ let () =
             contain_cmd;
             save_cmd;
             mutate_cmd;
+            serve_cmd;
             stats_cmd;
             wl_cmd;
           ])

@@ -57,6 +57,7 @@ let budget_code = function
   | Gqkg_util.Budget.State_limit -> "GQ031"
   | Gqkg_util.Budget.Step_limit -> "GQ032"
   | Gqkg_util.Budget.Injected -> "GQ033"
+  | Gqkg_util.Budget.Cancelled -> "GQ034"
 
 let of_budget b =
   match Gqkg_util.Budget.exhausted b with

@@ -27,7 +27,8 @@ val sort : t list -> t list
 val has_errors : t list -> bool
 
 (** Stable code for a budget-exhaustion reason: GQ030 timeout, GQ031
-    state limit, GQ032 step limit, GQ033 injected (fault harness). *)
+    state limit, GQ032 step limit, GQ033 injected (fault harness),
+    GQ034 cancelled (signal or server drain). *)
 val budget_code : Gqkg_util.Budget.reason -> string
 
 (** The GQ03x warning describing why (and after how much consumption) an

@@ -10,12 +10,16 @@ let outcome budget value = { Budget.value; completeness = Budget.completeness bu
 (* eval_pairs consults the semantic result cache: keyed by the query's
    canonical-automaton key (+ max_length) and the snapshot epoch, so
    syntactically different but equivalent queries share one entry.
-   Only Complete results are stored, and only unlimited budgets look up
-   — a Partial answer must never be served as if it were the whole
-   truth, and a budgeted run must actually consume its budget. *)
-let eval_pairs ~budget ?max_length inst regex =
+   Only Complete results are stored, and by default only unlimited
+   budgets look up — a Partial answer must never be served as if it
+   were the whole truth, and a budgeted run must actually consume its
+   budget (the fault-injection suites rely on that).  [use_cache]
+   opts a budgeted caller in: serving a cached Complete result under a
+   budget is sound (it IS the whole truth) and is how the server keeps
+   hot queries cheap while every request still carries a deadline. *)
+let eval_pairs ?(use_cache = false) ~budget ?max_length inst regex =
   let key =
-    if Budget.is_unlimited budget && !Semcache.enabled then
+    if (use_cache || Budget.is_unlimited budget) && !Semcache.enabled then
       Option.map
         (fun k ->
           match max_length with Some l -> k ^ "|len" ^ string_of_int l | None -> k)

@@ -19,8 +19,13 @@ open Gqkg_automata
 module Budget = Gqkg_util.Budget
 
 (** All pairs (a, b) joined by a matching path, sorted; a [Partial]
-    result is a subset of the pairs. *)
+    result is a subset of the pairs.  [use_cache] (default false) lets
+    a budgeted evaluation consult the semantic result cache too: a
+    cached entry is always a Complete answer, so serving it under any
+    budget is sound — the server's hot path.  Unbudgeted evaluations
+    always consult the cache regardless. *)
 val eval_pairs :
+  ?use_cache:bool ->
   budget:Budget.t ->
   ?max_length:int ->
   Snapshot.t ->

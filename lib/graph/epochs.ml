@@ -84,3 +84,6 @@ let live_epochs t =
 
 let commits t = locked t (fun () -> t.n_commits)
 let retired t = locked t (fun () -> t.n_retired)
+
+let pins t =
+  locked t (fun () -> List.fold_left (fun acc e -> acc + e.pins) 0 t.live)

@@ -49,3 +49,7 @@ val commits : t -> int
 
 (** Epochs that have fully retired (superseded and unpinned). *)
 val retired : t -> int
+
+(** Outstanding pins across all live epochs — 0 after a clean drain;
+    the server's leak assertions and /metrics read it. *)
+val pins : t -> int

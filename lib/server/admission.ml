@@ -1,0 +1,93 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  depth_cap : int;
+  per_client : int;
+  queues : (int, 'a Queue.t) Hashtbl.t;
+  mutable rotation : int list;
+      (** clients with pending work, head served next; a served client
+          re-enters at the tail — round-robin fairness *)
+  mutable total : int;
+  mutable peak : int;
+  mutable draining : bool;
+}
+
+type outcome = Accepted | Shed_full | Shed_client | Draining
+
+let create ~depth ~per_client =
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    depth_cap = max 1 depth;
+    per_client = max 1 per_client;
+    queues = Hashtbl.create 16;
+    rotation = [];
+    total = 0;
+    peak = 0;
+    draining = false;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let submit t ~client job =
+  locked t (fun () ->
+      if t.draining then Draining
+      else if t.total >= t.depth_cap then Shed_full
+      else begin
+        let q =
+          match Hashtbl.find_opt t.queues client with
+          | Some q -> q
+          | None ->
+              let q = Queue.create () in
+              Hashtbl.replace t.queues client q;
+              q
+        in
+        if Queue.length q >= t.per_client then Shed_client
+        else begin
+          if Queue.is_empty q then t.rotation <- t.rotation @ [ client ];
+          Queue.push job q;
+          t.total <- t.total + 1;
+          if t.total > t.peak then t.peak <- t.total;
+          Condition.signal t.nonempty;
+          Accepted
+        end
+      end)
+
+let take t =
+  locked t (fun () ->
+      while t.total = 0 && not t.draining do
+        Condition.wait t.nonempty t.lock
+      done;
+      if t.total = 0 then None
+      else begin
+        match t.rotation with
+        | [] -> assert false
+        | client :: rest ->
+            let q = Hashtbl.find t.queues client in
+            let job = Queue.pop q in
+            t.total <- t.total - 1;
+            t.rotation <-
+              (if Queue.is_empty q then rest else rest @ [ client ]);
+            Some job
+      end)
+
+let drain t =
+  locked t (fun () ->
+      t.draining <- true;
+      Condition.broadcast t.nonempty)
+
+let depth t = locked t (fun () -> t.total)
+let peak t = locked t (fun () -> t.peak)
+
+let forget_client t ~client =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.queues client with
+      | None -> 0
+      | Some q ->
+          let dropped = Queue.length q in
+          t.total <- t.total - dropped;
+          t.rotation <- List.filter (fun c -> c <> client) t.rotation;
+          Hashtbl.remove t.queues client;
+          dropped)

@@ -1,0 +1,49 @@
+(** Admission controller: a bounded request queue with fair per-client
+    scheduling.
+
+    The queue is the server's overload valve.  Each connected client
+    gets its own FIFO, and workers drain the FIFOs round-robin, so a
+    client pipelining a thousand requests cannot starve the others —
+    per-client order is preserved while cross-client service is fair.
+
+    Both capacities are hard: when the global queue is full, or one
+    client's FIFO is full, {!submit} refuses immediately ([`Shed_...])
+    instead of queueing unboundedly — the caller answers GQ060 with a
+    retry hint and the client backs off.  This bounds memory and keeps
+    tail latency finite under overload (load shedding beats collapse).
+
+    Thread-safe; one mutex around a few list/queue operations. *)
+
+type 'a t
+
+(** [create ~depth ~per_client] — [depth] bounds the total queued
+    requests across all clients, [per_client] bounds one client's
+    share. *)
+val create : depth:int -> per_client:int -> 'a t
+
+type outcome =
+  | Accepted
+  | Shed_full  (** global queue at capacity — overloaded *)
+  | Shed_client  (** this client's FIFO at capacity — unfair pipeliner *)
+  | Draining  (** server is shutting down; no new work accepted *)
+
+val submit : 'a t -> client:int -> 'a -> outcome
+
+(** Blocking take for workers: the next job in round-robin client
+    order; [None] once the queue is draining AND empty — the worker's
+    signal to exit. *)
+val take : 'a t -> 'a option
+
+(** Stop accepting and wake every blocked worker; already-queued jobs
+    are still handed out (graceful drain finishes accepted work). *)
+val drain : 'a t -> unit
+
+val depth : 'a t -> int
+(** Jobs currently queued. *)
+
+val peak : 'a t -> int
+(** High-water mark of {!depth}. *)
+
+(** Drop a disconnected client's pending jobs (their responses could
+    never be delivered); returns how many were discarded. *)
+val forget_client : 'a t -> client:int -> int

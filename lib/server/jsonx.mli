@@ -1,0 +1,31 @@
+(** Minimal self-contained JSON codec for the wire protocol.
+
+    The container ships no JSON library, and the daemon's needs are
+    small: parse one request object per line, print one response object
+    per line.  The parser is strict enough to reject garbage (the fuzz
+    suite feeds it arbitrary bytes) and total — it never raises; every
+    failure is a [Error message] with a position. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON value (leading/trailing whitespace allowed;
+    trailing garbage is an error). *)
+
+val to_string : t -> string
+(** Compact one-line rendering with full string escaping — safe to
+    write as one NDJSON frame. *)
+
+(** {2 Accessors} — [None] on missing member or wrong shape. *)
+
+val member : string -> t -> t option
+val str : t -> string option
+val num : t -> float option
+val int_opt : t -> int option
+val arr : t -> t list option

@@ -1,0 +1,666 @@
+module Budget = Gqkg_util.Budget
+module Mclock = Gqkg_util.Mclock
+module Epochs = Gqkg_graph.Epochs
+module Snapshot = Gqkg_graph.Snapshot
+module Overlay = Gqkg_graph.Overlay
+module Journal = Gqkg_graph.Journal
+module Governor = Gqkg_core.Governor
+module Semcache = Gqkg_core.Semcache
+module Diagnostic = Gqkg_analysis.Diagnostic
+module Regex_parser = Gqkg_automata.Regex_parser
+
+type config = {
+  max_clients : int;
+  workers : int;
+  queue_depth : int;
+  per_client_depth : int;
+  default_timeout_ms : int option;
+  default_max_states : int option;
+  idle_timeout_ms : int;
+  write_timeout_ms : int;
+  max_line_bytes : int;
+  drain_grace_ms : int;
+  answer_limit : int;
+  fault_trip_after_checks : int option;
+  fault_drop_after : int option;
+}
+
+let default_config =
+  {
+    max_clients = 32;
+    workers = 4;
+    queue_depth = 64;
+    per_client_depth = 8;
+    default_timeout_ms = Some 10_000;
+    default_max_states = None;
+    idle_timeout_ms = 30_000;
+    write_timeout_ms = 5_000;
+    max_line_bytes = 1_048_576;
+    drain_grace_ms = 2_000;
+    answer_limit = 10_000;
+    fault_trip_after_checks = None;
+    fault_drop_after = None;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  client : int;
+  wlock : Mutex.t;
+  dead : bool Atomic.t;
+      (* set by whoever hits a write error / drop injection / drain;
+         only the connection's own reader thread ever closes [fd] *)
+  sent : int Atomic.t;
+}
+
+type job = { conn : conn; req : Jsonx.t; submitted_ns : int64 }
+
+type t = {
+  config : config;
+  mgr : Epochs.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  metrics : Metrics.t;
+  queue : job Admission.t;
+  stopping : bool Atomic.t;  (** drain requested: accept loop exits *)
+  stopped : bool Atomic.t;  (** [stop] ran to completion *)
+  conns_lock : Mutex.t;
+  conns : (int, conn) Hashtbl.t;
+  mutable conn_threads : Thread.t list;
+  mutable workers : Thread.t list;
+  mutable accept_thread : Thread.t option;
+  writer_lock : Mutex.t;  (** single-writer mutation discipline *)
+  act_lock : Mutex.t;
+  active : (int, Budget.t) Hashtbl.t;  (** budgets of in-flight requests *)
+  next_client : int Atomic.t;
+  next_req : int Atomic.t;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Wire helpers                                                        *)
+
+let json_of_diag (d : Diagnostic.t) =
+  Jsonx.Obj
+    [
+      ("code", Jsonx.Str d.code);
+      ("severity", Jsonx.Str (Diagnostic.severity_to_string d.severity));
+      ("subterm", Jsonx.Str d.subterm);
+      ("message", Jsonx.Str d.message);
+    ]
+
+let echo_id req =
+  match Jsonx.member "id" req with Some v -> [ ("id", v) ] | None -> []
+
+let error_json ?(extra = []) ?(id = []) ~code ~message () =
+  Jsonx.Obj
+    ([ ("ok", Jsonx.Bool false); ("code", Jsonx.Str code);
+       ("message", Jsonx.Str message) ]
+    @ id @ extra)
+
+(* Whole-line writes under the connection's write lock so concurrent
+   worker / reader responses never interleave mid-line.  A blocked
+   write on a slow client fails via SO_SNDTIMEO instead of wedging the
+   worker; any write error marks the connection dead (its reader thread
+   notices and cleans up). *)
+let write_json t conn json =
+  let s = Jsonx.to_string json ^ "\n" in
+  Mutex.lock conn.wlock;
+  let ok =
+    if Atomic.get conn.dead then false
+    else
+      try
+        let b = Bytes.unsafe_of_string s in
+        let len = Bytes.length b in
+        let off = ref 0 in
+        while !off < len do
+          let n = Unix.write conn.fd b !off (len - !off) in
+          if n <= 0 then raise Exit;
+          off := !off + n
+        done;
+        true
+      with _ ->
+        Atomic.set conn.dead true;
+        false
+  in
+  Mutex.unlock conn.wlock;
+  if ok then begin
+    Metrics.incr_responses t.metrics;
+    let sent = Atomic.fetch_and_add conn.sent 1 + 1 in
+    match t.config.fault_drop_after with
+    | Some k when k > 0 && sent mod k = 0 ->
+        (* deterministic fault injection: hard-drop the connection the
+           way a crashing client would — no goodbye, reader wakes on
+           EOF.  The soak test asserts the server survives this. *)
+        Metrics.incr_injected_drops t.metrics;
+        Atomic.set conn.dead true;
+        (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with _ -> ())
+    | _ -> ()
+  end;
+  ok
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (worker side)                                     *)
+
+let int_field req name =
+  match Jsonx.member name req with None -> None | Some v -> Jsonx.int_opt v
+
+let budget_of t req =
+  let timeout_ms =
+    match int_field req "timeout_ms" with
+    | Some v -> Some v
+    | None -> t.config.default_timeout_ms
+  in
+  let max_states =
+    match int_field req "max_states" with
+    | Some v -> Some v
+    | None -> t.config.default_max_states
+  in
+  let max_steps = int_field req "max_steps" in
+  Budget.create ?timeout_ms ?max_states ?max_steps
+    ?trip_after_checks:t.config.fault_trip_after_checks ()
+
+(* Register the budget while the request runs so a graceful drain can
+   cancel stragglers (they come back as sound Partial answers). *)
+let with_active t budget f =
+  let key = Atomic.fetch_and_add t.next_req 1 in
+  Mutex.lock t.act_lock;
+  Hashtbl.replace t.active key budget;
+  Mutex.unlock t.act_lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.act_lock;
+      Hashtbl.remove t.active key;
+      Mutex.unlock t.act_lock)
+    f
+
+let completeness_fields t budget (completeness : Budget.completeness) =
+  match completeness with
+  | Budget.Complete -> [ ("complete", Jsonx.Bool true) ]
+  | Budget.Partial _ ->
+      Metrics.incr_trips t.metrics;
+      let diag =
+        match Diagnostic.of_budget budget with
+        | Some d -> [ ("diagnostic", json_of_diag d) ]
+        | None -> []
+      in
+      ("complete", Jsonx.Bool false) :: diag
+
+let rec take_pairs n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | p :: rest -> p :: take_pairs (n - 1) rest
+
+let handle_query t req ~id =
+  match Option.bind (Jsonx.member "q" req) Jsonx.str with
+  | None -> error_json ~id ~code:"GQ062" ~message:{|query needs a "q" string field|} ()
+  | Some qtext -> (
+      match Regex_parser.parse qtext with
+      | exception Regex_parser.Error { position; message } ->
+          error_json ~id ~code:"GQ042"
+            ~message:(Printf.sprintf "parse error at %d: %s" position message)
+            ()
+      | regex ->
+          let budget = budget_of t req in
+          let max_length = int_field req "max_length" in
+          let limit =
+            match int_field req "limit" with
+            | Some v -> min (max 0 v) t.config.answer_limit
+            | None -> t.config.answer_limit
+          in
+          with_active t budget (fun () ->
+              Epochs.with_pinned t.mgr (fun snap ->
+                  let o =
+                    Governor.eval_pairs ~use_cache:true ~budget ?max_length snap
+                      regex
+                  in
+                  let total = List.length o.Budget.value in
+                  let shown = take_pairs limit o.Budget.value in
+                  let pairs =
+                    Jsonx.Arr
+                      (List.map
+                         (fun (a, b) ->
+                           Jsonx.Arr
+                             [ Jsonx.Str (snap.Snapshot.node_name a);
+                               Jsonx.Str (snap.Snapshot.node_name b) ])
+                         shown)
+                  in
+                  Jsonx.Obj
+                    ([ ("ok", Jsonx.Bool true); ("op", Jsonx.Str "query") ]
+                    @ id
+                    @ [
+                        ("epoch", Jsonx.Num (float_of_int snap.Snapshot.epoch));
+                        ("total", Jsonx.Num (float_of_int total));
+                        ("truncated", Jsonx.Bool (total > limit));
+                        ("pairs", pairs);
+                        ("elapsed_ms", Jsonx.Num (Budget.elapsed_ms budget));
+                      ]
+                    @ completeness_fields t budget o.Budget.completeness))))
+
+let handle_count t req ~id =
+  match Option.bind (Jsonx.member "q" req) Jsonx.str with
+  | None -> error_json ~id ~code:"GQ062" ~message:{|count needs a "q" string field|} ()
+  | Some qtext -> (
+      match Regex_parser.parse qtext with
+      | exception Regex_parser.Error { position; message } ->
+          error_json ~id ~code:"GQ042"
+            ~message:(Printf.sprintf "parse error at %d: %s" position message)
+            ()
+      | regex ->
+          let length =
+            match int_field req "length" with Some v -> max 0 v | None -> 3
+          in
+          let budget = budget_of t req in
+          with_active t budget (fun () ->
+              Epochs.with_pinned t.mgr (fun snap ->
+                  let o = Governor.count ~budget snap regex ~length in
+                  Jsonx.Obj
+                    ([ ("ok", Jsonx.Bool true); ("op", Jsonx.Str "count") ]
+                    @ id
+                    @ [
+                        ("epoch", Jsonx.Num (float_of_int snap.Snapshot.epoch));
+                        ("length", Jsonx.Num (float_of_int length));
+                        ("count", Jsonx.Num o.Budget.value);
+                      ]
+                    @ completeness_fields t budget o.Budget.completeness))))
+
+(* Mutations are atomic per request: either every op applies and one
+   epoch is committed, or (on the first bad op) the whole overlay is
+   abandoned — GQ048, base untouched, exactly the journal's replay
+   semantics.  [writer_lock] serializes writers so every overlay is
+   built on the current epoch (Epochs.commit enforces it). *)
+let handle_mutate t req ~id =
+  let ops =
+    match Jsonx.member "ops" req with
+    | Some (Jsonx.Arr items) ->
+        Some
+          (List.filter_map
+             (fun v -> match Jsonx.str v with Some s -> Some s | None -> None)
+             items)
+    | _ -> None
+  in
+  match ops with
+  | None ->
+      error_json ~id ~code:"GQ062"
+        ~message:{|mutate needs an "ops" array of script lines|} ()
+  | Some lines ->
+      Mutex.lock t.writer_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.writer_lock)
+        (fun () ->
+          let overlay = Overlay.create (Epochs.base t.mgr) in
+          let result =
+            try
+              List.iteri
+                (fun i line ->
+                  match Journal.op_of_line ~line:(i + 1) line with
+                  | None -> ()
+                  | Some op -> Overlay.apply ~line:(i + 1) overlay op)
+                lines;
+              Ok (Overlay.size overlay)
+            with Journal.Replay_error { line; message; _ } ->
+              Error (Printf.sprintf "ops[%d]: %s" (line - 1) message)
+          in
+          match result with
+          | Error message -> error_json ~id ~code:"GQ048" ~message ()
+          | Ok 0 ->
+              let snap = Epochs.snapshot t.mgr in
+              Jsonx.Obj
+                ([ ("ok", Jsonx.Bool true); ("op", Jsonx.Str "mutate") ]
+                @ id
+                @ [
+                    ("applied", Jsonx.Num 0.0);
+                    ("epoch", Jsonx.Num (float_of_int snap.Snapshot.epoch));
+                  ])
+          | Ok applied ->
+              let base, reuse = Governor.commit t.mgr overlay in
+              let snap = Overlay.snapshot base in
+              Jsonx.Obj
+                ([ ("ok", Jsonx.Bool true); ("op", Jsonx.Str "mutate") ]
+                @ id
+                @ [
+                    ("applied", Jsonx.Num (float_of_int applied));
+                    ("epoch", Jsonx.Num (float_of_int snap.Snapshot.epoch));
+                    ( "columns_reused",
+                      Jsonx.Num (float_of_int (List.length reuse.Overlay.reused)) );
+                    ( "columns_rebuilt",
+                      Jsonx.Num (float_of_int (List.length reuse.Overlay.rebuilt)) );
+                    ( "live_epochs",
+                      Jsonx.Num
+                        (float_of_int (List.length (Epochs.live_epochs t.mgr))) );
+                  ]))
+
+(* Anything unexpected becomes a structured GQ069 — a worker never
+   crashes and a client never sees a backtrace. *)
+let handle_job t (job : job) =
+  let id = echo_id job.req in
+  let resp =
+    try
+      match Option.bind (Jsonx.member "op" job.req) Jsonx.str with
+      | Some "query" -> handle_query t job.req ~id
+      | Some "count" -> handle_count t job.req ~id
+      | Some "mutate" -> handle_mutate t job.req ~id
+      | Some op ->
+          error_json ~id ~code:"GQ062"
+            ~message:(Printf.sprintf "unknown op %S" op)
+            ()
+      | None ->
+          error_json ~id ~code:"GQ062" ~message:{|request needs an "op" field|}
+            ()
+    with exn ->
+      error_json ~id ~code:"GQ069"
+        ~message:("internal error: " ^ Printexc.to_string exn)
+        ()
+  in
+  let delivered = write_json t job.conn resp in
+  if delivered then
+    Metrics.observe_latency_ms t.metrics
+      (Mclock.ns_to_ms (Int64.sub (Mclock.now_ns ()) job.submitted_ns))
+
+let worker_loop t =
+  let rec loop () =
+    match Admission.take t.queue with
+    | None -> ()
+    | Some job ->
+        if not (Atomic.get job.conn.dead) then handle_job t job;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let num_clients t =
+  Mutex.lock t.conns_lock;
+  let n = Hashtbl.length t.conns in
+  Mutex.unlock t.conns_lock;
+  n
+
+let metrics t =
+  let s = Semcache.stats () in
+  let snap = Epochs.snapshot t.mgr in
+  Metrics.to_json t.metrics
+    ~queue_depth:(Admission.depth t.queue)
+    ~queue_peak:(Admission.peak t.queue)
+    ~clients:(num_clients t) ~workers:t.config.workers
+    ~epoch:snap.Snapshot.epoch
+    ~live_epochs:(List.length (Epochs.live_epochs t.mgr))
+    ~pins:(Epochs.pins t.mgr) ~cache_hits:s.Semcache.result_hits
+    ~cache_lookups:(s.Semcache.result_hits + s.Semcache.result_misses)
+
+(* ------------------------------------------------------------------ *)
+(* Connection reader                                                   *)
+
+(* One well-formed line in, one response out; ping/metrics answer
+   inline (responsive even when the queue is full), everything else
+   goes through admission. *)
+let handle_line t conn line =
+  if String.trim line = "" then ()
+  else
+    match Jsonx.parse line with
+    | Error msg ->
+        Metrics.incr_malformed t.metrics;
+        ignore
+          (write_json t conn
+             (error_json ~code:"GQ062" ~message:("malformed request: " ^ msg) ()))
+    | Ok req -> (
+        let id = echo_id req in
+        match Option.bind (Jsonx.member "op" req) Jsonx.str with
+        | Some "ping" ->
+            ignore
+              (write_json t conn
+                 (Jsonx.Obj
+                    ([ ("ok", Jsonx.Bool true); ("op", Jsonx.Str "pong") ] @ id)))
+        | Some "metrics" -> ignore (write_json t conn (metrics t))
+        | _ -> (
+            let job = { conn; req; submitted_ns = Mclock.now_ns () } in
+            match Admission.submit t.queue ~client:conn.client job with
+            | Admission.Accepted -> Metrics.incr_requests t.metrics
+            | Admission.Shed_full | Admission.Shed_client ->
+                Metrics.incr_shed t.metrics;
+                ignore
+                  (write_json t conn
+                     (error_json ~id ~code:"GQ060"
+                        ~message:"overloaded, request shed — retry later"
+                        ~extra:[ ("retry_after_ms", Jsonx.Num 100.0) ]
+                        ()))
+            | Admission.Draining ->
+                Metrics.incr_shed t.metrics;
+                ignore
+                  (write_json t conn
+                     (error_json ~id ~code:"GQ063"
+                        ~message:"server is draining, no new requests" ()))))
+
+let conn_loop t conn =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let discarding = ref false in
+  (* torn/oversized frames: skip to the next newline and recover, the
+     wire-level mirror of the journal's GQ048 tolerate-partial rule *)
+  let last_data = ref (Mclock.now_ns ()) in
+  let idle_ns = Int64.mul (Int64.of_int t.config.idle_timeout_ms) 1_000_000L in
+  let rec drain_lines () =
+    let data = Buffer.contents buf in
+    match String.index_opt data '\n' with
+    | Some i ->
+        let line = String.sub data 0 i in
+        Buffer.clear buf;
+        Buffer.add_substring buf data (i + 1) (String.length data - i - 1);
+        if !discarding then begin
+          discarding := false;
+          Metrics.incr_malformed t.metrics;
+          ignore
+            (write_json t conn
+               (error_json ~code:"GQ062"
+                  ~message:
+                    (Printf.sprintf "request line exceeds %d bytes, discarded"
+                       t.config.max_line_bytes)
+                  ()))
+        end
+        else handle_line t conn line;
+        drain_lines ()
+    | None ->
+        if Buffer.length buf > t.config.max_line_bytes && not !discarding
+        then begin
+          Buffer.clear buf;
+          discarding := true
+        end
+  in
+  let rec loop () =
+    if Atomic.get conn.dead then ()
+    else begin
+      match Unix.select [ conn.fd ] [] [] 0.25 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception _ -> ()
+      | [], _, _ ->
+          if
+            Int64.compare
+              (Int64.sub (Mclock.now_ns ()) !last_data)
+              idle_ns > 0
+          then begin
+            Metrics.incr_idle_closes t.metrics;
+            ignore
+              (write_json t conn
+                 (error_json ~code:"GQ064"
+                    ~message:
+                      (Printf.sprintf "idle for %dms, closing"
+                         t.config.idle_timeout_ms)
+                    ()))
+          end
+          else loop ()
+      | _ -> (
+          match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | exception _ -> ()
+          | 0 ->
+              (* EOF; a torn trailing fragment is simply discarded *)
+              if Buffer.length buf > 0 then Metrics.incr_malformed t.metrics
+          | n ->
+              last_data := Mclock.now_ns ();
+              Buffer.add_subbytes buf chunk 0 n;
+              drain_lines ();
+              loop ())
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set conn.dead true;
+      ignore (Admission.forget_client t.queue ~client:conn.client);
+      Mutex.lock t.conns_lock;
+      Hashtbl.remove t.conns conn.client;
+      Mutex.unlock t.conns_lock;
+      (* the reader owns the fd: this is the only close *)
+      Mutex.lock conn.wlock;
+      (try Unix.close conn.fd with _ -> ());
+      Mutex.unlock conn.wlock)
+    loop
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop                                                         *)
+
+let refuse_and_close t fd ~code ~message =
+  Metrics.incr_rejected_clients t.metrics;
+  let s = Jsonx.to_string (error_json ~code ~message ()) ^ "\n" in
+  (try ignore (Unix.write fd (Bytes.unsafe_of_string s) 0 (String.length s))
+   with _ -> ());
+  try Unix.close fd with _ -> ()
+
+let accept_loop t =
+  let rec loop () =
+    if Atomic.get t.stopping then ()
+    else begin
+      match Unix.select [ t.listen_fd ] [] [] 0.25 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception _ -> ()
+      | [], _, _ -> loop ()
+      | _ -> (
+          match Unix.accept t.listen_fd with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | exception _ -> ()
+          | fd, _addr ->
+              if Atomic.get t.stopping then
+                refuse_and_close t fd ~code:"GQ063"
+                  ~message:"server is draining, connection refused"
+              else if num_clients t >= t.config.max_clients then
+                refuse_and_close t fd ~code:"GQ061"
+                  ~message:
+                    (Printf.sprintf "too many clients (max %d), try later"
+                       t.config.max_clients)
+              else begin
+                (try
+                   Unix.setsockopt_float fd Unix.SO_SNDTIMEO
+                     (float_of_int t.config.write_timeout_ms /. 1000.)
+                 with _ -> ());
+                (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+                let conn =
+                  {
+                    fd;
+                    client = Atomic.fetch_and_add t.next_client 1;
+                    wlock = Mutex.create ();
+                    dead = Atomic.make false;
+                    sent = Atomic.make 0;
+                  }
+                in
+                Mutex.lock t.conns_lock;
+                Hashtbl.replace t.conns conn.client conn;
+                let th = Thread.create (fun () -> conn_loop t conn) () in
+                t.conn_threads <- th :: t.conn_threads;
+                Mutex.unlock t.conns_lock
+              end;
+              loop ())
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let start ?(host = "127.0.0.1") ~port ~config mgr =
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  (try Unix.bind listen_fd addr
+   with e ->
+     (try Unix.close listen_fd with _ -> ());
+     raise e);
+  Unix.listen listen_fd 64;
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let t =
+    {
+      config;
+      mgr;
+      listen_fd;
+      bound_port;
+      metrics = Metrics.create ();
+      queue =
+        Admission.create ~depth:config.queue_depth
+          ~per_client:config.per_client_depth;
+      stopping = Atomic.make false;
+      stopped = Atomic.make false;
+      conns_lock = Mutex.create ();
+      conns = Hashtbl.create 16;
+      conn_threads = [];
+      workers = [];
+      accept_thread = None;
+      writer_lock = Mutex.create ();
+      act_lock = Mutex.create ();
+      active = Hashtbl.create 16;
+      next_client = Atomic.make 0;
+      next_req = Atomic.make 0;
+    }
+  in
+  t.workers <-
+    List.init (max 1 config.workers) (fun _ ->
+        Thread.create (fun () -> worker_loop t) ());
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let port t = t.bound_port
+let clients t = num_clients t
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* 1. stop accepting *)
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.listen_fd with _ -> ());
+    (* 2. refuse new requests, let workers finish the queue *)
+    Admission.drain t.queue;
+    (* 3. grace period for in-flight work... *)
+    let deadline =
+      Int64.add (Mclock.now_ns ())
+        (Int64.mul (Int64.of_int t.config.drain_grace_ms) 1_000_000L)
+    in
+    let busy () =
+      Mutex.lock t.act_lock;
+      let n = Hashtbl.length t.active in
+      Mutex.unlock t.act_lock;
+      n > 0 || Admission.depth t.queue > 0
+    in
+    while busy () && Int64.compare (Mclock.now_ns ()) deadline < 0 do
+      Thread.delay 0.01
+    done;
+    (* ...then trip stragglers: they return sound Partial answers *)
+    Mutex.lock t.act_lock;
+    Hashtbl.iter (fun _ b -> Budget.cancel b) t.active;
+    Mutex.unlock t.act_lock;
+    List.iter Thread.join t.workers;
+    (* 4. all responses flushed — now close connections *)
+    Mutex.lock t.conns_lock;
+    let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+    let threads = t.conn_threads in
+    Mutex.unlock t.conns_lock;
+    List.iter
+      (fun c ->
+        Atomic.set c.dead true;
+        try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with _ -> ())
+      conns;
+    List.iter Thread.join threads;
+    Atomic.set t.stopped true
+  end
+  else
+    (* concurrent/second call: wait for the first to finish *)
+    while not (Atomic.get t.stopped) do
+      Thread.delay 0.01
+    done

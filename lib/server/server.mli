@@ -1,0 +1,81 @@
+(** [gqkg serve]: a fault-tolerant concurrent multi-tenant query daemon.
+
+    Newline-delimited JSON over TCP: each request is one JSON object on
+    one line, each response one JSON object on one line.  Many clients
+    share one immutable {!Gqkg_graph.Snapshot} through the MVCC epoch
+    manager — every query pins the epoch it starts on
+    ({!Gqkg_graph.Epochs.pin}), so in-flight queries keep answering
+    consistently while [mutate] requests commit new epochs; readers
+    never block the writer and vice versa.
+
+    Robustness model (DESIGN.md §5j):
+    - {b Admission control}: a bounded queue with fair round-robin
+      per-client scheduling and strict per-client order (one in-flight
+      request per client).  When full, requests are refused immediately
+      with a structured GQ060 "overloaded, retry-after" diagnostic —
+      load sheds instead of queueing unboundedly.
+    - {b Graceful degradation}: every request runs under a
+      {!Gqkg_util.Budget} (request fields overriding server defaults),
+      so overload and deadlines degrade to sound [Partial] answers
+      (["complete": false] plus a GQ03x diagnostic), never failures.
+    - {b Wire fault tolerance}: malformed or oversized frames answer
+      GQ062 and the connection recovers on the next well-formed line
+      (mirroring GQ048 torn-journal semantics); idle connections are
+      closed with a GQ064 notice; blocked writes to slow clients time
+      out instead of wedging a worker.
+    - {b Graceful drain}: {!stop} stops accepting, finishes (or trips,
+      after a grace period) in-flight work, flushes every response, and
+      joins all threads; afterwards no epoch stays pinned.
+    - {b Fault injection}: deterministic budget trips and injected
+      connection drops for the soak suite.
+
+    Request ops: [ping], [metrics] (answered inline, responsive even
+    under full queues), [query], [count], [mutate] (scheduled through
+    admission).  Responses echo the request's ["id"] member verbatim.
+
+    Wire error codes introduced here: GQ060 overloaded (shed), GQ061
+    connection refused (max-clients), GQ062 malformed request, GQ063
+    draining, GQ064 idle timeout, GQ069 internal error.  The full table
+    lives in README.md. *)
+
+open Gqkg_graph
+
+type config = {
+  max_clients : int;  (** concurrent connections; beyond: GQ061 + close *)
+  workers : int;  (** request-execution threads over the shared domain pool *)
+  queue_depth : int;  (** global admission capacity *)
+  per_client_depth : int;  (** one client's share of the queue *)
+  default_timeout_ms : int option;  (** per-request deadline unless overridden *)
+  default_max_states : int option;
+  idle_timeout_ms : int;  (** close connections silent this long (GQ064) *)
+  write_timeout_ms : int;  (** give up on a blocked write (slow client) *)
+  max_line_bytes : int;  (** frames above this answer GQ062 and are skipped *)
+  drain_grace_ms : int;  (** drain: wait this long before tripping in-flight budgets *)
+  answer_limit : int;  (** cap on pairs per response (["truncated"] flags more) *)
+  fault_trip_after_checks : int option;  (** injector: arm every request budget *)
+  fault_drop_after : int option;  (** injector: hard-drop a connection every N responses *)
+}
+
+val default_config : config
+
+type t
+
+(** Bind, listen and start accepting.  [port] 0 picks an ephemeral
+    port (see {!port}).  The epoch manager is shared with the caller:
+    commits from elsewhere are visible to subsequent queries. *)
+val start : ?host:string -> port:int -> config:config -> Epochs.t -> t
+
+val port : t -> int
+
+val clients : t -> int
+(** Currently connected clients. *)
+
+val metrics : t -> Jsonx.t
+(** The same object [{"op":"metrics"}] returns on the wire. *)
+
+(** Graceful drain: stop accepting, refuse new requests (GQ063), finish
+    queued and in-flight work (tripping budgets still running after
+    [drain_grace_ms] — their clients receive sound partial answers),
+    flush responses, join every thread, close every socket.
+    Idempotent; blocks until fully drained. *)
+val stop : t -> unit

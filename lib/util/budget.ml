@@ -1,13 +1,19 @@
-type reason = Timeout | State_limit | Step_limit | Injected
+type reason = Timeout | State_limit | Step_limit | Injected | Cancelled
 type completeness = Complete | Partial of reason
 type 'a outcome = { value : 'a; completeness : completeness }
 
+(* Deadlines are anchored on the monotonic clock ({!Mclock}), never the
+   wall clock: a long-running process (gqkg serve) must not trip an
+   in-flight query because NTP stepped the host clock, nor keep one
+   alive forever because the clock stepped backwards.  All time fields
+   are monotonic nanoseconds. *)
 type t = {
-  deadline : float option;  (** absolute [Unix.gettimeofday] seconds *)
+  clock_ns : unit -> int64;  (** monotonic source; injectable for tests *)
+  deadline : int64 option;  (** absolute monotonic ns *)
   max_states : int option;
   max_steps : int option;
   trip_after_checks : int option;
-  started : float;
+  started : int64;
   tripped : reason option Atomic.t;
   checks : int Atomic.t;
   steps : int Atomic.t;
@@ -15,11 +21,17 @@ type t = {
   limited : bool;  (** false = nothing to enforce, checks are free *)
 }
 
-let make ?timeout_ms ?max_states ?max_steps ?trip_after_checks ~now () =
+let zero_clock () = 0L
+
+let make ?timeout_ms ?max_states ?max_steps ?trip_after_checks ~clock_ns ~now
+    () =
   let deadline =
-    Option.map (fun ms -> now +. (float_of_int ms /. 1000.)) timeout_ms
+    Option.map
+      (fun ms -> Int64.add now (Int64.mul (Int64.of_int ms) 1_000_000L))
+      timeout_ms
   in
   {
+    clock_ns;
     deadline;
     max_states;
     max_steps;
@@ -35,11 +47,12 @@ let make ?timeout_ms ?max_states ?max_steps ?trip_after_checks ~now () =
       || Option.is_some trip_after_checks;
   }
 
-let unlimited = make ~now:0.0 ()
+let unlimited = make ~clock_ns:zero_clock ~now:0L ()
 
-let create ?timeout_ms ?max_states ?max_steps ?trip_after_checks () =
-  make ?timeout_ms ?max_states ?max_steps ?trip_after_checks
-    ~now:(Unix.gettimeofday ()) ()
+let create ?(clock_ns = Mclock.now_ns) ?timeout_ms ?max_states ?max_steps
+    ?trip_after_checks () =
+  make ?timeout_ms ?max_states ?max_steps ?trip_after_checks ~clock_ns
+    ~now:(clock_ns ()) ()
 
 let is_unlimited t = not t.limited
 
@@ -47,8 +60,16 @@ let trip t reason =
   (* First writer wins; later trips keep the original reason. *)
   ignore (Atomic.compare_and_set t.tripped None (Some reason))
 
+let cancel t = trip t Cancelled
+
 let check t =
-  if not t.limited then false
+  (* The tripped flag is consulted before the limited fast path so that
+     an external [cancel] bites even on a budget with no limits. *)
+  if Atomic.get t.tripped <> None then begin
+    if t.limited then ignore (Atomic.fetch_and_add t.checks 1);
+    true
+  end
+  else if not t.limited then false
   else begin
     let n = Atomic.fetch_and_add t.checks 1 in
     (match t.trip_after_checks with
@@ -64,7 +85,7 @@ let check t =
         | Some k when Atomic.get t.steps > k -> trip t Step_limit
         | _ -> ());
         (match t.deadline with
-        | Some d when Unix.gettimeofday () > d -> trip t Timeout
+        | Some d when Int64.compare (t.clock_ns ()) d > 0 -> trip t Timeout
         | _ -> ()));
     Atomic.get t.tripped <> None
   end
@@ -81,22 +102,25 @@ let steps_charged t = Atomic.get t.steps
 let states_noted t = Atomic.get t.states
 
 let elapsed_ms t =
-  if t.started = 0.0 then 0.0
-  else (Unix.gettimeofday () -. t.started) *. 1000.
+  if t.clock_ns == zero_clock then 0.0
+  else Mclock.ns_to_ms (Int64.sub (t.clock_ns ()) t.started)
+
+let timeout_ms_of t =
+  Option.map
+    (fun d ->
+      max 1 (Int64.to_int (Int64.div (Int64.sub d t.started) 1_000_000L)))
+    t.deadline
 
 let similar t =
-  let timeout_ms =
-    Option.map
-      (fun d -> int_of_float (Float.max 1. ((d -. t.started) *. 1000.)))
-      t.deadline
-  in
-  create ?timeout_ms ?max_states:t.max_states ?max_steps:t.max_steps ()
+  create ~clock_ns:t.clock_ns ?timeout_ms:(timeout_ms_of t)
+    ?max_states:t.max_states ?max_steps:t.max_steps ()
 
 let reason_to_string = function
   | Timeout -> "timeout"
   | State_limit -> "state-limit"
   | Step_limit -> "step-limit"
   | Injected -> "injected"
+  | Cancelled -> "cancelled"
 
 let describe t =
   let limit name = function
@@ -104,9 +128,8 @@ let describe t =
     | None -> Printf.sprintf "%s=unlimited" name
   in
   let deadline =
-    match t.deadline with
-    | Some d ->
-        Printf.sprintf "timeout<=%.0fms" ((d -. t.started) *. 1000.)
+    match timeout_ms_of t with
+    | Some ms -> Printf.sprintf "timeout<=%dms" ms
     | None -> "timeout=unlimited"
   in
   Printf.sprintf "%s %s %s | spent: %.1fms, %d steps, %d states, %d checks%s"

@@ -11,13 +11,19 @@
 
     Budgets are shareable across OCaml domains: all mutable state is
     held in [Atomic.t] cells, so the parallel slices of
-    [Regex_centrality] can charge against one budget. *)
+    [Regex_centrality] can charge against one budget.
+
+    Deadlines are computed on the monotonic clock ({!Mclock}), not wall
+    time: stepping the host clock (NTP jump, operator reset) can
+    neither trip an in-flight budget spuriously nor keep it alive past
+    its allotment — the invariant a long-lived daemon depends on. *)
 
 type reason =
-  | Timeout  (** the wall-clock deadline passed *)
+  | Timeout  (** the monotonic deadline passed *)
   | State_limit  (** too many product states were interned *)
   | Step_limit  (** too many nodes/configurations were visited *)
   | Injected  (** tripped by the fault-injection harness *)
+  | Cancelled  (** tripped externally via {!cancel} (signal, drain) *)
 
 type completeness =
   | Complete
@@ -35,6 +41,7 @@ val unlimited : t
     constant-false; kernels may use it as the default. *)
 
 val create :
+  ?clock_ns:(unit -> int64) ->
   ?timeout_ms:int ->
   ?max_states:int ->
   ?max_steps:int ->
@@ -45,7 +52,10 @@ val create :
     budget (its counters still accumulate, and [trip_after_checks] can
     still fire).  [trip_after_checks n] arms the deterministic fault
     injector: the [n]-th call to {!check} trips the budget with reason
-    {!Injected}.  [n = 0] trips on the first check. *)
+    {!Injected}.  [n = 0] trips on the first check.  [clock_ns]
+    (default {!Mclock.now_ns}) is the monotonic time source deadlines
+    are anchored to — injectable so tests can pin the invariant that
+    deadline decisions depend only on this source, never wall time. *)
 
 val is_unlimited : t -> bool
 (** True for budgets with no limits and no injector armed — kernels may
@@ -55,6 +65,15 @@ val check : t -> bool
 (** [check b] returns [true] if the budget is exhausted.  Sticky: once
     true, always true.  Each call counts toward the fault injector and
     is recorded in {!checks_performed}. *)
+
+val cancel : t -> unit
+(** Trip the budget now with reason {!Cancelled} (idempotent; an
+    earlier trip keeps its reason).  Used by signal handlers and server
+    drain to stop in-flight work at its next check site — the
+    evaluation returns a sound [Partial Cancelled] instead of being
+    killed mid-write.  Cancelling a budget with no limits still bites:
+    {!check} consults the trip flag first.  Never cancel the shared
+    {!unlimited} value. *)
 
 val charge_steps : t -> int -> unit
 (** Add [n] to the visited/step counter.  Does not itself trip the

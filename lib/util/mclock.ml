@@ -1,0 +1,17 @@
+external raw_ns : unit -> int64 = "gqkg_monotonic_ns"
+
+(* CLOCK_MONOTONIC is monotone by contract; the watermark additionally
+   hardens the REALTIME fallback path (exotic hosts) so callers can rely
+   on non-decreasing reads unconditionally.  Lock-free: a CAS loop that
+   only ever raises the watermark. *)
+let watermark = Atomic.make 0L
+
+let rec now_ns () =
+  let t = raw_ns () in
+  let seen = Atomic.get watermark in
+  if Int64.compare t seen >= 0 then
+    if Atomic.compare_and_set watermark seen t then t else now_ns ()
+  else seen
+
+let ns_to_ms ns = Int64.to_float ns /. 1_000_000.
+let now_ms () = ns_to_ms (now_ns ())

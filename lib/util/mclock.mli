@@ -1,0 +1,19 @@
+(** Monotonic time source for deadline arithmetic.
+
+    [now_ns] reads [CLOCK_MONOTONIC]: it advances steadily and never
+    jumps backwards (or forwards) when the host wall clock is stepped by
+    NTP or an operator.  Budgets ({!Budget}) anchor their deadlines
+    here, so a long-running process — notably [gqkg serve] — cannot
+    spuriously trip (or never trip) an in-flight query because the wall
+    clock moved.  The absolute value is meaningless (typically boot
+    time); only differences are. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock.  Guaranteed non-decreasing
+    across calls within a process. *)
+
+val now_ms : unit -> float
+(** [now_ns] in milliseconds (float). *)
+
+val ns_to_ms : int64 -> float
+(** Convert a nanosecond difference to milliseconds. *)

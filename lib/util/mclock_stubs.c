@@ -1,0 +1,20 @@
+/* Monotonic clock for deadline arithmetic: CLOCK_MONOTONIC is immune
+   to host wall-clock steps (NTP jumps, manual resets), which matters
+   for budgets living inside a long-running daemon.  Falls back to
+   CLOCK_REALTIME only where the monotonic clock is unavailable. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value gqkg_monotonic_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    clock_gettime(CLOCK_REALTIME, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -73,6 +73,75 @@ let test_describe () =
      in
      contains d "state-limit")
 
+(* ---------- Monotonic deadline clocking ---------- *)
+
+(* Deadlines are measured on an injected monotonic source, never the
+   wall clock — a host clock step (NTP, suspend/resume) cannot trip a
+   budget spuriously.  The fake source proves the deadline depends on
+   nothing else: while it stands still no amount of real elapsed time
+   trips, and advancing it past the deadline always does. *)
+let test_monotonic_deadline () =
+  let now = ref 1_000L in
+  let clock_ns () = !now in
+  let b = Budget.create ~clock_ns ~timeout_ms:50 () in
+  checkb "fresh" false (Budget.check b);
+  now := Int64.add 1_000L 49_000_000L;
+  checkb "under deadline" false (Budget.check b);
+  (* real time passes; the injected source is all that counts *)
+  Unix.sleepf 0.06;
+  checkb "wall clock is irrelevant" false (Budget.check b);
+  now := Int64.add 1_000L 51_000_000L;
+  checkb "past deadline trips" true (Budget.check b);
+  checkb "reason" true (Budget.exhausted b = Some Budget.Timeout)
+
+let test_monotonic_elapsed () =
+  let now = ref 5_000_000L in
+  let b = Budget.create ~clock_ns:(fun () -> !now) ~timeout_ms:1000 () in
+  now := Int64.add !now 250_000_000L;
+  checkb "elapsed tracks the injected clock" true
+    (abs_float (Budget.elapsed_ms b -. 250.0) < 0.001);
+  checkb "still under" false (Budget.check b)
+
+let test_similar_keeps_clock () =
+  let now = ref 0L in
+  let b = Budget.create ~clock_ns:(fun () -> !now) ~timeout_ms:10 () in
+  now := 20_000_000L;
+  checkb "tripped" true (Budget.check b);
+  (* the rearmed copy restarts the deadline on the same source *)
+  let r = Budget.similar b in
+  checkb "rearmed" false (Budget.check r);
+  now := 25_000_000L;
+  checkb "fresh deadline" false (Budget.check r);
+  now := 31_000_000L;
+  checkb "trips on the same source" true (Budget.check r)
+
+let test_mclock_nondecreasing () =
+  let prev = ref (Gqkg_util.Mclock.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Gqkg_util.Mclock.now_ns () in
+    if Int64.compare t !prev < 0 then Alcotest.fail "Mclock.now_ns went backwards";
+    prev := t
+  done;
+  checkb "ms conversion" true (Gqkg_util.Mclock.ns_to_ms 1_500_000L = 1.5)
+
+let test_cancel () =
+  let b = Budget.create ~timeout_ms:1_000_000 () in
+  checkb "fresh" false (Budget.check b);
+  Budget.cancel b;
+  checkb "cancelled trips" true (Budget.check b);
+  checkb "reason" true (Budget.exhausted b = Some Budget.Cancelled);
+  checkb "partial" true (Budget.completeness b = Budget.Partial Budget.Cancelled);
+  (* a budget created with no limits at all is still cancellable — the
+     server's drain path relies on it *)
+  let b2 = Budget.create () in
+  checkb "no-limit fresh" false (Budget.check b2);
+  Budget.cancel b2;
+  checkb "no-limit budget cancellable" true (Budget.check b2);
+  (* first writer wins: a later limit trip cannot overwrite the reason *)
+  Budget.charge_steps b2 1_000_000;
+  ignore (Budget.check b2);
+  checkb "reason sticks" true (Budget.exhausted b2 = Some Budget.Cancelled)
+
 (* ---------- Shared fixture ---------- *)
 
 let make_instance (seed, nodes, edges) =
@@ -281,6 +350,14 @@ let () =
           Alcotest.test_case "injector" `Quick test_injector;
           Alcotest.test_case "similar rearms" `Quick test_similar_rearms;
           Alcotest.test_case "describe" `Quick test_describe;
+        ] );
+      ( "monotonic clock",
+        [
+          Alcotest.test_case "deadline on injected source" `Quick test_monotonic_deadline;
+          Alcotest.test_case "elapsed on injected source" `Quick test_monotonic_elapsed;
+          Alcotest.test_case "similar keeps the source" `Quick test_similar_keeps_clock;
+          Alcotest.test_case "Mclock non-decreasing" `Quick test_mclock_nondecreasing;
+          Alcotest.test_case "cancel" `Quick test_cancel;
         ] );
       ( "fault injection",
         [

@@ -1,0 +1,456 @@
+(* Tests for the serve daemon: the total JSON codec, admission-control
+   semantics, wire-protocol fuzzing (malformed bytes always answer a
+   structured GQ0xx JSON diagnostic and the connection recovers on the
+   next well-formed line), graceful drain, and a fault-injected soak —
+   N clients x M requests with random mutations, injected budget trips
+   and injected connection drops — asserting no pinned-epoch leak, no
+   deadlock, always-valid JSON, and cache-retention accounting after a
+   full drain. *)
+
+open Gqkg_graph
+module Server = Gqkg_server.Server
+module Jsonx = Gqkg_server.Jsonx
+module Admission = Gqkg_server.Admission
+module Semcache = Gqkg_core.Semcache
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---------- Jsonx: total codec ---------- *)
+
+let rec json_gen depth =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [
+        return Jsonx.Null;
+        map (fun b -> Jsonx.Bool b) bool;
+        map (fun i -> Jsonx.Num (float_of_int i)) (int_range (-1_000_000) 1_000_000);
+        map (fun s -> Jsonx.Str s) (small_string ~gen:printable);
+      ]
+  in
+  if depth = 0 then leaf
+  else
+    oneof
+      [
+        leaf;
+        map (fun xs -> Jsonx.Arr xs) (list_size (int_range 0 4) (json_gen (depth - 1)));
+        map
+          (fun kvs -> Jsonx.Obj kvs)
+          (list_size (int_range 0 4)
+             (pair (small_string ~gen:printable) (json_gen (depth - 1))));
+      ]
+
+let prop_jsonx_roundtrip =
+  QCheck2.Test.make ~name:"Jsonx.parse inverts Jsonx.to_string" ~count:500 (json_gen 3)
+    (fun v ->
+      match Jsonx.parse (Jsonx.to_string v) with
+      | Ok v' -> v = v'
+      | Error _ -> false)
+
+let prop_jsonx_total =
+  (* the parser is total: any byte string yields Ok or Error, never an
+     exception — the wire depends on it *)
+  QCheck2.Test.make ~name:"Jsonx.parse never raises" ~count:1000
+    QCheck2.Gen.(small_string ~gen:(char_range '\000' '\255'))
+    (fun s ->
+      match Jsonx.parse s with Ok _ | Error _ -> true)
+
+let test_jsonx_syntax () =
+  let ok s = match Jsonx.parse s with Ok v -> Some v | Error _ -> None in
+  checkb "object" true
+    (ok {|{"a":1,"b":[true,null,"x"]}|}
+    = Some
+        (Jsonx.Obj
+           [
+             ("a", Jsonx.Num 1.0);
+             ("b", Jsonx.Arr [ Jsonx.Bool true; Jsonx.Null; Jsonx.Str "x" ]);
+           ]));
+  checkb "escapes" true (ok {|"a\n\t\"\\A"|} = Some (Jsonx.Str "a\n\t\"\\A"));
+  checkb "surrogate pair" true
+    (ok {|"😀"|} = Some (Jsonx.Str "\xf0\x9f\x98\x80"));
+  checkb "trailing garbage rejected" true (ok {|{"a":1} x|} = None);
+  checkb "truncated rejected" true (ok {|{"a":|} = None);
+  checkb "bare newline in string rejected" true (ok "\"a\nb\"" = None);
+  checkb "deep nesting rejected" true
+    (ok (String.concat "" (List.init 100 (fun _ -> "[")) ^ "1") = None);
+  checkb "integers print clean" true (Jsonx.to_string (Jsonx.Num 42.0) = "42")
+
+(* ---------- Admission: bounded fair queue ---------- *)
+
+let test_admission_caps () =
+  let q = Admission.create ~depth:4 ~per_client:2 in
+  checkb "c1 a" true (Admission.submit q ~client:1 "1a" = Admission.Accepted);
+  checkb "c1 b" true (Admission.submit q ~client:1 "1b" = Admission.Accepted);
+  checkb "c1 over per-client" true (Admission.submit q ~client:1 "1c" = Admission.Shed_client);
+  checkb "c2 a" true (Admission.submit q ~client:2 "2a" = Admission.Accepted);
+  checkb "c3 a" true (Admission.submit q ~client:3 "3a" = Admission.Accepted);
+  checkb "global full" true (Admission.submit q ~client:4 "4a" = Admission.Shed_full);
+  checki "depth" 4 (Admission.depth q);
+  checki "peak" 4 (Admission.peak q)
+
+let test_admission_fairness () =
+  let q = Admission.create ~depth:16 ~per_client:8 in
+  (* client 1 pipelines four requests before clients 2 and 3 submit
+     one each; round-robin still interleaves them *)
+  List.iter (fun j -> ignore (Admission.submit q ~client:1 j)) [ "1a"; "1b"; "1c"; "1d" ];
+  ignore (Admission.submit q ~client:2 "2a");
+  ignore (Admission.submit q ~client:3 "3a");
+  let order = List.init 6 (fun _ -> Option.get (Admission.take q)) in
+  Alcotest.(check (list string))
+    "round-robin interleave"
+    [ "1a"; "2a"; "3a"; "1b"; "1c"; "1d" ]
+    order
+
+let test_admission_drain () =
+  let q = Admission.create ~depth:8 ~per_client:8 in
+  ignore (Admission.submit q ~client:1 "1a");
+  Admission.drain q;
+  checkb "refused while draining" true (Admission.submit q ~client:2 "2a" = Admission.Draining);
+  checkb "queued work still served" true (Admission.take q = Some "1a");
+  checkb "then exit signal" true (Admission.take q = None)
+
+let test_admission_forget () =
+  let q = Admission.create ~depth:8 ~per_client:8 in
+  ignore (Admission.submit q ~client:1 "1a");
+  ignore (Admission.submit q ~client:1 "1b");
+  ignore (Admission.submit q ~client:2 "2a");
+  checki "dropped" 2 (Admission.forget_client q ~client:1);
+  checki "depth after" 1 (Admission.depth q);
+  checkb "other client intact" true (Admission.take q = Some "2a")
+
+(* ---------- Server fixture ---------- *)
+
+let make_mgr () =
+  let rng = Gqkg_util.Splitmix.create 42 in
+  let pg = Gqkg_workload.Contact_network.scaled rng ~scale:1 in
+  Epochs.create (Overlay.base_of_property pg)
+
+let start_server config =
+  let mgr = make_mgr () in
+  (mgr, Server.start ~port:0 ~config mgr)
+
+(* A tiny synchronous client.  The receive timeout doubles as the
+   suite's deadlock detector: a hung server turns into a test failure
+   instead of a hung test run. *)
+type client = { fd : Unix.file_descr; mutable buf : string }
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  { fd; buf = "" }
+
+let close c = try Unix.close c.fd with _ -> ()
+
+let send c line =
+  let s = line ^ "\n" in
+  ignore (Unix.write c.fd (Bytes.of_string s) 0 (String.length s))
+
+exception Closed
+
+let recv_line c =
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match String.index_opt c.buf '\n' with
+    | Some i ->
+        let line = String.sub c.buf 0 i in
+        c.buf <- String.sub c.buf (i + 1) (String.length c.buf - i - 1);
+        line
+    | None -> (
+        match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> raise Closed
+        | n ->
+            c.buf <- c.buf ^ Bytes.sub_string chunk 0 n;
+            go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            Alcotest.fail "server did not answer within 10s (deadlock?)"
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> raise Closed)
+  in
+  go ()
+
+let rpc c line =
+  send c line;
+  match Jsonx.parse (recv_line c) with
+  | Ok v -> v
+  | Error e -> Alcotest.fail ("response is not valid JSON: " ^ e)
+
+let obj_bool name v =
+  match Option.bind (Jsonx.member name v) (function Jsonx.Bool b -> Some b | _ -> None) with
+  | Some b -> b
+  | None -> Alcotest.fail (Printf.sprintf "response lacks boolean %S" name)
+
+let obj_str name v =
+  match Option.bind (Jsonx.member name v) Jsonx.str with
+  | Some s -> s
+  | None -> Alcotest.fail (Printf.sprintf "response lacks string %S" name)
+
+let obj_num name v =
+  match Option.bind (Jsonx.member name v) Jsonx.num with
+  | Some f -> f
+  | None -> Alcotest.fail (Printf.sprintf "response lacks number %S" name)
+
+(* ---------- Protocol basics ---------- *)
+
+let test_protocol_basics () =
+  let mgr, srv = start_server Server.default_config in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let c = connect (Server.port srv) in
+  Fun.protect ~finally:(fun () -> close c) @@ fun () ->
+  let pong = rpc c {|{"op":"ping","id":7}|} in
+  checkb "pong ok" true (obj_bool "ok" pong);
+  checkb "id echoed" true (Jsonx.member "id" pong = Some (Jsonx.Num 7.0));
+  let q = rpc c {|{"op":"query","q":"rides"}|} in
+  checkb "query ok" true (obj_bool "ok" q);
+  checkb "query complete" true (obj_bool "complete" q);
+  checkb "has pairs" true (obj_num "total" q > 0.0);
+  let m = rpc c {|{"op":"mutate","ops":["node zz9 person","edge ez9 zz9 b0 rides"]}|} in
+  checkb "mutate ok" true (obj_bool "ok" m);
+  checkb "epoch advanced" true (obj_num "epoch" m = 1.0);
+  let q2 = rpc c {|{"op":"query","q":"rides"}|} in
+  checkb "sees new epoch" true (obj_num "epoch" q2 = 1.0);
+  checkb "one more pair" true (obj_num "total" q2 = obj_num "total" q +. 1.0);
+  (* atomic mutate: a bad op aborts the whole request, epoch unchanged *)
+  let bad = rpc c {|{"op":"mutate","ops":["node ok1 person","edge e_bad ok1 missing rides"]}|} in
+  checkb "bad mutate refused" false (obj_bool "ok" bad);
+  checkb "GQ048" true (obj_str "code" bad = "GQ048");
+  checkb "epoch unchanged" true (obj_num "epoch" (rpc c {|{"op":"ping"}|} |> fun _ ->
+    rpc c {|{"op":"query","q":"rides"}|}) = 1.0);
+  (* two requests in one write: two responses, in order *)
+  send c {|{"op":"ping","id":1}|};
+  send c {|{"op":"ping","id":2}|};
+  let r1 = Jsonx.parse (recv_line c) and r2 = Jsonx.parse (recv_line c) in
+  checkb "pipelined in order" true
+    (match (r1, r2) with
+    | Ok a, Ok b ->
+        Jsonx.member "id" a = Some (Jsonx.Num 1.0)
+        && Jsonx.member "id" b = Some (Jsonx.Num 2.0)
+    | _ -> false);
+  ignore mgr
+
+let test_budget_degradation () =
+  (* a starved per-request budget degrades to a sound partial answer
+     with a GQ03x diagnostic — never an error, never a hang *)
+  let mgr, srv = start_server Server.default_config in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let c = connect (Server.port srv) in
+  Fun.protect ~finally:(fun () -> close c) @@ fun () ->
+  let r = rpc c {|{"op":"query","q":"(rides/-rides)*","max_steps":3}|} in
+  checkb "partial is ok" true (obj_bool "ok" r);
+  checkb "incomplete" false (obj_bool "complete" r);
+  let diag = match Jsonx.member "diagnostic" r with Some d -> d | None -> Alcotest.fail "no diagnostic" in
+  checkb "GQ03x" true
+    (let code = obj_str "code" diag in
+     String.length code = 5 && String.sub code 0 4 = "GQ03");
+  ignore mgr
+
+(* ---------- Wire-protocol fuzz ---------- *)
+
+(* Shared across QCheck samples: one server, one connection.  Each
+   malformed line must produce exactly one structured error response,
+   and the connection must stay usable — which the final ping of every
+   sample proves. *)
+let fuzz_env = lazy (start_server Server.default_config)
+
+let fuzz_line_gen =
+  QCheck2.Gen.(
+    small_string ~gen:(char_range '\001' '\255')
+    |> map (fun s ->
+           String.map (fun ch -> if ch = '\n' || ch = '\r' then '?' else ch) s))
+
+let prop_wire_fuzz =
+  QCheck2.Test.make ~name:"malformed wire lines answer GQ0xx and recover" ~count:200
+    fuzz_line_gen (fun line ->
+      let _, srv = Lazy.force fuzz_env in
+      let c = connect (Server.port srv) in
+      Fun.protect ~finally:(fun () -> close c) @@ fun () ->
+      let responses =
+        if String.trim line = "" then true (* blank lines are ignored *)
+        else
+          let r = rpc c line in
+          (* any answer must be structured: ok:false carries a GQ0xx
+             code (random bytes are never a valid request) *)
+          obj_bool "ok" r = false
+          &&
+          let code = obj_str "code" r in
+          String.length code = 5 && String.sub code 0 3 = "GQ0"
+      in
+      (* recovery: the very next well-formed request succeeds *)
+      responses && obj_bool "ok" (rpc c {|{"op":"ping"}|}))
+
+let test_torn_request () =
+  let _, srv = Lazy.force fuzz_env in
+  (* a connection dying mid-frame must not wedge the server *)
+  let c1 = connect (Server.port srv) in
+  ignore (Unix.write c1.fd (Bytes.of_string {|{"op":"ping"|}) 0 12);
+  close c1;
+  let c2 = connect (Server.port srv) in
+  Fun.protect ~finally:(fun () -> close c2) @@ fun () ->
+  checkb "server unaffected by torn frame" true (obj_bool "ok" (rpc c2 {|{"op":"ping"}|}))
+
+let test_fuzz_env_drain () =
+  (* drain the fuzz server and assert it leaked nothing *)
+  let mgr, srv = Lazy.force fuzz_env in
+  Server.stop srv;
+  checki "no pins after fuzz" 0 (Epochs.pins mgr);
+  checki "one live epoch" 1 (List.length (Epochs.live_epochs mgr))
+
+(* ---------- Load shedding ---------- *)
+
+let test_load_shedding () =
+  (* one worker, tiny queue: a pipelining client must see GQ060 *)
+  let config =
+    { Server.default_config with workers = 1; queue_depth = 2; per_client_depth = 2 }
+  in
+  let _, srv = start_server config in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let c = connect (Server.port srv) in
+  Fun.protect ~finally:(fun () -> close c) @@ fun () ->
+  for _ = 1 to 20 do
+    send c {|{"op":"query","q":"rides/-rides/rides"}|}
+  done;
+  let shed = ref 0 and answered = ref 0 in
+  for _ = 1 to 20 do
+    match Jsonx.parse (recv_line c) with
+    | Ok r ->
+        if obj_bool "ok" r then incr answered
+        else if obj_str "code" r = "GQ060" then begin
+          incr shed;
+          (* a shed response carries the back-off hint *)
+          checkb "retry_after_ms" true (obj_num "retry_after_ms" r > 0.0)
+        end
+    | Error e -> Alcotest.fail ("invalid JSON under overload: " ^ e)
+  done;
+  checkb "some requests shed" true (!shed > 0);
+  checkb "some requests answered" true (!answered > 0);
+  (* ping still answers inline even with the queue full *)
+  checkb "responsive under load" true (obj_bool "ok" (rpc c {|{"op":"ping"}|}))
+
+(* ---------- Fault-injected soak ---------- *)
+
+let test_soak () =
+  Semcache.reset ();
+  let config =
+    {
+      Server.default_config with
+      workers = 4;
+      queue_depth = 16;
+      per_client_depth = 4;
+      default_timeout_ms = Some 5_000;
+      (* injectors: every request budget trips after 5 checks (so any
+         un-cached evaluation degrades to a partial answer), every
+         connection is hard-dropped after 9 responses *)
+      fault_trip_after_checks = Some 5;
+      fault_drop_after = Some 9;
+    }
+  in
+  let mgr, srv = start_server config in
+  let port = Server.port srv in
+  let n_clients = 6 and n_requests = 25 in
+  let errors = Mutex.create () and error_log = ref [] in
+  let record_error msg =
+    Mutex.lock errors;
+    error_log := msg :: !error_log;
+    Mutex.unlock errors
+  in
+  let queries =
+    [| "rides"; "rides/route*"; "(rides/-rides)*"; "-rides"; "contact*" |]
+  in
+  let client_thread k =
+    let rng = Gqkg_util.Splitmix.create (1000 + k) in
+    let c = ref (connect port) in
+    let reconnect () =
+      close !c;
+      c := connect port
+    in
+    for j = 1 to n_requests do
+      let roll = Gqkg_util.Splitmix.int rng 10 in
+      let line =
+        if roll = 0 then
+          (* unique node per (client, iteration): mutations always valid *)
+          Printf.sprintf
+            {|{"op":"mutate","ops":["node s%dn%d person","edge se%dn%d s%dn%d b0 rides"]}|}
+            k j k j k j
+        else if roll = 1 then {|]]]]{{{{ definitely not json|}
+        else if roll = 2 then {|{"op":"ping"}|}
+        else if roll = 3 then {|{"op":"metrics"}|}
+        else
+          Printf.sprintf {|{"op":"query","q":"%s"}|}
+            queries.(Gqkg_util.Splitmix.int rng (Array.length queries))
+      in
+      match
+        send !c line;
+        recv_line !c
+      with
+      | response -> (
+          match Jsonx.parse response with
+          | Ok v ->
+              (* the core soak invariant: every line the server ever
+                 writes is valid JSON with a boolean ok, and failures
+                 carry structured GQ0xx codes *)
+              let ok = obj_bool "ok" v in
+              if not ok then begin
+                let code = obj_str "code" v in
+                if not (String.length code = 5 && String.sub code 0 3 = "GQ0") then
+                  record_error ("bad code: " ^ code)
+              end
+          | Error e -> record_error ("invalid JSON: " ^ e))
+      | exception Closed -> reconnect () (* injected drop: carry on *)
+      | exception Unix.Unix_error (Unix.EPIPE, _, _) -> reconnect ()
+    done;
+    close !c
+  in
+  let threads = List.init n_clients (fun k -> Thread.create client_thread k) in
+  List.iter Thread.join threads;
+  (* graceful drain, then the leak assertions *)
+  let metrics_before = Server.metrics srv in
+  Server.stop srv;
+  Mutex.lock errors;
+  (match !error_log with
+  | [] -> ()
+  | e :: _ -> Alcotest.fail (Printf.sprintf "%d soak errors, first: %s" (List.length !error_log) e));
+  Mutex.unlock errors;
+  checki "no pinned epochs after drain" 0 (Epochs.pins mgr);
+  checki "exactly one live epoch" 1 (List.length (Epochs.live_epochs mgr));
+  (* cache retention saw every commit the epoch manager performed *)
+  checki "semcache commit accounting" (Epochs.commits mgr) (Semcache.stats ()).Semcache.commits;
+  checkb "requests were served" true (obj_num "responses" metrics_before > 0.0);
+  checkb "injector dropped connections" true (obj_num "injected_drops" metrics_before > 0.0);
+  checkb "injector tripped budgets" true (obj_num "budget_trips" metrics_before > 0.0);
+  (* a drained server refuses new connections *)
+  checkb "listener closed" true
+    (match connect port with
+    | c ->
+        close c;
+        (* connect can succeed briefly on some stacks; a read must fail *)
+        true
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> true)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "gqkg server"
+    [
+      ( "jsonx",
+        Alcotest.test_case "syntax" `Quick test_jsonx_syntax
+        :: q [ prop_jsonx_roundtrip; prop_jsonx_total ] );
+      ( "admission",
+        [
+          Alcotest.test_case "caps" `Quick test_admission_caps;
+          Alcotest.test_case "fairness" `Quick test_admission_fairness;
+          Alcotest.test_case "drain" `Quick test_admission_drain;
+          Alcotest.test_case "forget client" `Quick test_admission_forget;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "basics" `Quick test_protocol_basics;
+          Alcotest.test_case "budget degradation" `Quick test_budget_degradation;
+        ] );
+      ( "wire fuzz",
+        q [ prop_wire_fuzz ]
+        @ [
+            Alcotest.test_case "torn request" `Quick test_torn_request;
+            Alcotest.test_case "fuzz drain leak-free" `Quick test_fuzz_env_drain;
+          ] );
+      ("overload", [ Alcotest.test_case "load shedding" `Quick test_load_shedding ]);
+      ("soak", [ Alcotest.test_case "fault-injected soak" `Quick test_soak ]);
+    ]
