@@ -50,6 +50,12 @@ type conn = {
       (* set by whoever hits a write error / drop injection / drain;
          only the connection's own reader thread ever closes [fd] *)
   sent : int Atomic.t;
+  inflight : int Atomic.t;
+      (* requests admitted but not yet taken to completion by a worker;
+         the idle reaper leaves the connection alone while > 0 *)
+  last_activity : int64 Atomic.t;
+      (* monotonic ns of the last read or delivered response — quiet
+         clients awaiting a long answer are not "idle" *)
 }
 
 type job = { conn : conn; req : Jsonx.t; submitted_ns : int64 }
@@ -65,7 +71,11 @@ type t = {
   stopped : bool Atomic.t;  (** [stop] ran to completion *)
   conns_lock : Mutex.t;
   conns : (int, conn) Hashtbl.t;
-  mutable conn_threads : Thread.t list;
+  conn_threads : (int, Thread.t) Hashtbl.t;
+      (** reader threads still running (or just about to exit); each
+          entry is removed by its own thread's cleanup so a long-lived
+          daemon does not retain one Thread.t per connection ever
+          accepted.  [stop] joins whatever is still registered. *)
   mutable workers : Thread.t list;
   mutable accept_thread : Thread.t option;
   writer_lock : Mutex.t;  (** single-writer mutation discipline *)
@@ -121,20 +131,23 @@ let write_json t conn json =
         Atomic.set conn.dead true;
         false
   in
-  Mutex.unlock conn.wlock;
   if ok then begin
-    Metrics.incr_responses t.metrics;
+    Atomic.set conn.last_activity (Mclock.now_ns ());
     let sent = Atomic.fetch_and_add conn.sent 1 + 1 in
     match t.config.fault_drop_after with
     | Some k when k > 0 && sent mod k = 0 ->
         (* deterministic fault injection: hard-drop the connection the
            way a crashing client would — no goodbye, reader wakes on
-           EOF.  The soak test asserts the server survives this. *)
+           EOF.  The soak test asserts the server survives this.  Still
+           under [wlock]: the reader's close also takes it, so the fd
+           cannot be closed and its number reused mid-shutdown. *)
         Metrics.incr_injected_drops t.metrics;
         Atomic.set conn.dead true;
         (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL with _ -> ())
     | _ -> ()
   end;
+  Mutex.unlock conn.wlock;
+  if ok then Metrics.incr_responses t.metrics;
   ok
 
 (* ------------------------------------------------------------------ *)
@@ -360,7 +373,10 @@ let worker_loop t =
     match Admission.take t.queue with
     | None -> ()
     | Some job ->
-        if not (Atomic.get job.conn.dead) then handle_job t job;
+        Fun.protect
+          ~finally:(fun () -> Atomic.decr job.conn.inflight)
+          (fun () ->
+            if not (Atomic.get job.conn.dead) then handle_job t job);
         loop ()
   in
   loop ()
@@ -412,9 +428,11 @@ let handle_line t conn line =
         | Some "metrics" -> ignore (write_json t conn (metrics t))
         | _ -> (
             let job = { conn; req; submitted_ns = Mclock.now_ns () } in
+            Atomic.incr conn.inflight;
             match Admission.submit t.queue ~client:conn.client job with
             | Admission.Accepted -> Metrics.incr_requests t.metrics
             | Admission.Shed_full | Admission.Shed_client ->
+                Atomic.decr conn.inflight;
                 Metrics.incr_shed t.metrics;
                 ignore
                   (write_json t conn
@@ -423,6 +441,7 @@ let handle_line t conn line =
                         ~extra:[ ("retry_after_ms", Jsonx.Num 100.0) ]
                         ()))
             | Admission.Draining ->
+                Atomic.decr conn.inflight;
                 Metrics.incr_shed t.metrics;
                 ignore
                   (write_json t conn
@@ -435,7 +454,6 @@ let conn_loop t conn =
   let discarding = ref false in
   (* torn/oversized frames: skip to the next newline and recover, the
      wire-level mirror of the journal's GQ048 tolerate-partial rule *)
-  let last_data = ref (Mclock.now_ns ()) in
   let idle_ns = Int64.mul (Int64.of_int t.config.idle_timeout_ms) 1_000_000L in
   let rec drain_lines () =
     let data = Buffer.contents buf in
@@ -458,8 +476,10 @@ let conn_loop t conn =
         else handle_line t conn line;
         drain_lines ()
     | None ->
-        if Buffer.length buf > t.config.max_line_bytes && not !discarding
-        then begin
+        (* while discarding, drop every chunk as it arrives: an endless
+           line must cost O(chunk), not grow the buffer without bound *)
+        if !discarding then Buffer.clear buf
+        else if Buffer.length buf > t.config.max_line_bytes then begin
           Buffer.clear buf;
           discarding := true
         end
@@ -471,10 +491,14 @@ let conn_loop t conn =
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       | exception _ -> ()
       | [], _, _ ->
+          (* idle means no reads, no delivered responses AND nothing
+             queued or executing — a client silently awaiting a slow
+             answer must not be reaped mid-request *)
           if
-            Int64.compare
-              (Int64.sub (Mclock.now_ns ()) !last_data)
-              idle_ns > 0
+            Atomic.get conn.inflight = 0
+            && Int64.compare
+                 (Int64.sub (Mclock.now_ns ()) (Atomic.get conn.last_activity))
+                 idle_ns > 0
           then begin
             Metrics.incr_idle_closes t.metrics;
             ignore
@@ -494,7 +518,7 @@ let conn_loop t conn =
               (* EOF; a torn trailing fragment is simply discarded *)
               if Buffer.length buf > 0 then Metrics.incr_malformed t.metrics
           | n ->
-              last_data := Mclock.now_ns ();
+              Atomic.set conn.last_activity (Mclock.now_ns ());
               Buffer.add_subbytes buf chunk 0 n;
               drain_lines ();
               loop ())
@@ -510,7 +534,13 @@ let conn_loop t conn =
       (* the reader owns the fd: this is the only close *)
       Mutex.lock conn.wlock;
       (try Unix.close conn.fd with _ -> ());
-      Mutex.unlock conn.wlock)
+      Mutex.unlock conn.wlock;
+      (* last act: deregister our own thread so the table only ever
+         holds live readers (a thread [stop] snapshots just before this
+         line is joined; one deregistered here has nothing left to do) *)
+      Mutex.lock t.conns_lock;
+      Hashtbl.remove t.conn_threads conn.client;
+      Mutex.unlock t.conns_lock)
     loop
 
 (* ------------------------------------------------------------------ *)
@@ -557,12 +587,14 @@ let accept_loop t =
                     wlock = Mutex.create ();
                     dead = Atomic.make false;
                     sent = Atomic.make 0;
+                    inflight = Atomic.make 0;
+                    last_activity = Atomic.make (Mclock.now_ns ());
                   }
                 in
                 Mutex.lock t.conns_lock;
                 Hashtbl.replace t.conns conn.client conn;
                 let th = Thread.create (fun () -> conn_loop t conn) () in
-                t.conn_threads <- th :: t.conn_threads;
+                Hashtbl.replace t.conn_threads conn.client th;
                 Mutex.unlock t.conns_lock
               end;
               loop ())
@@ -601,7 +633,7 @@ let start ?(host = "127.0.0.1") ~port ~config mgr =
       stopped = Atomic.make false;
       conns_lock = Mutex.create ();
       conns = Hashtbl.create 16;
-      conn_threads = [];
+      conn_threads = Hashtbl.create 16;
       workers = [];
       accept_thread = None;
       writer_lock = Mutex.create ();
@@ -649,7 +681,7 @@ let stop t =
     (* 4. all responses flushed — now close connections *)
     Mutex.lock t.conns_lock;
     let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
-    let threads = t.conn_threads in
+    let threads = Hashtbl.fold (fun _ th acc -> th :: acc) t.conn_threads [] in
     Mutex.unlock t.conns_lock;
     List.iter
       (fun c ->

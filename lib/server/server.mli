@@ -47,7 +47,9 @@ type config = {
   per_client_depth : int;  (** one client's share of the queue *)
   default_timeout_ms : int option;  (** per-request deadline unless overridden *)
   default_max_states : int option;
-  idle_timeout_ms : int;  (** close connections silent this long (GQ064) *)
+  idle_timeout_ms : int;
+      (** close connections with no reads, no delivered responses and no
+          queued/in-flight requests for this long (GQ064) *)
   write_timeout_ms : int;  (** give up on a blocked write (slow client) *)
   max_line_bytes : int;  (** frames above this answer GQ062 and are skipped *)
   drain_grace_ms : int;  (** drain: wait this long before tripping in-flight budgets *)

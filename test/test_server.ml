@@ -288,6 +288,55 @@ let test_torn_request () =
   Fun.protect ~finally:(fun () -> close c2) @@ fun () ->
   checkb "server unaffected by torn frame" true (obj_bool "ok" (rpc c2 {|{"op":"ping"}|}))
 
+let test_oversized_line () =
+  (* an endless line (no newline) must cost O(chunk) server memory, not
+     accumulate: the discard path clears the buffer as data arrives.
+     Buffer.clear keeps capacity, so a leaking server would still hold
+     the high-water mark after recovery — measurable via live words. *)
+  let config = { Server.default_config with max_line_bytes = 1024 } in
+  let _, srv = start_server config in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let c = connect (Server.port srv) in
+  Fun.protect ~finally:(fun () -> close c) @@ fun () ->
+  checkb "warm-up ping" true (obj_bool "ok" (rpc c {|{"op":"ping"}|}));
+  Gc.full_major ();
+  let before = (Gc.stat ()).Gc.live_words in
+  let chunk = Bytes.make 4096 'x' in
+  let total = 8 * 1024 * 1024 in
+  for _ = 1 to total / Bytes.length chunk do
+    ignore (Unix.write c.fd chunk 0 (Bytes.length chunk))
+  done;
+  (* terminate the monster line: exactly one GQ062, then full recovery *)
+  ignore (Unix.write c.fd (Bytes.of_string "\n") 0 1);
+  let r = Jsonx.parse (recv_line c) in
+  checkb "oversized answers GQ062" true
+    (match r with Ok v -> obj_str "code" v = "GQ062" | Error _ -> false);
+  (* the pong is the sync point: every streamed byte has been consumed *)
+  checkb "recovers after discard" true (obj_bool "ok" (rpc c {|{"op":"ping"}|}));
+  Gc.full_major ();
+  let after = (Gc.stat ()).Gc.live_words in
+  let delta = after - before in
+  checkb
+    (Printf.sprintf "reader memory bounded (retained %d words for %d bytes)"
+       delta total)
+    true
+    (delta < 262_144)
+
+let test_idle_close () =
+  (* a silent connection with nothing in flight is reaped: GQ064 notice,
+     then EOF *)
+  let config = { Server.default_config with idle_timeout_ms = 300 } in
+  let _, srv = start_server config in
+  Fun.protect ~finally:(fun () -> Server.stop srv) @@ fun () ->
+  let c = connect (Server.port srv) in
+  Fun.protect ~finally:(fun () -> close c) @@ fun () ->
+  checkb "idle notice is GQ064" true
+    (match Jsonx.parse (recv_line c) with
+    | Ok v -> obj_str "code" v = "GQ064"
+    | Error _ -> false);
+  checkb "then closed" true
+    (match recv_line c with _ -> false | exception Closed -> true)
+
 let test_fuzz_env_drain () =
   (* drain the fuzz server and assert it leaked nothing *)
   let mgr, srv = Lazy.force fuzz_env in
@@ -449,6 +498,8 @@ let () =
         q [ prop_wire_fuzz ]
         @ [
             Alcotest.test_case "torn request" `Quick test_torn_request;
+            Alcotest.test_case "oversized line bounded" `Quick test_oversized_line;
+            Alcotest.test_case "idle close" `Quick test_idle_close;
             Alcotest.test_case "fuzz drain leak-free" `Quick test_fuzz_env_drain;
           ] );
       ("overload", [ Alcotest.test_case "load shedding" `Quick test_load_shedding ]);
